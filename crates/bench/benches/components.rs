@@ -1,0 +1,139 @@
+//! Component microbenchmarks (real wall time): the substrate's hot paths.
+//!
+//! * ISA encode/decode throughput (the binary-rewriting data plane)
+//! * cache probe/fill, coherent memory-system accesses
+//! * whole-machine stepping (simulation throughput in core-cycles/s)
+//! * trace selection + optimizer decision latency (COBRA's reaction time)
+
+use cobra_isa::insn::{CmpRel, Op};
+use cobra_isa::{decode, encode, Assembler, Insn, LfetchHint};
+use cobra_machine::{
+    AccessKind, CpuStats, Hpm, Machine, MachineConfig, MemSystem,
+};
+use cobra_rt::{
+    select_loops, LatencyBands, Optimizer, OptimizerConfig, ProfileDelta, SystemProfile,
+    TraceConfig,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_isa(c: &mut Criterion) {
+    let insn = Insn::pred(16, Op::Lfetch { base: 43, post_inc: 8, hint: LfetchHint::Nt1, excl: false });
+    let word = encode(&insn);
+    c.bench_function("components/isa/encode", |b| {
+        b.iter(|| encode(criterion::black_box(&insn)))
+    });
+    c.bench_function("components/isa/decode", |b| {
+        b.iter(|| decode(criterion::black_box(word)).unwrap())
+    });
+}
+
+fn bench_memsys(c: &mut Criterion) {
+    let cfg = MachineConfig::smp4();
+    c.bench_function("components/memsys/l2_hit_load", |b| {
+        let mut ms = MemSystem::new(&cfg);
+        let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
+        let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+        // Warm one line.
+        ms.access(&mut stats, &mut hpm, 0, 0, 1, AccessKind::Load { fp: true, bias: false }, 0x1000);
+        let mut now = 1000u64;
+        b.iter(|| {
+            now += 1;
+            ms.access(&mut stats, &mut hpm, 0, now, 1, AccessKind::Load { fp: true, bias: false }, 0x1000)
+        })
+    });
+    c.bench_function("components/memsys/coherent_pingpong", |b| {
+        let mut ms = MemSystem::new(&cfg);
+        let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
+        let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 500;
+            ms.access(&mut stats, &mut hpm, 0, now, 1, AccessKind::Store, 0x2000);
+            ms.access(&mut stats, &mut hpm, 1, now + 250, 1, AccessKind::Store, 0x2000)
+        })
+    });
+}
+
+fn bench_machine_stepping(c: &mut Criterion) {
+    // Simulation throughput: 4 cores running an arithmetic loop.
+    let image = {
+        let mut a = Assembler::new();
+        a.movi(4, 1_000_000_000);
+        a.mov_to_lc(4);
+        let top = a.new_label();
+        a.bind(top);
+        a.addi(5, 5, 1);
+        a.emit(Insn::new(Op::Add { dest: 6, r2: 6, r3: 5 }));
+        a.br_cloop(top);
+        a.hlt();
+        a.finish()
+    };
+    c.bench_function("components/machine/step_4_cores_1k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(MachineConfig::smp4(), image.clone());
+                for cpu in 0..4 {
+                    m.spawn_thread(cpu, 0, &[]);
+                }
+                m
+            },
+            |mut m| {
+                m.run_quantum(1000);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cobra_decision(c: &mut Criterion) {
+    // COBRA's reaction time: trace selection + a full optimizer pass over a
+    // profile with many branch pairs and delinquent loads.
+    let image = {
+        let mut a = Assembler::new();
+        for _ in 0..32 {
+            let top = a.new_label();
+            a.bind(top);
+            a.ldfd(16, 32, 2, 8);
+            a.lfetch_nt1(16, 27, 8);
+            a.emit(Insn::new(Op::Cmp { p1: 6, p2: 7, rel: CmpRel::Lt, r2: 1, r3: 2 }));
+            a.br_ctop(top);
+        }
+        a.hlt();
+        a.finish()
+    };
+    let bands = LatencyBands { coherent_min: 165 };
+    let mut profile = SystemProfile::new(bands);
+    let mut delta = ProfileDelta { samples: 500, ..ProfileDelta::default() };
+    delta.window.instructions = 1_000_000;
+    delta.window.cycles = 1_500_000;
+    delta.window.bus_memory = 10_000;
+    delta.window.bus_coherent = 4_000;
+    for head in (0..32u32).map(|k| k * 12) {
+        for _ in 0..20 {
+            delta.branch_pairs.push((head + 9, head));
+            delta.dear_events.push((head + 3, 0x1000 + head as u64 * 128, 200));
+        }
+    }
+    profile.absorb(&delta);
+
+    c.bench_function("components/cobra/trace_selection", |b| {
+        b.iter(|| select_loops(criterion::black_box(&profile), &TraceConfig::default()))
+    });
+    c.bench_function("components/cobra/optimizer_full_pass", |b| {
+        b.iter_batched(
+            || Optimizer::new(OptimizerConfig { warmup_ticks: 0, ..Default::default() }, image.clone()),
+            |mut opt| opt.consider(criterion::black_box(&profile)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_isa,
+    bench_memsys,
+    bench_machine_stepping,
+    bench_cobra_decision
+);
+criterion_main!(benches);

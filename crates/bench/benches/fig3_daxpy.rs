@@ -1,0 +1,42 @@
+//! Figure 3 bench: steady-state DAXPY cycles under the three static prefetch
+//! strategies, for every (working set × thread count) cell of the paper's
+//! sweep. Reported "time" is simulated cycles (1 cycle = 1 ns).
+//!
+//! Expected shape: `noprefetch` fastest at 128K with 2/4 threads (paper:
+//! +35 %/+52 %); `prefetch` fastest at 2M with 1 thread; `prefetch.excl`
+//! between the two at small working sets.
+
+use cobra_bench::{bench_metric, daxpy_steady_cycles};
+use cobra_kernels::PrefetchPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig3(c: &mut Criterion) {
+    // A reduced rep count keeps bench setup quick; ratios are stable.
+    let reps = 8;
+    for (ws, ws_label) in [(128 * 1024, "128K"), (512 * 1024, "512K"), (2 * 1024 * 1024, "2M")] {
+        for threads in [1usize, 2, 4] {
+            for (name, policy) in [
+                ("prefetch", PrefetchPolicy::aggressive()),
+                ("noprefetch", PrefetchPolicy::none()),
+                ("prefetch_excl", PrefetchPolicy::aggressive_excl()),
+            ] {
+                let cycles = daxpy_steady_cycles(ws, threads, &policy, reps);
+                bench_metric(
+                    c,
+                    &format!("fig3/ws={ws_label}/threads={threads}"),
+                    BenchmarkId::from_parameter(name),
+                    cycles,
+                );
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic replayed metrics have (intentionally) near-zero
+    // variance, which the plotting backend rejects; plots add nothing here.
+    config = Criterion::default().without_plots();
+    targets = fig3
+}
+criterion_main!(benches);

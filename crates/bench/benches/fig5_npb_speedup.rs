@@ -1,0 +1,40 @@
+//! Figure 5 bench: NPB execution time under COBRA, both machines.
+//! Reported "time" is simulated cycles (1 cycle = 1 ns); compare the
+//! `noprefetch`/`prefetch_excl`/`adaptive` rows against `prefetch` to read
+//! the speedups of Figure 5(a)/(b).
+
+use cobra_bench::{bench_metric, npb_metrics};
+use cobra_kernels::npb;
+use cobra_machine::MachineConfig;
+use cobra_rt::Strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig5(c: &mut Criterion) {
+    for (cfg, threads) in [(MachineConfig::smp4(), 4usize), (MachineConfig::altix8(), 8)] {
+        for &bench in &npb::Benchmark::COHERENT {
+            for (name, strategy) in [
+                ("prefetch", None),
+                ("noprefetch", Some(Strategy::NoPrefetch)),
+                ("prefetch_excl", Some(Strategy::ExclHint)),
+                ("adaptive", Some(Strategy::Adaptive)),
+            ] {
+                let m = npb_metrics(bench, &cfg, threads, strategy);
+                bench_metric(
+                    c,
+                    &format!("fig5/{}/{}", cfg.name, bench.name()),
+                    BenchmarkId::from_parameter(name),
+                    m.cycles,
+                );
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic replayed metrics have (intentionally) near-zero
+    // variance, which the plotting backend rejects; plots add nothing here.
+    config = Criterion::default().without_plots();
+    targets = fig5
+}
+criterion_main!(benches);

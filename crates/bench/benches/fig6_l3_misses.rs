@@ -1,0 +1,39 @@
+//! Figure 6 bench: L3 misses on the NPB suite under COBRA. Reported "time"
+//! is the **L3 miss count** (1 miss = 1 ns); compare against the `prefetch`
+//! row to read the normalized reductions of Figure 6(a)/(b) — the paper
+//! reports up to −29.9 % (SP) and −39.5 % (CG) for noprefetch on the SMP.
+
+use cobra_bench::{bench_metric, npb_metrics};
+use cobra_kernels::npb;
+use cobra_machine::MachineConfig;
+use cobra_rt::Strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig6(c: &mut Criterion) {
+    for (cfg, threads) in [(MachineConfig::smp4(), 4usize), (MachineConfig::altix8(), 8)] {
+        for &bench in &npb::Benchmark::COHERENT {
+            for (name, strategy) in [
+                ("prefetch", None),
+                ("noprefetch", Some(Strategy::NoPrefetch)),
+                ("prefetch_excl", Some(Strategy::ExclHint)),
+            ] {
+                let m = npb_metrics(bench, &cfg, threads, strategy);
+                bench_metric(
+                    c,
+                    &format!("fig6/{}/{}", cfg.name, bench.name()),
+                    BenchmarkId::from_parameter(name),
+                    m.l3_misses,
+                );
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic replayed metrics have (intentionally) near-zero
+    // variance, which the plotting backend rejects; plots add nothing here.
+    config = Criterion::default().without_plots();
+    targets = fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 7 bench: system-bus memory transactions on the NPB suite under
+//! COBRA. Reported "time" is the **bus transaction count** (1 txn = 1 ns).
+//! The paper's observation: Figure 7 tracks Figure 6 because L3 misses are
+//! serviced by bus transactions.
+
+use cobra_bench::{bench_metric, npb_metrics};
+use cobra_kernels::npb;
+use cobra_machine::MachineConfig;
+use cobra_rt::Strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig7(c: &mut Criterion) {
+    for (cfg, threads) in [(MachineConfig::smp4(), 4usize), (MachineConfig::altix8(), 8)] {
+        for &bench in &npb::Benchmark::COHERENT {
+            for (name, strategy) in [
+                ("prefetch", None),
+                ("noprefetch", Some(Strategy::NoPrefetch)),
+                ("prefetch_excl", Some(Strategy::ExclHint)),
+            ] {
+                let m = npb_metrics(bench, &cfg, threads, strategy);
+                bench_metric(
+                    c,
+                    &format!("fig7/{}/{}", cfg.name, bench.name()),
+                    BenchmarkId::from_parameter(name),
+                    m.bus_transactions,
+                );
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic replayed metrics have (intentionally) near-zero
+    // variance, which the plotting backend rejects; plots add nothing here.
+    config = Criterion::default().without_plots();
+    targets = fig7
+}
+criterion_main!(benches);

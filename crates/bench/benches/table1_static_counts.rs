@@ -1,0 +1,40 @@
+//! Table 1 bench: static `lfetch` counts of the NPB binaries, reported as
+//! 1 prefetch = 1 ns (the paper's point: hundreds of candidate prefetches
+//! per CFD/grid binary make manual tuning infeasible, while EP/IS have
+//! almost none). Also measures real codegen wall time per binary.
+
+use cobra_bench::bench_metric;
+use cobra_kernels::{npb, PrefetchPolicy};
+use cobra_machine::MachineConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table1(c: &mut Criterion) {
+    let cfg = MachineConfig::smp4();
+    for &bench in &npb::Benchmark::ALL {
+        let wl = npb::build(bench, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+        let lfetch = wl.image().count_matching(|i| i.is_lfetch()) as u64;
+        bench_metric(c, "table1/lfetch_count", BenchmarkId::from_parameter(bench.name()), lfetch);
+    }
+
+    // Real wall time: how fast minicc generates each binary.
+    let mut g = c.benchmark_group("table1/codegen_wall_time");
+    g.sample_size(10);
+    for &bench in &npb::Benchmark::ALL {
+        g.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
+            b.iter(|| {
+                let wl = npb::build(bench, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+                criterion::black_box(wl.image().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic replayed metrics have (intentionally) near-zero
+    // variance, which the plotting backend rejects; plots add nothing here.
+    config = Criterion::default().without_plots();
+    targets = table1
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Shared plumbing for the Criterion benches that regenerate the paper's
+//! tables and figures.
+//!
+//! The simulator is fully deterministic, so each configuration is executed
+//! **once** and its simulated metric is replayed to Criterion through
+//! `iter_custom` (1 simulated cycle — or 1 counted event — is reported as
+//! 1 ns). Criterion then renders the same rows/series the paper's figures
+//! plot, with exact, zero-variance values, while `benches/components.rs`
+//! measures real wall time of the substrate's hot paths.
+
+use std::time::Duration;
+
+use cobra_kernels::workload::execute_plain;
+use cobra_kernels::{npb, Daxpy, DaxpyParams, PrefetchPolicy};
+use cobra_machine::{Event, Machine, MachineConfig};
+use cobra_omp::{OmpRuntime, Team};
+use cobra_rt::{Cobra, CobraConfig, Strategy};
+use criterion::{BenchmarkId, Criterion};
+
+/// Simulated metrics of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimMetrics {
+    pub cycles: u64,
+    pub l3_misses: u64,
+    pub bus_transactions: u64,
+}
+
+/// Run a DAXPY configuration (steady state: warm run differenced against a
+/// short run, like the harness does).
+pub fn daxpy_steady_cycles(ws: usize, threads: usize, policy: &PrefetchPolicy, reps: usize) -> u64 {
+    let cfg = MachineConfig::smp4();
+    let run = |r: usize| {
+        let d = Daxpy::build(DaxpyParams::new(ws, r), policy, cfg.mem_bytes);
+        let (_m, run) = execute_plain(&d, &cfg, Team::new(threads));
+        run.cycles
+    };
+    run(8 + reps) - run(8)
+}
+
+/// Run one NPB benchmark arm; `strategy: None` is the prefetch baseline.
+pub fn npb_metrics(
+    bench: npb::Benchmark,
+    machine_cfg: &MachineConfig,
+    threads: usize,
+    strategy: Option<Strategy>,
+) -> SimMetrics {
+    let wl = npb::build(bench, &PrefetchPolicy::aggressive(), machine_cfg.mem_bytes);
+    let team = Team::new(threads);
+    let (machine, cycles) = match strategy {
+        None => {
+            let (m, run) = execute_plain(&*wl, machine_cfg, team);
+            (m, run.cycles)
+        }
+        Some(strategy) => {
+            let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+            let mut m = Machine::new(machine_cfg.clone(), wl.image().clone());
+            wl.init(&mut m.shared.mem);
+            let mut ccfg = CobraConfig::default();
+            ccfg.optimizer.strategy = strategy;
+            let mut cobra = Cobra::attach(ccfg, &mut m);
+            let run = wl.run(&mut m, team, &rt, &mut cobra);
+            cobra.detach(&mut m);
+            wl.verify(&m.shared.mem).expect("verified under COBRA");
+            (m, run.cycles)
+        }
+    };
+    let total = machine.total_stats();
+    SimMetrics {
+        cycles,
+        l3_misses: total.get(Event::L3Miss),
+        bus_transactions: total.get(Event::BusMemory),
+    }
+}
+
+/// Register a deterministic metric with Criterion: the value is computed
+/// once and reported as `value` nanoseconds per iteration.
+pub fn bench_metric(c: &mut Criterion, group: &str, id: BenchmarkId, value: u64) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(60));
+    g.warm_up_time(Duration::from_millis(5));
+    g.bench_function(id, |b| {
+        let mut call = 0u64;
+        b.iter_custom(move |iters| {
+            let reported = value.max(2).saturating_mul(iters);
+            // iter_custom estimates iteration counts from *wall* time, so
+            // consume roughly the reported duration for real (capped); the
+            // recorded measurement is the exact simulated value below.
+            std::thread::sleep(Duration::from_nanos(reported.min(20_000_000)));
+            // A ±1-ns wobble keeps criterion's statistics finite (a truly
+            // constant sample has zero variance, which the plotting
+            // backend rejects); the value stays exact to 1 ns.
+            call += 1;
+            Duration::from_nanos(reported.saturating_add(call % 2))
+        })
+    });
+    g.finish();
+}

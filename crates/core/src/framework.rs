@@ -1,0 +1,275 @@
+//! The COBRA framework: attach to a running multithreaded program, monitor
+//! it through the perfmon driver, and re-optimize its binary on the fly.
+//!
+//! [`Cobra`] implements [`QuantumHook`], so it plugs directly into the
+//! OpenMP runtime's execution loop (the paper preloads COBRA as a shared
+//! library before the program starts; our attach point is equivalent).
+//! Responsibilities, mirroring Figure 4:
+//!
+//! * **monitoring** — poll the perfmon kernel buffers each quantum and
+//!   forward every CPU's samples to its monitoring thread (threads are
+//!   created at fork time, one per working thread);
+//! * **profiling/optimization** — the optimization thread merges deltas
+//!   system-wide, detects phases, selects traces and decides optimizations;
+//! * **code deployment** — apply the returned plans to the live image at
+//!   the quantum safe point: append optimized traces, patch `lfetch` words,
+//!   redirect loop heads, or revert regressed deployments.
+//!
+//! Helper-thread overhead is charged to the simulated machine per processed
+//! sample, so reported speedups are net of monitoring cost.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use cobra_machine::Machine;
+use cobra_omp::{QuantumHook, Team};
+use cobra_perfmon::{PerfmonConfig, PerfmonDriver};
+
+use crate::monitor::{monitoring_thread, optimization_thread, TickReply, ToMonitor, ToOpt};
+use crate::optimizer::{Optimizer, OptimizerConfig, PlanAction};
+use crate::phase::{PhaseConfig, PhaseDetector};
+use crate::profile::LatencyBands;
+use crate::report::{AppliedPlan, CobraReport, RevertedPlan};
+
+/// Framework configuration.
+#[derive(Debug, Clone)]
+pub struct CobraConfig {
+    pub perfmon: PerfmonConfig,
+    pub optimizer: OptimizerConfig,
+    pub phase: PhaseConfig,
+    /// User Sampling Buffer capacity per monitoring thread.
+    pub usb_capacity: usize,
+    /// Helper-thread cycles charged to the machine per processed sample.
+    pub overhead_per_sample: u64,
+}
+
+impl Default for CobraConfig {
+    fn default() -> Self {
+        CobraConfig {
+            perfmon: PerfmonConfig {
+                sampling_period: 2000,
+                ..PerfmonConfig::default()
+            },
+            optimizer: OptimizerConfig::default(),
+            phase: PhaseConfig::default(),
+            usb_capacity: 8192,
+            // The paper keeps overhead low with "relatively less frequent
+            // sampling"; per-sample helper-thread cost on a spare context.
+            overhead_per_sample: 8,
+        }
+    }
+}
+
+struct MonitorHandle {
+    tx: Sender<ToMonitor>,
+    join: std::thread::JoinHandle<crate::monitor::MonitorStats>,
+}
+
+/// An attached COBRA instance.
+pub struct Cobra {
+    cfg: CobraConfig,
+    driver: PerfmonDriver,
+    monitors: Vec<Option<MonitorHandle>>,
+    to_opt: Sender<ToOpt>,
+    replies: Receiver<TickReply>,
+    opt_join: Option<std::thread::JoinHandle<()>>,
+    tick: u64,
+    report: CobraReport,
+}
+
+impl Cobra {
+    /// Attach to a machine: program the HPMs, start the optimization
+    /// thread. Monitoring threads are created lazily at thread fork.
+    pub fn attach(cfg: CobraConfig, machine: &mut Machine) -> Self {
+        let mut driver = PerfmonDriver::new(machine.num_cpus(), cfg.perfmon);
+        driver.attach(machine);
+
+        let bands = LatencyBands::from_machine(&machine.shared.cfg);
+        let optimizer = Optimizer::new(cfg.optimizer, machine.shared.code.image().clone());
+        let phases = PhaseDetector::new(cfg.phase);
+
+        let (to_opt, opt_rx) = unbounded();
+        let (reply_tx, replies) = unbounded();
+        let opt_join = std::thread::Builder::new()
+            .name("cobra-optimizer".into())
+            .spawn(move || optimization_thread(optimizer, bands, phases, opt_rx, reply_tx))
+            .expect("spawn optimization thread");
+
+        Cobra {
+            monitors: (0..machine.num_cpus()).map(|_| None).collect(),
+            cfg,
+            driver,
+            to_opt,
+            replies,
+            opt_join: Some(opt_join),
+            tick: 0,
+            report: CobraReport::default(),
+        }
+    }
+
+    fn ensure_monitor(&mut self, cpu: usize) {
+        if self.monitors[cpu].is_some() {
+            return;
+        }
+        let (tx, rx) = unbounded();
+        let to_opt = self.to_opt.clone();
+        let period = self.cfg.perfmon.sampling_period;
+        let capacity = self.cfg.usb_capacity;
+        let join = std::thread::Builder::new()
+            .name(format!("cobra-monitor-{cpu}"))
+            .spawn(move || monitoring_thread(cpu as u32, period, capacity, rx, to_opt))
+            .expect("spawn monitoring thread");
+        self.monitors[cpu] = Some(MonitorHandle { tx, join });
+        self.report.monitors_spawned += 1;
+    }
+
+    fn apply_action(&mut self, machine: &mut Machine, action: PlanAction) {
+        match action {
+            PlanAction::Apply(plan) => {
+                let trace_entry = plan.trace.as_ref().map(|t| {
+                    let start = machine.append_trace(&t.insns);
+                    assert_eq!(
+                        start, t.expected_start,
+                        "optimizer/machine trace layout divergence"
+                    );
+                    start
+                });
+                for &(addr, word) in &plan.writes {
+                    machine
+                        .patch_word(addr, word)
+                        .unwrap_or_else(|e| panic!("deploying plan {}: {e}", plan.id));
+                }
+                self.report.applied.push(AppliedPlan {
+                    plan_id: plan.id,
+                    kind: plan.kind,
+                    loop_head: plan.loop_head,
+                    description: plan.description,
+                    tick: self.tick,
+                    words_patched: plan.writes.len(),
+                    trace_entry,
+                });
+            }
+            PlanAction::Revert { plan_id, writes, reason } => {
+                for (addr, old_word) in writes {
+                    machine
+                        .patch_word(addr, old_word)
+                        .unwrap_or_else(|e| panic!("reverting plan {plan_id}: {e}"));
+                }
+                self.report.reverted.push(RevertedPlan { plan_id, reason, tick: self.tick });
+            }
+        }
+    }
+
+    /// Detach: stop sampling, shut down helper threads, return the report.
+    pub fn detach(mut self, machine: &mut Machine) -> CobraReport {
+        self.driver.detach(machine);
+        for m in self.monitors.iter_mut().flatten() {
+            let _ = m.tx.send(ToMonitor::Shutdown);
+        }
+        for slot in &mut self.monitors {
+            if let Some(m) = slot.take() {
+                let _ = m.join.join();
+            }
+        }
+        let _ = self.to_opt.send(ToOpt::Shutdown);
+        if let Some(j) = self.opt_join.take() {
+            let _ = j.join();
+        }
+        self.report.clone()
+    }
+
+    /// Read-only view of the activity report so far.
+    pub fn report(&self) -> &CobraReport {
+        &self.report
+    }
+}
+
+impl QuantumHook for Cobra {
+    fn on_fork(&mut self, _machine: &mut Machine, team: Team) {
+        // "A monitoring thread is created when a working thread is forked."
+        for cpu in 0..team.num_threads {
+            self.ensure_monitor(cpu);
+        }
+        self.report.forks += 1;
+    }
+
+    fn on_quantum(&mut self, machine: &mut Machine) {
+        self.driver.poll(machine);
+        let mut forwarded = 0u64;
+        let mut active = 0usize;
+        for cpu in 0..self.monitors.len() {
+            let Some(handle) = &self.monitors[cpu] else { continue };
+            active += 1;
+            let batch = self.driver.drain(cpu);
+            forwarded += batch.len() as u64;
+            handle.tx.send(ToMonitor::Samples(batch)).expect("monitor alive");
+            handle.tx.send(ToMonitor::Tick(self.tick)).expect("monitor alive");
+        }
+        self.report.samples_forwarded += forwarded;
+        // Charge helper-thread overhead to the machine.
+        let overhead = forwarded * self.cfg.overhead_per_sample;
+        machine.shared.cycle += overhead;
+        self.report.overhead_cycles += overhead;
+
+        if active > 0 {
+            self.to_opt
+                .send(ToOpt::BeginTick { tick: self.tick, expected: active })
+                .expect("optimization thread alive");
+            let reply = self.replies.recv().expect("optimization thread alive");
+            self.report.samples_merged = reply.samples_merged;
+            self.report.phase_changes = reply.phase_changes;
+            for action in reply.actions {
+                self.apply_action(machine, action);
+            }
+        }
+        self.report.ticks += 1;
+        self.tick += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_machine::MachineConfig;
+    use cobra_omp::OmpRuntime;
+
+    /// Attach/detach lifecycle on an idle machine.
+    #[test]
+    fn attach_detach_lifecycle() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.hlt();
+            a.finish()
+        };
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        let cobra = Cobra::attach(CobraConfig::default(), &mut m);
+        let report = cobra.detach(&mut m);
+        assert_eq!(report.ticks, 0);
+        assert_eq!(report.monitors_spawned, 0);
+    }
+
+    /// A trivial parallel region under COBRA: monitors spawn at fork, ticks
+    /// are processed, no deployments on a coherence-free program.
+    #[test]
+    fn quiet_program_monitored_without_deployments() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.movi(4, 2_000);
+            a.mov_to_lc(4);
+            let top = a.new_label();
+            a.bind(top);
+            a.addi(5, 5, 1);
+            a.br_cloop(top);
+            a.hlt();
+            a.finish()
+        };
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        let mut cobra = Cobra::attach(CobraConfig::default(), &mut m);
+        let rt = OmpRuntime { quantum: 1000, ..OmpRuntime::default() };
+        rt.parallel_for(&mut m, Team::new(4), 0, 0, 4, &[], &mut cobra);
+        let report = cobra.detach(&mut m);
+        assert_eq!(report.forks, 1);
+        assert_eq!(report.monitors_spawned, 4);
+        assert!(report.ticks > 0);
+        assert!(report.applied.is_empty(), "no coherent misses, no deployments");
+    }
+}

@@ -1,0 +1,44 @@
+//! # cobra-rt — COBRA: Continuous Binary Re-Adaptation
+//!
+//! The paper's core contribution: an adaptive runtime binary optimization
+//! framework for multithreaded applications. COBRA attaches to a running
+//! OpenMP program, continuously samples every working thread's hardware
+//! performance monitors through a perfmon-style driver, aggregates the
+//! profiles system-wide, discovers the hot loops responsible for coherent
+//! cache misses, and rewrites the program's binary while it runs — either
+//! removing the offending prefetches (`noprefetch`) or granting them
+//! ownership (`lfetch.excl`) — deploying the rewrites through a trace cache
+//! in the program's own address space.
+//!
+//! Architecture (the paper's Figure 4):
+//!
+//! ```text
+//!  working threads --HPM--> perfmon driver --samples--> monitoring threads
+//!                                                            | deltas
+//!                                                            v
+//!  patched binary <--plans-- code deployment <-- optimization thread
+//!                                                 (profile merge, phase
+//!                                                  detection, trace
+//!                                                  selection, decisions)
+//! ```
+//!
+//! Entry point: [`Cobra::attach`], which implements the OpenMP runtime's
+//! `QuantumHook` so the framework observes and patches the program at
+//! simulation-quantum safe points.
+
+pub mod framework;
+pub mod monitor;
+pub mod optimizer;
+pub mod phase;
+pub mod profile;
+pub mod report;
+pub mod trace;
+pub mod usb;
+
+pub use framework::{Cobra, CobraConfig};
+pub use optimizer::{DeployMode, OptKind, Optimizer, OptimizerConfig, PatchPlan, PlanAction, Strategy, TracePlan};
+pub use phase::{PhaseConfig, PhaseDetector};
+pub use profile::{CounterWindow, DelinquentStats, LatencyBands, ProfileDelta, SystemProfile, ThreadProfiler};
+pub use report::{AppliedPlan, CobraReport, RevertedPlan};
+pub use trace::{loop_lfetch_sites, select_loops, HotLoop, TraceConfig};
+pub use usb::UserSamplingBuffer;

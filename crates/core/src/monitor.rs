@@ -1,0 +1,283 @@
+//! The helper threads of Figure 4: per-working-thread **monitoring threads**
+//! and the single **optimization thread**, as real host threads connected by
+//! channels.
+//!
+//! §3: "two types of supporting threads are invoked for a multi-threaded
+//! program … an optimization thread that orchestrates profile collection and
+//! runtime optimizations … [and] a group of monitoring threads … a
+//! monitoring thread is created when a working thread is forked." And §3.2:
+//! "there is only one optimization thread … this design choice simplif[ies]
+//! its implementation, and enables centralized control over multiple
+//! monitoring threads."
+//!
+//! The handshake is synchronous per simulation quantum so runs are
+//! deterministic: the framework forwards each CPU's kernel-buffer samples to
+//! its monitoring thread and posts a tick; every monitoring thread reduces
+//! its batch into a [`ProfileDelta`] and acknowledges; the optimization
+//! thread merges all deltas, runs phase detection and the optimizer, and
+//! replies with the plans to deploy.
+
+use crossbeam::channel::{Receiver, Sender};
+
+use cobra_perfmon::SampleRecord;
+
+use crate::optimizer::{Optimizer, PlanAction};
+use crate::phase::PhaseDetector;
+use crate::profile::{CounterWindow, SystemProfile, ThreadProfiler};
+use crate::usb::UserSamplingBuffer;
+
+/// Messages to a monitoring thread.
+#[derive(Debug)]
+pub enum ToMonitor {
+    /// Samples drained from this CPU's kernel buffer.
+    Samples(Vec<SampleRecord>),
+    /// End of quantum: reduce and acknowledge.
+    Tick(u64),
+    Shutdown,
+}
+
+/// Messages to the optimization thread.
+#[derive(Debug)]
+pub enum ToOpt {
+    /// A monitoring thread's reduction for the current tick.
+    Delta(crate::profile::ProfileDelta),
+    /// A monitoring thread finished the tick.
+    TickAck { cpu: u32, tick: u64 },
+    /// The framework announces a tick and how many acknowledgements to wait
+    /// for.
+    BeginTick { tick: u64, expected: usize },
+    Shutdown,
+}
+
+/// The optimization thread's reply for one tick.
+#[derive(Debug, Default)]
+pub struct TickReply {
+    pub actions: Vec<PlanAction>,
+    /// Total phase changes observed so far.
+    pub phase_changes: u64,
+    /// Total samples merged so far.
+    pub samples_merged: u64,
+}
+
+/// Statistics a monitoring thread reports at shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorStats {
+    pub samples_stored: u64,
+    pub samples_dropped: u64,
+    pub ticks: u64,
+}
+
+/// Body of one monitoring thread (runs on a real host thread).
+pub fn monitoring_thread(
+    cpu: u32,
+    sampling_period: u64,
+    usb_capacity: usize,
+    rx: Receiver<ToMonitor>,
+    tx: Sender<ToOpt>,
+) -> MonitorStats {
+    let mut usb = UserSamplingBuffer::new(usb_capacity);
+    let mut profiler = ThreadProfiler::new(cpu, sampling_period);
+    let mut stats = MonitorStats::default();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToMonitor::Samples(batch) => {
+                for rec in batch {
+                    usb.store(rec);
+                }
+            }
+            ToMonitor::Tick(tick) => {
+                let batch = usb.drain();
+                let delta = profiler.reduce(&batch);
+                stats.ticks += 1;
+                // Delta first, then the ack: per-sender channel ordering
+                // guarantees the optimization thread sees them in order.
+                if tx.send(ToOpt::Delta(delta)).is_err() {
+                    break;
+                }
+                if tx.send(ToOpt::TickAck { cpu, tick }).is_err() {
+                    break;
+                }
+            }
+            ToMonitor::Shutdown => break,
+        }
+    }
+    stats.samples_stored = usb.total_stored();
+    stats.samples_dropped = usb.dropped();
+    stats
+}
+
+/// Body of the optimization thread (runs on a real host thread). Owns the
+/// system-wide profile, the phase detector, and the optimizer (with its
+/// synchronized image copy).
+///
+/// The decision profile is **rolling**: it is rebuilt each tick from the
+/// last `OptimizerConfig::rolling_ticks` ticks of deltas, so cold-start
+/// behaviour ages out and decisions reflect the program's *current* phase
+/// (the continuous part of Continuous Binary Re-Adaptation).
+pub fn optimization_thread(
+    mut optimizer: Optimizer,
+    bands: crate::profile::LatencyBands,
+    mut phases: PhaseDetector,
+    rx: Receiver<ToOpt>,
+    reply_tx: Sender<TickReply>,
+) {
+    let rolling_ticks = optimizer.config().rolling_ticks.max(1);
+    let mut pending_acks: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut expected: Option<(u64, usize)> = None;
+    let mut current_tick: Vec<crate::profile::ProfileDelta> = Vec::new();
+    let mut recent: std::collections::VecDeque<Vec<crate::profile::ProfileDelta>> =
+        std::collections::VecDeque::new();
+    let mut samples_merged = 0u64;
+
+    loop {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        match msg {
+            ToOpt::Delta(delta) => {
+                samples_merged += delta.samples;
+                current_tick.push(delta);
+            }
+            ToOpt::TickAck { cpu: _, tick } => {
+                *pending_acks.entry(tick).or_insert(0) += 1;
+            }
+            ToOpt::BeginTick { tick, expected: n } => {
+                expected = Some((tick, n));
+            }
+            ToOpt::Shutdown => return,
+        }
+
+        if let Some((tick, n)) = expected {
+            let acked = pending_acks.get(&tick).copied().unwrap_or(0);
+            if acked >= n {
+                pending_acks.remove(&tick);
+                expected = None;
+
+                // Phase detection on this tick's merged window.
+                let mut tick_window = CounterWindow::default();
+                for d in &current_tick {
+                    tick_window.merge(&d.window);
+                }
+                recent.push_back(std::mem::take(&mut current_tick));
+                while recent.len() > rolling_ticks {
+                    recent.pop_front();
+                }
+                let phase_changed = phases.observe(&tick_window);
+                if phase_changed {
+                    optimizer.on_phase_change();
+                    // Old-phase history is no longer representative.
+                    let newest = recent.pop_back();
+                    recent.clear();
+                    if let Some(d) = newest {
+                        recent.push_back(d);
+                    }
+                }
+
+                // Rebuild the rolling decision profile.
+                let mut profile = SystemProfile::new(bands);
+                for tick_deltas in &recent {
+                    for d in tick_deltas {
+                        profile.absorb(d);
+                    }
+                }
+
+                let actions = optimizer.consider(&profile);
+                let reply = TickReply {
+                    actions,
+                    phase_changes: phases.phases() - 1,
+                    samples_merged,
+                };
+                if reply_tx.send(reply).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerConfig;
+    use crate::phase::PhaseConfig;
+    use crate::profile::LatencyBands;
+    use cobra_machine::BtbEntry;
+    use cobra_perfmon::PmcSelection;
+    use crossbeam::channel::unbounded;
+
+    fn sample(cpu: u32, idx: u64) -> SampleRecord {
+        SampleRecord {
+            index: idx,
+            pc: 10,
+            pid: 1,
+            tid: cpu,
+            cpu,
+            cycle: idx * 100,
+            counters: [idx * 10, idx, idx * 2, idx],
+            events: PmcSelection::coherence_default().events,
+            btb: vec![BtbEntry { src: 50, target: 30 }],
+            dear: None,
+        }
+    }
+
+    #[test]
+    fn monitor_reduces_batches_and_acks_ticks() {
+        let (to_mon_tx, to_mon_rx) = unbounded();
+        let (to_opt_tx, to_opt_rx) = unbounded();
+        let handle = std::thread::spawn(move || monitoring_thread(2, 1000, 64, to_mon_rx, to_opt_tx));
+        to_mon_tx.send(ToMonitor::Samples(vec![sample(2, 1), sample(2, 2)])).unwrap();
+        to_mon_tx.send(ToMonitor::Tick(0)).unwrap();
+
+        match to_opt_rx.recv().unwrap() {
+            ToOpt::Delta(d) => {
+                assert_eq!(d.cpu, 2);
+                assert_eq!(d.samples, 2);
+                assert_eq!(d.branch_pairs.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        match to_opt_rx.recv().unwrap() {
+            ToOpt::TickAck { cpu, tick } => {
+                assert_eq!((cpu, tick), (2, 0));
+            }
+            other => panic!("{other:?}"),
+        }
+        to_mon_tx.send(ToMonitor::Shutdown).unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.samples_stored, 2);
+        assert_eq!(stats.ticks, 1);
+    }
+
+    #[test]
+    fn opt_thread_replies_once_per_fully_acked_tick() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.nop(cobra_isa::Unit::I);
+            a.finish()
+        };
+        let optimizer = Optimizer::new(OptimizerConfig::default(), image);
+        let bands = LatencyBands { coherent_min: 165 };
+        let phases = PhaseDetector::new(PhaseConfig::default());
+        let (tx, rx) = unbounded();
+        let (reply_tx, reply_rx) = unbounded();
+        let handle = std::thread::spawn(move || optimization_thread(optimizer, bands, phases, rx, reply_tx));
+
+        // Two monitors; acks can arrive before BeginTick.
+        tx.send(ToOpt::Delta(crate::profile::ProfileDelta { cpu: 0, samples: 1, ..Default::default() })).unwrap();
+        tx.send(ToOpt::TickAck { cpu: 0, tick: 0 }).unwrap();
+        tx.send(ToOpt::TickAck { cpu: 1, tick: 0 }).unwrap();
+        tx.send(ToOpt::BeginTick { tick: 0, expected: 2 }).unwrap();
+        let reply = reply_rx.recv().unwrap();
+        assert!(reply.actions.is_empty(), "quiet profile produces no plans");
+        assert_eq!(reply.samples_merged, 1);
+
+        // Second tick with only one monitor.
+        tx.send(ToOpt::BeginTick { tick: 1, expected: 1 }).unwrap();
+        tx.send(ToOpt::TickAck { cpu: 0, tick: 1 }).unwrap();
+        let _ = reply_rx.recv().unwrap();
+
+        tx.send(ToOpt::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,741 @@
+//! The runtime optimizer: decides which optimization to apply to which hot
+//! loop and builds the binary rewrite plans.
+//!
+//! §4/§5.2: COBRA implements two optimizations on the prefetches of loops
+//! that contain coherent delinquent loads —
+//!
+//! * **noprefetch** — "selectively reduces the aggressiveness of prefetching
+//!   to remove unnecessary coherent cache misses … turn them into NOP
+//!   instructions". Chosen "when the data working set fits in the processor
+//!   caches and many coherent misses are caused by aggressive prefetching".
+//! * **prefetch.excl** — "selectively chooses prefetch instructions that
+//!   cause long latency coherent misses and applies [the] .excl hint".
+//!
+//! The *adaptive* strategy picks between them per deployment from the
+//! system-wide profile: low L3-miss rate (working set fits; misses are
+//! coherence) → noprefetch; otherwise keep prefetching but take ownership
+//! (`.excl`). Deployments can be reverted when the post-deployment CPI
+//! regresses (continuous re-adaptation).
+
+use std::collections::HashSet;
+
+use cobra_isa::insn::{Insn, Op};
+use cobra_isa::{encode, CodeAddr, CodeImage, NOP_SLOT_M};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::SystemProfile;
+use crate::trace::{loop_lfetch_sites, loops_with_delinquent_loads, select_loops, HotLoop, TraceConfig};
+
+/// Which rewrite a deployment applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptKind {
+    NoPrefetch,
+    ExclHint,
+}
+
+impl OptKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            OptKind::NoPrefetch => "noprefetch",
+            OptKind::ExclHint => "prefetch.excl",
+        }
+    }
+}
+
+/// Deployment strategy (the three §5.2 experiment arms plus Adaptive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Always rewrite selected prefetches to `nop.m`.
+    NoPrefetch,
+    /// Always add the `.excl` hint to selected prefetches.
+    ExclHint,
+    /// Choose per deployment from the profile.
+    Adaptive,
+}
+
+/// How rewrites reach the running binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeployMode {
+    /// Patch the original text in place (word-granular).
+    InPlace,
+    /// Clone the loop into the trace cache, rewrite the clone, and redirect
+    /// the original loop head (the ADORE-style deployment of §1/§3).
+    TraceCache,
+}
+
+/// Optimizer thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    pub strategy: Strategy,
+    pub deploy: DeployMode,
+    pub trace: TraceConfig,
+    /// Minimum DEAR captures at one PC before it counts as delinquent.
+    pub min_dear_samples: u64,
+    /// Minimum fraction of a site's qualifying misses in the coherent band.
+    pub min_coherent_fraction: f64,
+    /// Minimum system-wide coherent-bus ratio before optimizing at all.
+    pub min_coherent_ratio: f64,
+    /// The §5.2 filter: noprefetch targets "instructions that cause
+    /// frequent L3 misses **when [the] L2 miss ratio is low**" — a low L2
+    /// miss rate means the working set fits L2, so remaining misses are
+    /// coherence, not capacity. At or above this L2-misses-per-kilo-
+    /// instruction rate the code is streaming and prefetches stay.
+    pub l2_kinst_threshold: f64,
+    /// §5.2: "noprefetch … needs precise runtime profiles to avoid removing
+    /// effective prefetches". A loop whose in-loop DEAR captures are more
+    /// than this fraction *memory-band* keeps its prefetches: the fixed
+    /// NoPrefetch strategy skips it; Adaptive falls back to `.excl`.
+    pub max_memory_fraction: f64,
+    /// Minimum merged samples before the first decision.
+    pub min_profile_samples: u64,
+    /// §4's counter-only path: when the system-wide coherent ratio is at
+    /// least this intense, optimize the hottest prefetching loops even if
+    /// the DEAR pinpointed no individual load (store-upgrade-dominated
+    /// pathologies never latch the DEAR, which samples loads).
+    pub fallback_coherent_ratio: f64,
+    /// At most this many loops optimized through the counter-only path.
+    pub fallback_max_loops: usize,
+    /// Deployments per quantum tick: deploying incrementally lets the
+    /// CPI-regression feedback assign blame to individual deployments.
+    pub max_deploys_per_tick: usize,
+    /// Revert a deployment whose post-deployment CPI exceeds the
+    /// pre-deployment CPI by this factor (`<= 0` disables reverting).
+    /// Trial-and-revert is the framework's answer to pathologies no ex-ante
+    /// profile signal can distinguish — e.g. loops whose prefetches hide
+    /// *true-sharing* coherent misses look identical, before patching, to
+    /// loops whose prefetches *cause* coherent misses. Reverted loops are
+    /// blacklisted, so each loop is trialled at most once.
+    pub regression_factor: f64,
+    /// Quantum ticks to observe after a deployment before judging
+    /// regression (should exceed `rolling_ticks` so the rolling window is
+    /// fully post-deployment).
+    pub regression_ticks: u64,
+    /// Ticks of history in the rolling decision profile.
+    pub rolling_ticks: usize,
+    /// Quantum ticks observed before the first deployment is allowed —
+    /// lets the program's cold start age out of the rolling profile so
+    /// decisions reflect steady-state behaviour.
+    pub warmup_ticks: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            strategy: Strategy::Adaptive,
+            deploy: DeployMode::TraceCache,
+            trace: TraceConfig::default(),
+            min_dear_samples: 3,
+            min_coherent_fraction: 0.5,
+            min_coherent_ratio: 0.05,
+            l2_kinst_threshold: 10.5,
+            max_memory_fraction: 0.4,
+            min_profile_samples: 32,
+            fallback_coherent_ratio: 0.25,
+            fallback_max_loops: 4,
+            max_deploys_per_tick: 1,
+            regression_factor: 1.4,
+            // Multi-pass programs alternate CPI regimes tick by tick; the
+            // rolling window and the regression horizon must span a whole
+            // pass cycle so pre/post comparisons see the same mix.
+            regression_ticks: 20,
+            rolling_ticks: 16,
+            warmup_ticks: 18,
+        }
+    }
+}
+
+/// One planned deployment (or revert), shipped from the optimization thread
+/// to the simulation thread for application at a safe point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PlanAction {
+    Apply(PatchPlan),
+    /// Undo a previous deployment by restoring the overwritten words.
+    Revert { plan_id: u64, writes: Vec<(CodeAddr, u64)>, reason: String },
+}
+
+/// A concrete binary rewrite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatchPlan {
+    pub id: u64,
+    pub kind: OptKind,
+    pub loop_head: CodeAddr,
+    pub description: String,
+    /// Words to write into the existing image, `(addr, new_word)`.
+    pub writes: Vec<(CodeAddr, u64)>,
+    /// Optimized trace to append first (TraceCache mode).
+    pub trace: Option<TracePlan>,
+}
+
+/// An optimized loop body for the trace cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TracePlan {
+    /// Where the trace must land (both sides compute `bundle_align(len)` on
+    /// identical images; the apply step asserts agreement).
+    pub expected_start: CodeAddr,
+    pub insns: Vec<Insn>,
+}
+
+#[derive(Debug)]
+struct Deployment {
+    plan_id: u64,
+    loop_head: CodeAddr,
+    /// `(addr, old_word)` for revert.
+    undo: Vec<(CodeAddr, u64)>,
+    baseline_cpi: f64,
+    post_ticks: u64,
+    reverted: bool,
+}
+
+/// The optimization-thread state: decisions, plan construction, and its own
+/// synchronized copy of the program image.
+#[derive(Debug)]
+pub struct Optimizer {
+    cfg: OptimizerConfig,
+    image: CodeImage,
+    optimized_heads: HashSet<CodeAddr>,
+    /// Loops whose deployments regressed: never touched again (phase
+    /// changes clear `optimized_heads` but not this).
+    blacklisted_heads: HashSet<CodeAddr>,
+    deployments: Vec<Deployment>,
+    next_plan_id: u64,
+    ticks_seen: u64,
+}
+
+impl Optimizer {
+    /// `image` is the program text at attach time (the optimizer keeps it in
+    /// sync with the machine's copy by applying its own plans).
+    pub fn new(cfg: OptimizerConfig, image: CodeImage) -> Self {
+        Optimizer {
+            cfg,
+            image,
+            optimized_heads: HashSet::new(),
+            blacklisted_heads: HashSet::new(),
+            deployments: Vec::new(),
+            next_plan_id: 0,
+            ticks_seen: 0,
+        }
+    }
+
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.cfg
+    }
+
+    /// Evaluate the current profile; returns any plans to deploy or revert.
+    /// The caller should `reset_window` the profile after a deployment so
+    /// post-deployment behaviour is measured fresh.
+    pub fn consider(&mut self, profile: &SystemProfile) -> Vec<PlanAction> {
+        let mut actions = Vec::new();
+        self.ticks_seen += 1;
+        self.track_regressions(profile, &mut actions);
+
+        if self.ticks_seen <= self.cfg.warmup_ticks {
+            return actions;
+        }
+        if profile.samples < self.cfg.min_profile_samples {
+            return actions;
+        }
+        if profile.window.coherent_ratio() < self.cfg.min_coherent_ratio {
+            return actions;
+        }
+        let hot_pcs: Vec<CodeAddr> = profile
+            .coherent_delinquent(self.cfg.min_dear_samples, self.cfg.min_coherent_fraction)
+            .into_iter()
+            .map(|(pc, _)| pc)
+            .collect();
+        let loops = select_loops(profile, &self.cfg.trace);
+        // Candidates: loops pinpointed by DEAR captures, plus — when the
+        // system-wide coherent ratio is intense — the hottest other loops
+        // (the counter-only path of §4: the DEAR latches one event per
+        // sample, so store-upgrade-dominated loops rarely surface there).
+        let mut candidates = loops_with_delinquent_loads(&loops, &hot_pcs);
+        if profile.window.coherent_ratio() >= self.cfg.fallback_coherent_ratio {
+            let mut extra = 0usize;
+            for lp in &loops {
+                if extra >= self.cfg.fallback_max_loops {
+                    break;
+                }
+                if candidates.iter().any(|c| c.head == lp.head)
+                    || self.optimized_heads.contains(&lp.head)
+                    || self.blacklisted_heads.contains(&lp.head)
+                {
+                    continue;
+                }
+                candidates.push(lp.clone());
+                extra += 1;
+            }
+        } else if candidates.is_empty() {
+            return actions;
+        }
+        let mut deployed_this_tick = 0usize;
+        for lp in candidates {
+            if deployed_this_tick >= self.cfg.max_deploys_per_tick {
+                break;
+            }
+            if self.optimized_heads.contains(&lp.head) || self.blacklisted_heads.contains(&lp.head)
+            {
+                continue;
+            }
+            // Never optimize our own optimized traces (their back edges are
+            // hot in the BTB too), and never trust loop candidates whose
+            // body extends into the trace-cache region (mispaired branches).
+            if self.image.is_trace_addr(lp.head) || self.image.is_trace_addr(lp.back_edge) {
+                continue;
+            }
+            let sites = loop_lfetch_sites(&self.image, &lp, &self.cfg.trace);
+            if sites.is_empty() {
+                continue;
+            }
+            let Some(kind) = self.choose_kind(&lp, profile) else { continue };
+            let plan = self.build_plan(&lp, &sites, kind, profile);
+            self.apply_to_own_image(&plan);
+            self.optimized_heads.insert(lp.head);
+            self.deployments.push(Deployment {
+                plan_id: plan.id,
+                loop_head: lp.head,
+                undo: plan
+                    .writes
+                    .iter()
+                    .map(|&(addr, _)| (addr, self.undo_word(addr, &plan)))
+                    .collect(),
+                baseline_cpi: profile.window.cpi(),
+                post_ticks: 0,
+                reverted: false,
+            });
+            actions.push(PlanAction::Apply(plan));
+            deployed_this_tick += 1;
+        }
+        actions
+    }
+
+    /// Per-loop memory-band fraction of the DEAR captures inside the loop
+    /// (`None` when the loop has no DEAR captures).
+    fn loop_memory_fraction(&self, lp: &HotLoop, profile: &SystemProfile) -> Option<f64> {
+        let mut coherent = 0u64;
+        let mut memory = 0u64;
+        for (&pc, stats) in &profile.delinquent {
+            if lp.contains(pc) {
+                coherent += stats.coherent;
+                memory += stats.memory;
+            }
+        }
+        let total = coherent + memory;
+        if total == 0 {
+            None
+        } else {
+            Some(memory as f64 / total as f64)
+        }
+    }
+
+    /// Decide the rewrite for one loop — or decline (`None`) when removing
+    /// the prefetches would hurt. Prefetches are *effective* (worth keeping)
+    /// when the code streams through L2 (high L2 miss rate — the inverse of
+    /// §5.2's "L2 miss ratio is low" condition) or when the loop's DEAR
+    /// captures sit in the memory band.
+    fn choose_kind(&self, lp: &HotLoop, profile: &SystemProfile) -> Option<OptKind> {
+        let mem_frac = self.loop_memory_fraction(lp, profile);
+        let prefetch_effective = profile.window.capacity_l2_per_kinst() >= self.cfg.l2_kinst_threshold
+            || mem_frac.is_some_and(|f| f > self.cfg.max_memory_fraction);
+        match self.cfg.strategy {
+            Strategy::NoPrefetch => {
+                if prefetch_effective {
+                    // "avoid removing effective prefetches" (§5.2).
+                    None
+                } else {
+                    Some(OptKind::NoPrefetch)
+                }
+            }
+            Strategy::ExclHint => Some(OptKind::ExclHint),
+            Strategy::Adaptive => {
+                if prefetch_effective {
+                    Some(OptKind::ExclHint)
+                } else {
+                    Some(OptKind::NoPrefetch)
+                }
+            }
+        }
+    }
+
+    /// Original word at `addr` *before* `plan` was applied (plans are built
+    /// against the pre-plan image, so look in the patch log first).
+    fn undo_word(&self, addr: CodeAddr, _plan: &PatchPlan) -> u64 {
+        // apply_to_own_image records patches; the log's old_word for the
+        // most recent patch at `addr` is the pre-plan word.
+        self.image
+            .patch_log()
+            .iter()
+            .rev()
+            .find(|r| r.addr == addr)
+            .map(|r| r.old_word)
+            .unwrap_or_else(|| self.image.word(addr))
+    }
+
+    fn rewrite_lfetch(&self, insn: &Insn, kind: OptKind) -> Insn {
+        match (kind, insn.op) {
+            (OptKind::NoPrefetch, Op::Lfetch { .. }) => NOP_SLOT_M,
+            (OptKind::ExclHint, Op::Lfetch { base, post_inc, hint, .. }) => {
+                Insn::pred(insn.qp, Op::Lfetch { base, post_inc, hint, excl: true })
+            }
+            _ => *insn,
+        }
+    }
+
+    fn build_plan(
+        &mut self,
+        lp: &HotLoop,
+        sites: &[CodeAddr],
+        kind: OptKind,
+        profile: &SystemProfile,
+    ) -> PatchPlan {
+        let id = self.next_plan_id;
+        self.next_plan_id += 1;
+        let description = format!(
+            "{} on loop [{},{}] ({} lfetch sites; coherent ratio {:.3}, L3/kinst {:.2})",
+            kind.name(),
+            lp.head,
+            lp.back_edge,
+            sites.len(),
+            profile.window.coherent_ratio(),
+            profile.window.l3_per_kinst(),
+        );
+        match self.cfg.deploy {
+            DeployMode::InPlace => {
+                let writes = sites
+                    .iter()
+                    .map(|&addr| {
+                        let insn = self.image.insn(addr).expect("site decodes");
+                        (addr, encode(&self.rewrite_lfetch(&insn, kind)))
+                    })
+                    .collect();
+                PatchPlan { id, kind, loop_head: lp.head, description, writes, trace: None }
+            }
+            DeployMode::TraceCache => {
+                // Clone the body, rewriting in-body prefetches and
+                // retargeting the back edge to the trace-local head.
+                let expected_start = cobra_isa::bundle_align(self.image.len());
+                let mut insns = Vec::with_capacity(lp.len() as usize + 1);
+                for addr in lp.head..=lp.back_edge {
+                    let mut insn = self.image.insn(addr).expect("body decodes");
+                    insn = self.rewrite_lfetch(&insn, kind);
+                    if insn.op.branch_target() == Some(lp.head) {
+                        insn.op = insn.op.with_branch_target(expected_start).expect("branch");
+                    }
+                    insns.push(insn);
+                }
+                // Exit: fall through the cloned back edge, branch back to
+                // the instruction after the original back edge.
+                insns.push(Insn::new(Op::BrCond { target: lp.back_edge + 1 }));
+                // Entry-window sites (the hoisted burst) are outside the
+                // body; rewrite those in place. The original head becomes a
+                // redirect into the trace.
+                let mut writes: Vec<(CodeAddr, u64)> = sites
+                    .iter()
+                    .filter(|&&a| a < lp.head)
+                    .map(|&addr| {
+                        let insn = self.image.insn(addr).expect("site decodes");
+                        (addr, encode(&self.rewrite_lfetch(&insn, kind)))
+                    })
+                    .collect();
+                writes.push((lp.head, encode(&Insn::new(Op::BrCond { target: expected_start }))));
+                PatchPlan {
+                    id,
+                    kind,
+                    loop_head: lp.head,
+                    description,
+                    writes,
+                    trace: Some(TracePlan { expected_start, insns }),
+                }
+            }
+        }
+    }
+
+    /// Apply a plan to the optimizer's own image copy (keeps both sides'
+    /// trace-cache layout identical).
+    fn apply_to_own_image(&mut self, plan: &PatchPlan) {
+        if let Some(trace) = &plan.trace {
+            let start = self.image.append_trace(&trace.insns);
+            assert_eq!(start, trace.expected_start, "trace layout divergence");
+        }
+        for &(addr, word) in &plan.writes {
+            self.image.patch_word(addr, word).expect("own-image patch");
+        }
+    }
+
+    /// Accumulate post-deployment CPI and emit reverts on regression.
+    fn track_regressions(&mut self, profile: &SystemProfile, actions: &mut Vec<PlanAction>) {
+        if self.cfg.regression_factor <= 0.0 || profile.samples == 0 {
+            return;
+        }
+        let cfg = self.cfg;
+        let mut reverts: Vec<(u64, CodeAddr, Vec<(CodeAddr, u64)>, String)> = Vec::new();
+        for d in self.deployments.iter_mut().filter(|d| !d.reverted) {
+            d.post_ticks += 1;
+            // The deployment-time window may have had too few intra-thread
+            // sample pairs for a CPI (tiny regions); arm the baseline from
+            // the first usable post-deployment window instead — regressions
+            // are then judged against optimized steady state, which is the
+            // behaviour re-adaptation should preserve.
+            if d.baseline_cpi <= 0.0 {
+                if profile.window.instructions > 0 {
+                    d.baseline_cpi = profile.window.cpi();
+                }
+                continue;
+            }
+            if d.post_ticks >= cfg.regression_ticks && profile.window.instructions > 0 {
+                // The rolling window is fully post-deployment by now.
+                let post_cpi = profile.window.cpi();
+                if std::env::var("COBRA_DEBUG_REGRESSION").is_ok() {
+                    eprintln!(
+                        "[regress?] plan {} post_ticks {} cpi {:.3} baseline {:.3}",
+                        d.plan_id, d.post_ticks, post_cpi, d.baseline_cpi
+                    );
+                }
+                if d.baseline_cpi > 0.0 && post_cpi > d.baseline_cpi * cfg.regression_factor {
+                    d.reverted = true;
+                    reverts.push((
+                        d.plan_id,
+                        d.loop_head,
+                        d.undo.clone(),
+                        format!(
+                            "CPI regressed {:.3} -> {:.3}; reverting",
+                            d.baseline_cpi, post_cpi
+                        ),
+                    ));
+                }
+            }
+        }
+        for (plan_id, loop_head, writes, reason) in reverts {
+            // Restore our own copy, and never touch this loop again.
+            for &(addr, old) in &writes {
+                self.image.patch_word(addr, old).expect("own-image revert");
+            }
+            self.blacklisted_heads.insert(loop_head);
+            actions.push(PlanAction::Revert { plan_id, writes, reason });
+        }
+    }
+
+    /// Notification of a detected phase change. Deployed and blacklisted
+    /// loops stay as they are (re-deploying an already-patched loop would
+    /// stack rewrites); the value of the phase signal is that the *caller*
+    /// discards stale profile history, so loops that only now became hot
+    /// get considered against fresh data.
+    pub fn on_phase_change(&mut self) {}
+
+    /// Number of applied (non-reverted) deployments.
+    pub fn active_deployments(&self) -> usize {
+        self.deployments.iter().filter(|d| !d.reverted).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CounterWindow, LatencyBands, ProfileDelta, SystemProfile};
+    use cobra_isa::{Assembler, LfetchHint};
+
+    /// A loop image shaped like minicc output: burst, head, body with
+    /// lfetch, back edge.
+    fn loop_image() -> (CodeImage, CodeAddr, CodeAddr, CodeAddr) {
+        let mut a = Assembler::new();
+        a.lfetch_nt1(0, 10, 128); // hoisted burst
+        a.lfetch_nt1(0, 10, 128);
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        let load_pc = a.ldfd(16, 32, 2, 8);
+        a.lfetch_nt1(16, 27, 8);
+        a.stfd(23, 46, 4, 8);
+        let back = a.br_ctop(top);
+        a.hlt();
+        (a.finish(), head, back, load_pc)
+    }
+
+    fn hot_profile_lat(
+        load_pc: CodeAddr,
+        head: CodeAddr,
+        back: CodeAddr,
+        miss_kinst: f64,
+        dear_latency: u64,
+    ) -> SystemProfile {
+        let mut sp = SystemProfile::new(LatencyBands { coherent_min: 165 });
+        let mut delta = ProfileDelta::default();
+        delta.samples = 100;
+        delta.window = CounterWindow {
+            instructions: 100_000,
+            cycles: 150_000,
+            bus_memory: 1000,
+            bus_coherent: 300,
+            l2_miss: (miss_kinst * 100.0) as u64,
+            l3_miss: (miss_kinst * 100.0) as u64,
+        };
+        for _ in 0..20 {
+            delta.dear_events.push((load_pc, 0x1000, dear_latency));
+            delta.branch_pairs.push((back, head));
+        }
+        sp.absorb(&delta);
+        sp
+    }
+
+    fn hot_profile(load_pc: CodeAddr, head: CodeAddr, back: CodeAddr, l3_kinst: f64) -> SystemProfile {
+        hot_profile_lat(load_pc, head, back, l3_kinst, 200)
+    }
+
+    #[test]
+    fn adaptive_picks_noprefetch_when_working_set_fits() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig { deploy: DeployMode::InPlace, warmup_ticks: 0, ..Default::default() },
+            image.clone(),
+        );
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let actions = opt.consider(&profile);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            PlanAction::Apply(plan) => {
+                assert_eq!(plan.kind, OptKind::NoPrefetch);
+                assert_eq!(plan.loop_head, head);
+                // 2 burst + 1 in-loop site.
+                assert_eq!(plan.writes.len(), 3);
+                for &(_, word) in &plan.writes {
+                    assert_eq!(cobra_isa::decode(word).unwrap().op, Op::Nop { unit: cobra_isa::Unit::M });
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Re-considering the same profile does not duplicate the plan.
+        assert!(opt.consider(&profile).is_empty());
+        assert_eq!(opt.active_deployments(), 1);
+    }
+
+    #[test]
+    fn adaptive_picks_excl_when_misses_stream() {
+        // Memory-band DEAR captures (140 < coherent_min): the loop's loads
+        // benefit from prefetching, so Adaptive keeps the prefetches and
+        // takes ownership instead.
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig { deploy: DeployMode::InPlace, warmup_ticks: 0, ..Default::default() },
+            image,
+        );
+        let profile = hot_profile_lat(load_pc, head, back, 20.0, 140);
+        let actions = opt.consider(&profile);
+        match &actions[0] {
+            PlanAction::Apply(plan) => {
+                assert_eq!(plan.kind, OptKind::ExclHint);
+                for &(_, word) in &plan.writes {
+                    match cobra_isa::decode(word).unwrap().op {
+                        Op::Lfetch { excl, hint, .. } => {
+                            assert!(excl);
+                            assert_eq!(hint, LfetchHint::Nt1);
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_cache_plan_redirects_head_and_retargets_back_edge() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig { deploy: DeployMode::TraceCache, warmup_ticks: 0, ..Default::default() },
+            image.clone(),
+        );
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let actions = opt.consider(&profile);
+        let plan = match &actions[0] {
+            PlanAction::Apply(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let trace = plan.trace.as_ref().expect("trace plan");
+        assert_eq!(trace.expected_start, cobra_isa::bundle_align(image.len()));
+        // The trace's back edge targets the trace head; the exit branch
+        // returns after the original back edge.
+        let cloned_back = &trace.insns[(back - head) as usize];
+        assert_eq!(cloned_back.op.branch_target(), Some(trace.expected_start));
+        let exit = trace.insns.last().unwrap();
+        assert_eq!(exit.op.branch_target(), Some(back + 1));
+        // The in-body lfetch is rewritten in the trace, not in place.
+        assert!(trace.insns.iter().all(|i| !i.is_lfetch()));
+        // Head redirect present; burst rewritten in place.
+        assert!(plan.writes.iter().any(|&(a, w)| a == head
+            && cobra_isa::decode(w).unwrap().op.branch_target() == Some(trace.expected_start)));
+        let burst_writes =
+            plan.writes.iter().filter(|&&(a, _)| a < head).count();
+        assert_eq!(burst_writes, 2);
+    }
+
+    #[test]
+    fn gates_block_quiet_profiles() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig { deploy: DeployMode::InPlace, warmup_ticks: 0, ..Default::default() },
+            image,
+        );
+        // Too few samples.
+        let mut p = hot_profile(load_pc, head, back, 1.0);
+        p.samples = 4;
+        assert!(opt.consider(&p).is_empty());
+        // Low coherent ratio.
+        let mut p = hot_profile(load_pc, head, back, 1.0);
+        p.window.bus_coherent = 1;
+        assert!(opt.consider(&p).is_empty());
+    }
+
+    #[test]
+    fn regression_triggers_revert_with_undo_words() {
+        let (image, head, back, load_pc) = loop_image();
+        let cfg = OptimizerConfig {
+            deploy: DeployMode::InPlace,
+            warmup_ticks: 0,
+            regression_ticks: 3,
+            regression_factor: 1.05,
+            ..Default::default()
+        };
+        let mut opt = Optimizer::new(cfg, image.clone());
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let actions = opt.consider(&profile);
+        let plan_id = match &actions[0] {
+            PlanAction::Apply(p) => p.id,
+            other => panic!("{other:?}"),
+        };
+        // Post-deployment profile with much worse CPI.
+        let mut worse = SystemProfile::new(LatencyBands { coherent_min: 165 });
+        worse.absorb(&ProfileDelta {
+            cpu: 0,
+            window: CounterWindow {
+                instructions: 100_000,
+                cycles: 400_000, // CPI 4.0 vs baseline 1.5
+                ..CounterWindow::default()
+            },
+            dear_events: vec![],
+            branch_pairs: vec![],
+            samples: 50,
+        });
+        // One consider call per tick; the revert fires once regression_ticks
+        // post-deployment ticks have been observed.
+        let mut actions = opt.consider(&worse);
+        for _ in 0..4 {
+            if actions.iter().any(|a| matches!(a, PlanAction::Revert { .. })) {
+                break;
+            }
+            actions = opt.consider(&worse);
+        }
+        let (id, writes) = match actions
+            .iter()
+            .find_map(|a| match a {
+                PlanAction::Revert { plan_id, writes, .. } => Some((*plan_id, writes.clone())),
+                _ => None,
+            }) {
+            Some(x) => x,
+            None => panic!("expected a revert, got {actions:?}"),
+        };
+        assert_eq!(id, plan_id);
+        // Undo words restore the original lfetches.
+        for (addr, old) in writes {
+            assert_eq!(image.word(addr), old, "undo word mismatch at {addr}");
+        }
+        assert_eq!(opt.active_deployments(), 0);
+    }
+}

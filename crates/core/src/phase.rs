@@ -1,0 +1,169 @@
+//! Phase detection — the *Continuous Re-Adaptation* in COBRA's name.
+//!
+//! §3.1: "using the number of L2 and L3 misses per 1000 instructions could
+//! track the changes in cache miss patterns for detecting changes in data
+//! working sets and their access behavior." The detector keeps an
+//! exponentially-smoothed estimate of the miss rates; when a fresh window
+//! departs from the estimate by more than a configurable factor, it reports
+//! a phase change so the framework can reset the profile and let the
+//! optimizer re-evaluate (e.g. after the program moves to a new data set).
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::CounterWindow;
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PhaseConfig {
+    /// A window whose miss rate differs from the smoothed estimate by more
+    /// than this factor (either direction) signals a phase change.
+    pub change_factor: f64,
+    /// Exponential smoothing weight for the running estimate.
+    pub alpha: f64,
+    /// Windows to observe before phase changes can fire (warm-up).
+    pub warmup_windows: u32,
+    /// Minimum instructions per window for a meaningful rate.
+    pub min_instructions: u64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        // Multi-pass programs alternate between loops with very different
+        // miss rates within one "phase"; the factor and warm-up are sized so
+        // only sustained working-set changes fire.
+        PhaseConfig { change_factor: 4.0, alpha: 0.3, warmup_windows: 6, min_instructions: 20_000 }
+    }
+}
+
+/// Running phase state.
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    cfg: PhaseConfig,
+    smoothed_l2_kinst: f64,
+    smoothed_l3_kinst: f64,
+    windows_seen: u32,
+    phases: u64,
+}
+
+impl PhaseDetector {
+    pub fn new(cfg: PhaseConfig) -> Self {
+        PhaseDetector { cfg, smoothed_l2_kinst: 0.0, smoothed_l3_kinst: 0.0, windows_seen: 0, phases: 1 }
+    }
+
+    /// Feed one merged window; returns true when a phase change is detected
+    /// (the estimate restarts from the new window).
+    pub fn observe(&mut self, window: &CounterWindow) -> bool {
+        if window.instructions < self.cfg.min_instructions {
+            return false;
+        }
+        let l2 = window.l2_per_kinst();
+        let l3 = window.l3_per_kinst();
+        self.windows_seen += 1;
+        if self.windows_seen <= self.cfg.warmup_windows {
+            self.fold(l2, l3);
+            return false;
+        }
+        let changed = Self::departed(self.smoothed_l2_kinst, l2, self.cfg.change_factor)
+            || Self::departed(self.smoothed_l3_kinst, l3, self.cfg.change_factor);
+        if changed {
+            // Restart the estimate at the new behaviour.
+            self.smoothed_l2_kinst = l2;
+            self.smoothed_l3_kinst = l3;
+            self.windows_seen = 1;
+            self.phases += 1;
+            true
+        } else {
+            self.fold(l2, l3);
+            false
+        }
+    }
+
+    fn fold(&mut self, l2: f64, l3: f64) {
+        let a = self.cfg.alpha;
+        if self.windows_seen == 1 {
+            self.smoothed_l2_kinst = l2;
+            self.smoothed_l3_kinst = l3;
+        } else {
+            self.smoothed_l2_kinst = a * l2 + (1.0 - a) * self.smoothed_l2_kinst;
+            self.smoothed_l3_kinst = a * l3 + (1.0 - a) * self.smoothed_l3_kinst;
+        }
+    }
+
+    fn departed(smoothed: f64, fresh: f64, factor: f64) -> bool {
+        // Both near zero: no change. A rate appearing from (or vanishing to)
+        // nothing is a change once it is non-trivial.
+        let floor = 0.05;
+        let s = smoothed.max(floor);
+        let f = fresh.max(floor);
+        (f / s) > factor || (s / f) > factor
+    }
+
+    /// Phases observed so far (starts at 1).
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(l2: u64, l3: u64) -> CounterWindow {
+        CounterWindow {
+            instructions: 100_000,
+            cycles: 150_000,
+            bus_memory: 100,
+            bus_coherent: 10,
+            l2_miss: l2,
+            l3_miss: l3,
+        }
+    }
+
+    #[test]
+    fn stable_behaviour_never_fires() {
+        let mut d = PhaseDetector::new(PhaseConfig::default());
+        for _ in 0..50 {
+            assert!(!d.observe(&window(500, 300)));
+        }
+        assert_eq!(d.phases(), 1);
+    }
+
+    #[test]
+    fn working_set_growth_fires_once_then_stabilizes() {
+        let mut d = PhaseDetector::new(PhaseConfig::default());
+        for _ in 0..10 {
+            d.observe(&window(500, 100));
+        }
+        // Data set grows: L3 misses jump 10x.
+        assert!(d.observe(&window(500, 1000)));
+        assert_eq!(d.phases(), 2);
+        // The new behaviour is now the baseline.
+        let mut fired = false;
+        for _ in 0..10 {
+            fired |= d.observe(&window(520, 1050));
+        }
+        assert!(!fired);
+    }
+
+    #[test]
+    fn shrinking_working_set_also_fires() {
+        let mut d = PhaseDetector::new(PhaseConfig::default());
+        for _ in 0..10 {
+            d.observe(&window(2000, 1500));
+        }
+        assert!(d.observe(&window(2000, 10)));
+    }
+
+    #[test]
+    fn warmup_and_tiny_windows_are_ignored() {
+        let mut d = PhaseDetector::new(PhaseConfig::default());
+        // Wild swings during warm-up do not fire.
+        assert!(!d.observe(&window(10, 5)));
+        assert!(!d.observe(&window(4000, 2000)));
+        // Windows below the instruction floor are skipped entirely.
+        let tiny = CounterWindow { instructions: 10, ..window(9999, 9999) };
+        for _ in 0..20 {
+            assert!(!d.observe(&tiny));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! What COBRA did to a run — deployment log and bookkeeping, used by the
+//! harness to explain each experiment's result.
+
+use cobra_isa::CodeAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::optimizer::OptKind;
+
+/// One applied deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppliedPlan {
+    pub plan_id: u64,
+    pub kind: OptKind,
+    pub loop_head: CodeAddr,
+    pub description: String,
+    /// Quantum tick at which it was deployed.
+    pub tick: u64,
+    /// Words written (address count).
+    pub words_patched: usize,
+    /// Trace-cache entry, if trace-deployed.
+    pub trace_entry: Option<CodeAddr>,
+}
+
+/// One reverted deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RevertedPlan {
+    pub plan_id: u64,
+    pub reason: String,
+    pub tick: u64,
+}
+
+/// Full activity report for one attached run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CobraReport {
+    /// Samples captured by the perfmon driver and forwarded to monitors.
+    pub samples_forwarded: u64,
+    /// Samples merged by the optimization thread.
+    pub samples_merged: u64,
+    /// Quantum ticks processed.
+    pub ticks: u64,
+    /// Parallel-region forks observed.
+    pub forks: u64,
+    /// Monitoring threads spawned.
+    pub monitors_spawned: usize,
+    /// Phase changes detected.
+    pub phase_changes: u64,
+    /// Deployments applied, in order.
+    pub applied: Vec<AppliedPlan>,
+    /// Deployments reverted, in order.
+    pub reverted: Vec<RevertedPlan>,
+    /// Cycles charged to the machine for helper-thread overhead.
+    pub overhead_cycles: u64,
+}
+
+impl CobraReport {
+    /// Deployments still in effect at the end of the run.
+    pub fn active_deployments(&self) -> usize {
+        self.applied
+            .iter()
+            .filter(|a| !self.reverted.iter().any(|r| r.plan_id == a.plan_id))
+            .count()
+    }
+
+    /// Count of applied deployments of one kind.
+    pub fn applied_of_kind(&self, kind: OptKind) -> usize {
+        self.applied.iter().filter(|a| a.kind == kind).count()
+    }
+
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} deployments ({} noprefetch, {} excl), {} reverts, {} phase changes, {} samples",
+            self.applied.len(),
+            self.applied_of_kind(OptKind::NoPrefetch),
+            self.applied_of_kind(OptKind::ExclHint),
+            self.reverted.len(),
+            self.phase_changes,
+            self.samples_merged,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accounting() {
+        let mut r = CobraReport::default();
+        r.applied.push(AppliedPlan {
+            plan_id: 0,
+            kind: OptKind::NoPrefetch,
+            loop_head: 10,
+            description: "x".into(),
+            tick: 1,
+            words_patched: 3,
+            trace_entry: None,
+        });
+        r.applied.push(AppliedPlan {
+            plan_id: 1,
+            kind: OptKind::ExclHint,
+            loop_head: 90,
+            description: "y".into(),
+            tick: 2,
+            words_patched: 2,
+            trace_entry: Some(300),
+        });
+        r.reverted.push(RevertedPlan { plan_id: 1, reason: "regressed".into(), tick: 5 });
+        assert_eq!(r.active_deployments(), 1);
+        assert_eq!(r.applied_of_kind(OptKind::NoPrefetch), 1);
+        assert_eq!(r.applied_of_kind(OptKind::ExclHint), 1);
+        assert!(r.summary().contains("2 deployments"));
+        assert!(r.summary().contains("1 reverts"));
+    }
+}

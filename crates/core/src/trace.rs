@@ -1,0 +1,203 @@
+//! Trace selection: discover hot loops from BTB branch pairs.
+//!
+//! §3.2/§4: "trace formation and selection algorithms are tuned to discover
+//! hot loops and leading execution paths to the loops … using BTB to capture
+//! the last 4 taken branches and their target addresses, we could easily
+//! discover the loop boundaries to determine the PC addresses having lfetch
+//! instruction within the identified boundaries."
+//!
+//! A backward taken branch `(src, target)` with `target <= src` delimits a
+//! loop body `[target, src]`; the pair's occurrence count in the aggregated
+//! BTB profile ranks loop hotness. Prefetch discovery also scans a small
+//! window *before* the loop head, because icc hoists the initial prefetch
+//! burst to the loop's entry point ("prefetch instructions are usually
+//! generated inside a loop or the entry point of a loop").
+
+use cobra_isa::{CodeAddr, CodeImage};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::SystemProfile;
+
+/// A discovered hot loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotLoop {
+    /// First instruction of the loop body (the back edge's target).
+    pub head: CodeAddr,
+    /// Address of the back-edge branch.
+    pub back_edge: CodeAddr,
+    /// Occurrences of the back edge in BTB snapshots (hotness).
+    pub count: u64,
+}
+
+impl HotLoop {
+    /// Is `pc` within the loop body?
+    pub fn contains(&self, pc: CodeAddr) -> bool {
+        pc >= self.head && pc <= self.back_edge
+    }
+
+    /// Body length in slots.
+    pub fn len(&self) -> u32 {
+        self.back_edge - self.head + 1
+    }
+
+    /// True only for degenerate zero-length loops (cannot happen for loops
+    /// built by [`select_loops`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Trace-selection knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Minimum BTB occurrences before a back edge counts as hot.
+    pub min_count: u64,
+    /// Maximum loop body length to consider (very long "loops" are usually
+    /// mispaired branches).
+    pub max_body_slots: u32,
+    /// Slots scanned before the head for the hoisted prefetch burst.
+    pub entry_window_slots: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { min_count: 8, max_body_slots: 256, entry_window_slots: 24 }
+    }
+}
+
+/// Rank hot loops from the profile's branch pairs, hottest first.
+/// Nested duplicates (same head) keep the widest observed body.
+pub fn select_loops(profile: &SystemProfile, config: &TraceConfig) -> Vec<HotLoop> {
+    let mut by_head: std::collections::HashMap<CodeAddr, HotLoop> = std::collections::HashMap::new();
+    for (&(src, target), &count) in &profile.branch_pairs {
+        if count < config.min_count {
+            continue;
+        }
+        if target > src {
+            continue; // forward branch: not a loop back edge
+        }
+        if src - target + 1 > config.max_body_slots {
+            continue;
+        }
+        let entry = by_head.entry(target).or_insert(HotLoop { head: target, back_edge: src, count: 0 });
+        entry.count += count;
+        entry.back_edge = entry.back_edge.max(src);
+    }
+    let mut loops: Vec<HotLoop> = by_head.into_values().collect();
+    loops.sort_by(|a, b| b.count.cmp(&a.count).then(a.head.cmp(&b.head)));
+    loops
+}
+
+/// Loops (from `loops`) that contain at least one of the delinquent PCs.
+pub fn loops_with_delinquent_loads(
+    loops: &[HotLoop],
+    delinquent_pcs: &[CodeAddr],
+) -> Vec<HotLoop> {
+    loops
+        .iter()
+        .filter(|l| delinquent_pcs.iter().any(|&pc| l.contains(pc)))
+        .cloned()
+        .collect()
+}
+
+/// Find every `lfetch` belonging to a loop: inside the body plus the
+/// hoisted burst in the entry window before the head.
+pub fn loop_lfetch_sites(image: &CodeImage, lp: &HotLoop, config: &TraceConfig) -> Vec<CodeAddr> {
+    let mut sites = Vec::new();
+    let start = lp.head.saturating_sub(config.entry_window_slots);
+    for addr in start..=lp.back_edge.min(image.len().saturating_sub(1)) {
+        if let Ok(insn) = image.insn(addr) {
+            if insn.is_lfetch() {
+                sites.push(addr);
+            }
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{LatencyBands, ProfileDelta, SystemProfile};
+    use cobra_isa::Assembler;
+
+    fn profile_with_pairs(pairs: &[((CodeAddr, CodeAddr), u64)]) -> SystemProfile {
+        let mut sp = SystemProfile::new(LatencyBands { coherent_min: 165 });
+        let mut delta = ProfileDelta::default();
+        for &((src, tgt), n) in pairs {
+            for _ in 0..n {
+                delta.branch_pairs.push((src, tgt));
+            }
+        }
+        sp.absorb(&delta);
+        sp
+    }
+
+    #[test]
+    fn backward_branches_become_loops_ranked_by_count() {
+        let sp = profile_with_pairs(&[((50, 30), 100), ((200, 180), 40), ((10, 90), 500)]);
+        let loops = select_loops(&sp, &TraceConfig { min_count: 8, ..Default::default() });
+        // (10, 90) is a forward branch -> excluded despite its count.
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0], HotLoop { head: 30, back_edge: 50, count: 100 });
+        assert_eq!(loops[1].head, 180);
+        assert!(loops[0].contains(40));
+        assert!(!loops[0].contains(51));
+        assert_eq!(loops[0].len(), 21);
+    }
+
+    #[test]
+    fn cold_and_oversized_back_edges_filtered() {
+        let sp = profile_with_pairs(&[((50, 30), 3), ((5000, 100), 100)]);
+        let cfg = TraceConfig { min_count: 8, max_body_slots: 256, entry_window_slots: 24 };
+        assert!(select_loops(&sp, &cfg).is_empty());
+    }
+
+    #[test]
+    fn same_head_merges_to_widest_body() {
+        // An inner conditional taken branch and the back edge share a head.
+        let sp = profile_with_pairs(&[((50, 30), 60), ((44, 30), 20)]);
+        let loops = select_loops(&sp, &TraceConfig::default());
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].back_edge, 50);
+        assert_eq!(loops[0].count, 80);
+    }
+
+    #[test]
+    fn delinquent_filter_selects_owning_loops() {
+        let loops = vec![
+            HotLoop { head: 30, back_edge: 50, count: 10 },
+            HotLoop { head: 100, back_edge: 140, count: 9 },
+        ];
+        let hits = loops_with_delinquent_loads(&loops, &[120]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].head, 100);
+        assert!(loops_with_delinquent_loads(&loops, &[60]).is_empty());
+    }
+
+    #[test]
+    fn lfetch_sites_include_entry_burst_and_body() {
+        let mut a = Assembler::new();
+        // burst (entry window)
+        a.lfetch_nt1(0, 10, 128);
+        a.lfetch_nt1(0, 10, 128);
+        a.align();
+        let head = a.here();
+        a.ldfd(16, 32, 2, 8);
+        a.lfetch_nt1(16, 27, 8);
+        a.nop(cobra_isa::Unit::I);
+        let back = a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::BrCtop { target: head }));
+        a.hlt();
+        let image = a.finish();
+        let lp = HotLoop { head, back_edge: back, count: 100 };
+        let sites = loop_lfetch_sites(&image, &lp, &TraceConfig::default());
+        assert_eq!(sites.len(), 3, "2 burst + 1 in-loop");
+        // Restricting the entry window excludes the burst.
+        let sites = loop_lfetch_sites(
+            &image,
+            &lp,
+            &TraceConfig { entry_window_slots: 0, ..Default::default() },
+        );
+        assert_eq!(sites.len(), 1);
+    }
+}

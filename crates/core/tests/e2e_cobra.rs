@@ -1,0 +1,202 @@
+//! End-to-end tests: COBRA attached to real workloads on the simulated
+//! 4-way SMP — the full §5 pipeline (sampling → monitoring threads →
+//! optimization thread → binary patching) with verified numerics.
+
+use cobra_kernels::workload::{execute, execute_plain, Workload};
+use cobra_kernels::{npb, Daxpy, DaxpyParams, PrefetchPolicy};
+use cobra_machine::MachineConfig;
+use cobra_omp::{OmpRuntime, Team};
+use cobra_rt::{Cobra, CobraConfig, DeployMode, OptKind, Strategy};
+
+fn cobra_config(strategy: Strategy, deploy: DeployMode) -> CobraConfig {
+    let mut cfg = CobraConfig::default();
+    cfg.optimizer.strategy = strategy;
+    cfg.optimizer.deploy = deploy;
+    cfg
+}
+
+/// Run a workload under COBRA; returns (cycles, report). Panics if the
+/// workload's numerical verification fails — the paper's premise is that
+/// prefetch rewriting never changes semantics.
+fn run_with_cobra(
+    wl: &dyn Workload,
+    machine_cfg: &MachineConfig,
+    team: Team,
+    cobra_cfg: CobraConfig,
+) -> (u64, cobra_rt::CobraReport) {
+    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let mut machine = cobra_machine::Machine::new(machine_cfg.clone(), wl.image().clone());
+    wl.init(&mut machine.shared.mem);
+    let mut cobra = Cobra::attach(cobra_cfg, &mut machine);
+    let run = wl.run(&mut machine, team, &rt, &mut cobra);
+    let report = cobra.detach(&mut machine);
+    if let Err(e) = wl.verify(&machine.shared.mem) {
+        panic!("verification failed under COBRA: {e}");
+    }
+    (run.cycles, report)
+}
+
+#[test]
+fn cobra_speeds_up_daxpy_small_working_set() {
+    // The §2 scenario: 128 KB working set, 4 threads, prefetch-compiled
+    // binary. COBRA should deploy noprefetch and beat the baseline.
+    let cfg = MachineConfig::smp4();
+    let team = Team::new(4);
+    let params = DaxpyParams::new(128 * 1024, 48);
+
+    let baseline = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let (_m, base_run) = execute_plain(&baseline, &cfg, team);
+
+    let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let (cobra_cycles, report) =
+        run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::Adaptive, DeployMode::TraceCache));
+
+    assert!(!report.applied.is_empty(), "COBRA must deploy: {}", report.summary());
+    assert!(
+        report.applied.iter().any(|p| p.kind == OptKind::NoPrefetch),
+        "small working set should choose noprefetch: {}",
+        report.summary()
+    );
+    assert!(
+        cobra_cycles < base_run.cycles,
+        "COBRA {} vs baseline {} ({})",
+        cobra_cycles,
+        base_run.cycles,
+        report.summary()
+    );
+}
+
+#[test]
+fn cobra_leaves_large_working_set_daxpy_mostly_alone() {
+    // 2 MB working set, one thread: prefetching is pure win; COBRA must not
+    // destroy it (either no deployment, or any regressing deployment gets
+    // reverted and the end-to-end cost stays bounded).
+    let cfg = MachineConfig::smp4();
+    let team = Team::new(1);
+    let params = DaxpyParams::new(2 * 1024 * 1024, 4);
+
+    let baseline = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let (_m, base_run) = execute_plain(&baseline, &cfg, team);
+
+    let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let (cobra_cycles, report) =
+        run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::Adaptive, DeployMode::TraceCache));
+
+    assert!(
+        (cobra_cycles as f64) < (base_run.cycles as f64) * 1.10,
+        "COBRA overhead/misdecision too costly at 2M/1t: {} vs {} ({})",
+        cobra_cycles,
+        base_run.cycles,
+        report.summary()
+    );
+}
+
+#[test]
+fn cobra_in_place_and_trace_cache_both_work_on_daxpy() {
+    let cfg = MachineConfig::smp4();
+    let team = Team::new(4);
+    let params = DaxpyParams::new(128 * 1024, 40);
+    for deploy in [DeployMode::InPlace, DeployMode::TraceCache] {
+        let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+        let (_cycles, report) =
+            run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::NoPrefetch, deploy));
+        assert!(!report.applied.is_empty(), "{deploy:?}: {}", report.summary());
+        if deploy == DeployMode::TraceCache {
+            assert!(
+                report.applied.iter().any(|p| p.trace_entry.is_some()),
+                "trace-cache deployment must append a trace"
+            );
+        }
+    }
+}
+
+#[test]
+fn cobra_improves_npb_bt_on_smp() {
+    let cfg = MachineConfig::smp4();
+    let team = Team::new(4);
+
+    let baseline = npb::build(npb::Benchmark::Bt, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let (_m, base_run) = execute_plain(&*baseline, &cfg, team);
+
+    let wl = npb::build(npb::Benchmark::Bt, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let (cobra_cycles, report) =
+        run_with_cobra(&*wl, &cfg, team, cobra_config(Strategy::NoPrefetch, DeployMode::TraceCache));
+
+    assert!(!report.applied.is_empty(), "COBRA found nothing in BT: {}", report.summary());
+    // Net of monitoring overhead, COBRA should not lose and usually wins.
+    assert!(
+        (cobra_cycles as f64) < (base_run.cycles as f64) * 1.02,
+        "COBRA BT {} vs baseline {} ({})",
+        cobra_cycles,
+        base_run.cycles,
+        report.summary()
+    );
+}
+
+#[test]
+fn cobra_runs_monitoring_threads_per_working_thread() {
+    let cfg = MachineConfig::smp4();
+    let team = Team::new(3);
+    let wl = Daxpy::build(DaxpyParams::new(64 * 1024, 6), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let (_cycles, report) =
+        run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::Adaptive, DeployMode::TraceCache));
+    assert_eq!(report.monitors_spawned, 3, "one monitoring thread per working thread");
+    assert_eq!(report.forks, 6, "one fork per outer repetition");
+    assert!(report.samples_forwarded > 0);
+    assert!(report.samples_merged > 0);
+}
+
+#[test]
+fn execute_helper_works_with_cobra_hook() {
+    // The workload::execute path with a Cobra hook and verification inside.
+    let cfg = MachineConfig::smp4();
+    let wl = Daxpy::build(DaxpyParams::new(64 * 1024, 4), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let mut machine = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
+    let mut cobra = Cobra::attach(CobraConfig::default(), &mut machine);
+    // (Use the library execute() on a fresh machine to keep the comparison
+    // honest: here we only check the plumbing doesn't panic.)
+    drop(machine);
+    let mut machine = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
+    wl.init(&mut machine.shared.mem);
+    let rt = OmpRuntime::default();
+    let _ = execute(&wl, &cfg, Team::new(2), &rt, &mut cobra);
+    let _ = cobra.detach(&mut machine);
+}
+
+#[test]
+fn continuous_re_adaptation_reverts_on_working_set_change() {
+    // The scenario COBRA is named for: a 128 KB-slice phase (noprefetch
+    // wins) followed by a full-2 MB phase (prefetch is essential). COBRA
+    // must deploy during phase 1 and revert after the working set changes.
+    use cobra_omp::QuantumHook;
+    let cfg = MachineConfig::smp4();
+    let wl = Daxpy::build(DaxpyParams::new(2 * 1024 * 1024, 1), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let mut m = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
+    wl.init(&mut m.shared.mem);
+    let mut ccfg = CobraConfig::default();
+    ccfg.optimizer.strategy = Strategy::NoPrefetch;
+    let mut cobra = Cobra::attach(ccfg, &mut m);
+    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let team = Team::new(4);
+    let entry = m.shared.code.image().symbol("daxpy_body").unwrap();
+    let args = [wl.x_addr() as i64, wl.y_addr() as i64, wl.params().a.to_bits() as i64];
+    let hook: &mut dyn QuantumHook = &mut cobra;
+    for _ in 0..60 {
+        rt.parallel_for(&mut m, team, entry, 0, 8 * 1024, &args, hook);
+    }
+    for _ in 0..8 {
+        rt.parallel_for(&mut m, team, entry, 0, wl.params().n() as i64, &args, hook);
+    }
+    let report = cobra.detach(&mut m);
+    assert!(
+        report.applied.iter().any(|p| p.kind == OptKind::NoPrefetch),
+        "phase 1 must trigger a noprefetch deployment: {}",
+        report.summary()
+    );
+    assert!(
+        !report.reverted.is_empty(),
+        "the working-set change must trigger a revert: {}",
+        report.summary()
+    );
+    assert!(report.phase_changes >= 1, "phase detector must fire: {}", report.summary());
+}

@@ -1,0 +1,26 @@
+//! # cobra-harness — experiment drivers for every table and figure
+//!
+//! One module per paper artefact:
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig2`] | Figure 2 — compiler-generated DAXPY assembly |
+//! | [`fig3`] | Figure 3(a)/(b) — DAXPY static prefetch strategies |
+//! | [`table1`] | Table 1 — static loop/prefetch counts of the NPB binaries |
+//! | [`npbsuite`] | Figures 5, 6, 7 — COBRA on NPB (speedup, L3, bus) |
+//!
+//! The `cobra-repro` binary exposes them as subcommands; `--md` emits
+//! Markdown for EXPERIMENTS.md; `--json` dumps raw measurements.
+//! Simulations fan out across host threads ([`sweep`]).
+
+pub mod ablate;
+pub mod fig2;
+pub mod fig3;
+pub mod npbsuite;
+pub mod staticnpb;
+pub mod sweep;
+pub mod table;
+pub mod table1;
+
+pub use sweep::{default_workers, parallel_map};
+pub use table::Table;

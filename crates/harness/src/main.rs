@@ -1,0 +1,154 @@
+//! `cobra-repro` — regenerate the COBRA paper's tables and figures.
+//!
+//! ```text
+//! cobra-repro fig2                     # Figure 2: DAXPY disassembly
+//! cobra-repro fig3  [--reps N]         # Figure 3(a)+(b): DAXPY strategies
+//! cobra-repro table1                   # Table 1: static counts
+//! cobra-repro fig5  [--machine M]      # Figures 5/6/7 for one machine
+//! cobra-repro all   [--md] [--json]    # everything (EXPERIMENTS.md source)
+//! ```
+//!
+//! Options: `--machine smp4|altix8`, `--md` (Markdown), `--json` (raw data),
+//! `--reps N` (DAXPY outer repetitions), `--workers N` (host threads).
+
+use cobra_harness::{default_workers, fig2, fig3, npbsuite, table1};
+use cobra_machine::MachineConfig;
+
+struct Opts {
+    markdown: bool,
+    json: bool,
+    reps: usize,
+    workers: usize,
+    machine: String,
+}
+
+fn parse(args: &[String]) -> (String, Opts) {
+    let mut cmd = String::from("all");
+    let mut opts = Opts {
+        markdown: false,
+        json: false,
+        reps: fig3::DEFAULT_REPS,
+        workers: default_workers(),
+        machine: "smp4".into(),
+    };
+    let mut it = args.iter();
+    if let Some(first) = it.next() {
+        cmd = first.clone();
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--md" => opts.markdown = true,
+            "--json" => opts.json = true,
+            "--reps" => {
+                opts.reps = it.next().expect("--reps N").parse().expect("numeric reps");
+            }
+            "--workers" => {
+                opts.workers = it.next().expect("--workers N").parse().expect("numeric workers");
+            }
+            "--machine" => {
+                opts.machine = it.next().expect("--machine NAME").clone();
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (cmd, opts)
+}
+
+fn machine_by_name(name: &str) -> (MachineConfig, usize) {
+    match name {
+        "smp4" => (MachineConfig::smp4(), 4),
+        "altix8" => (MachineConfig::altix8(), 8),
+        other => {
+            eprintln!("unknown machine {other} (expected smp4 or altix8)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = parse(&args);
+    match cmd.as_str() {
+        "fig2" => print!("{}", fig2::run()),
+        "fig3" | "fig3a" | "fig3b" => {
+            let data = fig3::measure(opts.reps, opts.workers);
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&data).unwrap());
+            } else {
+                print!("{}", fig3::render(&data, opts.markdown));
+            }
+        }
+        "ablate" => {
+            print!("{}", cobra_harness::ablate::run_all(opts.workers, opts.markdown));
+        }
+        "static" => {
+            let (cfg, threads) = machine_by_name(&opts.machine);
+            let cells = cobra_harness::staticnpb::measure(&cfg, threads, opts.workers);
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&cells).unwrap());
+            } else {
+                print!("{}", cobra_harness::staticnpb::render(&cells, &cfg.name, opts.markdown));
+            }
+        }
+        "table1" => {
+            let counts = table1::measure();
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&counts).unwrap());
+            } else {
+                print!("{}", table1::render(&counts, opts.markdown));
+            }
+        }
+        "fig5" | "fig6" | "fig7" => {
+            let (cfg, threads) = machine_by_name(&opts.machine);
+            let data = npbsuite::measure(&cfg, threads, opts.workers);
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&data).unwrap());
+            } else {
+                let t = match cmd.as_str() {
+                    "fig5" => data.fig5(),
+                    "fig6" => data.fig6(),
+                    _ => data.fig7(),
+                };
+                print!("{}", if opts.markdown { t.to_markdown() } else { t.to_text() });
+                print!(
+                    "{}",
+                    if opts.markdown {
+                        data.deployments().to_markdown()
+                    } else {
+                        data.deployments().to_text()
+                    }
+                );
+            }
+        }
+        "all" => {
+            let md = opts.markdown;
+            println!("# COBRA reproduction — measured results\n");
+            println!("## Figure 2\n");
+            println!("```\n{}```\n", fig2::run());
+            println!("## Figure 3\n");
+            let f3 = fig3::measure(opts.reps, opts.workers);
+            println!("{}", fig3::render(&f3, md));
+            println!("## Table 1\n");
+            println!("{}", table1::render(&table1::measure(), md));
+            let (smp_cfg, smp_t) = machine_by_name("smp4");
+            let (alt_cfg, alt_t) = machine_by_name("altix8");
+            println!("## Figures 5-7 (smp4, {smp_t} threads)\n");
+            let smp = npbsuite::measure(&smp_cfg, smp_t, opts.workers);
+            println!("{}", npbsuite::render(&smp, md));
+            println!("## Figures 5-7 (altix8, {alt_t} threads)\n");
+            let alt = npbsuite::measure(&alt_cfg, alt_t, opts.workers);
+            println!("{}", npbsuite::render(&alt, md));
+            println!("## Cross-machine shape checks\n");
+            for (desc, ok) in npbsuite::shape_checks(&smp, &alt) {
+                println!("  [{}] {}", if ok { "ok" } else { "MISS" }, desc);
+            }
+        }
+        other => {
+            eprintln!("unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|all");
+            std::process::exit(2);
+        }
+    }
+}

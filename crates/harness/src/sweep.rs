@@ -1,0 +1,61 @@
+//! Parallel experiment execution: each simulation instance runs on its own
+//! host thread (scoped, bounded concurrency), following the workspace's
+//! data-parallel sweep idiom.
+
+/// Run `f` over `items` with at most `max_workers` concurrent host threads;
+/// results come back in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, max_workers: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(max_workers >= 1);
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = parking_lot::Mutex::new(&mut results);
+    let items_ref = &items;
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..max_workers.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let r = f_ref(&items_ref[idx]);
+                results_mx.lock()[idx] = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all items processed")).collect()
+}
+
+/// Default sweep concurrency: leave a couple of cores for the OS.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_with_bounded_workers() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(items, 4, |&x| x * x);
+        assert_eq!(out.len(), 50);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_worker_and_empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 3, |&x| x);
+        assert!(out.is_empty());
+        let out = parallel_map(vec![7u32], 1, |&x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,309 @@
+//! The program binary as seen (and mutated) by a runtime optimizer.
+//!
+//! A [`CodeImage`] holds the text segment of a simulated program: a vector of
+//! 64-bit instruction words plus symbols and (optional) source comments. Two
+//! things make it COBRA-shaped rather than a plain `Vec<u64>`:
+//!
+//! * **Validated in-place patching** with an undo log — the `noprefetch` and
+//!   `.excl` optimizations overwrite single words in the live image, and the
+//!   framework may revert a deployment that regressed performance.
+//! * **A growable trace-cache region** appended after the original text —
+//!   optimized traces are "stored in a trace cache in the same address space
+//!   as the binary program being optimized" (paper §1), and the original code
+//!   is patched with a branch redirecting into it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::encode::{decode, encode, DecodeError};
+use crate::insn::Insn;
+use crate::{bundle_align, CodeAddr, SLOTS_PER_BUNDLE};
+
+/// Why a patch request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// Address beyond the end of the image.
+    OutOfRange(CodeAddr),
+    /// Raw word does not decode to a valid instruction.
+    InvalidWord(DecodeError),
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::OutOfRange(addr) => write!(f, "patch address {addr} out of range"),
+            PatchError::InvalidWord(e) => write!(f, "patch word invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// One applied patch, kept so deployments can be reverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchRecord {
+    pub addr: CodeAddr,
+    pub old_word: u64,
+    pub new_word: u64,
+}
+
+/// A patchable program text segment with a trace-cache region.
+#[derive(Debug, Clone, Default)]
+pub struct CodeImage {
+    words: Vec<u64>,
+    /// Length of the original (pre-trace-cache) text, in words.
+    main_len: u32,
+    symbols: BTreeMap<String, CodeAddr>,
+    comments: BTreeMap<CodeAddr, String>,
+    patch_log: Vec<PatchRecord>,
+}
+
+impl CodeImage {
+    /// Build an image from already-encoded words (the assembler's output).
+    pub fn from_words(words: Vec<u64>, symbols: BTreeMap<String, CodeAddr>) -> Self {
+        let main_len = words.len() as u32;
+        CodeImage { words, main_len, symbols, comments: BTreeMap::new(), patch_log: Vec::new() }
+    }
+
+    /// Total image length in words (original text + trace cache).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// True when the image contains no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Length of the original program text in words.
+    #[inline]
+    pub fn main_len(&self) -> u32 {
+        self.main_len
+    }
+
+    /// Does `addr` point into the trace-cache region?
+    #[inline]
+    pub fn is_trace_addr(&self, addr: CodeAddr) -> bool {
+        addr >= self.main_len && addr < self.len()
+    }
+
+    /// Raw instruction word at `addr`.
+    ///
+    /// # Panics
+    /// Panics when `addr` is out of range (a fetch outside the text segment
+    /// would be a simulator bug, the moral equivalent of SIGSEGV on fetch).
+    #[inline]
+    pub fn word(&self, addr: CodeAddr) -> u64 {
+        self.words[addr as usize]
+    }
+
+    /// All words, e.g. for building a decoded shadow copy (an i-cache).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Decode the instruction at `addr`.
+    pub fn insn(&self, addr: CodeAddr) -> Result<Insn, DecodeError> {
+        decode(self.word(addr))
+    }
+
+    /// Decode every instruction in the image (fails on the first bad word).
+    pub fn decode_all(&self) -> Result<Vec<Insn>, DecodeError> {
+        self.words.iter().map(|&w| decode(w)).collect()
+    }
+
+    /// Count instructions in the *original text* matching a predicate.
+    /// Table 1 of the paper is produced by counting `lfetch`/`br.ctop`/
+    /// `br.cloop`/`br.wtop` words this way — from the binary, not from
+    /// code-generator metadata.
+    pub fn count_matching(&self, mut pred: impl FnMut(&Insn) -> bool) -> usize {
+        self.words[..self.main_len as usize]
+            .iter()
+            .filter_map(|&w| decode(w).ok())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    /// Overwrite the instruction at `addr`, recording the patch for undo.
+    /// Returns the previous word.
+    pub fn patch(&mut self, addr: CodeAddr, insn: &Insn) -> Result<u64, PatchError> {
+        let new_word = encode(insn);
+        self.patch_word(addr, new_word)
+    }
+
+    /// Overwrite a raw word at `addr` after validating that it decodes.
+    pub fn patch_word(&mut self, addr: CodeAddr, new_word: u64) -> Result<u64, PatchError> {
+        if addr >= self.len() {
+            return Err(PatchError::OutOfRange(addr));
+        }
+        decode(new_word).map_err(PatchError::InvalidWord)?;
+        let old_word = self.words[addr as usize];
+        self.words[addr as usize] = new_word;
+        self.patch_log.push(PatchRecord { addr, old_word, new_word });
+        Ok(old_word)
+    }
+
+    /// Undo the most recent patch. Returns the undone record.
+    pub fn revert_last_patch(&mut self) -> Option<PatchRecord> {
+        let rec = self.patch_log.pop()?;
+        self.words[rec.addr as usize] = rec.old_word;
+        Some(rec)
+    }
+
+    /// Undo all patches applied at or after `mark` (see [`Self::patch_mark`]).
+    pub fn revert_to_mark(&mut self, mark: usize) {
+        while self.patch_log.len() > mark {
+            self.revert_last_patch();
+        }
+    }
+
+    /// Current position in the patch log, for later [`Self::revert_to_mark`].
+    #[inline]
+    pub fn patch_mark(&self) -> usize {
+        self.patch_log.len()
+    }
+
+    /// All patches applied so far, oldest first.
+    #[inline]
+    pub fn patch_log(&self) -> &[PatchRecord] {
+        &self.patch_log
+    }
+
+    /// Append an optimized trace to the trace-cache region. The trace is
+    /// placed at the next bundle boundary (padded with `nop.i`); returns its
+    /// start address.
+    pub fn append_trace(&mut self, insns: &[Insn]) -> CodeAddr {
+        use crate::insn::NOP_SLOT_I;
+        let start = bundle_align(self.len());
+        while self.len() < start {
+            self.words.push(encode(&NOP_SLOT_I));
+        }
+        for insn in insns {
+            self.words.push(encode(insn));
+        }
+        // Pad the tail so the image always ends on a bundle boundary.
+        while self.len() % SLOTS_PER_BUNDLE != 0 {
+            self.words.push(encode(&NOP_SLOT_I));
+        }
+        start
+    }
+
+    /// Look up a symbol (label bound by the assembler).
+    pub fn symbol(&self, name: &str) -> Option<CodeAddr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols, sorted by name.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, CodeAddr)> {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Register a symbol (used for trace-cache entry points).
+    pub fn add_symbol(&mut self, name: impl Into<String>, addr: CodeAddr) {
+        self.symbols.insert(name.into(), addr);
+    }
+
+    /// Attach a human-readable comment to an address (shown by the
+    /// disassembler, used to reproduce the annotations of Figure 2).
+    pub fn add_comment(&mut self, addr: CodeAddr, text: impl Into<String>) {
+        self.comments.insert(addr, text.into());
+    }
+
+    /// Comment attached to `addr`, if any.
+    pub fn comment(&self, addr: CodeAddr) -> Option<&str> {
+        self.comments.get(&addr).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{LfetchHint, Op, NOP_SLOT_M};
+
+    fn tiny_image() -> CodeImage {
+        let insns = [
+            Insn::new(Op::Lfetch { base: 10, post_inc: 128, hint: LfetchHint::Nt1, excl: false }),
+            Insn::new(Op::AddI { dest: 1, src: 1, imm: 8 }),
+            Insn::new(Op::BrCloop { target: 0 }),
+        ];
+        let words = insns.iter().map(encode).collect();
+        CodeImage::from_words(words, BTreeMap::new())
+    }
+
+    #[test]
+    fn patch_and_revert() {
+        let mut img = tiny_image();
+        let orig = img.word(0);
+        let mark = img.patch_mark();
+        let old = img.patch(0, &NOP_SLOT_M).unwrap();
+        assert_eq!(old, orig);
+        assert_ne!(img.word(0), orig);
+        assert_eq!(img.patch_log().len(), 1);
+        img.revert_to_mark(mark);
+        assert_eq!(img.word(0), orig);
+        assert!(img.patch_log().is_empty());
+    }
+
+    #[test]
+    fn patch_out_of_range_rejected() {
+        let mut img = tiny_image();
+        assert_eq!(img.patch(99, &NOP_SLOT_M), Err(PatchError::OutOfRange(99)));
+    }
+
+    #[test]
+    fn patch_invalid_word_rejected() {
+        let mut img = tiny_image();
+        assert!(matches!(img.patch_word(0, u64::MAX), Err(PatchError::InvalidWord(_))));
+        // Image unchanged after the failed patch.
+        assert!(img.patch_log().is_empty());
+    }
+
+    #[test]
+    fn trace_region_is_bundle_aligned_and_flagged() {
+        let mut img = tiny_image();
+        assert_eq!(img.main_len(), 3);
+        let trace = [NOP_SLOT_M, NOP_SLOT_M, NOP_SLOT_M, NOP_SLOT_M];
+        let start = img.append_trace(&trace);
+        assert_eq!(start, 3);
+        assert_eq!(start % SLOTS_PER_BUNDLE, 0);
+        assert!(img.is_trace_addr(start));
+        assert!(!img.is_trace_addr(0));
+        assert_eq!(img.len() % SLOTS_PER_BUNDLE, 0, "image ends bundle-aligned");
+
+        let second = img.append_trace(&trace[..1]);
+        assert!(second > start);
+        assert_eq!(second % SLOTS_PER_BUNDLE, 0);
+    }
+
+    #[test]
+    fn count_matching_only_scans_original_text() {
+        let mut img = tiny_image();
+        let lf = Insn::new(Op::Lfetch { base: 9, post_inc: 0, hint: LfetchHint::Nt1, excl: true });
+        img.append_trace(&[lf]);
+        let n = img.count_matching(|i| i.is_lfetch());
+        assert_eq!(n, 1, "trace-cache lfetch must not be counted");
+    }
+
+    #[test]
+    fn symbols_and_comments() {
+        let mut img = tiny_image();
+        img.add_symbol("loop", 0);
+        img.add_comment(0, "prefetch y[0]+648");
+        assert_eq!(img.symbol("loop"), Some(0));
+        assert_eq!(img.comment(0), Some("prefetch y[0]+648"));
+        assert_eq!(img.symbol("missing"), None);
+        assert_eq!(img.symbols().count(), 1);
+    }
+
+    #[test]
+    fn decode_all_roundtrips() {
+        let img = tiny_image();
+        let insns = img.decode_all().unwrap();
+        assert_eq!(insns.len(), 3);
+        assert!(insns[0].is_lfetch());
+    }
+}

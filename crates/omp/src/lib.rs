@@ -1,0 +1,22 @@
+//! # cobra-omp — a minimal OpenMP-like runtime for the simulated machine
+//!
+//! The paper's workloads are OpenMP programs: `#pragma omp parallel for`
+//! regions with static scheduling and implicit join barriers, each thread
+//! bound to a processor. This crate reproduces that execution model on the
+//! simulator:
+//!
+//! * [`Team`]/[`team::abi`] — thread teams, static chunking, and the
+//!   register calling convention for region bodies.
+//! * [`OmpRuntime`] — fork/join execution with a per-quantum [`QuantumHook`]
+//!   through which COBRA samples the HPMs and patches the binary at safe
+//!   points while the program runs.
+//! * [`emit_barrier`] — in-program central-counter barriers (atomic
+//!   `fetchadd8` + spin) for multi-phase kernels.
+
+pub mod barrier;
+pub mod runtime;
+pub mod team;
+
+pub use barrier::{emit_barrier, BarrierRegs};
+pub use runtime::{NullHook, OmpRuntime, QuantumHook, RegionStats};
+pub use team::{abi, Team};

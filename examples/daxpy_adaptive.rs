@@ -1,0 +1,51 @@
+//! The §2 motivation study: one compiled binary cannot fit every runtime
+//! environment.
+//!
+//! Sweeps the OpenMP DAXPY kernel across working sets (128 KB / 512 KB /
+//! 2 MB) and thread counts (1 / 2 / 4) under the three static prefetch
+//! strategies of Figure 3 — `prefetch` (icc baseline), `noprefetch`
+//! (lfetch → NOP), `prefetch.excl` — and prints which static binary wins
+//! each cell. The crossovers are the paper's argument for *runtime*
+//! binary re-adaptation.
+//!
+//! Run with: `cargo run --release --example daxpy_adaptive`
+
+use cobra::kernels::workload::execute_plain;
+use cobra::kernels::{Daxpy, DaxpyParams, PrefetchPolicy};
+use cobra::machine::MachineConfig;
+use cobra::omp::Team;
+
+fn main() {
+    let cfg = MachineConfig::smp4();
+    let variants: [(&str, PrefetchPolicy); 3] = [
+        ("prefetch", PrefetchPolicy::aggressive()),
+        ("noprefetch", PrefetchPolicy::none()),
+        ("prefetch.excl", PrefetchPolicy::aggressive_excl()),
+    ];
+    println!("{:>6} {:>8} | {:>12} {:>12} {:>13} | winner", "ws", "threads", "prefetch", "noprefetch", "prefetch.excl");
+    for ws in [128 * 1024, 512 * 1024, 2 * 1024 * 1024] {
+        for threads in [1usize, 2, 4] {
+            let mut cells = Vec::new();
+            for (name, policy) in &variants {
+                // Difference a warm run against a short run: steady state,
+                // as the paper's 10^6 repetitions measure.
+                let short = Daxpy::build(DaxpyParams::new(ws, 8), policy, cfg.mem_bytes);
+                let (_m, a) = execute_plain(&short, &cfg, Team::new(threads));
+                let long = Daxpy::build(DaxpyParams::new(ws, 24), policy, cfg.mem_bytes);
+                let (_m, b) = execute_plain(&long, &cfg, Team::new(threads));
+                cells.push((*name, b.cycles - a.cycles));
+            }
+            let best = cells.iter().min_by_key(|(_, c)| *c).unwrap().0;
+            println!(
+                "{:>5}K {:>8} | {:>12} {:>12} {:>13} | {}",
+                ws / 1024,
+                threads,
+                cells[0].1,
+                cells[1].1,
+                cells[2].1,
+                best
+            );
+        }
+    }
+    println!("\nNo single column wins every row — the paper's case for COBRA.");
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property tests: randomly generated workloads must compute
+//! exactly what a host mirror computes, under every prefetch policy and
+//! any team size — i.e. code generation, the simulator, the OpenMP runtime
+//! and binary rewriting never change program semantics.
+
+use cobra::kernels::npb::{ArrayDecl, PassSpec, SweepKernel};
+use cobra::kernels::workload::execute_plain;
+use cobra::kernels::{Daxpy, DaxpyParams, PrefetchPolicy, StreamOp};
+use cobra::machine::MachineConfig;
+use cobra::omp::Team;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = PrefetchPolicy> {
+    (any::<bool>(), any::<bool>(), 64i64..4096, 0u32..8).prop_map(
+        |(enabled, excl, distance, burst)| PrefetchPolicy {
+            enabled,
+            excl,
+            distance_bytes: distance,
+            burst_lines: burst,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DAXPY computes y += a*x exactly for arbitrary sizes, repetition
+    /// counts, team sizes and prefetch policies (verification is built
+    /// into `execute_plain`, which panics on mismatch).
+    #[test]
+    fn daxpy_always_verifies(
+        n_lines in 8usize..96,
+        reps in 1usize..5,
+        threads in 1usize..5,
+        policy in arb_policy(),
+    ) {
+        let cfg = MachineConfig::smp4();
+        let ws = n_lines * 256; // two arrays of n_lines cache lines
+        let d = Daxpy::build(DaxpyParams::new(ws, reps), &policy, cfg.mem_bytes);
+        let (_m, run) = execute_plain(&d, &cfg, Team::new(threads.min(4)));
+        prop_assert!(run.cycles > 0);
+    }
+
+    /// Randomly composed sweep kernels (random ops, shifts, strides and
+    /// coefficients) match their host mirror bit-for-bit on 4 threads.
+    #[test]
+    fn random_sweep_kernels_match_mirror(
+        seed_passes in prop::collection::vec(
+            (0usize..3, -4i64..=4, 0.01f64..0.2, any::<bool>()),
+            1..6,
+        ),
+        iterations in 1usize..4,
+        threads in 1usize..5,
+    ) {
+        // Arrays: two unit-stride grids and one half-size coarse grid.
+        let len = 384usize;
+        let arrays = vec![
+            ArrayDecl { name: "u", len, halo: 8 },
+            ArrayDecl { name: "v", len, halo: 8 },
+            ArrayDecl { name: "c", len: len / 2, halo: 8 },
+        ];
+        let mut passes = Vec::new();
+        for (k, &(kind, shift, coef, strided)) in seed_passes.iter().enumerate() {
+            let pass = match kind {
+                // shifted daxpy between the two fine grids (alternating)
+                0 => PassSpec::shifted(
+                    "daxpy",
+                    StreamOp::Daxpy,
+                    k % 2,
+                    1 - k % 2,
+                    shift,
+                    coef,
+                    len,
+                ),
+                // scale into the other grid (optionally strided restrict)
+                1 => {
+                    if strided {
+                        PassSpec {
+                            label: "restrict",
+                            op: StreamOp::Scale,
+                            dst: 2,
+                            src: k % 2,
+                            src2: None,
+                            src_offset: 0,
+                            src2_offset: 0,
+                            coef,
+                            dst_stride: 1,
+                            src_stride: 2,
+                            len: len / 2,
+                        }
+                    } else {
+                        PassSpec::shifted("scale", StreamOp::Scale, 1 - k % 2, k % 2, shift, coef, len)
+                    }
+                }
+                // prolong from the coarse grid
+                _ => PassSpec {
+                    label: "prolong",
+                    op: StreamOp::Daxpy,
+                    dst: k % 2,
+                    src: 2,
+                    src2: None,
+                    src_offset: 0,
+                    src2_offset: 0,
+                    coef,
+                    dst_stride: 2,
+                    src_stride: 1,
+                    len: len / 2,
+                },
+            };
+            passes.push(pass);
+        }
+        let kernel = SweepKernel::build(
+            "prop",
+            arrays,
+            passes,
+            iterations,
+            &PrefetchPolicy::aggressive(),
+            8 << 20,
+        );
+        // execute_plain panics if the simulated result differs from the
+        // host mirror anywhere (including halos).
+        let cfg = MachineConfig::smp4();
+        let (_m, run) = execute_plain(&kernel, &cfg, Team::new(threads.min(4)));
+        prop_assert!(run.cycles > 0);
+    }
+
+    /// Cycle counts are monotone in repetitions: more work never takes
+    /// fewer cycles (a sanity invariant of the timing model).
+    #[test]
+    fn cycles_monotone_in_reps(reps in 1usize..6, threads in 1usize..5) {
+        let cfg = MachineConfig::smp4();
+        let cycles = |r: usize| {
+            let d = Daxpy::build(
+                DaxpyParams::new(32 * 1024, r),
+                &PrefetchPolicy::aggressive(),
+                cfg.mem_bytes,
+            );
+            let (_m, run) = execute_plain(&d, &cfg, Team::new(threads.min(4)));
+            run.cycles
+        };
+        prop_assert!(cycles(reps + 1) > cycles(reps));
+    }
+}
