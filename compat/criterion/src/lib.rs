@@ -1,0 +1,324 @@
+//! Offline compat shim for `criterion`.
+//!
+//! Implements the bench-harness API surface the workspace's `[[bench]]`
+//! targets use — `Criterion`, `BenchmarkGroup`, `Bencher` (`iter`,
+//! `iter_batched`, `iter_custom`), `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with plain wall-clock
+//! timing and one-line text output instead of upstream's statistics,
+//! HTML reports and plots. Good enough to compare before/after numbers by
+//! eye and to guard hot paths in CI.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle; collects per-run display settings.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream disables gnuplot/plotters output; the shim never plots, so
+    /// this is a no-op kept for manifest-level compatibility.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.clone();
+        run_one(&id.into_benchmark_id().label, &settings, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(&label, &self.settings, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Batch sizing hint for `iter_batched`; the shim times per-invocation
+/// either way, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; the routine registers how to iterate.
+pub struct Bencher<'a> {
+    settings: &'a Criterion,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` in a loop for roughly the configured measurement
+    /// window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up (untimed).
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let budget = self.settings.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Check the clock with decreasing frequency as counts grow so
+            // nanosecond-scale routines aren't dominated by `Instant::now`.
+            if (iters.is_power_of_two() || iters.is_multiple_of(1024)) && start.elapsed() >= budget
+            {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget = self.settings.measurement_time;
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall_start = Instant::now();
+        while timed < budget && wall_start.elapsed() < budget.saturating_mul(8) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = timed;
+    }
+
+    /// The routine measures itself and reports the total duration for the
+    /// requested number of iterations.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        let iters = self.settings.sample_size.max(1) as u64;
+        self.elapsed = routine(iters);
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, settings: &Criterion, mut f: F) {
+    let mut bencher = Bencher {
+        settings,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters > 0 {
+        bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+    } else {
+        0.0
+    };
+    println!(
+        "{label:<50} time: {:>14} /iter  ({} iters)",
+        format_ns(per_iter),
+        bencher.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Defines a function that runs a list of benchmark functions. Supports
+/// both upstream forms: `criterion_group!(name, target...)` and the
+/// `name = ...; config = ...; targets = ...` block form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards filter/handshake flags; the shim runs
+            // everything and ignores them.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = quick();
+        c.bench_function("shim/iter", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+    }
+
+    #[test]
+    fn groups_and_custom_timing_work() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(4);
+        g.bench_function(BenchmarkId::from_parameter("custom"), |b| {
+            b.iter_custom(|iters| Duration::from_nanos(10 * iters))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

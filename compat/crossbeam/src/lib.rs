@@ -1,0 +1,9 @@
+//! Offline compat shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` — MPMC channels with the crossbeam API
+//! (cloneable receivers, disconnect-aware `send`/`recv`, bounded channels
+//! with non-blocking `try_send`) — implemented over `Mutex` + `Condvar`.
+//! Only the surface the workspace uses is implemented; throughput is
+//! adequate for the simulator's per-quantum message rates.
+
+pub mod channel;

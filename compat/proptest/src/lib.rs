@@ -1,0 +1,118 @@
+//! Offline compat shim for `proptest`.
+//!
+//! Reimplements the subset of proptest's API the workspace's property tests
+//! use: the [`strategy::Strategy`] trait (with `prop_map` and `boxed`),
+//! range/`Just`/`any`/tuple/`prop_oneof!` strategies, `prop::collection::vec`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **no shrinking** — a failing case reports the generated inputs but is
+//!   not minimized;
+//! * generation is deterministic per test (seeded from the test's name), so
+//!   failures reproduce exactly on re-run;
+//! * `prop_assert*` panics (upstream returns `Err`), which the libtest
+//!   harness reports identically.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+/// Weighted arms (`n => strat`) are not supported (unused in-repo).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     /// docs / attributes allowed
+///     #[test]
+///     fn name(a in strat_a, b in strat_b) { ...body... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strats = ( $( $strat, )+ );
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let ( $( $arg, )+ ) =
+                    $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                let __run = || $body;
+                __run();
+                let _ = __case;
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

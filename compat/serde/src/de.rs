@@ -1,0 +1,45 @@
+//! Deserialization error type and helpers used by generated code.
+
+use std::fmt;
+
+use crate::value::Value;
+use crate::Deserialize;
+
+/// Deserialization failure: a message, nothing structured.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        Error {
+            msg: format!("expected {expected}, got {}", got.kind_name()),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Extracts and deserializes field `name` from a struct object. Used by the
+/// `serde_derive` shim's generated `from_value` bodies.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}")))
+        }
+        None => Err(Error::custom(format!("missing field `{name}` for {ty}"))),
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline compat shim for `serde`.
+//!
+//! Upstream serde is a zero-copy visitor framework; this shim replaces it
+//! with a much simpler contract that is sufficient for the workspace's
+//! needs (JSON reports and JSONL telemetry traces): every `Serialize` type
+//! renders itself into a JSON-shaped [`value::Value`] tree, and every
+//! `Deserialize` type rebuilds itself from one. `serde_json` (also shimmed
+//! in-tree) is then just text ⇄ `Value`.
+//!
+//! The derive macros come from the in-tree `serde_derive` shim and emit
+//! externally-tagged enum representations matching upstream serde's
+//! defaults, so the JSON produced here looks like what real serde_json
+//! would print for the same types. `#[serde(...)]` attributes are NOT
+//! supported (and not used anywhere in this workspace).
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+// ------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let n = match value {
+                    Value::Number(Number::PosInt(n)) => *n,
+                    Value::Number(Number::NegInt(n)) => {
+                        return Err(de::Error::custom(format!(
+                            "cannot deserialize negative {n} into {}",
+                            stringify!($t)
+                        )))
+                    }
+                    other => return Err(de::Error::unexpected(stringify!($t), other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let wide: i128 = match value {
+                    Value::Number(Number::PosInt(n)) => *n as i128,
+                    Value::Number(Number::NegInt(n)) => *n as i128,
+                    other => return Err(de::Error::unexpected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::custom(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Number(Number::Float(f)) => Ok(*f as $t),
+                    Value::Number(Number::PosInt(n)) => Ok(*n as $t),
+                    Value::Number(Number::NegInt(n)) => Ok(*n as $t),
+                    // serde_json renders non-finite floats as null; accept
+                    // them back as NaN so round-trips don't error.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(de::Error::unexpected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::unexpected("char", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| de::Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let items = value.as_array().ok_or_else(|| de::Error::unexpected("tuple array", value))?;
+                let arity = [$($idx),+].len();
+                if items.len() != arity {
+                    return Err(de::Error::custom(format!(
+                        "expected tuple of arity {arity}, got array of {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-42i64).to_value()).unwrap(), -42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let v = vec![(3u32, 9u64), (4, 16)];
+        assert_eq!(Vec::<(u32, u64)>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+        let a = [1u64, 2, 3, 4];
+        assert_eq!(<[u64; 4]>::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        let big = Value::Number(Number::PosInt(300));
+        assert!(u8::from_value(&big).is_err());
+        let neg = Value::Number(Number::NegInt(-1));
+        assert!(u32::from_value(&neg).is_err());
+    }
+}

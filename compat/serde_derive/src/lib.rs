@@ -1,0 +1,450 @@
+//! Offline compat shim for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` with no
+//! `syn`/`quote` dependency: the input item is parsed directly from the
+//! `proc_macro::TokenStream` token tree and the impl is emitted as source
+//! text. Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default representation);
+//! * arbitrary non-macro attributes on items/fields/variants (skipped);
+//! * NO generics and NO `#[serde(...)]` attributes — both unused in-repo.
+//!
+//! The generated impls target the value-tree model of the in-tree `serde`
+//! shim (`Serialize::to_value` / `Deserialize::from_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+}
+
+enum Body {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, .. }`
+    NamedStruct(Vec<Field>),
+    /// `struct S(T, ..);`
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, body) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({:?});", msg).parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&name, &body),
+        Mode::Deserialize => gen_deserialize(&name, &body),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<(String, Body), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde_derive shim: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde_derive shim: expected item name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported (no generic derives in this workspace)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Ok((name, Body::UnitStruct)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Body::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Body::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Body::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            other => Err(format!(
+                "serde_derive shim: unexpected struct body {other:?}"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Body::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("serde_derive shim: unexpected enum body {other:?}")),
+        },
+        other => Err(format!(
+            "serde_derive shim: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+/// Skips any number of outer attributes (`#[...]`, including doc comments)
+/// and a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped at `<`-depth 0;
+/// parenthesised types arrive as single `Group` tokens, so tuple commas
+/// never leak into the split).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected field name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected `:` after field `{name}`, got {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a `,` outside angle brackets.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // Tolerate a trailing comma: `struct S(T,);`
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len() {
+                if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Body::NamedStruct(fields) => {
+            let mut code = String::from(
+                "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                code.push_str(&format!(
+                    "__fields.push((::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            code.push_str("::serde::value::Value::Object(__fields) }");
+            code
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let mut code = String::from(
+                "{ let mut __items: ::std::vec::Vec<::serde::value::Value> = ::std::vec::Vec::new();\n",
+            );
+            for idx in 0..*n {
+                code.push_str(&format!(
+                    "__items.push(::serde::Serialize::to_value(&self.{idx}));\n"
+                ));
+            }
+            code.push_str("::serde::value::Value::Array(__items) }");
+            code
+        }
+        Body::Enum(variants) => {
+            let mut code = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        code.push_str(&format!(
+                            "{name}::{vn} => ::serde::value::Value::String(::std::string::String::from({vn:?})),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let mut inner = String::from(
+                                "{ let mut __items: ::std::vec::Vec<::serde::value::Value> = ::std::vec::Vec::new();\n",
+                            );
+                            for b in &binds {
+                                inner.push_str(&format!(
+                                    "__items.push(::serde::Serialize::to_value({b}));\n"
+                                ));
+                            }
+                            inner.push_str("::serde::value::Value::Array(__items) }");
+                            inner
+                        };
+                        code.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ let mut __pair: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new(); __pair.push((::std::string::String::from({vn:?}), {inner})); ::serde::value::Value::Object(__pair) }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((::std::string::String::from({n:?}), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("::serde::value::Value::Object(__fields) }");
+                        code.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ let mut __pair: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new(); __pair.push((::std::string::String::from({vn:?}), {inner})); ::serde::value::Value::Object(__pair) }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            code.push('}');
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::value::Value {{\n        {body_code}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::UnitStruct => format!(
+            "match __v {{ ::serde::value::Value::Null => ::std::result::Result::Ok({name}), _ => ::std::result::Result::Err(::serde::de::Error::custom(\"expected null for unit struct {name}\")) }}"
+        ),
+        Body::NamedStruct(fields) => {
+            let mut code = format!(
+                "{{ let __obj = __v.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object for struct {name}\"))?;\n::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                code.push_str(&format!(
+                    "{n}: ::serde::de::field(__obj, {n:?}, {name:?})?,\n",
+                    n = f.name
+                ));
+            }
+            code.push_str("}) }");
+            code
+        }
+        Body::TupleStruct(1) => format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Body::TupleStruct(n) => {
+            let mut code = format!(
+                "{{ let __arr = __v.as_array().ok_or_else(|| ::serde::de::Error::custom(\"expected array for tuple struct {name}\"))?;\nif __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::de::Error::custom(\"wrong arity for tuple struct {name}\")); }}\n::std::result::Result::Ok({name}(\n"
+            );
+            for idx in 0..*n {
+                code.push_str(&format!("::serde::Deserialize::from_value(&__arr[{idx}])?,\n"));
+            }
+            code.push_str(")) }");
+            code
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{ let __arr = __inner.as_array().ok_or_else(|| ::serde::de::Error::custom(\"expected array payload for {name}::{vn}\"))?;\nif __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::de::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for idx in 0..*n {
+                            arm.push_str(&format!("::serde::Deserialize::from_value(&__arr[{idx}])?,\n"));
+                        }
+                        arm.push_str(")) }\n");
+                        payload_arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{ let __obj = __inner.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object payload for {name}::{vn}\"))?;\n::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{n}: ::serde::de::field(__obj, {n:?}, \"{name}::{vn}\")?,\n",
+                                n = f.name
+                            ));
+                        }
+                        arm.push_str("}) }\n");
+                        payload_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n::serde::value::Value::String(__s) => match __s.as_str() {{\n{unit_arms}__other => ::std::result::Result::Err(::serde::de::Error::custom(&format!(\"unknown unit variant `{{__other}}` for enum {name}\"))),\n}},\n::serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {{\nlet (__tag, __inner) = &__pairs[0];\nmatch __tag.as_str() {{\n{payload_arms}__other => ::std::result::Result::Err(::serde::de::Error::custom(&format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n}}\n}},\n_ => ::std::result::Result::Err(::serde::de::Error::custom(\"expected string or single-key object for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n        {body_code}\n    }}\n}}\n"
+    )
+}

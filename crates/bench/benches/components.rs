@@ -5,19 +5,29 @@
 //! * whole-machine stepping (simulation throughput in core-cycles/s)
 //! * trace selection + optimizer decision latency (COBRA's reaction time)
 
+use cobra_bench::bench_metric;
 use cobra_isa::insn::{CmpRel, Op};
 use cobra_isa::{decode, encode, Assembler, Insn, LfetchHint};
-use cobra_machine::{
-    AccessKind, CpuStats, Hpm, Machine, MachineConfig, MemSystem,
-};
+use cobra_kernels::workload::Workload;
+use cobra_kernels::{Daxpy, DaxpyParams, PrefetchPolicy};
+use cobra_machine::{AccessKind, CpuStats, Hpm, Machine, MachineConfig, MemSystem};
+use cobra_omp::{OmpRuntime, Team};
 use cobra_rt::{
-    select_loops, LatencyBands, Optimizer, OptimizerConfig, ProfileDelta, SystemProfile,
-    TraceConfig,
+    select_loops, Cobra, LatencyBands, Optimizer, OptimizerConfig, ProfileDelta, Strategy,
+    SystemProfile, TelemetryEvent, TelemetryHub, TelemetrySink, TraceConfig,
 };
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 fn bench_isa(c: &mut Criterion) {
-    let insn = Insn::pred(16, Op::Lfetch { base: 43, post_inc: 8, hint: LfetchHint::Nt1, excl: false });
+    let insn = Insn::pred(
+        16,
+        Op::Lfetch {
+            base: 43,
+            post_inc: 8,
+            hint: LfetchHint::Nt1,
+            excl: false,
+        },
+    );
     let word = encode(&insn);
     c.bench_function("components/isa/encode", |b| {
         b.iter(|| encode(criterion::black_box(&insn)))
@@ -34,11 +44,33 @@ fn bench_memsys(c: &mut Criterion) {
         let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
         let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
         // Warm one line.
-        ms.access(&mut stats, &mut hpm, 0, 0, 1, AccessKind::Load { fp: true, bias: false }, 0x1000);
+        ms.access(
+            &mut stats,
+            &mut hpm,
+            0,
+            0,
+            1,
+            AccessKind::Load {
+                fp: true,
+                bias: false,
+            },
+            0x1000,
+        );
         let mut now = 1000u64;
         b.iter(|| {
             now += 1;
-            ms.access(&mut stats, &mut hpm, 0, now, 1, AccessKind::Load { fp: true, bias: false }, 0x1000)
+            ms.access(
+                &mut stats,
+                &mut hpm,
+                0,
+                now,
+                1,
+                AccessKind::Load {
+                    fp: true,
+                    bias: false,
+                },
+                0x1000,
+            )
         })
     });
     c.bench_function("components/memsys/coherent_pingpong", |b| {
@@ -49,7 +81,15 @@ fn bench_memsys(c: &mut Criterion) {
         b.iter(|| {
             now += 500;
             ms.access(&mut stats, &mut hpm, 0, now, 1, AccessKind::Store, 0x2000);
-            ms.access(&mut stats, &mut hpm, 1, now + 250, 1, AccessKind::Store, 0x2000)
+            ms.access(
+                &mut stats,
+                &mut hpm,
+                1,
+                now + 250,
+                1,
+                AccessKind::Store,
+                0x2000,
+            )
         })
     });
 }
@@ -63,7 +103,11 @@ fn bench_machine_stepping(c: &mut Criterion) {
         let top = a.new_label();
         a.bind(top);
         a.addi(5, 5, 1);
-        a.emit(Insn::new(Op::Add { dest: 6, r2: 6, r3: 5 }));
+        a.emit(Insn::new(Op::Add {
+            dest: 6,
+            r2: 6,
+            r3: 5,
+        }));
         a.br_cloop(top);
         a.hlt();
         a.finish()
@@ -96,7 +140,13 @@ fn bench_cobra_decision(c: &mut Criterion) {
             a.bind(top);
             a.ldfd(16, 32, 2, 8);
             a.lfetch_nt1(16, 27, 8);
-            a.emit(Insn::new(Op::Cmp { p1: 6, p2: 7, rel: CmpRel::Lt, r2: 1, r3: 2 }));
+            a.emit(Insn::new(Op::Cmp {
+                p1: 6,
+                p2: 7,
+                rel: CmpRel::Lt,
+                r2: 1,
+                r3: 2,
+            }));
             a.br_ctop(top);
         }
         a.hlt();
@@ -104,7 +154,10 @@ fn bench_cobra_decision(c: &mut Criterion) {
     };
     let bands = LatencyBands { coherent_min: 165 };
     let mut profile = SystemProfile::new(bands);
-    let mut delta = ProfileDelta { samples: 500, ..ProfileDelta::default() };
+    let mut delta = ProfileDelta {
+        samples: 500,
+        ..ProfileDelta::default()
+    };
     delta.window.instructions = 1_000_000;
     delta.window.cycles = 1_500_000;
     delta.window.bus_memory = 10_000;
@@ -112,7 +165,9 @@ fn bench_cobra_decision(c: &mut Criterion) {
     for head in (0..32u32).map(|k| k * 12) {
         for _ in 0..20 {
             delta.branch_pairs.push((head + 9, head));
-            delta.dear_events.push((head + 3, 0x1000 + head as u64 * 128, 200));
+            delta
+                .dear_events
+                .push((head + 3, 0x1000 + head as u64 * 128, 200));
         }
     }
     profile.absorb(&delta);
@@ -122,11 +177,90 @@ fn bench_cobra_decision(c: &mut Criterion) {
     });
     c.bench_function("components/cobra/optimizer_full_pass", |b| {
         b.iter_batched(
-            || Optimizer::new(OptimizerConfig { warmup_ticks: 0, ..Default::default() }, image.clone()),
+            || {
+                Optimizer::new(
+                    OptimizerConfig {
+                        warmup_ticks: 0,
+                        ..Default::default()
+                    },
+                    image.clone(),
+                )
+            },
             |mut opt| opt.consider(criterion::black_box(&profile)),
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    // Hot-path cost of one emit (+ its share of the periodic drain into a
+    // JSONL sink that discards the bytes). This is what monitoring threads
+    // pay per event.
+    c.bench_function("components/telemetry/emit_and_drain", |b| {
+        let sink = TelemetrySink::jsonl(Box::new(std::io::sink()));
+        let mut hub = TelemetryHub::new(sink, 4096);
+        let emitter = hub.emitter();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            emitter.emit(criterion::black_box(TelemetryEvent::UsbLevel {
+                tick: i,
+                cpu: 0,
+                occupancy: 3,
+                capacity: 8192,
+                dropped_total: 0,
+            }));
+            if i.is_multiple_of(1024) {
+                hub.drain();
+            }
+        })
+    });
+
+    // End-to-end guard: the telemetry-enabled DAXPY run must stay within
+    // 5% of the disabled one (the simulated-cycle cost of emitting and
+    // draining the whole pipeline's events). Both totals are reported as
+    // metrics so the comparison is visible in the bench output.
+    fn daxpy_cycles(telemetry: bool) -> u64 {
+        let cfg = MachineConfig::smp4();
+        let wl = Daxpy::build(
+            DaxpyParams::new(128 * 1024, 24),
+            &PrefetchPolicy::aggressive(),
+            cfg.mem_bytes,
+        );
+        let mut m = Machine::new(cfg.clone(), wl.image().clone());
+        wl.init(&mut m.shared.mem);
+        let mut builder = Cobra::builder().strategy(Strategy::NoPrefetch);
+        if telemetry {
+            let (sink, _log) = TelemetrySink::memory();
+            builder = builder.telemetry(sink);
+        }
+        let mut cobra = builder.attach(&mut m);
+        let rt = OmpRuntime {
+            quantum: 20_000,
+            ..OmpRuntime::default()
+        };
+        let run = wl.run(&mut m, Team::new(4), &rt, &mut cobra);
+        cobra.detach(&mut m);
+        run.cycles
+    }
+    let disabled = daxpy_cycles(false);
+    let enabled = daxpy_cycles(true);
+    assert!(
+        enabled as f64 <= disabled as f64 * 1.05,
+        "telemetry-enabled DAXPY must stay within 5%: {disabled} vs {enabled}"
+    );
+    bench_metric(
+        c,
+        "components/telemetry",
+        BenchmarkId::new("daxpy_cycles", "disabled"),
+        disabled,
+    );
+    bench_metric(
+        c,
+        "components/telemetry",
+        BenchmarkId::new("daxpy_cycles", "enabled"),
+        enabled,
+    );
 }
 
 criterion_group!(
@@ -134,6 +268,7 @@ criterion_group!(
     bench_isa,
     bench_memsys,
     bench_machine_stepping,
-    bench_cobra_decision
+    bench_cobra_decision,
+    bench_telemetry
 );
 criterion_main!(benches);

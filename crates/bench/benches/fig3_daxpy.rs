@@ -13,7 +13,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn fig3(c: &mut Criterion) {
     // A reduced rep count keeps bench setup quick; ratios are stable.
     let reps = 8;
-    for (ws, ws_label) in [(128 * 1024, "128K"), (512 * 1024, "512K"), (2 * 1024 * 1024, "2M")] {
+    for (ws, ws_label) in [
+        (128 * 1024, "128K"),
+        (512 * 1024, "512K"),
+        (2 * 1024 * 1024, "2M"),
+    ] {
         for threads in [1usize, 2, 4] {
             for (name, policy) in [
                 ("prefetch", PrefetchPolicy::aggressive()),

@@ -10,7 +10,10 @@ use cobra_rt::Strategy;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig6(c: &mut Criterion) {
-    for (cfg, threads) in [(MachineConfig::smp4(), 4usize), (MachineConfig::altix8(), 8)] {
+    for (cfg, threads) in [
+        (MachineConfig::smp4(), 4usize),
+        (MachineConfig::altix8(), 8),
+    ] {
         for &bench in &npb::Benchmark::COHERENT {
             for (name, strategy) in [
                 ("prefetch", None),

@@ -13,7 +13,12 @@ fn table1(c: &mut Criterion) {
     for &bench in &npb::Benchmark::ALL {
         let wl = npb::build(bench, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
         let lfetch = wl.image().count_matching(|i| i.is_lfetch()) as u64;
-        bench_metric(c, "table1/lfetch_count", BenchmarkId::from_parameter(bench.name()), lfetch);
+        bench_metric(
+            c,
+            "table1/lfetch_count",
+            BenchmarkId::from_parameter(bench.name()),
+            lfetch,
+        );
     }
 
     // Real wall time: how fast minicc generates each binary.

@@ -14,7 +14,7 @@ use cobra_kernels::workload::execute_plain;
 use cobra_kernels::{npb, Daxpy, DaxpyParams, PrefetchPolicy};
 use cobra_machine::{Event, Machine, MachineConfig};
 use cobra_omp::{OmpRuntime, Team};
-use cobra_rt::{Cobra, CobraConfig, Strategy};
+use cobra_rt::{Cobra, Strategy};
 use criterion::{BenchmarkId, Criterion};
 
 /// Simulated metrics of one run.
@@ -52,12 +52,13 @@ pub fn npb_metrics(
             (m, run.cycles)
         }
         Some(strategy) => {
-            let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+            let rt = OmpRuntime {
+                quantum: 20_000,
+                ..OmpRuntime::default()
+            };
             let mut m = Machine::new(machine_cfg.clone(), wl.image().clone());
             wl.init(&mut m.shared.mem);
-            let mut ccfg = CobraConfig::default();
-            ccfg.optimizer.strategy = strategy;
-            let mut cobra = Cobra::attach(ccfg, &mut m);
+            let mut cobra = Cobra::builder().strategy(strategy).attach(&mut m);
             let run = wl.run(&mut m, team, &rt, &mut cobra);
             cobra.detach(&mut m);
             wl.verify(&m.shared.mem).expect("verified under COBRA");

@@ -15,8 +15,19 @@
 //!   the quantum safe point: append optimized traces, patch `lfetch` words,
 //!   redirect loop heads, or revert regressed deployments.
 //!
+//! Configure and attach through the fluent [`Cobra::builder`] API:
+//!
+//! ```ignore
+//! let mut cobra = Cobra::builder()
+//!     .sampling_period(2000)
+//!     .deploy_mode(DeployMode::TraceCache)
+//!     .telemetry(sink)
+//!     .attach(&mut machine);
+//! ```
+//!
 //! Helper-thread overhead is charged to the simulated machine per processed
-//! sample, so reported speedups are net of monitoring cost.
+//! sample — and, when telemetry is enabled, per drained telemetry record —
+//! so reported speedups are net of monitoring cost.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -25,10 +36,14 @@ use cobra_omp::{QuantumHook, Team};
 use cobra_perfmon::{PerfmonConfig, PerfmonDriver};
 
 use crate::monitor::{monitoring_thread, optimization_thread, TickReply, ToMonitor, ToOpt};
-use crate::optimizer::{Optimizer, OptimizerConfig, PlanAction};
+use crate::optimizer::{DeployMode, Optimizer, OptimizerConfig, PlanAction, Strategy};
 use crate::phase::{PhaseConfig, PhaseDetector};
 use crate::profile::LatencyBands;
 use crate::report::{AppliedPlan, CobraReport, RevertedPlan};
+use crate::telemetry::{
+    CpuCounterSnapshot, TelemetryEmitter, TelemetryEvent, TelemetryHub, TelemetrySink,
+    DEFAULT_RING_CAPACITY,
+};
 
 /// Framework configuration.
 #[derive(Debug, Clone)]
@@ -38,7 +53,8 @@ pub struct CobraConfig {
     pub phase: PhaseConfig,
     /// User Sampling Buffer capacity per monitoring thread.
     pub usb_capacity: usize,
-    /// Helper-thread cycles charged to the machine per processed sample.
+    /// Helper-thread cycles charged to the machine per processed sample
+    /// (and per drained telemetry record when telemetry is enabled).
     pub overhead_per_sample: u64,
 }
 
@@ -59,6 +75,142 @@ impl Default for CobraConfig {
     }
 }
 
+/// Fluent configuration for [`Cobra`]; created by [`Cobra::builder`],
+/// consumed by [`CobraBuilder::attach`]. Starts from
+/// [`CobraConfig::default`]; every setter overrides one knob.
+#[derive(Debug)]
+pub struct CobraBuilder {
+    cfg: CobraConfig,
+    sink: Option<TelemetrySink>,
+    ring_capacity: usize,
+}
+
+impl Default for CobraBuilder {
+    fn default() -> Self {
+        CobraBuilder {
+            cfg: CobraConfig::default(),
+            sink: None,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+impl CobraBuilder {
+    /// Replace the whole configuration (setters applied afterwards still
+    /// override individual fields).
+    pub fn config(mut self, cfg: CobraConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// HPM sampling period in instructions retired.
+    pub fn sampling_period(mut self, period: u64) -> Self {
+        self.cfg.perfmon.sampling_period = period;
+        self
+    }
+
+    /// Full perfmon driver configuration.
+    pub fn perfmon(mut self, perfmon: PerfmonConfig) -> Self {
+        self.cfg.perfmon = perfmon;
+        self
+    }
+
+    /// Full optimizer configuration.
+    pub fn optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.cfg.optimizer = optimizer;
+        self
+    }
+
+    /// Optimization strategy (noprefetch / `.excl` / adaptive).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.optimizer.strategy = strategy;
+        self
+    }
+
+    /// How rewrites reach the running binary.
+    pub fn deploy_mode(mut self, deploy: DeployMode) -> Self {
+        self.cfg.optimizer.deploy = deploy;
+        self
+    }
+
+    /// Phase-detector configuration.
+    pub fn phase(mut self, phase: PhaseConfig) -> Self {
+        self.cfg.phase = phase;
+        self
+    }
+
+    /// User Sampling Buffer capacity per monitoring thread.
+    pub fn usb_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.usb_capacity = capacity;
+        self
+    }
+
+    /// Helper-thread cycles charged per processed sample / drained
+    /// telemetry record.
+    pub fn overhead_per_sample(mut self, cycles: u64) -> Self {
+        self.cfg.overhead_per_sample = cycles;
+        self
+    }
+
+    /// Record pipeline telemetry into `sink`.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Capacity of the bounded telemetry ring (records buffered between
+    /// quantum drains; overflow is dropped and counted).
+    pub fn telemetry_capacity(mut self, records: usize) -> Self {
+        self.ring_capacity = records;
+        self
+    }
+
+    /// Attach to a machine: program the HPMs, start the optimization
+    /// thread. Monitoring threads are created lazily at thread fork.
+    pub fn attach(self, machine: &mut Machine) -> Cobra {
+        let CobraBuilder {
+            cfg,
+            sink,
+            ring_capacity,
+        } = self;
+        let mut driver = PerfmonDriver::new(machine.num_cpus(), cfg.perfmon);
+        driver.attach(machine);
+
+        let hub = sink.map(|s| TelemetryHub::new(s, ring_capacity));
+        let emitter = hub.as_ref().map(|h| h.emitter());
+
+        let bands = LatencyBands::from_machine(&machine.shared.cfg);
+        let mut optimizer = Optimizer::new(cfg.optimizer, machine.shared.code.image().clone());
+        if let Some(e) = &emitter {
+            optimizer.set_telemetry(e.clone());
+        }
+        let phases = PhaseDetector::new(cfg.phase);
+
+        let (to_opt, opt_rx) = unbounded();
+        let (reply_tx, replies) = unbounded();
+        let opt_emitter = emitter.clone();
+        let opt_join = std::thread::Builder::new()
+            .name("cobra-optimizer".into())
+            .spawn(move || {
+                optimization_thread(optimizer, bands, phases, opt_rx, reply_tx, opt_emitter)
+            })
+            .expect("spawn optimization thread");
+
+        Cobra {
+            monitors: (0..machine.num_cpus()).map(|_| None).collect(),
+            cfg,
+            driver,
+            to_opt,
+            replies,
+            opt_join: Some(opt_join),
+            tick: 0,
+            report: CobraReport::default(),
+            hub,
+            emitter,
+        }
+    }
+}
+
 struct MonitorHandle {
     tx: Sender<ToMonitor>,
     join: std::thread::JoinHandle<crate::monitor::MonitorStats>,
@@ -74,35 +226,27 @@ pub struct Cobra {
     opt_join: Option<std::thread::JoinHandle<()>>,
     tick: u64,
     report: CobraReport,
+    hub: Option<TelemetryHub>,
+    emitter: Option<TelemetryEmitter>,
 }
 
 impl Cobra {
-    /// Attach to a machine: program the HPMs, start the optimization
-    /// thread. Monitoring threads are created lazily at thread fork.
+    /// Start configuring an instance; finish with [`CobraBuilder::attach`].
+    pub fn builder() -> CobraBuilder {
+        CobraBuilder::default()
+    }
+
+    /// Attach with an explicit configuration and no telemetry.
+    #[deprecated(
+        note = "use `Cobra::builder()` (optionally `.config(cfg)`) and `.attach(machine)`"
+    )]
     pub fn attach(cfg: CobraConfig, machine: &mut Machine) -> Self {
-        let mut driver = PerfmonDriver::new(machine.num_cpus(), cfg.perfmon);
-        driver.attach(machine);
+        Cobra::builder().config(cfg).attach(machine)
+    }
 
-        let bands = LatencyBands::from_machine(&machine.shared.cfg);
-        let optimizer = Optimizer::new(cfg.optimizer, machine.shared.code.image().clone());
-        let phases = PhaseDetector::new(cfg.phase);
-
-        let (to_opt, opt_rx) = unbounded();
-        let (reply_tx, replies) = unbounded();
-        let opt_join = std::thread::Builder::new()
-            .name("cobra-optimizer".into())
-            .spawn(move || optimization_thread(optimizer, bands, phases, opt_rx, reply_tx))
-            .expect("spawn optimization thread");
-
-        Cobra {
-            monitors: (0..machine.num_cpus()).map(|_| None).collect(),
-            cfg,
-            driver,
-            to_opt,
-            replies,
-            opt_join: Some(opt_join),
-            tick: 0,
-            report: CobraReport::default(),
+    fn emit(&self, event: TelemetryEvent) {
+        if let Some(e) = &self.emitter {
+            e.emit(event);
         }
     }
 
@@ -114,9 +258,10 @@ impl Cobra {
         let to_opt = self.to_opt.clone();
         let period = self.cfg.perfmon.sampling_period;
         let capacity = self.cfg.usb_capacity;
+        let telemetry = self.emitter.clone();
         let join = std::thread::Builder::new()
             .name(format!("cobra-monitor-{cpu}"))
-            .spawn(move || monitoring_thread(cpu as u32, period, capacity, rx, to_opt))
+            .spawn(move || monitoring_thread(cpu as u32, period, capacity, rx, to_opt, telemetry))
             .expect("spawn monitoring thread");
         self.monitors[cpu] = Some(MonitorHandle { tx, join });
         self.report.monitors_spawned += 1;
@@ -138,6 +283,15 @@ impl Cobra {
                         .patch_word(addr, word)
                         .unwrap_or_else(|e| panic!("deploying plan {}: {e}", plan.id));
                 }
+                self.emit(TelemetryEvent::Deploy {
+                    tick: self.tick,
+                    cycle: machine.shared.cycle,
+                    plan_id: plan.id,
+                    kind: plan.kind,
+                    loop_head: plan.loop_head,
+                    words_patched: plan.writes.len(),
+                    trace_entry,
+                });
                 self.report.applied.push(AppliedPlan {
                     plan_id: plan.id,
                     kind: plan.kind,
@@ -148,13 +302,27 @@ impl Cobra {
                     trace_entry,
                 });
             }
-            PlanAction::Revert { plan_id, writes, reason } => {
+            PlanAction::Revert {
+                plan_id,
+                writes,
+                reason,
+            } => {
                 for (addr, old_word) in writes {
                     machine
                         .patch_word(addr, old_word)
                         .unwrap_or_else(|e| panic!("reverting plan {plan_id}: {e}"));
                 }
-                self.report.reverted.push(RevertedPlan { plan_id, reason, tick: self.tick });
+                self.emit(TelemetryEvent::Revert {
+                    tick: self.tick,
+                    cycle: machine.shared.cycle,
+                    plan_id,
+                    reason: reason.clone(),
+                });
+                self.report.reverted.push(RevertedPlan {
+                    plan_id,
+                    reason,
+                    tick: self.tick,
+                });
             }
         }
     }
@@ -173,6 +341,16 @@ impl Cobra {
         let _ = self.to_opt.send(ToOpt::Shutdown);
         if let Some(j) = self.opt_join.take() {
             let _ = j.join();
+        }
+        if let Some(hub) = self.hub.take() {
+            self.emit(TelemetryEvent::Detach {
+                tick: self.tick,
+                cycle: machine.shared.cycle,
+                records_dropped: hub.dropped(),
+            });
+            let (records, dropped) = hub.finish();
+            self.report.telemetry_records = records;
+            self.report.telemetry_dropped = dropped;
         }
         self.report.clone()
     }
@@ -197,12 +375,27 @@ impl QuantumHook for Cobra {
         let mut forwarded = 0u64;
         let mut active = 0usize;
         for cpu in 0..self.monitors.len() {
-            let Some(handle) = &self.monitors[cpu] else { continue };
+            let Some(handle) = &self.monitors[cpu] else {
+                continue;
+            };
             active += 1;
             let batch = self.driver.drain(cpu);
             forwarded += batch.len() as u64;
-            handle.tx.send(ToMonitor::Samples(batch)).expect("monitor alive");
-            handle.tx.send(ToMonitor::Tick(self.tick)).expect("monitor alive");
+            self.emit(TelemetryEvent::KernelDrain {
+                tick: self.tick,
+                cycle: machine.shared.cycle,
+                cpu: cpu as u32,
+                samples: batch.len(),
+                dropped_total: self.driver.dropped(cpu),
+            });
+            handle
+                .tx
+                .send(ToMonitor::Samples(batch))
+                .expect("monitor alive");
+            handle
+                .tx
+                .send(ToMonitor::Tick(self.tick))
+                .expect("monitor alive");
         }
         self.report.samples_forwarded += forwarded;
         // Charge helper-thread overhead to the machine.
@@ -212,7 +405,11 @@ impl QuantumHook for Cobra {
 
         if active > 0 {
             self.to_opt
-                .send(ToOpt::BeginTick { tick: self.tick, expected: active })
+                .send(ToOpt::BeginTick {
+                    tick: self.tick,
+                    cycle: machine.shared.cycle,
+                    expected: active,
+                })
                 .expect("optimization thread alive");
             let reply = self.replies.recv().expect("optimization thread alive");
             self.report.samples_merged = reply.samples_merged;
@@ -221,6 +418,28 @@ impl QuantumHook for Cobra {
                 self.apply_action(machine, action);
             }
         }
+
+        if self.emitter.is_some() {
+            self.emit(TelemetryEvent::Quantum {
+                tick: self.tick,
+                cycle: machine.shared.cycle,
+                samples_forwarded: forwarded,
+                cpus: CpuCounterSnapshot::all(machine),
+            });
+        }
+        // Drain the telemetry ring at the safe point. The synchronous tick
+        // handshake guarantees every event this tick produced is already in
+        // the ring, so the drained count — and the cycles charged for it —
+        // is deterministic.
+        if let Some(hub) = &mut self.hub {
+            let drained = hub.drain();
+            let cost = drained * self.cfg.overhead_per_sample;
+            machine.shared.cycle += cost;
+            self.report.overhead_cycles += cost;
+            self.report.telemetry_records = hub.drained();
+            self.report.telemetry_dropped = hub.dropped();
+        }
+
         self.report.ticks += 1;
         self.tick += 1;
     }
@@ -241,7 +460,7 @@ mod tests {
             a.finish()
         };
         let mut m = Machine::new(MachineConfig::smp4(), image);
-        let cobra = Cobra::attach(CobraConfig::default(), &mut m);
+        let cobra = Cobra::builder().attach(&mut m);
         let report = cobra.detach(&mut m);
         assert_eq!(report.ticks, 0);
         assert_eq!(report.monitors_spawned, 0);
@@ -263,13 +482,81 @@ mod tests {
             a.finish()
         };
         let mut m = Machine::new(MachineConfig::smp4(), image);
-        let mut cobra = Cobra::attach(CobraConfig::default(), &mut m);
-        let rt = OmpRuntime { quantum: 1000, ..OmpRuntime::default() };
+        let mut cobra = Cobra::builder().attach(&mut m);
+        let rt = OmpRuntime {
+            quantum: 1000,
+            ..OmpRuntime::default()
+        };
         rt.parallel_for(&mut m, Team::new(4), 0, 0, 4, &[], &mut cobra);
         let report = cobra.detach(&mut m);
         assert_eq!(report.forks, 1);
         assert_eq!(report.monitors_spawned, 4);
         assert!(report.ticks > 0);
-        assert!(report.applied.is_empty(), "no coherent misses, no deployments");
+        assert!(
+            report.applied.is_empty(),
+            "no coherent misses, no deployments"
+        );
+    }
+
+    /// The deprecated entry point still attaches and behaves like the
+    /// builder.
+    #[test]
+    fn legacy_attach_still_works() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.hlt();
+            a.finish()
+        };
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        #[allow(deprecated)]
+        let cobra = Cobra::attach(CobraConfig::default(), &mut m);
+        let report = cobra.detach(&mut m);
+        assert_eq!(report.ticks, 0);
+    }
+
+    /// Telemetry on a quiet program: quantum events with counter snapshots
+    /// flow into a memory sink, and the report counts them.
+    #[test]
+    fn quiet_program_produces_quantum_telemetry() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.movi(4, 2_000);
+            a.mov_to_lc(4);
+            let top = a.new_label();
+            a.bind(top);
+            a.addi(5, 5, 1);
+            a.br_cloop(top);
+            a.hlt();
+            a.finish()
+        };
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        let (sink, log) = TelemetrySink::memory();
+        let mut cobra = Cobra::builder().telemetry(sink).attach(&mut m);
+        let rt = OmpRuntime {
+            quantum: 1000,
+            ..OmpRuntime::default()
+        };
+        rt.parallel_for(&mut m, Team::new(4), 0, 0, 4, &[], &mut cobra);
+        let report = cobra.detach(&mut m);
+        let log = log.lock().unwrap();
+        assert!(log.count("quantum") as u64 >= report.ticks.min(1));
+        assert_eq!(
+            log.count("quantum")
+                + log.count("usb_level")
+                + log.count("kernel_drain")
+                + log.count("detach"),
+            log.len()
+        );
+        // Snapshots cover every CPU and carry monotone instruction counts.
+        let quanta = log.of_category("quantum");
+        let last = quanta.last().unwrap();
+        if let TelemetryEvent::Quantum { cpus, .. } = &last.event {
+            assert_eq!(cpus.len(), 4);
+            assert!(cpus.iter().any(|c| c.inst_retired > 0));
+        } else {
+            unreachable!();
+        }
+        assert_eq!(report.telemetry_records, log.len() as u64);
+        assert_eq!(report.telemetry_dropped, 0);
     }
 }

@@ -22,9 +22,11 @@
 //!                                                  selection, decisions)
 //! ```
 //!
-//! Entry point: [`Cobra::attach`], which implements the OpenMP runtime's
-//! `QuantumHook` so the framework observes and patches the program at
-//! simulation-quantum safe points.
+//! Entry point: [`Cobra::builder`], a fluent configuration API whose
+//! `attach` step implements the OpenMP runtime's `QuantumHook` so the
+//! framework observes and patches the program at simulation-quantum safe
+//! points. Pass a [`TelemetrySink`] to the builder to record the whole
+//! decision pipeline as typed, cycle-stamped events.
 
 pub mod framework;
 pub mod monitor;
@@ -32,13 +34,22 @@ pub mod optimizer;
 pub mod phase;
 pub mod profile;
 pub mod report;
+pub mod telemetry;
 pub mod trace;
 pub mod usb;
 
-pub use framework::{Cobra, CobraConfig};
-pub use optimizer::{DeployMode, OptKind, Optimizer, OptimizerConfig, PatchPlan, PlanAction, Strategy, TracePlan};
+pub use framework::{Cobra, CobraBuilder, CobraConfig};
+pub use optimizer::{
+    DeployMode, OptKind, Optimizer, OptimizerConfig, PatchPlan, PlanAction, Strategy, TracePlan,
+};
 pub use phase::{PhaseConfig, PhaseDetector};
-pub use profile::{CounterWindow, DelinquentStats, LatencyBands, ProfileDelta, SystemProfile, ThreadProfiler};
+pub use profile::{
+    CounterWindow, DelinquentStats, LatencyBands, ProfileDelta, SystemProfile, ThreadProfiler,
+};
 pub use report::{AppliedPlan, CobraReport, RevertedPlan};
+pub use telemetry::{
+    read_jsonl, CpuCounterSnapshot, TelemetryEmitter, TelemetryEvent, TelemetryHub, TelemetryLog,
+    TelemetryRecord, TelemetrySink, TraceSummary,
+};
 pub use trace::{loop_lfetch_sites, select_loops, HotLoop, TraceConfig};
 pub use usb::UserSamplingBuffer;

@@ -24,6 +24,7 @@ use cobra_perfmon::SampleRecord;
 use crate::optimizer::{Optimizer, PlanAction};
 use crate::phase::PhaseDetector;
 use crate::profile::{CounterWindow, SystemProfile, ThreadProfiler};
+use crate::telemetry::{TelemetryEmitter, TelemetryEvent};
 use crate::usb::UserSamplingBuffer;
 
 /// Messages to a monitoring thread.
@@ -42,10 +43,17 @@ pub enum ToOpt {
     /// A monitoring thread's reduction for the current tick.
     Delta(crate::profile::ProfileDelta),
     /// A monitoring thread finished the tick.
-    TickAck { cpu: u32, tick: u64 },
-    /// The framework announces a tick and how many acknowledgements to wait
-    /// for.
-    BeginTick { tick: u64, expected: usize },
+    TickAck {
+        cpu: u32,
+        tick: u64,
+    },
+    /// The framework announces a tick, the machine cycle it closed at, and
+    /// how many acknowledgements to wait for.
+    BeginTick {
+        tick: u64,
+        cycle: u64,
+        expected: usize,
+    },
     Shutdown,
 }
 
@@ -74,6 +82,7 @@ pub fn monitoring_thread(
     usb_capacity: usize,
     rx: Receiver<ToMonitor>,
     tx: Sender<ToOpt>,
+    telemetry: Option<TelemetryEmitter>,
 ) -> MonitorStats {
     let mut usb = UserSamplingBuffer::new(usb_capacity);
     let mut profiler = ThreadProfiler::new(cpu, sampling_period);
@@ -86,6 +95,15 @@ pub fn monitoring_thread(
                 }
             }
             ToMonitor::Tick(tick) => {
+                if let Some(t) = &telemetry {
+                    t.emit(TelemetryEvent::UsbLevel {
+                        tick,
+                        cpu,
+                        occupancy: usb.len(),
+                        capacity: usb_capacity,
+                        dropped_total: usb.dropped(),
+                    });
+                }
                 let batch = usb.drain();
                 let delta = profiler.reduce(&batch);
                 stats.ticks += 1;
@@ -120,10 +138,11 @@ pub fn optimization_thread(
     mut phases: PhaseDetector,
     rx: Receiver<ToOpt>,
     reply_tx: Sender<TickReply>,
+    telemetry: Option<TelemetryEmitter>,
 ) {
     let rolling_ticks = optimizer.config().rolling_ticks.max(1);
     let mut pending_acks: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-    let mut expected: Option<(u64, usize)> = None;
+    let mut expected: Option<(u64, u64, usize)> = None;
     let mut current_tick: Vec<crate::profile::ProfileDelta> = Vec::new();
     let mut recent: std::collections::VecDeque<Vec<crate::profile::ProfileDelta>> =
         std::collections::VecDeque::new();
@@ -142,13 +161,17 @@ pub fn optimization_thread(
             ToOpt::TickAck { cpu: _, tick } => {
                 *pending_acks.entry(tick).or_insert(0) += 1;
             }
-            ToOpt::BeginTick { tick, expected: n } => {
-                expected = Some((tick, n));
+            ToOpt::BeginTick {
+                tick,
+                cycle,
+                expected: n,
+            } => {
+                expected = Some((tick, cycle, n));
             }
             ToOpt::Shutdown => return,
         }
 
-        if let Some((tick, n)) = expected {
+        if let Some((tick, cycle, n)) = expected {
             let acked = pending_acks.get(&tick).copied().unwrap_or(0);
             if acked >= n {
                 pending_acks.remove(&tick);
@@ -166,6 +189,13 @@ pub fn optimization_thread(
                 let phase_changed = phases.observe(&tick_window);
                 if phase_changed {
                     optimizer.on_phase_change();
+                    if let Some(t) = &telemetry {
+                        t.emit(TelemetryEvent::PhaseChange {
+                            tick,
+                            cycle,
+                            phases: phases.phases(),
+                        });
+                    }
                     // Old-phase history is no longer representative.
                     let newest = recent.pop_back();
                     recent.clear();
@@ -182,6 +212,7 @@ pub fn optimization_thread(
                     }
                 }
 
+                optimizer.begin_tick(tick, cycle);
                 let actions = optimizer.consider(&profile);
                 let reply = TickReply {
                     actions,
@@ -216,7 +247,10 @@ mod tests {
             cycle: idx * 100,
             counters: [idx * 10, idx, idx * 2, idx],
             events: PmcSelection::coherence_default().events,
-            btb: vec![BtbEntry { src: 50, target: 30 }],
+            btb: vec![BtbEntry {
+                src: 50,
+                target: 30,
+            }],
             dear: None,
         }
     }
@@ -225,8 +259,11 @@ mod tests {
     fn monitor_reduces_batches_and_acks_ticks() {
         let (to_mon_tx, to_mon_rx) = unbounded();
         let (to_opt_tx, to_opt_rx) = unbounded();
-        let handle = std::thread::spawn(move || monitoring_thread(2, 1000, 64, to_mon_rx, to_opt_tx));
-        to_mon_tx.send(ToMonitor::Samples(vec![sample(2, 1), sample(2, 2)])).unwrap();
+        let handle =
+            std::thread::spawn(move || monitoring_thread(2, 1000, 64, to_mon_rx, to_opt_tx, None));
+        to_mon_tx
+            .send(ToMonitor::Samples(vec![sample(2, 1), sample(2, 2)]))
+            .unwrap();
         to_mon_tx.send(ToMonitor::Tick(0)).unwrap();
 
         match to_opt_rx.recv().unwrap() {
@@ -261,19 +298,36 @@ mod tests {
         let phases = PhaseDetector::new(PhaseConfig::default());
         let (tx, rx) = unbounded();
         let (reply_tx, reply_rx) = unbounded();
-        let handle = std::thread::spawn(move || optimization_thread(optimizer, bands, phases, rx, reply_tx));
+        let handle = std::thread::spawn(move || {
+            optimization_thread(optimizer, bands, phases, rx, reply_tx, None)
+        });
 
         // Two monitors; acks can arrive before BeginTick.
-        tx.send(ToOpt::Delta(crate::profile::ProfileDelta { cpu: 0, samples: 1, ..Default::default() })).unwrap();
+        tx.send(ToOpt::Delta(crate::profile::ProfileDelta {
+            cpu: 0,
+            samples: 1,
+            ..Default::default()
+        }))
+        .unwrap();
         tx.send(ToOpt::TickAck { cpu: 0, tick: 0 }).unwrap();
         tx.send(ToOpt::TickAck { cpu: 1, tick: 0 }).unwrap();
-        tx.send(ToOpt::BeginTick { tick: 0, expected: 2 }).unwrap();
+        tx.send(ToOpt::BeginTick {
+            tick: 0,
+            cycle: 20_000,
+            expected: 2,
+        })
+        .unwrap();
         let reply = reply_rx.recv().unwrap();
         assert!(reply.actions.is_empty(), "quiet profile produces no plans");
         assert_eq!(reply.samples_merged, 1);
 
         // Second tick with only one monitor.
-        tx.send(ToOpt::BeginTick { tick: 1, expected: 1 }).unwrap();
+        tx.send(ToOpt::BeginTick {
+            tick: 1,
+            cycle: 40_000,
+            expected: 1,
+        })
+        .unwrap();
         tx.send(ToOpt::TickAck { cpu: 0, tick: 1 }).unwrap();
         let _ = reply_rx.recv().unwrap();
 

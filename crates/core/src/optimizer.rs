@@ -24,7 +24,10 @@ use cobra_isa::{encode, CodeAddr, CodeImage, NOP_SLOT_M};
 use serde::{Deserialize, Serialize};
 
 use crate::profile::SystemProfile;
-use crate::trace::{loop_lfetch_sites, loops_with_delinquent_loads, select_loops, HotLoop, TraceConfig};
+use crate::telemetry::{TelemetryEmitter, TelemetryEvent};
+use crate::trace::{
+    loop_lfetch_sites, loops_with_delinquent_loads, select_loops, HotLoop, TraceConfig,
+};
 
 /// Which rewrite a deployment applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -150,7 +153,11 @@ impl Default for OptimizerConfig {
 pub enum PlanAction {
     Apply(PatchPlan),
     /// Undo a previous deployment by restoring the overwritten words.
-    Revert { plan_id: u64, writes: Vec<(CodeAddr, u64)>, reason: String },
+    Revert {
+        plan_id: u64,
+        writes: Vec<(CodeAddr, u64)>,
+        reason: String,
+    },
 }
 
 /// A concrete binary rewrite.
@@ -199,6 +206,11 @@ pub struct Optimizer {
     deployments: Vec<Deployment>,
     next_plan_id: u64,
     ticks_seen: u64,
+    telemetry: Option<TelemetryEmitter>,
+    /// Quantum tick / machine cycle of the tick being considered (set by
+    /// [`Optimizer::begin_tick`]), used to stamp telemetry events.
+    cur_tick: u64,
+    cur_cycle: u64,
 }
 
 impl Optimizer {
@@ -213,11 +225,32 @@ impl Optimizer {
             deployments: Vec::new(),
             next_plan_id: 0,
             ticks_seen: 0,
+            telemetry: None,
+            cur_tick: 0,
+            cur_cycle: 0,
         }
     }
 
     pub fn config(&self) -> &OptimizerConfig {
         &self.cfg
+    }
+
+    /// Publish decision events (classifications, CPI trials, blacklists)
+    /// through `emitter`.
+    pub fn set_telemetry(&mut self, emitter: TelemetryEmitter) {
+        self.telemetry = Some(emitter);
+    }
+
+    /// Stamp subsequent decisions with the tick/cycle they belong to.
+    pub fn begin_tick(&mut self, tick: u64, cycle: u64) {
+        self.cur_tick = tick;
+        self.cur_cycle = cycle;
+    }
+
+    fn emit(&self, event: TelemetryEvent) {
+        if let Some(t) = &self.telemetry {
+            t.emit(event);
+        }
     }
 
     /// Evaluate the current profile; returns any plans to deploy or revert.
@@ -285,7 +318,17 @@ impl Optimizer {
             if sites.is_empty() {
                 continue;
             }
-            let Some(kind) = self.choose_kind(&lp, profile) else { continue };
+            let prefetch_effective = self.classify(&lp, profile);
+            let kind = self.choose_kind(prefetch_effective);
+            self.emit(TelemetryEvent::LoopClassified {
+                tick: self.cur_tick,
+                cycle: self.cur_cycle,
+                loop_head: lp.head,
+                back_edge: lp.back_edge,
+                prefetch_effective,
+                decision: kind,
+            });
+            let Some(kind) = kind else { continue };
             let plan = self.build_plan(&lp, &sites, kind, profile);
             self.apply_to_own_image(&plan);
             self.optimized_heads.insert(lp.head);
@@ -326,15 +369,19 @@ impl Optimizer {
         }
     }
 
-    /// Decide the rewrite for one loop — or decline (`None`) when removing
-    /// the prefetches would hurt. Prefetches are *effective* (worth keeping)
+    /// Classify one loop's prefetches. They are *effective* (worth keeping)
     /// when the code streams through L2 (high L2 miss rate — the inverse of
     /// §5.2's "L2 miss ratio is low" condition) or when the loop's DEAR
     /// captures sit in the memory band.
-    fn choose_kind(&self, lp: &HotLoop, profile: &SystemProfile) -> Option<OptKind> {
+    fn classify(&self, lp: &HotLoop, profile: &SystemProfile) -> bool {
         let mem_frac = self.loop_memory_fraction(lp, profile);
-        let prefetch_effective = profile.window.capacity_l2_per_kinst() >= self.cfg.l2_kinst_threshold
-            || mem_frac.is_some_and(|f| f > self.cfg.max_memory_fraction);
+        profile.window.capacity_l2_per_kinst() >= self.cfg.l2_kinst_threshold
+            || mem_frac.is_some_and(|f| f > self.cfg.max_memory_fraction)
+    }
+
+    /// Decide the rewrite from a loop's classification — or decline
+    /// (`None`) when removing the prefetches would hurt.
+    fn choose_kind(&self, prefetch_effective: bool) -> Option<OptKind> {
         match self.cfg.strategy {
             Strategy::NoPrefetch => {
                 if prefetch_effective {
@@ -372,9 +419,23 @@ impl Optimizer {
     fn rewrite_lfetch(&self, insn: &Insn, kind: OptKind) -> Insn {
         match (kind, insn.op) {
             (OptKind::NoPrefetch, Op::Lfetch { .. }) => NOP_SLOT_M,
-            (OptKind::ExclHint, Op::Lfetch { base, post_inc, hint, .. }) => {
-                Insn::pred(insn.qp, Op::Lfetch { base, post_inc, hint, excl: true })
-            }
+            (
+                OptKind::ExclHint,
+                Op::Lfetch {
+                    base,
+                    post_inc,
+                    hint,
+                    ..
+                },
+            ) => Insn::pred(
+                insn.qp,
+                Op::Lfetch {
+                    base,
+                    post_inc,
+                    hint,
+                    excl: true,
+                },
+            ),
             _ => *insn,
         }
     }
@@ -406,7 +467,14 @@ impl Optimizer {
                         (addr, encode(&self.rewrite_lfetch(&insn, kind)))
                     })
                     .collect();
-                PatchPlan { id, kind, loop_head: lp.head, description, writes, trace: None }
+                PatchPlan {
+                    id,
+                    kind,
+                    loop_head: lp.head,
+                    description,
+                    writes,
+                    trace: None,
+                }
             }
             DeployMode::TraceCache => {
                 // Clone the body, rewriting in-body prefetches and
@@ -423,7 +491,9 @@ impl Optimizer {
                 }
                 // Exit: fall through the cloned back edge, branch back to
                 // the instruction after the original back edge.
-                insns.push(Insn::new(Op::BrCond { target: lp.back_edge + 1 }));
+                insns.push(Insn::new(Op::BrCond {
+                    target: lp.back_edge + 1,
+                }));
                 // Entry-window sites (the hoisted burst) are outside the
                 // body; rewrite those in place. The original head becomes a
                 // redirect into the trace.
@@ -435,14 +505,22 @@ impl Optimizer {
                         (addr, encode(&self.rewrite_lfetch(&insn, kind)))
                     })
                     .collect();
-                writes.push((lp.head, encode(&Insn::new(Op::BrCond { target: expected_start }))));
+                writes.push((
+                    lp.head,
+                    encode(&Insn::new(Op::BrCond {
+                        target: expected_start,
+                    })),
+                ));
                 PatchPlan {
                     id,
                     kind,
                     loop_head: lp.head,
                     description,
                     writes,
-                    trace: Some(TracePlan { expected_start, insns }),
+                    trace: Some(TracePlan {
+                        expected_start,
+                        insns,
+                    }),
                 }
             }
         }
@@ -466,7 +544,10 @@ impl Optimizer {
             return;
         }
         let cfg = self.cfg;
-        let mut reverts: Vec<(u64, CodeAddr, Vec<(CodeAddr, u64)>, String)> = Vec::new();
+        // (plan_id, loop_head, saved words to restore, reason)
+        type Revert = (u64, CodeAddr, Vec<(CodeAddr, u64)>, String);
+        let mut reverts: Vec<Revert> = Vec::new();
+        let mut trials: Vec<TelemetryEvent> = Vec::new();
         for d in self.deployments.iter_mut().filter(|d| !d.reverted) {
             d.post_ticks += 1;
             // The deployment-time window may have had too few intra-thread
@@ -489,7 +570,18 @@ impl Optimizer {
                         d.plan_id, d.post_ticks, post_cpi, d.baseline_cpi
                     );
                 }
-                if d.baseline_cpi > 0.0 && post_cpi > d.baseline_cpi * cfg.regression_factor {
+                let regressed =
+                    d.baseline_cpi > 0.0 && post_cpi > d.baseline_cpi * cfg.regression_factor;
+                trials.push(TelemetryEvent::CpiTrial {
+                    tick: self.cur_tick,
+                    cycle: self.cur_cycle,
+                    plan_id: d.plan_id,
+                    post_ticks: d.post_ticks,
+                    baseline_cpi: d.baseline_cpi,
+                    post_cpi,
+                    regressed,
+                });
+                if regressed {
                     d.reverted = true;
                     reverts.push((
                         d.plan_id,
@@ -503,13 +595,25 @@ impl Optimizer {
                 }
             }
         }
+        for trial in trials {
+            self.emit(trial);
+        }
         for (plan_id, loop_head, writes, reason) in reverts {
             // Restore our own copy, and never touch this loop again.
             for &(addr, old) in &writes {
                 self.image.patch_word(addr, old).expect("own-image revert");
             }
             self.blacklisted_heads.insert(loop_head);
-            actions.push(PlanAction::Revert { plan_id, writes, reason });
+            self.emit(TelemetryEvent::Blacklist {
+                tick: self.cur_tick,
+                cycle: self.cur_cycle,
+                loop_head,
+            });
+            actions.push(PlanAction::Revert {
+                plan_id,
+                writes,
+                reason,
+            });
         }
     }
 
@@ -557,15 +661,17 @@ mod tests {
         dear_latency: u64,
     ) -> SystemProfile {
         let mut sp = SystemProfile::new(LatencyBands { coherent_min: 165 });
-        let mut delta = ProfileDelta::default();
-        delta.samples = 100;
-        delta.window = CounterWindow {
-            instructions: 100_000,
-            cycles: 150_000,
-            bus_memory: 1000,
-            bus_coherent: 300,
-            l2_miss: (miss_kinst * 100.0) as u64,
-            l3_miss: (miss_kinst * 100.0) as u64,
+        let mut delta = ProfileDelta {
+            samples: 100,
+            window: CounterWindow {
+                instructions: 100_000,
+                cycles: 150_000,
+                bus_memory: 1000,
+                bus_coherent: 300,
+                l2_miss: (miss_kinst * 100.0) as u64,
+                l3_miss: (miss_kinst * 100.0) as u64,
+            },
+            ..ProfileDelta::default()
         };
         for _ in 0..20 {
             delta.dear_events.push((load_pc, 0x1000, dear_latency));
@@ -575,7 +681,12 @@ mod tests {
         sp
     }
 
-    fn hot_profile(load_pc: CodeAddr, head: CodeAddr, back: CodeAddr, l3_kinst: f64) -> SystemProfile {
+    fn hot_profile(
+        load_pc: CodeAddr,
+        head: CodeAddr,
+        back: CodeAddr,
+        l3_kinst: f64,
+    ) -> SystemProfile {
         hot_profile_lat(load_pc, head, back, l3_kinst, 200)
     }
 
@@ -583,7 +694,11 @@ mod tests {
     fn adaptive_picks_noprefetch_when_working_set_fits() {
         let (image, head, back, load_pc) = loop_image();
         let mut opt = Optimizer::new(
-            OptimizerConfig { deploy: DeployMode::InPlace, warmup_ticks: 0, ..Default::default() },
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
             image.clone(),
         );
         let profile = hot_profile(load_pc, head, back, 1.0);
@@ -596,7 +711,12 @@ mod tests {
                 // 2 burst + 1 in-loop site.
                 assert_eq!(plan.writes.len(), 3);
                 for &(_, word) in &plan.writes {
-                    assert_eq!(cobra_isa::decode(word).unwrap().op, Op::Nop { unit: cobra_isa::Unit::M });
+                    assert_eq!(
+                        cobra_isa::decode(word).unwrap().op,
+                        Op::Nop {
+                            unit: cobra_isa::Unit::M
+                        }
+                    );
                 }
             }
             other => panic!("unexpected {other:?}"),
@@ -613,7 +733,11 @@ mod tests {
         // takes ownership instead.
         let (image, head, back, load_pc) = loop_image();
         let mut opt = Optimizer::new(
-            OptimizerConfig { deploy: DeployMode::InPlace, warmup_ticks: 0, ..Default::default() },
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
             image,
         );
         let profile = hot_profile_lat(load_pc, head, back, 20.0, 140);
@@ -639,7 +763,11 @@ mod tests {
     fn trace_cache_plan_redirects_head_and_retargets_back_edge() {
         let (image, head, back, load_pc) = loop_image();
         let mut opt = Optimizer::new(
-            OptimizerConfig { deploy: DeployMode::TraceCache, warmup_ticks: 0, ..Default::default() },
+            OptimizerConfig {
+                deploy: DeployMode::TraceCache,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
             image.clone(),
         );
         let profile = hot_profile(load_pc, head, back, 1.0);
@@ -661,8 +789,7 @@ mod tests {
         // Head redirect present; burst rewritten in place.
         assert!(plan.writes.iter().any(|&(a, w)| a == head
             && cobra_isa::decode(w).unwrap().op.branch_target() == Some(trace.expected_start)));
-        let burst_writes =
-            plan.writes.iter().filter(|&&(a, _)| a < head).count();
+        let burst_writes = plan.writes.iter().filter(|&&(a, _)| a < head).count();
         assert_eq!(burst_writes, 2);
     }
 
@@ -670,7 +797,11 @@ mod tests {
     fn gates_block_quiet_profiles() {
         let (image, head, back, load_pc) = loop_image();
         let mut opt = Optimizer::new(
-            OptimizerConfig { deploy: DeployMode::InPlace, warmup_ticks: 0, ..Default::default() },
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
             image,
         );
         // Too few samples.
@@ -717,17 +848,20 @@ mod tests {
         // post-deployment ticks have been observed.
         let mut actions = opt.consider(&worse);
         for _ in 0..4 {
-            if actions.iter().any(|a| matches!(a, PlanAction::Revert { .. })) {
+            if actions
+                .iter()
+                .any(|a| matches!(a, PlanAction::Revert { .. }))
+            {
                 break;
             }
             actions = opt.consider(&worse);
         }
-        let (id, writes) = match actions
-            .iter()
-            .find_map(|a| match a {
-                PlanAction::Revert { plan_id, writes, .. } => Some((*plan_id, writes.clone())),
-                _ => None,
-            }) {
+        let (id, writes) = match actions.iter().find_map(|a| match a {
+            PlanAction::Revert {
+                plan_id, writes, ..
+            } => Some((*plan_id, writes.clone())),
+            _ => None,
+        }) {
             Some(x) => x,
             None => panic!("expected a revert, got {actions:?}"),
         };

@@ -31,7 +31,12 @@ impl Default for PhaseConfig {
         // Multi-pass programs alternate between loops with very different
         // miss rates within one "phase"; the factor and warm-up are sized so
         // only sustained working-set changes fire.
-        PhaseConfig { change_factor: 4.0, alpha: 0.3, warmup_windows: 6, min_instructions: 20_000 }
+        PhaseConfig {
+            change_factor: 4.0,
+            alpha: 0.3,
+            warmup_windows: 6,
+            min_instructions: 20_000,
+        }
     }
 }
 
@@ -47,7 +52,13 @@ pub struct PhaseDetector {
 
 impl PhaseDetector {
     pub fn new(cfg: PhaseConfig) -> Self {
-        PhaseDetector { cfg, smoothed_l2_kinst: 0.0, smoothed_l3_kinst: 0.0, windows_seen: 0, phases: 1 }
+        PhaseDetector {
+            cfg,
+            smoothed_l2_kinst: 0.0,
+            smoothed_l3_kinst: 0.0,
+            windows_seen: 0,
+            phases: 1,
+        }
     }
 
     /// Feed one merged window; returns true when a phase change is detected
@@ -161,7 +172,10 @@ mod tests {
         assert!(!d.observe(&window(10, 5)));
         assert!(!d.observe(&window(4000, 2000)));
         // Windows below the instruction floor are skipped entirely.
-        let tiny = CounterWindow { instructions: 10, ..window(9999, 9999) };
+        let tiny = CounterWindow {
+            instructions: 10,
+            ..window(9999, 9999)
+        };
         for _ in 0..20 {
             assert!(!d.observe(&tiny));
         }

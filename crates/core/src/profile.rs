@@ -31,7 +31,9 @@ impl LatencyBands {
     /// Derive the bands from machine latencies: anything clearly above the
     /// plain memory latency is coherent.
     pub fn from_machine(cfg: &cobra_machine::MachineConfig) -> Self {
-        LatencyBands { coherent_min: cfg.mem_latency + (cfg.hitm_latency - cfg.mem_latency) / 2 }
+        LatencyBands {
+            coherent_min: cfg.mem_latency + (cfg.hitm_latency - cfg.mem_latency) / 2,
+        }
     }
 }
 
@@ -181,7 +183,10 @@ impl ThreadProfiler {
     /// Reduce a batch of samples into a delta. The four PMCs are expected in
     /// the [`cobra_perfmon::PmcSelection::coherence_default`] order.
     pub fn reduce(&mut self, samples: &[SampleRecord]) -> ProfileDelta {
-        let mut delta = ProfileDelta { cpu: self.cpu, ..ProfileDelta::default() };
+        let mut delta = ProfileDelta {
+            cpu: self.cpu,
+            ..ProfileDelta::default()
+        };
         for s in samples {
             debug_assert_eq!(s.cpu, self.cpu);
             delta.samples += 1;
@@ -243,7 +248,10 @@ pub struct SystemProfile {
 
 impl SystemProfile {
     pub fn new(bands: LatencyBands) -> Self {
-        SystemProfile { bands: Some(bands), ..SystemProfile::default() }
+        SystemProfile {
+            bands: Some(bands),
+            ..SystemProfile::default()
+        }
     }
 
     /// Merge one thread's delta.
@@ -275,7 +283,11 @@ impl SystemProfile {
     }
 
     /// Delinquent loads with a dominant coherent fraction, hottest first.
-    pub fn coherent_delinquent(&self, min_samples: u64, min_fraction: f64) -> Vec<(CodeAddr, DelinquentStats)> {
+    pub fn coherent_delinquent(
+        &self,
+        min_samples: u64,
+        min_fraction: f64,
+    ) -> Vec<(CodeAddr, DelinquentStats)> {
         let mut v: Vec<_> = self
             .delinquent
             .iter()
@@ -293,7 +305,12 @@ mod tests {
     use cobra_machine::{BtbEntry, DearRecord};
     use cobra_perfmon::PmcSelection;
 
-    fn sample(cpu: u32, counters: [u64; 4], dear: Option<DearRecord>, btb: Vec<BtbEntry>) -> SampleRecord {
+    fn sample(
+        cpu: u32,
+        counters: [u64; 4],
+        dear: Option<DearRecord>,
+        btb: Vec<BtbEntry>,
+    ) -> SampleRecord {
         SampleRecord {
             index: 0,
             pc: 100,
@@ -333,12 +350,27 @@ mod tests {
     #[test]
     fn reducer_dedupes_stale_dear_latches() {
         let mut tp = ThreadProfiler::new(0, 1000);
-        let dear = DearRecord { pc: 7, addr: 0x1000, latency: 190, cycle: 50 };
+        let dear = DearRecord {
+            pc: 7,
+            addr: 0x1000,
+            latency: 190,
+            cycle: 50,
+        };
         let d = tp.reduce(&[
             sample(0, [1, 0, 0, 0], Some(dear), vec![]),
             // Same latch content re-observed (no new event since).
             sample(0, [2, 0, 0, 0], Some(dear), vec![]),
-            sample(0, [3, 0, 0, 0], Some(DearRecord { pc: 9, addr: 0x2000, latency: 140, cycle: 80 }), vec![]),
+            sample(
+                0,
+                [3, 0, 0, 0],
+                Some(DearRecord {
+                    pc: 9,
+                    addr: 0x2000,
+                    latency: 140,
+                    cycle: 80,
+                }),
+                vec![],
+            ),
         ]);
         assert_eq!(d.dear_events.len(), 2);
         assert_eq!(d.dear_events[0].0, 7);
@@ -350,8 +382,20 @@ mod tests {
         let mut sp = SystemProfile::new(LatencyBands { coherent_min: 165 });
         let delta = ProfileDelta {
             cpu: 0,
-            window: CounterWindow { instructions: 10_000, cycles: 20_000, bus_memory: 100, bus_coherent: 40, l2_miss: 10, l3_miss: 8 },
-            dear_events: vec![(7, 0x1000, 190), (7, 0x1040, 200), (7, 0x1080, 140), (9, 0x2000, 150)],
+            window: CounterWindow {
+                instructions: 10_000,
+                cycles: 20_000,
+                bus_memory: 100,
+                bus_coherent: 40,
+                l2_miss: 10,
+                l3_miss: 8,
+            },
+            dear_events: vec![
+                (7, 0x1000, 190),
+                (7, 0x1040, 200),
+                (7, 0x1080, 140),
+                (9, 0x2000, 150),
+            ],
             branch_pairs: vec![(20, 10), (20, 10), (5, 30)],
             samples: 4,
         };
@@ -387,7 +431,14 @@ mod tests {
         for cpu in 0..4u32 {
             sp.absorb(&ProfileDelta {
                 cpu,
-                window: CounterWindow { instructions: 1000, cycles: 1500, bus_memory: 10, bus_coherent: 5, l2_miss: 1, l3_miss: 1 },
+                window: CounterWindow {
+                    instructions: 1000,
+                    cycles: 1500,
+                    bus_memory: 10,
+                    bus_coherent: 5,
+                    l2_miss: 1,
+                    l3_miss: 1,
+                },
                 dear_events: vec![],
                 branch_pairs: vec![],
                 samples: 1,

@@ -50,6 +50,10 @@ pub struct CobraReport {
     pub reverted: Vec<RevertedPlan>,
     /// Cycles charged to the machine for helper-thread overhead.
     pub overhead_cycles: u64,
+    /// Telemetry records drained into the sink (0 when telemetry is off).
+    pub telemetry_records: u64,
+    /// Telemetry records dropped because the ring was full.
+    pub telemetry_dropped: u64,
 }
 
 impl CobraReport {
@@ -105,7 +109,11 @@ mod tests {
             words_patched: 2,
             trace_entry: Some(300),
         });
-        r.reverted.push(RevertedPlan { plan_id: 1, reason: "regressed".into(), tick: 5 });
+        r.reverted.push(RevertedPlan {
+            plan_id: 1,
+            reason: "regressed".into(),
+            tick: 5,
+        });
         assert_eq!(r.active_deployments(), 1);
         assert_eq!(r.applied_of_kind(OptKind::NoPrefetch), 1);
         assert_eq!(r.applied_of_kind(OptKind::ExclHint), 1);

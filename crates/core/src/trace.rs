@@ -61,14 +61,19 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { min_count: 8, max_body_slots: 256, entry_window_slots: 24 }
+        TraceConfig {
+            min_count: 8,
+            max_body_slots: 256,
+            entry_window_slots: 24,
+        }
     }
 }
 
 /// Rank hot loops from the profile's branch pairs, hottest first.
 /// Nested duplicates (same head) keep the widest observed body.
 pub fn select_loops(profile: &SystemProfile, config: &TraceConfig) -> Vec<HotLoop> {
-    let mut by_head: std::collections::HashMap<CodeAddr, HotLoop> = std::collections::HashMap::new();
+    let mut by_head: std::collections::HashMap<CodeAddr, HotLoop> =
+        std::collections::HashMap::new();
     for (&(src, target), &count) in &profile.branch_pairs {
         if count < config.min_count {
             continue;
@@ -79,7 +84,11 @@ pub fn select_loops(profile: &SystemProfile, config: &TraceConfig) -> Vec<HotLoo
         if src - target + 1 > config.max_body_slots {
             continue;
         }
-        let entry = by_head.entry(target).or_insert(HotLoop { head: target, back_edge: src, count: 0 });
+        let entry = by_head.entry(target).or_insert(HotLoop {
+            head: target,
+            back_edge: src,
+            count: 0,
+        });
         entry.count += count;
         entry.back_edge = entry.back_edge.max(src);
     }
@@ -89,10 +98,7 @@ pub fn select_loops(profile: &SystemProfile, config: &TraceConfig) -> Vec<HotLoo
 }
 
 /// Loops (from `loops`) that contain at least one of the delinquent PCs.
-pub fn loops_with_delinquent_loads(
-    loops: &[HotLoop],
-    delinquent_pcs: &[CodeAddr],
-) -> Vec<HotLoop> {
+pub fn loops_with_delinquent_loads(loops: &[HotLoop], delinquent_pcs: &[CodeAddr]) -> Vec<HotLoop> {
     loops
         .iter()
         .filter(|l| delinquent_pcs.iter().any(|&pc| l.contains(pc)))
@@ -136,10 +142,23 @@ mod tests {
     #[test]
     fn backward_branches_become_loops_ranked_by_count() {
         let sp = profile_with_pairs(&[((50, 30), 100), ((200, 180), 40), ((10, 90), 500)]);
-        let loops = select_loops(&sp, &TraceConfig { min_count: 8, ..Default::default() });
+        let loops = select_loops(
+            &sp,
+            &TraceConfig {
+                min_count: 8,
+                ..Default::default()
+            },
+        );
         // (10, 90) is a forward branch -> excluded despite its count.
         assert_eq!(loops.len(), 2);
-        assert_eq!(loops[0], HotLoop { head: 30, back_edge: 50, count: 100 });
+        assert_eq!(
+            loops[0],
+            HotLoop {
+                head: 30,
+                back_edge: 50,
+                count: 100
+            }
+        );
         assert_eq!(loops[1].head, 180);
         assert!(loops[0].contains(40));
         assert!(!loops[0].contains(51));
@@ -149,7 +168,11 @@ mod tests {
     #[test]
     fn cold_and_oversized_back_edges_filtered() {
         let sp = profile_with_pairs(&[((50, 30), 3), ((5000, 100), 100)]);
-        let cfg = TraceConfig { min_count: 8, max_body_slots: 256, entry_window_slots: 24 };
+        let cfg = TraceConfig {
+            min_count: 8,
+            max_body_slots: 256,
+            entry_window_slots: 24,
+        };
         assert!(select_loops(&sp, &cfg).is_empty());
     }
 
@@ -166,8 +189,16 @@ mod tests {
     #[test]
     fn delinquent_filter_selects_owning_loops() {
         let loops = vec![
-            HotLoop { head: 30, back_edge: 50, count: 10 },
-            HotLoop { head: 100, back_edge: 140, count: 9 },
+            HotLoop {
+                head: 30,
+                back_edge: 50,
+                count: 10,
+            },
+            HotLoop {
+                head: 100,
+                back_edge: 140,
+                count: 9,
+            },
         ];
         let hits = loops_with_delinquent_loads(&loops, &[120]);
         assert_eq!(hits.len(), 1);
@@ -186,17 +217,26 @@ mod tests {
         a.ldfd(16, 32, 2, 8);
         a.lfetch_nt1(16, 27, 8);
         a.nop(cobra_isa::Unit::I);
-        let back = a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::BrCtop { target: head }));
+        let back = a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::BrCtop {
+            target: head,
+        }));
         a.hlt();
         let image = a.finish();
-        let lp = HotLoop { head, back_edge: back, count: 100 };
+        let lp = HotLoop {
+            head,
+            back_edge: back,
+            count: 100,
+        };
         let sites = loop_lfetch_sites(&image, &lp, &TraceConfig::default());
         assert_eq!(sites.len(), 3, "2 burst + 1 in-loop");
         // Restricting the entry window excludes the burst.
         let sites = loop_lfetch_sites(
             &image,
             &lp,
-            &TraceConfig { entry_window_slots: 0, ..Default::default() },
+            &TraceConfig {
+                entry_window_slots: 0,
+                ..Default::default()
+            },
         );
         assert_eq!(sites.len(), 1);
     }

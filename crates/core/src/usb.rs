@@ -19,7 +19,12 @@ pub struct UserSamplingBuffer {
 impl UserSamplingBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        UserSamplingBuffer { records: Vec::new(), capacity, total_stored: 0, dropped: 0 }
+        UserSamplingBuffer {
+            records: Vec::new(),
+            capacity,
+            total_stored: 0,
+            dropped: 0,
+        }
     }
 
     /// Store a record copied out of the kernel buffer.

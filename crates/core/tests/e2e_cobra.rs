@@ -6,7 +6,7 @@ use cobra_kernels::workload::{execute, execute_plain, Workload};
 use cobra_kernels::{npb, Daxpy, DaxpyParams, PrefetchPolicy};
 use cobra_machine::MachineConfig;
 use cobra_omp::{OmpRuntime, Team};
-use cobra_rt::{Cobra, CobraConfig, DeployMode, OptKind, Strategy};
+use cobra_rt::{Cobra, CobraConfig, DeployMode, OptKind, Strategy, TelemetrySink};
 
 fn cobra_config(strategy: Strategy, deploy: DeployMode) -> CobraConfig {
     let mut cfg = CobraConfig::default();
@@ -24,10 +24,13 @@ fn run_with_cobra(
     team: Team,
     cobra_cfg: CobraConfig,
 ) -> (u64, cobra_rt::CobraReport) {
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     let mut machine = cobra_machine::Machine::new(machine_cfg.clone(), wl.image().clone());
     wl.init(&mut machine.shared.mem);
-    let mut cobra = Cobra::attach(cobra_cfg, &mut machine);
+    let mut cobra = Cobra::builder().config(cobra_cfg).attach(&mut machine);
     let run = wl.run(&mut machine, team, &rt, &mut cobra);
     let report = cobra.detach(&mut machine);
     if let Err(e) = wl.verify(&machine.shared.mem) {
@@ -48,10 +51,18 @@ fn cobra_speeds_up_daxpy_small_working_set() {
     let (_m, base_run) = execute_plain(&baseline, &cfg, team);
 
     let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
-    let (cobra_cycles, report) =
-        run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::Adaptive, DeployMode::TraceCache));
+    let (cobra_cycles, report) = run_with_cobra(
+        &wl,
+        &cfg,
+        team,
+        cobra_config(Strategy::Adaptive, DeployMode::TraceCache),
+    );
 
-    assert!(!report.applied.is_empty(), "COBRA must deploy: {}", report.summary());
+    assert!(
+        !report.applied.is_empty(),
+        "COBRA must deploy: {}",
+        report.summary()
+    );
     assert!(
         report.applied.iter().any(|p| p.kind == OptKind::NoPrefetch),
         "small working set should choose noprefetch: {}",
@@ -79,8 +90,12 @@ fn cobra_leaves_large_working_set_daxpy_mostly_alone() {
     let (_m, base_run) = execute_plain(&baseline, &cfg, team);
 
     let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
-    let (cobra_cycles, report) =
-        run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::Adaptive, DeployMode::TraceCache));
+    let (cobra_cycles, report) = run_with_cobra(
+        &wl,
+        &cfg,
+        team,
+        cobra_config(Strategy::Adaptive, DeployMode::TraceCache),
+    );
 
     assert!(
         (cobra_cycles as f64) < (base_run.cycles as f64) * 1.10,
@@ -100,7 +115,11 @@ fn cobra_in_place_and_trace_cache_both_work_on_daxpy() {
         let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
         let (_cycles, report) =
             run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::NoPrefetch, deploy));
-        assert!(!report.applied.is_empty(), "{deploy:?}: {}", report.summary());
+        assert!(
+            !report.applied.is_empty(),
+            "{deploy:?}: {}",
+            report.summary()
+        );
         if deploy == DeployMode::TraceCache {
             assert!(
                 report.applied.iter().any(|p| p.trace_entry.is_some()),
@@ -115,14 +134,30 @@ fn cobra_improves_npb_bt_on_smp() {
     let cfg = MachineConfig::smp4();
     let team = Team::new(4);
 
-    let baseline = npb::build(npb::Benchmark::Bt, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let baseline = npb::build(
+        npb::Benchmark::Bt,
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
     let (_m, base_run) = execute_plain(&*baseline, &cfg, team);
 
-    let wl = npb::build(npb::Benchmark::Bt, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
-    let (cobra_cycles, report) =
-        run_with_cobra(&*wl, &cfg, team, cobra_config(Strategy::NoPrefetch, DeployMode::TraceCache));
+    let wl = npb::build(
+        npb::Benchmark::Bt,
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
+    let (cobra_cycles, report) = run_with_cobra(
+        &*wl,
+        &cfg,
+        team,
+        cobra_config(Strategy::NoPrefetch, DeployMode::TraceCache),
+    );
 
-    assert!(!report.applied.is_empty(), "COBRA found nothing in BT: {}", report.summary());
+    assert!(
+        !report.applied.is_empty(),
+        "COBRA found nothing in BT: {}",
+        report.summary()
+    );
     // Net of monitoring overhead, COBRA should not lose and usually wins.
     assert!(
         (cobra_cycles as f64) < (base_run.cycles as f64) * 1.02,
@@ -137,10 +172,21 @@ fn cobra_improves_npb_bt_on_smp() {
 fn cobra_runs_monitoring_threads_per_working_thread() {
     let cfg = MachineConfig::smp4();
     let team = Team::new(3);
-    let wl = Daxpy::build(DaxpyParams::new(64 * 1024, 6), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
-    let (_cycles, report) =
-        run_with_cobra(&wl, &cfg, team, cobra_config(Strategy::Adaptive, DeployMode::TraceCache));
-    assert_eq!(report.monitors_spawned, 3, "one monitoring thread per working thread");
+    let wl = Daxpy::build(
+        DaxpyParams::new(64 * 1024, 6),
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
+    let (_cycles, report) = run_with_cobra(
+        &wl,
+        &cfg,
+        team,
+        cobra_config(Strategy::Adaptive, DeployMode::TraceCache),
+    );
+    assert_eq!(
+        report.monitors_spawned, 3,
+        "one monitoring thread per working thread"
+    );
     assert_eq!(report.forks, 6, "one fork per outer repetition");
     assert!(report.samples_forwarded > 0);
     assert!(report.samples_merged > 0);
@@ -150,9 +196,13 @@ fn cobra_runs_monitoring_threads_per_working_thread() {
 fn execute_helper_works_with_cobra_hook() {
     // The workload::execute path with a Cobra hook and verification inside.
     let cfg = MachineConfig::smp4();
-    let wl = Daxpy::build(DaxpyParams::new(64 * 1024, 4), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let wl = Daxpy::build(
+        DaxpyParams::new(64 * 1024, 4),
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
     let mut machine = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
-    let mut cobra = Cobra::attach(CobraConfig::default(), &mut machine);
+    let mut cobra = Cobra::builder().attach(&mut machine);
     // (Use the library execute() on a fresh machine to keep the comparison
     // honest: here we only check the plumbing doesn't panic.)
     drop(machine);
@@ -163,6 +213,92 @@ fn execute_helper_works_with_cobra_hook() {
     let _ = cobra.detach(&mut machine);
 }
 
+/// The deprecated `Cobra::attach` shim and the builder must produce
+/// byte-identical runs: same cycles, same report (serialized comparison —
+/// `CobraReport` has no `PartialEq`).
+#[test]
+fn builder_attach_matches_legacy_attach() {
+    #[allow(deprecated)]
+    fn legacy(m: &mut cobra_machine::Machine) -> Cobra {
+        Cobra::attach(CobraConfig::default(), m)
+    }
+    let cfg = MachineConfig::smp4();
+    let run = |use_legacy: bool| {
+        let wl = Daxpy::build(
+            DaxpyParams::new(128 * 1024, 24),
+            &PrefetchPolicy::aggressive(),
+            cfg.mem_bytes,
+        );
+        let mut m = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
+        wl.init(&mut m.shared.mem);
+        let mut cobra = if use_legacy {
+            legacy(&mut m)
+        } else {
+            Cobra::builder().attach(&mut m)
+        };
+        let rt = OmpRuntime {
+            quantum: 20_000,
+            ..OmpRuntime::default()
+        };
+        let r = wl.run(&mut m, Team::new(4), &rt, &mut cobra);
+        let report = cobra.detach(&mut m);
+        (r.cycles, serde_json::to_string(&report).unwrap())
+    };
+    let (legacy_cycles, legacy_report) = run(true);
+    let (builder_cycles, builder_report) = run(false);
+    assert_eq!(legacy_cycles, builder_cycles, "same simulated cycles");
+    assert_eq!(
+        legacy_report, builder_report,
+        "same report, field for field"
+    );
+}
+
+/// Telemetry is charged to the simulated machine via `overhead_per_sample`,
+/// but its cost must stay negligible: a telemetry-enabled DAXPY run stays
+/// within 5% of the telemetry-disabled run.
+#[test]
+fn telemetry_overhead_within_five_percent_on_daxpy() {
+    let cfg = MachineConfig::smp4();
+    let run = |sink: Option<TelemetrySink>| {
+        let wl = Daxpy::build(
+            DaxpyParams::new(128 * 1024, 24),
+            &PrefetchPolicy::aggressive(),
+            cfg.mem_bytes,
+        );
+        let mut m = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
+        wl.init(&mut m.shared.mem);
+        let mut builder = Cobra::builder();
+        if let Some(s) = sink {
+            builder = builder.telemetry(s);
+        }
+        let mut cobra = builder.attach(&mut m);
+        let rt = OmpRuntime {
+            quantum: 20_000,
+            ..OmpRuntime::default()
+        };
+        let r = wl.run(&mut m, Team::new(4), &rt, &mut cobra);
+        (r.cycles, cobra.detach(&mut m))
+    };
+    let (plain_cycles, plain_report) = run(None);
+    assert_eq!(plain_report.telemetry_records, 0, "no sink, no records");
+
+    let (sink, log) = TelemetrySink::memory();
+    let (telem_cycles, telem_report) = run(Some(sink));
+    assert!(
+        telem_report.telemetry_records > 0,
+        "sink must capture the pipeline"
+    );
+    assert_eq!(
+        telem_report.telemetry_records as usize,
+        log.lock().unwrap().len()
+    );
+    let ratio = telem_cycles as f64 / plain_cycles as f64;
+    assert!(
+        ratio <= 1.05,
+        "telemetry must stay within 5% of disabled: {plain_cycles} vs {telem_cycles} ({ratio:.4}x)"
+    );
+}
+
 #[test]
 fn continuous_re_adaptation_reverts_on_working_set_change() {
     // The scenario COBRA is named for: a 128 KB-slice phase (noprefetch
@@ -170,16 +306,27 @@ fn continuous_re_adaptation_reverts_on_working_set_change() {
     // must deploy during phase 1 and revert after the working set changes.
     use cobra_omp::QuantumHook;
     let cfg = MachineConfig::smp4();
-    let wl = Daxpy::build(DaxpyParams::new(2 * 1024 * 1024, 1), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let wl = Daxpy::build(
+        DaxpyParams::new(2 * 1024 * 1024, 1),
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
     let mut m = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
     wl.init(&mut m.shared.mem);
-    let mut ccfg = CobraConfig::default();
-    ccfg.optimizer.strategy = Strategy::NoPrefetch;
-    let mut cobra = Cobra::attach(ccfg, &mut m);
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let mut cobra = Cobra::builder()
+        .strategy(Strategy::NoPrefetch)
+        .attach(&mut m);
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     let team = Team::new(4);
     let entry = m.shared.code.image().symbol("daxpy_body").unwrap();
-    let args = [wl.x_addr() as i64, wl.y_addr() as i64, wl.params().a.to_bits() as i64];
+    let args = [
+        wl.x_addr() as i64,
+        wl.y_addr() as i64,
+        wl.params().a.to_bits() as i64,
+    ];
     let hook: &mut dyn QuantumHook = &mut cobra;
     for _ in 0..60 {
         rt.parallel_for(&mut m, team, entry, 0, 8 * 1024, &args, hook);
@@ -198,5 +345,9 @@ fn continuous_re_adaptation_reverts_on_working_set_change() {
         "the working-set change must trigger a revert: {}",
         report.summary()
     );
-    assert!(report.phase_changes >= 1, "phase detector must fire: {}", report.summary());
+    assert!(
+        report.phase_changes >= 1,
+        "phase detector must fire: {}",
+        report.summary()
+    );
 }

@@ -5,7 +5,10 @@ use cobra_machine::{Event, MachineConfig};
 use cobra_omp::Team;
 
 fn main() {
-    for (mname, cfg, threads) in [("smp4", MachineConfig::smp4(), 4), ("altix8", MachineConfig::altix8(), 8)] {
+    for (mname, cfg, threads) in [
+        ("smp4", MachineConfig::smp4(), 4),
+        ("altix8", MachineConfig::altix8(), 8),
+    ] {
         println!("== {mname} ({threads} threads) ==");
         for &b in &npb::Benchmark::COHERENT {
             let mut base = 0u64;
@@ -17,12 +20,18 @@ fn main() {
                 let wl = npb::build(b, &policy, cfg.mem_bytes);
                 let (m, run) = execute_plain(&*wl, &cfg, Team::new(threads));
                 let t = m.total_stats();
-                if pname == "prefetch" { base = run.cycles; }
+                if pname == "prefetch" {
+                    base = run.cycles;
+                }
                 println!(
                     "{:4} {:10} cycles={:9} speedup={:+6.1}% l3={:8} hitm={:7} upg={:7}",
-                    b.name(), pname, run.cycles,
+                    b.name(),
+                    pname,
+                    run.cycles,
                     100.0 * (base as f64 / run.cycles as f64 - 1.0),
-                    t.get(Event::L3Miss), t.get(Event::BusRdHitm), t.get(Event::BusUpgrade)
+                    t.get(Event::L3Miss),
+                    t.get(Event::BusRdHitm),
+                    t.get(Event::BusUpgrade)
                 );
             }
         }

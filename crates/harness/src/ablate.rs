@@ -39,7 +39,10 @@ pub fn distance(workers: usize) -> Table {
     let distances = vec![300i64, 600, 1200, 2400, 4800];
     let rows = parallel_map(distances, workers, |&d| {
         let cfg = MachineConfig::smp4();
-        let policy = PrefetchPolicy { distance_bytes: d, ..PrefetchPolicy::aggressive() };
+        let policy = PrefetchPolicy {
+            distance_bytes: d,
+            ..PrefetchPolicy::aggressive()
+        };
         let with = daxpy_cycles(&policy, &cfg);
         let without = daxpy_cycles(&PrefetchPolicy::none(), &cfg);
         (d, with, without)
@@ -63,7 +66,10 @@ pub fn burst(workers: usize) -> Table {
     let bursts = vec![0u32, 2, 6, 12, 24];
     let rows = parallel_map(bursts, workers, |&b| {
         let cfg = MachineConfig::smp4();
-        let policy = PrefetchPolicy { burst_lines: b, ..PrefetchPolicy::aggressive() };
+        let policy = PrefetchPolicy {
+            burst_lines: b,
+            ..PrefetchPolicy::aggressive()
+        };
         (b, daxpy_cycles(&policy, &cfg))
     });
     let mut t = Table::new(
@@ -112,8 +118,11 @@ fn cobra_daxpy(cfg_mut: impl Fn(&mut CobraConfig)) -> (u64, usize, u64) {
     let mut ccfg = CobraConfig::default();
     ccfg.optimizer.strategy = Strategy::NoPrefetch;
     cfg_mut(&mut ccfg);
-    let mut cobra = Cobra::attach(ccfg, &mut m);
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let mut cobra = Cobra::builder().config(ccfg).attach(&mut m);
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     let run = wl.run(&mut m, Team::new(4), &rt, &mut cobra);
     let report = cobra.detach(&mut m);
     wl.verify(&m.shared.mem).expect("verified");
@@ -134,7 +143,12 @@ pub fn sampling(workers: usize) -> Table {
         &["period_insts", "cycles", "deployments", "overhead_cycles"],
     );
     for (p, cycles, applied, overhead) in rows {
-        t.row(vec![p.to_string(), cycles.to_string(), applied.to_string(), overhead.to_string()]);
+        t.row(vec![
+            p.to_string(),
+            cycles.to_string(),
+            applied.to_string(),
+            overhead.to_string(),
+        ]);
     }
     t
 }
@@ -153,7 +167,11 @@ pub fn deploy(workers: usize) -> Table {
         &["mode", "cycles", "deployments"],
     );
     for (mode, cycles, applied) in rows {
-        t.row(vec![format!("{mode:?}"), cycles.to_string(), applied.to_string()]);
+        t.row(vec![
+            format!("{mode:?}"),
+            cycles.to_string(),
+            applied.to_string(),
+        ]);
     }
     t
 }
@@ -161,8 +179,18 @@ pub fn deploy(workers: usize) -> Table {
 /// Run all ablation sweeps.
 pub fn run_all(workers: usize, markdown: bool) -> String {
     let mut out = String::new();
-    for t in [distance(workers), burst(workers), bus(workers), sampling(workers), deploy(workers)] {
-        out.push_str(&if markdown { t.to_markdown() } else { t.to_text() });
+    for t in [
+        distance(workers),
+        burst(workers),
+        bus(workers),
+        sampling(workers),
+        deploy(workers),
+    ] {
+        out.push_str(&if markdown {
+            t.to_markdown()
+        } else {
+            t.to_text()
+        });
         out.push('\n');
     }
     out
@@ -178,7 +206,10 @@ mod tests {
         assert_eq!(t.rows.len(), 2);
         let cycles: Vec<u64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         let diff = (cycles[0] as f64 - cycles[1] as f64).abs() / cycles[0] as f64;
-        assert!(diff < 0.02, "in-place and trace-cache deployment within 2%: {cycles:?}");
+        assert!(
+            diff < 0.02,
+            "in-place and trace-cache deployment within 2%: {cycles:?}"
+        );
         // Both actually deployed something.
         for r in &t.rows {
             assert!(r[2].parse::<u64>().unwrap() > 0);

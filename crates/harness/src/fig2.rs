@@ -11,7 +11,11 @@ use cobra_machine::MachineConfig;
 /// Render the Figure 2 reproduction.
 pub fn run() -> String {
     let cfg = MachineConfig::smp4();
-    let daxpy = Daxpy::build(DaxpyParams::new(128 * 1024, 1), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let daxpy = Daxpy::build(
+        DaxpyParams::new(128 * 1024, 1),
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
     let image = daxpy.image();
     let mut out = String::new();
     out.push_str("Figure 2 reproduction: minicc-generated code for the OpenMP DAXPY kernel\n");

@@ -84,7 +84,11 @@ pub fn measure(reps: usize, workers: usize) -> Fig3Data {
     let mut configs = Vec::new();
     for &ws in &WORKING_SETS {
         for &threads in &THREADS {
-            for variant in [Variant::Prefetch, Variant::NoPrefetch, Variant::PrefetchExcl] {
+            for variant in [
+                Variant::Prefetch,
+                Variant::NoPrefetch,
+                Variant::PrefetchExcl,
+            ] {
                 configs.push((ws, threads, variant));
             }
         }
@@ -218,12 +222,20 @@ pub fn render(data: &Fig3Data, markdown: bool) -> String {
     let mut out = String::new();
     for other in [Variant::NoPrefetch, Variant::PrefetchExcl] {
         let t = data.subfigure(other);
-        out.push_str(&if markdown { t.to_markdown() } else { t.to_text() });
+        out.push_str(&if markdown {
+            t.to_markdown()
+        } else {
+            t.to_text()
+        });
         out.push('\n');
     }
     out.push_str(&format!("shape checks (reps = {}):\n", data.reps));
     for (desc, ok) in data.shape_checks() {
-        out.push_str(&format!("  [{}] {}\n", if ok { "ok" } else { "MISS" }, desc));
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            if ok { "ok" } else { "MISS" },
+            desc
+        ));
     }
     out
 }

@@ -5,14 +5,42 @@
 //! cobra-repro fig3  [--reps N]         # Figure 3(a)+(b): DAXPY strategies
 //! cobra-repro table1                   # Table 1: static counts
 //! cobra-repro fig5  [--machine M]      # Figures 5/6/7 for one machine
+//! cobra-repro trace FILE               # summarize a --trace-out JSONL
 //! cobra-repro all   [--md] [--json]    # everything (EXPERIMENTS.md source)
 //! ```
 //!
 //! Options: `--machine smp4|altix8`, `--md` (Markdown), `--json` (raw data),
-//! `--reps N` (DAXPY outer repetitions), `--workers N` (host threads).
+//! `--reps N` (DAXPY outer repetitions), `--workers N` (host threads),
+//! `--trace-out FILE` (fig5/fig6/fig7 only: write the COBRA telemetry
+//! stream as JSONL, one record per line).
+
+use std::path::PathBuf;
 
 use cobra_harness::{default_workers, fig2, fig3, npbsuite, table1};
 use cobra_machine::MachineConfig;
+use cobra_rt::{read_jsonl, TelemetrySink, TraceSummary};
+
+/// What the user asked `cobra-repro` to do, fully parsed and validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    Fig2,
+    Fig3,
+    Ablate,
+    Static,
+    Table1,
+    Fig5,
+    Fig6,
+    Fig7,
+    All,
+    Trace(PathBuf),
+}
+
+impl Command {
+    /// Figures that run the NPB suite and therefore accept `--trace-out`.
+    fn accepts_trace_out(&self) -> bool {
+        matches!(self, Command::Fig5 | Command::Fig6 | Command::Fig7)
+    }
+}
 
 struct Opts {
     markdown: bool,
@@ -20,21 +48,21 @@ struct Opts {
     reps: usize,
     workers: usize,
     machine: String,
+    trace_out: Option<PathBuf>,
 }
 
-fn parse(args: &[String]) -> (String, Opts) {
-    let mut cmd = String::from("all");
+fn parse(args: &[String]) -> (Command, Opts) {
     let mut opts = Opts {
         markdown: false,
         json: false,
         reps: fig3::DEFAULT_REPS,
         workers: default_workers(),
         machine: "smp4".into(),
+        trace_out: None,
     };
     let mut it = args.iter();
-    if let Some(first) = it.next() {
-        cmd = first.clone();
-    }
+    let name = it.next().cloned().unwrap_or_else(|| "all".into());
+    let mut trace_file: Option<PathBuf> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--md" => opts.markdown = true,
@@ -43,18 +71,68 @@ fn parse(args: &[String]) -> (String, Opts) {
                 opts.reps = it.next().expect("--reps N").parse().expect("numeric reps");
             }
             "--workers" => {
-                opts.workers = it.next().expect("--workers N").parse().expect("numeric workers");
+                opts.workers = it
+                    .next()
+                    .expect("--workers N")
+                    .parse()
+                    .expect("numeric workers");
             }
             "--machine" => {
                 opts.machine = it.next().expect("--machine NAME").clone();
             }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(it.next().expect("--trace-out FILE")));
+            }
             other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
+                // `trace` takes one positional FILE; everything else is an error.
+                if name == "trace" && !other.starts_with('-') && trace_file.is_none() {
+                    trace_file = Some(PathBuf::from(other));
+                } else {
+                    eprintln!("unknown option {other}");
+                    std::process::exit(2);
+                }
             }
         }
     }
+    let cmd = match name.as_str() {
+        "fig2" => Command::Fig2,
+        "fig3" | "fig3a" | "fig3b" => Command::Fig3,
+        "ablate" => Command::Ablate,
+        "static" => Command::Static,
+        "table1" => Command::Table1,
+        "fig5" => Command::Fig5,
+        "fig6" => Command::Fig6,
+        "fig7" => Command::Fig7,
+        "all" => Command::All,
+        "trace" => match trace_file {
+            Some(file) => Command::Trace(file),
+            None => {
+                eprintln!("trace requires a FILE argument (a JSONL written by --trace-out)");
+                std::process::exit(2);
+            }
+        },
+        other => {
+            eprintln!(
+                "unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|all"
+            );
+            std::process::exit(2);
+        }
+    };
+    validate(&cmd, &opts);
     (cmd, opts)
+}
+
+/// Per-subcommand option validation: flags that only make sense for some
+/// commands are rejected (exit 2) instead of silently ignored.
+fn validate(cmd: &Command, opts: &Opts) {
+    if opts.trace_out.is_some() && !cmd.accepts_trace_out() {
+        eprintln!("--trace-out is only supported with fig5|fig6|fig7");
+        std::process::exit(2);
+    }
+    if matches!(cmd, Command::Trace(_)) && (opts.json || opts.markdown) {
+        eprintln!("trace does not take --json/--md; it prints a plain summary");
+        std::process::exit(2);
+    }
 }
 
 fn machine_by_name(name: &str) -> (MachineConfig, usize) {
@@ -68,12 +146,70 @@ fn machine_by_name(name: &str) -> (MachineConfig, usize) {
     }
 }
 
+/// Run the NPB suite for one of Figures 5/6/7, optionally streaming
+/// telemetry to `--trace-out`.
+fn run_npb_figure(cmd: &Command, opts: &Opts) {
+    let (cfg, threads) = machine_by_name(&opts.machine);
+    let sink = opts.trace_out.as_ref().map(|path| {
+        TelemetrySink::jsonl_file(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    });
+    let data = npbsuite::measure(&cfg, threads, opts.workers, sink.as_ref());
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&data).unwrap());
+    } else {
+        let t = match cmd {
+            Command::Fig5 => data.fig5(),
+            Command::Fig6 => data.fig6(),
+            _ => data.fig7(),
+        };
+        print!(
+            "{}",
+            if opts.markdown {
+                t.to_markdown()
+            } else {
+                t.to_text()
+            }
+        );
+        print!(
+            "{}",
+            if opts.markdown {
+                data.deployments().to_markdown()
+            } else {
+                data.deployments().to_text()
+            }
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        eprintln!("telemetry trace written to {}", path.display());
+    }
+}
+
+fn summarize_trace(file: &PathBuf) {
+    let f = std::fs::File::open(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", file.display());
+        std::process::exit(2);
+    });
+    match read_jsonl(f) {
+        Ok(records) => {
+            println!("trace {} —", file.display());
+            println!("{}", TraceSummary::from_records(&records));
+        }
+        Err(e) => {
+            eprintln!("malformed trace {}: {e}", file.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, opts) = parse(&args);
-    match cmd.as_str() {
-        "fig2" => print!("{}", fig2::run()),
-        "fig3" | "fig3a" | "fig3b" => {
+    match &cmd {
+        Command::Fig2 => print!("{}", fig2::run()),
+        Command::Fig3 => {
             let data = fig3::measure(opts.reps, opts.workers);
             if opts.json {
                 println!("{}", serde_json::to_string_pretty(&data).unwrap());
@@ -81,19 +217,25 @@ fn main() {
                 print!("{}", fig3::render(&data, opts.markdown));
             }
         }
-        "ablate" => {
-            print!("{}", cobra_harness::ablate::run_all(opts.workers, opts.markdown));
+        Command::Ablate => {
+            print!(
+                "{}",
+                cobra_harness::ablate::run_all(opts.workers, opts.markdown)
+            );
         }
-        "static" => {
+        Command::Static => {
             let (cfg, threads) = machine_by_name(&opts.machine);
             let cells = cobra_harness::staticnpb::measure(&cfg, threads, opts.workers);
             if opts.json {
                 println!("{}", serde_json::to_string_pretty(&cells).unwrap());
             } else {
-                print!("{}", cobra_harness::staticnpb::render(&cells, &cfg.name, opts.markdown));
+                print!(
+                    "{}",
+                    cobra_harness::staticnpb::render(&cells, &cfg.name, opts.markdown)
+                );
             }
         }
-        "table1" => {
+        Command::Table1 => {
             let counts = table1::measure();
             if opts.json {
                 println!("{}", serde_json::to_string_pretty(&counts).unwrap());
@@ -101,29 +243,8 @@ fn main() {
                 print!("{}", table1::render(&counts, opts.markdown));
             }
         }
-        "fig5" | "fig6" | "fig7" => {
-            let (cfg, threads) = machine_by_name(&opts.machine);
-            let data = npbsuite::measure(&cfg, threads, opts.workers);
-            if opts.json {
-                println!("{}", serde_json::to_string_pretty(&data).unwrap());
-            } else {
-                let t = match cmd.as_str() {
-                    "fig5" => data.fig5(),
-                    "fig6" => data.fig6(),
-                    _ => data.fig7(),
-                };
-                print!("{}", if opts.markdown { t.to_markdown() } else { t.to_text() });
-                print!(
-                    "{}",
-                    if opts.markdown {
-                        data.deployments().to_markdown()
-                    } else {
-                        data.deployments().to_text()
-                    }
-                );
-            }
-        }
-        "all" => {
+        Command::Fig5 | Command::Fig6 | Command::Fig7 => run_npb_figure(&cmd, &opts),
+        Command::All => {
             let md = opts.markdown;
             println!("# COBRA reproduction — measured results\n");
             println!("## Figure 2\n");
@@ -136,19 +257,16 @@ fn main() {
             let (smp_cfg, smp_t) = machine_by_name("smp4");
             let (alt_cfg, alt_t) = machine_by_name("altix8");
             println!("## Figures 5-7 (smp4, {smp_t} threads)\n");
-            let smp = npbsuite::measure(&smp_cfg, smp_t, opts.workers);
+            let smp = npbsuite::measure(&smp_cfg, smp_t, opts.workers, None);
             println!("{}", npbsuite::render(&smp, md));
             println!("## Figures 5-7 (altix8, {alt_t} threads)\n");
-            let alt = npbsuite::measure(&alt_cfg, alt_t, opts.workers);
+            let alt = npbsuite::measure(&alt_cfg, alt_t, opts.workers, None);
             println!("{}", npbsuite::render(&alt, md));
             println!("## Cross-machine shape checks\n");
             for (desc, ok) in npbsuite::shape_checks(&smp, &alt) {
                 println!("  [{}] {}", if ok { "ok" } else { "MISS" }, desc);
             }
         }
-        other => {
-            eprintln!("unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|all");
-            std::process::exit(2);
-        }
+        Command::Trace(file) => summarize_trace(file),
     }
 }

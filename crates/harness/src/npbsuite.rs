@@ -18,7 +18,7 @@ use cobra_kernels::workload::execute_plain;
 use cobra_kernels::{npb, PrefetchPolicy};
 use cobra_machine::{Event, Machine, MachineConfig};
 use cobra_omp::{OmpRuntime, Team};
-use cobra_rt::{Cobra, CobraConfig, CobraReport, Strategy};
+use cobra_rt::{Cobra, CobraReport, Strategy, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 use crate::sweep::parallel_map;
@@ -74,7 +74,10 @@ pub struct BenchResult {
 
 impl BenchResult {
     pub fn arm(&self, arm: Arm) -> &ArmResult {
-        self.arms.iter().find(|a| a.arm == arm).expect("arm measured")
+        self.arms
+            .iter()
+            .find(|a| a.arm == arm)
+            .expect("arm measured")
     }
 
     /// Speedup of `arm` over the baseline (paper's Fig. 5 metric).
@@ -107,30 +110,40 @@ fn run_arm(
     arm: Arm,
     machine_cfg: &MachineConfig,
     threads: usize,
+    trace: Option<&TelemetrySink>,
 ) -> ArmResult {
     let wl = npb::build(bench, &PrefetchPolicy::aggressive(), machine_cfg.mem_bytes);
     let team = Team::new(threads);
-    let (machine, cycles, cobra_report): (Machine, u64, Option<CobraReport>) =
-        match arm.strategy() {
-            None => {
-                let (m, run) = execute_plain(&*wl, machine_cfg, team);
-                (m, run.cycles, None)
+    let (machine, cycles, cobra_report): (Machine, u64, Option<CobraReport>) = match arm.strategy()
+    {
+        None => {
+            let (m, run) = execute_plain(&*wl, machine_cfg, team);
+            (m, run.cycles, None)
+        }
+        Some(strategy) => {
+            let rt = OmpRuntime {
+                quantum: 20_000,
+                ..OmpRuntime::default()
+            };
+            let mut m = Machine::new(machine_cfg.clone(), wl.image().clone());
+            wl.init(&mut m.shared.mem);
+            let mut builder = Cobra::builder().strategy(strategy);
+            if let Some(sink) = trace {
+                builder = builder.telemetry(sink.clone());
             }
-            Some(strategy) => {
-                let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
-                let mut m = Machine::new(machine_cfg.clone(), wl.image().clone());
-                wl.init(&mut m.shared.mem);
-                let mut cfg = CobraConfig::default();
-                cfg.optimizer.strategy = strategy;
-                let mut cobra = Cobra::attach(cfg, &mut m);
-                let run = wl.run(&mut m, team, &rt, &mut cobra);
-                let report = cobra.detach(&mut m);
-                if let Err(e) = wl.verify(&m.shared.mem) {
-                    panic!("{} under COBRA({:?}) failed verification: {e}", bench.name(), strategy);
-                }
-                (m, run.cycles, Some(report))
+            let mut cobra = builder.attach(&mut m);
+            let run = wl.run(&mut m, team, &rt, &mut cobra);
+            let report = cobra.detach(&mut m);
+            if let Err(e) = wl.verify(&m.shared.mem) {
+                panic!(
+                    "{} under COBRA({:?}) failed verification: {e}",
+                    bench.name(),
+                    strategy
+                );
             }
-        };
+            (m, run.cycles, Some(report))
+        }
+    };
     let total = machine.total_stats();
     ArmResult {
         arm,
@@ -142,7 +155,16 @@ fn run_arm(
 }
 
 /// Run the six-benchmark suite on one machine configuration.
-pub fn measure(machine_cfg: &MachineConfig, threads: usize, workers: usize) -> SuiteData {
+///
+/// When `trace` is given, every COBRA-attached arm emits telemetry into
+/// that sink (shared across the parallel jobs — each arm has its own hub
+/// and ring, so record sequences interleave per-arm but never corrupt).
+pub fn measure(
+    machine_cfg: &MachineConfig,
+    threads: usize,
+    workers: usize,
+    trace: Option<&TelemetrySink>,
+) -> SuiteData {
     let mut jobs = Vec::new();
     for &bench in &npb::Benchmark::COHERENT {
         for arm in Arm::ALL {
@@ -150,7 +172,7 @@ pub fn measure(machine_cfg: &MachineConfig, threads: usize, workers: usize) -> S
         }
     }
     let results_flat = parallel_map(jobs, workers, |&(bench, arm)| {
-        (bench, run_arm(bench, arm, machine_cfg, threads))
+        (bench, run_arm(bench, arm, machine_cfg, threads, trace))
     });
     let results = npb::Benchmark::COHERENT
         .iter()
@@ -163,7 +185,11 @@ pub fn measure(machine_cfg: &MachineConfig, threads: usize, workers: usize) -> S
                 .collect(),
         })
         .collect();
-    SuiteData { machine: machine_cfg.name.clone(), threads, results }
+    SuiteData {
+        machine: machine_cfg.name.clone(),
+        threads,
+        results,
+    }
 }
 
 fn average(values: impl Iterator<Item = f64>) -> f64 {
@@ -191,9 +217,13 @@ impl SuiteData {
         }
         t.row(vec![
             "avg".into(),
-            pct(average(self.results.iter().map(|r| r.speedup(Arm::NoPrefetch)))),
+            pct(average(
+                self.results.iter().map(|r| r.speedup(Arm::NoPrefetch)),
+            )),
             pct(average(self.results.iter().map(|r| r.speedup(Arm::Excl)))),
-            pct(average(self.results.iter().map(|r| r.speedup(Arm::Adaptive)))),
+            pct(average(
+                self.results.iter().map(|r| r.speedup(Arm::Adaptive)),
+            )),
         ]);
         t
     }
@@ -205,7 +235,13 @@ impl SuiteData {
                 "Fig. 6: normalized L3 misses — {} threads on {}",
                 self.threads, self.machine
             ),
-            &["bench", "prefetch", "noprefetch", "prefetch.excl", "adaptive"],
+            &[
+                "bench",
+                "prefetch",
+                "noprefetch",
+                "prefetch.excl",
+                "adaptive",
+            ],
         );
         for r in &self.results {
             t.row(vec![
@@ -219,9 +255,13 @@ impl SuiteData {
         t.row(vec![
             "avg".into(),
             ratio(1.0),
-            ratio(average(self.results.iter().map(|r| r.l3_norm(Arm::NoPrefetch)))),
+            ratio(average(
+                self.results.iter().map(|r| r.l3_norm(Arm::NoPrefetch)),
+            )),
             ratio(average(self.results.iter().map(|r| r.l3_norm(Arm::Excl)))),
-            ratio(average(self.results.iter().map(|r| r.l3_norm(Arm::Adaptive)))),
+            ratio(average(
+                self.results.iter().map(|r| r.l3_norm(Arm::Adaptive)),
+            )),
         ]);
         t
     }
@@ -233,7 +273,13 @@ impl SuiteData {
                 "Fig. 7: normalized system-bus memory transactions — {} threads on {}",
                 self.threads, self.machine
             ),
-            &["bench", "prefetch", "noprefetch", "prefetch.excl", "adaptive"],
+            &[
+                "bench",
+                "prefetch",
+                "noprefetch",
+                "prefetch.excl",
+                "adaptive",
+            ],
         );
         for r in &self.results {
             t.row(vec![
@@ -247,9 +293,13 @@ impl SuiteData {
         t.row(vec![
             "avg".into(),
             ratio(1.0),
-            ratio(average(self.results.iter().map(|r| r.bus_norm(Arm::NoPrefetch)))),
+            ratio(average(
+                self.results.iter().map(|r| r.bus_norm(Arm::NoPrefetch)),
+            )),
             ratio(average(self.results.iter().map(|r| r.bus_norm(Arm::Excl)))),
-            ratio(average(self.results.iter().map(|r| r.bus_norm(Arm::Adaptive)))),
+            ratio(average(
+                self.results.iter().map(|r| r.bus_norm(Arm::Adaptive)),
+            )),
         ]);
         t
     }
@@ -263,7 +313,11 @@ impl SuiteData {
         for r in &self.results {
             for arm in [Arm::NoPrefetch, Arm::Excl, Arm::Adaptive] {
                 if let Some(rep) = &r.arm(arm).cobra {
-                    t.row(vec![r.bench.to_string(), arm.name().to_string(), rep.summary()]);
+                    t.row(vec![
+                        r.bench.to_string(),
+                        arm.name().to_string(),
+                        rep.summary(),
+                    ]);
                 }
             }
         }
@@ -275,7 +329,10 @@ impl SuiteData {
 pub fn shape_checks(smp: &SuiteData, altix: &SuiteData) -> Vec<(String, bool)> {
     let avg = |s: &SuiteData, arm: Arm| average(s.results.iter().map(|r| r.speedup(arm)));
     let max = |s: &SuiteData, arm: Arm| {
-        s.results.iter().map(|r| r.speedup(arm)).fold(f64::MIN, f64::max)
+        s.results
+            .iter()
+            .map(|r| r.speedup(arm))
+            .fold(f64::MIN, f64::max)
     };
     let avg_l3 = |s: &SuiteData, arm: Arm| average(s.results.iter().map(|r| r.l3_norm(arm)));
     let corr_direction = |s: &SuiteData| {
@@ -352,7 +409,11 @@ pub fn shape_checks(smp: &SuiteData, altix: &SuiteData) -> Vec<(String, bool)> {
 pub fn render(data: &SuiteData, markdown: bool) -> String {
     let mut out = String::new();
     for t in [data.fig5(), data.fig6(), data.fig7(), data.deployments()] {
-        out.push_str(&if markdown { t.to_markdown() } else { t.to_text() });
+        out.push_str(&if markdown {
+            t.to_markdown()
+        } else {
+            t.to_text()
+        });
         out.push('\n');
     }
     out

@@ -58,7 +58,9 @@ pub fn measure(machine_cfg: &MachineConfig, threads: usize, workers: usize) -> V
 pub fn render(cells: &[StaticCell], machine: &str, markdown: bool) -> String {
     let mut t = Table::new(
         format!("static policy ground truth — {machine} (speedup vs prefetch)"),
-        &["bench", "policy", "cycles", "speedup", "L3", "HITM", "upgrades"],
+        &[
+            "bench", "policy", "cycles", "speedup", "L3", "HITM", "upgrades",
+        ],
     );
     for c in cells {
         let base = cells

@@ -29,12 +29,17 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("all items processed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all items processed"))
+        .collect()
 }
 
 /// Default sweep concurrency: leave a couple of cores for the OS.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -40,8 +40,11 @@ impl Table {
             out.push_str(&format!("== {} ==\n", self.title));
         }
         let line = |cells: &[String], out: &mut String| {
-            let joined: Vec<String> =
-                cells.iter().enumerate().map(|(k, c)| format!("{:<width$}", c, width = w[k])).collect();
+            let joined: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(k, c)| format!("{:<width$}", c, width = w[k]))
+                .collect();
             out.push_str(&joined.join("  "));
             out.push('\n');
         };

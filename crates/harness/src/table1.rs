@@ -63,7 +63,11 @@ pub fn render(counts: &[Counts], markdown: bool) -> String {
         &["bench", "lfetch", "br.ctop", "br.cloop", "br.wtop"],
     );
     for c in counts {
-        let paper = PAPER.iter().find(|(n, _)| *n == c.bench).map(|(_, v)| *v).unwrap_or([0; 4]);
+        let paper = PAPER
+            .iter()
+            .find(|(n, _)| *n == c.bench)
+            .map(|(_, v)| *v)
+            .unwrap_or([0; 4]);
         t.row(vec![
             c.bench.to_string(),
             format!("{} / {}", c.lfetch, paper[0]),
@@ -72,18 +76,34 @@ pub fn render(counts: &[Counts], markdown: bool) -> String {
             format!("{} / {}", c.br_wtop, paper[3]),
         ]);
     }
-    let mut out = if markdown { t.to_markdown() } else { t.to_text() };
+    let mut out = if markdown {
+        t.to_markdown()
+    } else {
+        t.to_text()
+    };
     out.push_str("\nshape checks:\n");
     for (desc, ok) in shape_checks(counts) {
-        out.push_str(&format!("  [{}] {}\n", if ok { "ok" } else { "MISS" }, desc));
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            if ok { "ok" } else { "MISS" },
+            desc
+        ));
     }
     out
 }
 
 /// The properties Table 1 is cited for.
 pub fn shape_checks(counts: &[Counts]) -> Vec<(String, bool)> {
-    let get = |name: &str| counts.iter().find(|c| c.bench == name).expect("bench counted");
-    let big: Vec<&Counts> = ["bt", "sp", "lu", "ft", "mg", "cg"].iter().map(|n| get(n)).collect();
+    let get = |name: &str| {
+        counts
+            .iter()
+            .find(|c| c.bench == name)
+            .expect("bench counted")
+    };
+    let big: Vec<&Counts> = ["bt", "sp", "lu", "ft", "mg", "cg"]
+        .iter()
+        .map(|n| get(n))
+        .collect();
     let mut checks = vec![
         (
             "every CFD/grid benchmark has dozens-to-hundreds of prefetches".to_string(),

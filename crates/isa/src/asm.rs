@@ -78,7 +78,7 @@ impl Assembler {
 
     /// Pad with `nop.i` to the next bundle boundary.
     pub fn align(&mut self) {
-        while self.here() % SLOTS_PER_BUNDLE != 0 {
+        while !self.here().is_multiple_of(SLOTS_PER_BUNDLE) {
             self.emit(Insn::new(Op::Nop { unit: Unit::I }));
         }
     }
@@ -98,9 +98,15 @@ impl Assembler {
 
     /// Emit a branch to a label; the target is fixed up at `finish()`.
     pub fn emit_branch(&mut self, insn: Insn, label: Label) -> CodeAddr {
-        assert!(insn.op.branch_target().is_some(), "emit_branch needs a targeted branch");
+        assert!(
+            insn.op.branch_target().is_some(),
+            "emit_branch needs a targeted branch"
+        );
         let addr = self.emit(insn);
-        self.fixups.push(Fixup { insn_index: addr as usize, label });
+        self.fixups.push(Fixup {
+            insn_index: addr as usize,
+            label,
+        });
         addr
     }
 
@@ -113,7 +119,11 @@ impl Assembler {
 
     /// `mov rD=rS` (assembles as `add rD=rS,r0`).
     pub fn mov(&mut self, dest: u8, src: u8) -> CodeAddr {
-        self.emit(Insn::new(Op::Add { dest, r2: src, r3: 0 }))
+        self.emit(Insn::new(Op::Add {
+            dest,
+            r2: src,
+            r3: 0,
+        }))
     }
 
     /// `adds rD=imm,rS`.
@@ -123,27 +133,64 @@ impl Assembler {
 
     /// `ldfd fD=[rB],inc`.
     pub fn ldfd(&mut self, qp: u8, dest: u8, base: u8, post_inc: i32) -> CodeAddr {
-        self.emit(Insn::pred(qp, Op::Ldfd { dest, base, post_inc }))
+        self.emit(Insn::pred(
+            qp,
+            Op::Ldfd {
+                dest,
+                base,
+                post_inc,
+            },
+        ))
     }
 
     /// `stfd [rB]=fS,inc`.
     pub fn stfd(&mut self, qp: u8, src: u8, base: u8, post_inc: i32) -> CodeAddr {
-        self.emit(Insn::pred(qp, Op::Stfd { src, base, post_inc }))
+        self.emit(Insn::pred(
+            qp,
+            Op::Stfd {
+                src,
+                base,
+                post_inc,
+            },
+        ))
     }
 
     /// `ld8 rD=[rB],inc`.
     pub fn ld8(&mut self, qp: u8, dest: u8, base: u8, post_inc: i32) -> CodeAddr {
-        self.emit(Insn::pred(qp, Op::Ld8 { dest, base, post_inc, bias: false }))
+        self.emit(Insn::pred(
+            qp,
+            Op::Ld8 {
+                dest,
+                base,
+                post_inc,
+                bias: false,
+            },
+        ))
     }
 
     /// `st8 [rB]=rS,inc`.
     pub fn st8(&mut self, qp: u8, src: u8, base: u8, post_inc: i32) -> CodeAddr {
-        self.emit(Insn::pred(qp, Op::St8 { src, base, post_inc }))
+        self.emit(Insn::pred(
+            qp,
+            Op::St8 {
+                src,
+                base,
+                post_inc,
+            },
+        ))
     }
 
     /// `lfetch.nt1 [rB],inc` — the aggressive-prefetch workhorse of Figure 2.
     pub fn lfetch_nt1(&mut self, qp: u8, base: u8, post_inc: i32) -> CodeAddr {
-        self.emit(Insn::pred(qp, Op::Lfetch { base, post_inc, hint: LfetchHint::Nt1, excl: false }))
+        self.emit(Insn::pred(
+            qp,
+            Op::Lfetch {
+                base,
+                post_inc,
+                hint: LfetchHint::Nt1,
+                excl: false,
+            },
+        ))
     }
 
     /// `fma.d fD=f1,f2,f3`.
@@ -153,7 +200,13 @@ impl Assembler {
 
     /// `cmp.rel pA,pB=r2,r3`.
     pub fn cmp(&mut self, p1: u8, p2: u8, rel: CmpRel, r2: u8, r3: u8) -> CodeAddr {
-        self.emit(Insn::new(Op::Cmp { p1, p2, rel, r2, r3 }))
+        self.emit(Insn::new(Op::Cmp {
+            p1,
+            p2,
+            rel,
+            r2,
+            r3,
+        }))
     }
 
     /// `nop.unit`.
@@ -242,9 +295,15 @@ mod tests {
         let img = a.finish();
 
         let insns = img.decode_all().unwrap();
-        let cloop = insns.iter().find(|i| matches!(i.op, Op::BrCloop { .. })).unwrap();
+        let cloop = insns
+            .iter()
+            .find(|i| matches!(i.op, Op::BrCloop { .. }))
+            .unwrap();
         assert_eq!(cloop.op.branch_target(), Some(top_addr));
-        let cond = insns.iter().find(|i| matches!(i.op, Op::BrCond { .. })).unwrap();
+        let cond = insns
+            .iter()
+            .find(|i| matches!(i.op, Op::BrCond { .. }))
+            .unwrap();
         let out_addr = cond.op.branch_target().unwrap();
         assert!(out_addr > top_addr);
         assert_eq!(out_addr % SLOTS_PER_BUNDLE, 0);

@@ -13,20 +13,36 @@ use crate::{CodeAddr, SLOTS_PER_BUNDLE};
 /// Render one instruction in assembly syntax (without its predicate prefix).
 fn format_op(op: &Op) -> String {
     match *op {
-        Op::Ld8 { dest, base, post_inc, bias } => {
+        Op::Ld8 {
+            dest,
+            base,
+            post_inc,
+            bias,
+        } => {
             let b = if bias { ".bias" } else { "" };
             with_postinc(format!("ld8{b} r{dest}=[r{base}]"), post_inc)
         }
-        Op::St8 { src, base, post_inc } => {
-            with_postinc(format!("st8 [r{base}]=r{src}"), post_inc)
-        }
-        Op::Ldfd { dest, base, post_inc } => {
-            with_postinc(format!("ldfd f{dest}=[r{base}]"), post_inc)
-        }
-        Op::Stfd { src, base, post_inc } => {
-            with_postinc(format!("stfd [r{base}]=f{src}"), post_inc)
-        }
-        Op::Lfetch { base, post_inc, hint, excl } => {
+        Op::St8 {
+            src,
+            base,
+            post_inc,
+        } => with_postinc(format!("st8 [r{base}]=r{src}"), post_inc),
+        Op::Ldfd {
+            dest,
+            base,
+            post_inc,
+        } => with_postinc(format!("ldfd f{dest}=[r{base}]"), post_inc),
+        Op::Stfd {
+            src,
+            base,
+            post_inc,
+        } => with_postinc(format!("stfd [r{base}]=f{src}"), post_inc),
+        Op::Lfetch {
+            base,
+            post_inc,
+            hint,
+            excl,
+        } => {
             let h = match hint {
                 LfetchHint::None => "",
                 LfetchHint::Nt1 => ".nt1",
@@ -39,7 +55,12 @@ fn format_op(op: &Op) -> String {
         Op::FetchAdd8 { dest, base, inc } => {
             format!("fetchadd8.acq r{dest}=[r{base}],{inc}")
         }
-        Op::Cmpxchg8 { dest, base, new, cmp } => {
+        Op::Cmpxchg8 {
+            dest,
+            base,
+            new,
+            cmp,
+        } => {
             format!("cmpxchg8.acq r{dest}=[r{base}],r{new} ? r{cmp}")
         }
         Op::FmaD { dest, f1, f2, f3 } => format!("fma.d f{dest}=f{f1},f{f2},f{f3}"),
@@ -51,7 +72,13 @@ fn format_op(op: &Op) -> String {
         Op::FsqrtD { dest, f1 } => format!("fsqrt.d f{dest}=f{f1}"),
         Op::FabsD { dest, f1 } => format!("fabs f{dest}=f{f1}"),
         Op::FnegD { dest, f1 } => format!("fneg f{dest}=f{f1}"),
-        Op::FcmpD { p1, p2, rel, f1, f2 } => {
+        Op::FcmpD {
+            p1,
+            p2,
+            rel,
+            f1,
+            f2,
+        } => {
             format!("fcmp.{} p{p1},p{p2}=f{f1},f{f2}", rel.mnemonic())
         }
         Op::SetfD { dest, src } => format!("setf.d f{dest}=r{src}"),
@@ -78,10 +105,22 @@ fn format_op(op: &Op) -> String {
         Op::Xor { dest, r2, r3 } => format!("xor r{dest}=r{r2},r{r3}"),
         Op::AndI { dest, src, imm } => format!("and r{dest}={imm},r{src}"),
         Op::MovI { dest, imm } => format!("movl r{dest}={imm:#x}"),
-        Op::Cmp { p1, p2, rel, r2, r3 } => {
+        Op::Cmp {
+            p1,
+            p2,
+            rel,
+            r2,
+            r3,
+        } => {
             format!("cmp.{} p{p1},p{p2}=r{r2},r{r3}", rel.mnemonic())
         }
-        Op::CmpI { p1, p2, rel, imm, r3 } => {
+        Op::CmpI {
+            p1,
+            p2,
+            rel,
+            imm,
+            r3,
+        } => {
             format!("cmp.{} p{p1},p{p2}={imm},r{r3}", rel.mnemonic())
         }
         Op::BrCond { target } => format!("br.cond.sptk .L{target}"),
@@ -190,27 +229,79 @@ mod tests {
 
     #[test]
     fn formats_figure2_style_instructions() {
-        let lf = Insn::pred(16, Op::Lfetch { base: 43, post_inc: 0, hint: LfetchHint::Nt1, excl: false });
+        let lf = Insn::pred(
+            16,
+            Op::Lfetch {
+                base: 43,
+                post_inc: 0,
+                hint: LfetchHint::Nt1,
+                excl: false,
+            },
+        );
         assert_eq!(format_insn(&lf), "(p16) lfetch.nt1 [r43]");
 
-        let lfx = Insn::new(Op::Lfetch { base: 43, post_inc: 128, hint: LfetchHint::Nt1, excl: true });
+        let lfx = Insn::new(Op::Lfetch {
+            base: 43,
+            post_inc: 128,
+            hint: LfetchHint::Nt1,
+            excl: true,
+        });
         assert_eq!(format_insn(&lfx), "lfetch.nt1.excl [r43],128");
 
-        let ld = Insn::pred(16, Op::Ldfd { dest: 32, base: 2, post_inc: 8 });
+        let ld = Insn::pred(
+            16,
+            Op::Ldfd {
+                dest: 32,
+                base: 2,
+                post_inc: 8,
+            },
+        );
         assert_eq!(format_insn(&ld), "(p16) ldfd f32=[r2],8");
 
-        let fma = Insn::pred(21, Op::FmaD { dest: 44, f1: 6, f2: 37, f3: 43 });
+        let fma = Insn::pred(
+            21,
+            Op::FmaD {
+                dest: 44,
+                f1: 6,
+                f2: 37,
+                f3: 43,
+            },
+        );
         assert_eq!(format_insn(&fma), "(p21) fma.d f44=f6,f37,f43");
 
-        let st = Insn::pred(23, Op::Stfd { src: 46, base: 40, post_inc: 0 });
+        let st = Insn::pred(
+            23,
+            Op::Stfd {
+                src: 46,
+                base: 40,
+                post_inc: 0,
+            },
+        );
         assert_eq!(format_insn(&st), "(p23) stfd [r40]=f46");
 
-        assert_eq!(format_insn(&Insn::new(Op::Nop { unit: Unit::B })), "nop.b 0");
         assert_eq!(
-            format_insn(&Insn::new(Op::Cmp { p1: 6, p2: 7, rel: CmpRel::Ltu, r2: 1, r3: 2 })),
+            format_insn(&Insn::new(Op::Nop { unit: Unit::B })),
+            "nop.b 0"
+        );
+        assert_eq!(
+            format_insn(&Insn::new(Op::Cmp {
+                p1: 6,
+                p2: 7,
+                rel: CmpRel::Ltu,
+                r2: 1,
+                r3: 2
+            })),
             "cmp.ltu p6,p7=r1,r2"
         );
-        assert_eq!(format_insn(&Insn::new(Op::Ld8 { dest: 3, base: 4, post_inc: 0, bias: true })), "ld8.bias r3=[r4]");
+        assert_eq!(
+            format_insn(&Insn::new(Op::Ld8 {
+                dest: 3,
+                base: 4,
+                post_inc: 0,
+                bias: true
+            })),
+            "ld8.bias r3=[r4]"
+        );
     }
 
     #[test]
@@ -235,7 +326,11 @@ mod tests {
         // Round-trip a broad instruction sample through format to ensure no
         // panics and non-empty output.
         let ops = [
-            Op::FdivD { dest: 1, f1: 2, f2: 3 },
+            Op::FdivD {
+                dest: 1,
+                f1: 2,
+                f2: 3,
+            },
             Op::FsqrtD { dest: 1, f1: 2 },
             Op::BrRet,
             Op::Clrrrb,
@@ -243,7 +338,11 @@ mod tests {
             Op::MovFromEc { dest: 9 },
             Op::MovToB0 { src: 9 },
             Op::GetfSig { dest: 1, src: 2 },
-            Op::Xor { dest: 1, r2: 2, r3: 3 },
+            Op::Xor {
+                dest: 1,
+                r2: 2,
+                r3: 3,
+            },
         ];
         for op in ops {
             let insn = Insn::new(op);

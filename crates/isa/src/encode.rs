@@ -246,7 +246,12 @@ fn pack_branch(opcode: u8, qp: u8, target: u32) -> u64 {
 pub fn encode(insn: &Insn) -> u64 {
     let qp = insn.qp;
     match insn.op {
-        Op::Ld8 { dest, base, post_inc, bias } => pack(
+        Op::Ld8 {
+            dest,
+            base,
+            post_inc,
+            bias,
+        } => pack(
             opc::LD8,
             qp,
             put_reg(dest),
@@ -255,7 +260,11 @@ pub fn encode(insn: &Insn) -> u64 {
             0,
             put_imm22(post_inc as i64),
         ),
-        Op::St8 { src, base, post_inc } => pack(
+        Op::St8 {
+            src,
+            base,
+            post_inc,
+        } => pack(
             opc::ST8,
             qp,
             put_reg(src),
@@ -264,7 +273,11 @@ pub fn encode(insn: &Insn) -> u64 {
             0,
             put_imm22(post_inc as i64),
         ),
-        Op::Ldfd { dest, base, post_inc } => pack(
+        Op::Ldfd {
+            dest,
+            base,
+            post_inc,
+        } => pack(
             opc::LDFD,
             qp,
             put_reg(dest),
@@ -273,7 +286,11 @@ pub fn encode(insn: &Insn) -> u64 {
             0,
             put_imm22(post_inc as i64),
         ),
-        Op::Stfd { src, base, post_inc } => pack(
+        Op::Stfd {
+            src,
+            base,
+            post_inc,
+        } => pack(
             opc::STFD,
             qp,
             put_reg(src),
@@ -282,7 +299,12 @@ pub fn encode(insn: &Insn) -> u64 {
             0,
             put_imm22(post_inc as i64),
         ),
-        Op::Lfetch { base, post_inc, hint, excl } => pack(
+        Op::Lfetch {
+            base,
+            post_inc,
+            hint,
+            excl,
+        } => pack(
             opc::LFETCH,
             qp,
             put_reg(base),
@@ -300,7 +322,12 @@ pub fn encode(insn: &Insn) -> u64 {
             0,
             put_imm22(inc as i64),
         ),
-        Op::Cmpxchg8 { dest, base, new, cmp } => pack(
+        Op::Cmpxchg8 {
+            dest,
+            base,
+            new,
+            cmp,
+        } => pack(
             opc::CMPXCHG8,
             qp,
             put_reg(dest),
@@ -309,28 +336,70 @@ pub fn encode(insn: &Insn) -> u64 {
             put_reg(cmp),
             0,
         ),
-        Op::FmaD { dest, f1, f2, f3 } => {
-            pack(opc::FMA_D, qp, put_reg(dest), put_reg(f1), put_reg(f2), put_reg(f3), 0)
-        }
-        Op::FmsD { dest, f1, f2, f3 } => {
-            pack(opc::FMS_D, qp, put_reg(dest), put_reg(f1), put_reg(f2), put_reg(f3), 0)
-        }
-        Op::FaddD { dest, f1, f2 } => {
-            pack(opc::FADD_D, qp, put_reg(dest), put_reg(f1), put_reg(f2), 0, 0)
-        }
-        Op::FsubD { dest, f1, f2 } => {
-            pack(opc::FSUB_D, qp, put_reg(dest), put_reg(f1), put_reg(f2), 0, 0)
-        }
-        Op::FmulD { dest, f1, f2 } => {
-            pack(opc::FMUL_D, qp, put_reg(dest), put_reg(f1), put_reg(f2), 0, 0)
-        }
-        Op::FdivD { dest, f1, f2 } => {
-            pack(opc::FDIV_D, qp, put_reg(dest), put_reg(f1), put_reg(f2), 0, 0)
-        }
+        Op::FmaD { dest, f1, f2, f3 } => pack(
+            opc::FMA_D,
+            qp,
+            put_reg(dest),
+            put_reg(f1),
+            put_reg(f2),
+            put_reg(f3),
+            0,
+        ),
+        Op::FmsD { dest, f1, f2, f3 } => pack(
+            opc::FMS_D,
+            qp,
+            put_reg(dest),
+            put_reg(f1),
+            put_reg(f2),
+            put_reg(f3),
+            0,
+        ),
+        Op::FaddD { dest, f1, f2 } => pack(
+            opc::FADD_D,
+            qp,
+            put_reg(dest),
+            put_reg(f1),
+            put_reg(f2),
+            0,
+            0,
+        ),
+        Op::FsubD { dest, f1, f2 } => pack(
+            opc::FSUB_D,
+            qp,
+            put_reg(dest),
+            put_reg(f1),
+            put_reg(f2),
+            0,
+            0,
+        ),
+        Op::FmulD { dest, f1, f2 } => pack(
+            opc::FMUL_D,
+            qp,
+            put_reg(dest),
+            put_reg(f1),
+            put_reg(f2),
+            0,
+            0,
+        ),
+        Op::FdivD { dest, f1, f2 } => pack(
+            opc::FDIV_D,
+            qp,
+            put_reg(dest),
+            put_reg(f1),
+            put_reg(f2),
+            0,
+            0,
+        ),
         Op::FsqrtD { dest, f1 } => pack(opc::FSQRT_D, qp, put_reg(dest), put_reg(f1), 0, 0, 0),
         Op::FabsD { dest, f1 } => pack(opc::FABS_D, qp, put_reg(dest), put_reg(f1), 0, 0, 0),
         Op::FnegD { dest, f1 } => pack(opc::FNEG_D, qp, put_reg(dest), put_reg(f1), 0, 0, 0),
-        Op::FcmpD { p1, p2, rel, f1, f2 } => pack(
+        Op::FcmpD {
+            p1,
+            p2,
+            rel,
+            f1,
+            f2,
+        } => pack(
             opc::FCMP_D,
             qp,
             put_pr(p1),
@@ -347,8 +416,12 @@ pub fn encode(insn: &Insn) -> u64 {
         Op::FcvtFxTrunc { dest, src } => {
             pack(opc::FCVT_FX_TRUNC, qp, put_reg(dest), put_reg(src), 0, 0, 0)
         }
-        Op::Add { dest, r2, r3 } => pack(opc::ADD, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0),
-        Op::Sub { dest, r2, r3 } => pack(opc::SUB, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0),
+        Op::Add { dest, r2, r3 } => {
+            pack(opc::ADD, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0)
+        }
+        Op::Sub { dest, r2, r3 } => {
+            pack(opc::SUB, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0)
+        }
         Op::AddI { dest, src, imm } => pack(
             opc::ADD_I,
             qp,
@@ -358,7 +431,9 @@ pub fn encode(insn: &Insn) -> u64 {
             0,
             put_imm22(imm as i64),
         ),
-        Op::Mul { dest, r2, r3 } => pack(opc::MUL, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0),
+        Op::Mul { dest, r2, r3 } => {
+            pack(opc::MUL, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0)
+        }
         Op::ShlI { dest, src, count } => pack(
             opc::SHL_I,
             qp,
@@ -395,9 +470,13 @@ pub fn encode(insn: &Insn) -> u64 {
             0,
             0,
         ),
-        Op::And { dest, r2, r3 } => pack(opc::AND, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0),
+        Op::And { dest, r2, r3 } => {
+            pack(opc::AND, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0)
+        }
         Op::Or { dest, r2, r3 } => pack(opc::OR, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0),
-        Op::Xor { dest, r2, r3 } => pack(opc::XOR, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0),
+        Op::Xor { dest, r2, r3 } => {
+            pack(opc::XOR, qp, put_reg(dest), put_reg(r2), put_reg(r3), 0, 0)
+        }
         Op::AndI { dest, src, imm } => pack(
             opc::AND_I,
             qp,
@@ -417,7 +496,13 @@ pub fn encode(insn: &Insn) -> u64 {
                 | (put_reg(dest) << 43)
                 | ((imm as u64) & 0x7ff_ffff_ffff)
         }
-        Op::Cmp { p1, p2, rel, r2, r3 } => pack(
+        Op::Cmp {
+            p1,
+            p2,
+            rel,
+            r2,
+            r3,
+        } => pack(
             opc::CMP,
             qp,
             put_pr(p1),
@@ -426,13 +511,19 @@ pub fn encode(insn: &Insn) -> u64 {
             put_reg(r3),
             rel_code(rel),
         ),
-        Op::CmpI { p1, p2, rel, imm, r3 } => pack(
+        Op::CmpI {
+            p1,
+            p2,
+            rel,
+            imm,
+            r3,
+        } => pack(
             opc::CMP_I,
             qp,
             put_pr(p1),
             put_pr(p2),
             put_reg(r3),
-            rel_code(rel) as u64,
+            rel_code(rel),
             put_imm22(imm as i64),
         ),
         Op::BrCond { target } => pack_branch(opc::BR_COND, qp, target),
@@ -480,24 +571,76 @@ pub fn decode(word: u64) -> Result<Insn, DecodeError> {
     };
 
     let op = match opcode {
-        opc::LD8 => Op::Ld8 { dest: a, base: b, post_inc: imm, bias: c & 1 != 0 },
-        opc::ST8 => Op::St8 { src: a, base: b, post_inc: imm },
-        opc::LDFD => Op::Ldfd { dest: a, base: b, post_inc: imm },
-        opc::STFD => Op::Stfd { src: a, base: b, post_inc: imm },
+        opc::LD8 => Op::Ld8 {
+            dest: a,
+            base: b,
+            post_inc: imm,
+            bias: c & 1 != 0,
+        },
+        opc::ST8 => Op::St8 {
+            src: a,
+            base: b,
+            post_inc: imm,
+        },
+        opc::LDFD => Op::Ldfd {
+            dest: a,
+            base: b,
+            post_inc: imm,
+        },
+        opc::STFD => Op::Stfd {
+            src: a,
+            base: b,
+            post_inc: imm,
+        },
         opc::LFETCH => Op::Lfetch {
             base: a,
             post_inc: imm,
             hint: hint_decode(b as u64 & 0b11),
             excl: b & 0b100 != 0,
         },
-        opc::FETCHADD8 => Op::FetchAdd8 { dest: a, base: b, inc: imm },
-        opc::CMPXCHG8 => Op::Cmpxchg8 { dest: a, base: b, new: c, cmp: d },
-        opc::FMA_D => Op::FmaD { dest: a, f1: b, f2: c, f3: d },
-        opc::FMS_D => Op::FmsD { dest: a, f1: b, f2: c, f3: d },
-        opc::FADD_D => Op::FaddD { dest: a, f1: b, f2: c },
-        opc::FSUB_D => Op::FsubD { dest: a, f1: b, f2: c },
-        opc::FMUL_D => Op::FmulD { dest: a, f1: b, f2: c },
-        opc::FDIV_D => Op::FdivD { dest: a, f1: b, f2: c },
+        opc::FETCHADD8 => Op::FetchAdd8 {
+            dest: a,
+            base: b,
+            inc: imm,
+        },
+        opc::CMPXCHG8 => Op::Cmpxchg8 {
+            dest: a,
+            base: b,
+            new: c,
+            cmp: d,
+        },
+        opc::FMA_D => Op::FmaD {
+            dest: a,
+            f1: b,
+            f2: c,
+            f3: d,
+        },
+        opc::FMS_D => Op::FmsD {
+            dest: a,
+            f1: b,
+            f2: c,
+            f3: d,
+        },
+        opc::FADD_D => Op::FaddD {
+            dest: a,
+            f1: b,
+            f2: c,
+        },
+        opc::FSUB_D => Op::FsubD {
+            dest: a,
+            f1: b,
+            f2: c,
+        },
+        opc::FMUL_D => Op::FmulD {
+            dest: a,
+            f1: b,
+            f2: c,
+        },
+        opc::FDIV_D => Op::FdivD {
+            dest: a,
+            f1: b,
+            f2: c,
+        },
         opc::FSQRT_D => Op::FsqrtD { dest: a, f1: b },
         opc::FABS_D => Op::FabsD { dest: a, f1: b },
         opc::FNEG_D => Op::FnegD { dest: a, f1: b },
@@ -514,17 +657,61 @@ pub fn decode(word: u64) -> Result<Insn, DecodeError> {
         opc::GETF_SIG => Op::GetfSig { dest: a, src: b },
         opc::FCVT_XF => Op::FcvtXf { dest: a, src: b },
         opc::FCVT_FX_TRUNC => Op::FcvtFxTrunc { dest: a, src: b },
-        opc::ADD => Op::Add { dest: a, r2: b, r3: c },
-        opc::SUB => Op::Sub { dest: a, r2: b, r3: c },
-        opc::ADD_I => Op::AddI { dest: a, src: b, imm },
-        opc::MUL => Op::Mul { dest: a, r2: b, r3: c },
-        opc::SHL_I => Op::ShlI { dest: a, src: b, count: check_shift(c)? },
-        opc::SHR_I => Op::ShrI { dest: a, src: b, count: check_shift(c)? },
-        opc::SAR_I => Op::SarI { dest: a, src: b, count: check_shift(c)? },
-        opc::AND => Op::And { dest: a, r2: b, r3: c },
-        opc::OR => Op::Or { dest: a, r2: b, r3: c },
-        opc::XOR => Op::Xor { dest: a, r2: b, r3: c },
-        opc::AND_I => Op::AndI { dest: a, src: b, imm },
+        opc::ADD => Op::Add {
+            dest: a,
+            r2: b,
+            r3: c,
+        },
+        opc::SUB => Op::Sub {
+            dest: a,
+            r2: b,
+            r3: c,
+        },
+        opc::ADD_I => Op::AddI {
+            dest: a,
+            src: b,
+            imm,
+        },
+        opc::MUL => Op::Mul {
+            dest: a,
+            r2: b,
+            r3: c,
+        },
+        opc::SHL_I => Op::ShlI {
+            dest: a,
+            src: b,
+            count: check_shift(c)?,
+        },
+        opc::SHR_I => Op::ShrI {
+            dest: a,
+            src: b,
+            count: check_shift(c)?,
+        },
+        opc::SAR_I => Op::SarI {
+            dest: a,
+            src: b,
+            count: check_shift(c)?,
+        },
+        opc::AND => Op::And {
+            dest: a,
+            r2: b,
+            r3: c,
+        },
+        opc::OR => Op::Or {
+            dest: a,
+            r2: b,
+            r3: c,
+        },
+        opc::XOR => Op::Xor {
+            dest: a,
+            r2: b,
+            r3: c,
+        },
+        opc::AND_I => Op::AndI {
+            dest: a,
+            src: b,
+            imm,
+        },
         opc::MOV_I => {
             let raw = field(word, 42, 0) as i64;
             let imm = (raw << 21) >> 21; // sign-extend from bit 42
@@ -557,7 +744,9 @@ pub fn decode(word: u64) -> Result<Insn, DecodeError> {
         opc::MOV_TO_B0 => Op::MovToB0 { src: a },
         opc::MOV_FROM_B0 => Op::MovFromB0 { dest: a },
         opc::CLRRRB => Op::Clrrrb,
-        opc::NOP => Op::Nop { unit: unit_decode(a as u64)? },
+        opc::NOP => Op::Nop {
+            unit: unit_decode(a as u64)?,
+        },
         opc::HLT => Op::Hlt,
         other => return Err(DecodeError::BadOpcode(other)),
     };
@@ -579,21 +768,100 @@ mod tests {
     #[test]
     fn roundtrip_representative_instructions() {
         let samples = vec![
-            Insn::pred(16, Op::Ldfd { dest: 32, base: 2, post_inc: 8 }),
-            Insn::pred(16, Op::Lfetch { base: 43, post_inc: 128, hint: LfetchHint::Nt1, excl: false }),
-            Insn::new(Op::Lfetch { base: 43, post_inc: -128, hint: LfetchHint::Nt1, excl: true }),
-            Insn::pred(23, Op::Stfd { src: 46, base: 40, post_inc: 8 }),
-            Insn::pred(21, Op::FmaD { dest: 44, f1: 6, f2: 37, f3: 43 }),
-            Insn::new(Op::Ld8 { dest: 9, base: 10, post_inc: 0, bias: true }),
-            Insn::new(Op::St8 { src: 9, base: 10, post_inc: -8 }),
-            Insn::new(Op::FetchAdd8 { dest: 14, base: 15, inc: 1 }),
-            Insn::new(Op::Cmpxchg8 { dest: 14, base: 15, new: 16, cmp: 17 }),
-            Insn::new(Op::MovI { dest: 4, imm: (1 << 40) + 12345 }),
-            Insn::new(Op::MovI { dest: 4, imm: -(1 << 40) }),
-            Insn::new(Op::Cmp { p1: 6, p2: 7, rel: CmpRel::Ltu, r2: 3, r3: 4 }),
-            Insn::new(Op::CmpI { p1: 6, p2: 0, rel: CmpRel::Ge, imm: -100, r3: 4 }),
-            Insn::new(Op::FcmpD { p1: 8, p2: 9, rel: CmpRel::Lt, f1: 10, f2: 11 }),
-            Insn::new(Op::BrCtop { target: 0xdead_beef }),
+            Insn::pred(
+                16,
+                Op::Ldfd {
+                    dest: 32,
+                    base: 2,
+                    post_inc: 8,
+                },
+            ),
+            Insn::pred(
+                16,
+                Op::Lfetch {
+                    base: 43,
+                    post_inc: 128,
+                    hint: LfetchHint::Nt1,
+                    excl: false,
+                },
+            ),
+            Insn::new(Op::Lfetch {
+                base: 43,
+                post_inc: -128,
+                hint: LfetchHint::Nt1,
+                excl: true,
+            }),
+            Insn::pred(
+                23,
+                Op::Stfd {
+                    src: 46,
+                    base: 40,
+                    post_inc: 8,
+                },
+            ),
+            Insn::pred(
+                21,
+                Op::FmaD {
+                    dest: 44,
+                    f1: 6,
+                    f2: 37,
+                    f3: 43,
+                },
+            ),
+            Insn::new(Op::Ld8 {
+                dest: 9,
+                base: 10,
+                post_inc: 0,
+                bias: true,
+            }),
+            Insn::new(Op::St8 {
+                src: 9,
+                base: 10,
+                post_inc: -8,
+            }),
+            Insn::new(Op::FetchAdd8 {
+                dest: 14,
+                base: 15,
+                inc: 1,
+            }),
+            Insn::new(Op::Cmpxchg8 {
+                dest: 14,
+                base: 15,
+                new: 16,
+                cmp: 17,
+            }),
+            Insn::new(Op::MovI {
+                dest: 4,
+                imm: (1 << 40) + 12345,
+            }),
+            Insn::new(Op::MovI {
+                dest: 4,
+                imm: -(1 << 40),
+            }),
+            Insn::new(Op::Cmp {
+                p1: 6,
+                p2: 7,
+                rel: CmpRel::Ltu,
+                r2: 3,
+                r3: 4,
+            }),
+            Insn::new(Op::CmpI {
+                p1: 6,
+                p2: 0,
+                rel: CmpRel::Ge,
+                imm: -100,
+                r3: 4,
+            }),
+            Insn::new(Op::FcmpD {
+                p1: 8,
+                p2: 9,
+                rel: CmpRel::Lt,
+                f1: 10,
+                f2: 11,
+            }),
+            Insn::new(Op::BrCtop {
+                target: 0xdead_beef,
+            }),
             Insn::pred(7, Op::BrCond { target: 3 }),
             Insn::new(Op::BrWtop { target: 6 }),
             Insn::new(Op::BrCloop { target: 9 }),
@@ -604,9 +872,21 @@ mod tests {
             Insn::new(Op::MovFromLc { dest: 5 }),
             Insn::new(Op::Clrrrb),
             Insn::new(Op::Hlt),
-            Insn::new(Op::ShlI { dest: 1, src: 2, count: 63 }),
-            Insn::new(Op::SarI { dest: 1, src: 2, count: 1 }),
-            Insn::new(Op::AndI { dest: 1, src: 2, imm: 0xff }),
+            Insn::new(Op::ShlI {
+                dest: 1,
+                src: 2,
+                count: 63,
+            }),
+            Insn::new(Op::SarI {
+                dest: 1,
+                src: 2,
+                count: 1,
+            }),
+            Insn::new(Op::AndI {
+                dest: 1,
+                src: 2,
+                imm: 0xff,
+            }),
             Insn::new(Op::SetfSig { dest: 33, src: 12 }),
             Insn::new(Op::FcvtXf { dest: 33, src: 33 }),
             NOP_SLOT_M,
@@ -622,8 +902,18 @@ mod tests {
     #[test]
     fn lfetch_hint_and_excl_are_separate_bits() {
         for excl in [false, true] {
-            for hint in [LfetchHint::None, LfetchHint::Nt1, LfetchHint::Nt2, LfetchHint::Nta] {
-                roundtrip(Insn::new(Op::Lfetch { base: 100, post_inc: 1200, hint, excl }));
+            for hint in [
+                LfetchHint::None,
+                LfetchHint::Nt1,
+                LfetchHint::Nt2,
+                LfetchHint::Nta,
+            ] {
+                roundtrip(Insn::new(Op::Lfetch {
+                    base: 100,
+                    post_inc: 1200,
+                    hint,
+                    excl,
+                }));
             }
         }
     }
@@ -631,7 +921,15 @@ mod tests {
     #[test]
     fn noprefetch_rewrite_is_word_level() {
         // The core rewrite of the paper: lfetch word -> nop.m word.
-        let lf = Insn::pred(16, Op::Lfetch { base: 43, post_inc: 0, hint: LfetchHint::Nt1, excl: false });
+        let lf = Insn::pred(
+            16,
+            Op::Lfetch {
+                base: 43,
+                post_inc: 0,
+                hint: LfetchHint::Nt1,
+                excl: false,
+            },
+        );
         let word = encode(&lf);
         let nop = encode(&NOP_SLOT_M);
         assert_ne!(word, nop);
@@ -640,7 +938,15 @@ mod tests {
 
     #[test]
     fn excl_rewrite_preserves_everything_else() {
-        let lf = Insn::pred(16, Op::Lfetch { base: 43, post_inc: 256, hint: LfetchHint::Nt1, excl: false });
+        let lf = Insn::pred(
+            16,
+            Op::Lfetch {
+                base: 43,
+                post_inc: 256,
+                hint: LfetchHint::Nt1,
+                excl: false,
+            },
+        );
         let word = encode(&lf);
         let mut decoded = decode(word).unwrap();
         if let Op::Lfetch { ref mut excl, .. } = decoded.op {
@@ -649,8 +955,16 @@ mod tests {
         let reworded = encode(&decoded);
         let back = decode(reworded).unwrap();
         match back.op {
-            Op::Lfetch { base, post_inc, hint, excl } => {
-                assert_eq!((base, post_inc, hint, excl), (43, 256, LfetchHint::Nt1, true));
+            Op::Lfetch {
+                base,
+                post_inc,
+                hint,
+                excl,
+            } => {
+                assert_eq!(
+                    (base, post_inc, hint, excl),
+                    (43, 256, LfetchHint::Nt1, true)
+                );
             }
             other => panic!("unexpected decode {other:?}"),
         }
@@ -659,8 +973,11 @@ mod tests {
 
     #[test]
     fn bad_opcode_rejected() {
-        assert!(matches!(decode(0xff << 56), Err(DecodeError::BadOpcode(0xff))));
-        assert!(matches!(decode(u64::MAX), Err(_)));
+        assert!(matches!(
+            decode(0xff << 56),
+            Err(DecodeError::BadOpcode(0xff))
+        ));
+        assert!(decode(u64::MAX).is_err());
     }
 
     #[test]
@@ -674,26 +991,48 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not fit in 22 bits")]
     fn oversized_immediate_panics() {
-        encode(&Insn::new(Op::AddI { dest: 1, src: 2, imm: 1 << 22 }));
+        encode(&Insn::new(Op::AddI {
+            dest: 1,
+            src: 2,
+            imm: 1 << 22,
+        }));
     }
 
     #[test]
     #[should_panic(expected = "register number")]
     fn oversized_register_panics() {
-        encode(&Insn::new(Op::Add { dest: 200, r2: 0, r3: 0 }));
+        encode(&Insn::new(Op::Add {
+            dest: 200,
+            r2: 0,
+            r3: 0,
+        }));
     }
 
     #[test]
     fn movl_extremes_roundtrip() {
-        roundtrip(Insn::new(Op::MovI { dest: 9, imm: MOVL_IMM_MAX }));
-        roundtrip(Insn::new(Op::MovI { dest: 9, imm: MOVL_IMM_MIN }));
+        roundtrip(Insn::new(Op::MovI {
+            dest: 9,
+            imm: MOVL_IMM_MAX,
+        }));
+        roundtrip(Insn::new(Op::MovI {
+            dest: 9,
+            imm: MOVL_IMM_MIN,
+        }));
         roundtrip(Insn::new(Op::MovI { dest: 9, imm: 0 }));
         roundtrip(Insn::new(Op::MovI { dest: 9, imm: -1 }));
     }
 
     #[test]
     fn negative_postinc_roundtrip() {
-        roundtrip(Insn::new(Op::Ldfd { dest: 40, base: 41, post_inc: -(1 << 21) }));
-        roundtrip(Insn::new(Op::Ldfd { dest: 40, base: 41, post_inc: (1 << 21) - 1 }));
+        roundtrip(Insn::new(Op::Ldfd {
+            dest: 40,
+            base: 41,
+            post_inc: -(1 << 21),
+        }));
+        roundtrip(Insn::new(Op::Ldfd {
+            dest: 40,
+            base: 41,
+            post_inc: (1 << 21) - 1,
+        }));
     }
 }

@@ -63,7 +63,13 @@ impl CodeImage {
     /// Build an image from already-encoded words (the assembler's output).
     pub fn from_words(words: Vec<u64>, symbols: BTreeMap<String, CodeAddr>) -> Self {
         let main_len = words.len() as u32;
-        CodeImage { words, main_len, symbols, comments: BTreeMap::new(), patch_log: Vec::new() }
+        CodeImage {
+            words,
+            main_len,
+            symbols,
+            comments: BTreeMap::new(),
+            patch_log: Vec::new(),
+        }
     }
 
     /// Total image length in words (original text + trace cache).
@@ -143,7 +149,11 @@ impl CodeImage {
         decode(new_word).map_err(PatchError::InvalidWord)?;
         let old_word = self.words[addr as usize];
         self.words[addr as usize] = new_word;
-        self.patch_log.push(PatchRecord { addr, old_word, new_word });
+        self.patch_log.push(PatchRecord {
+            addr,
+            old_word,
+            new_word,
+        });
         Ok(old_word)
     }
 
@@ -186,7 +196,7 @@ impl CodeImage {
             self.words.push(encode(insn));
         }
         // Pad the tail so the image always ends on a bundle boundary.
-        while self.len() % SLOTS_PER_BUNDLE != 0 {
+        while !self.len().is_multiple_of(SLOTS_PER_BUNDLE) {
             self.words.push(encode(&NOP_SLOT_I));
         }
         start
@@ -226,8 +236,17 @@ mod tests {
 
     fn tiny_image() -> CodeImage {
         let insns = [
-            Insn::new(Op::Lfetch { base: 10, post_inc: 128, hint: LfetchHint::Nt1, excl: false }),
-            Insn::new(Op::AddI { dest: 1, src: 1, imm: 8 }),
+            Insn::new(Op::Lfetch {
+                base: 10,
+                post_inc: 128,
+                hint: LfetchHint::Nt1,
+                excl: false,
+            }),
+            Insn::new(Op::AddI {
+                dest: 1,
+                src: 1,
+                imm: 8,
+            }),
             Insn::new(Op::BrCloop { target: 0 }),
         ];
         let words = insns.iter().map(encode).collect();
@@ -257,7 +276,10 @@ mod tests {
     #[test]
     fn patch_invalid_word_rejected() {
         let mut img = tiny_image();
-        assert!(matches!(img.patch_word(0, u64::MAX), Err(PatchError::InvalidWord(_))));
+        assert!(matches!(
+            img.patch_word(0, u64::MAX),
+            Err(PatchError::InvalidWord(_))
+        ));
         // Image unchanged after the failed patch.
         assert!(img.patch_log().is_empty());
     }
@@ -282,7 +304,12 @@ mod tests {
     #[test]
     fn count_matching_only_scans_original_text() {
         let mut img = tiny_image();
-        let lf = Insn::new(Op::Lfetch { base: 9, post_inc: 0, hint: LfetchHint::Nt1, excl: true });
+        let lf = Insn::new(Op::Lfetch {
+            base: 9,
+            post_inc: 0,
+            hint: LfetchHint::Nt1,
+            excl: true,
+        });
         img.append_trace(&[lf]);
         let n = img.count_matching(|i| i.is_lfetch());
         assert_eq!(n, 1, "trace-cache lfetch must not be counted");

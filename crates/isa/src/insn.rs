@@ -134,7 +134,12 @@ pub enum Op {
     // ---- memory ----
     /// `ld8 rD=[rB],imm` — 8-byte integer load with optional post-increment.
     /// `bias` requests the line in Exclusive state (the `.bias` hint of §4).
-    Ld8 { dest: u8, base: u8, post_inc: i32, bias: bool },
+    Ld8 {
+        dest: u8,
+        base: u8,
+        post_inc: i32,
+        bias: bool,
+    },
     /// `st8 [rB]=rS,imm` — 8-byte integer store.
     St8 { src: u8, base: u8, post_inc: i32 },
     /// `ldfd fD=[rB],imm` — FP double load (bypasses L1 on Itanium 2).
@@ -145,13 +150,23 @@ pub enum Op {
     /// `.excl` completer requests the line in Exclusive rather than Shared
     /// state; the COBRA optimizer toggles `excl` and rewrites whole `lfetch`es
     /// to `nop.m` at runtime.
-    Lfetch { base: u8, post_inc: i32, hint: LfetchHint, excl: bool },
+    Lfetch {
+        base: u8,
+        post_inc: i32,
+        hint: LfetchHint,
+        excl: bool,
+    },
     /// `fetchadd8 rD=[rB],imm` — atomic fetch-and-add (acquire semantics).
     FetchAdd8 { dest: u8, base: u8, inc: i32 },
     /// `cmpxchg8 rD=[rB],rN ? rC` — atomic compare-exchange: if `[rB] == rC`
     /// store `rN`; `rD` receives the old value. (The architectural `ar.ccv`
     /// comparand register is modelled as the explicit operand `cmp`.)
-    Cmpxchg8 { dest: u8, base: u8, new: u8, cmp: u8 },
+    Cmpxchg8 {
+        dest: u8,
+        base: u8,
+        new: u8,
+        cmp: u8,
+    },
 
     // ---- floating point ----
     /// `fma.d fD=f1,f2,f3` — fused multiply-add: `fD = f1*f2 + f3`.
@@ -176,7 +191,13 @@ pub enum Op {
     FnegD { dest: u8, f1: u8 },
     /// `fcmp.rel pA,pB=f1,f2` — sets `pA` to the comparison result and `pB`
     /// to its complement.
-    FcmpD { p1: u8, p2: u8, rel: CmpRel, f1: u8, f2: u8 },
+    FcmpD {
+        p1: u8,
+        p2: u8,
+        rel: CmpRel,
+        f1: u8,
+        f2: u8,
+    },
     /// `setf.d fD=rS` — move GR bits into an FR (bit pattern reinterpreted as
     /// an IEEE double).
     SetfD { dest: u8, src: u8 },
@@ -221,9 +242,21 @@ pub enum Op {
     /// loop-bound constant the workloads use).
     MovI { dest: u8, imm: i64 },
     /// `cmp.rel pA,pB=r2,r3`.
-    Cmp { p1: u8, p2: u8, rel: CmpRel, r2: u8, r3: u8 },
+    Cmp {
+        p1: u8,
+        p2: u8,
+        rel: CmpRel,
+        r2: u8,
+        r3: u8,
+    },
     /// `cmp.rel pA,pB=imm,r3`.
-    CmpI { p1: u8, p2: u8, rel: CmpRel, imm: i32, r3: u8 },
+    CmpI {
+        p1: u8,
+        p2: u8,
+        rel: CmpRel,
+        imm: i32,
+        r3: u8,
+    },
 
     // ---- branches ----
     /// `br.cond target` — taken when the qualifying predicate holds.
@@ -313,19 +346,57 @@ impl Op {
     pub fn unit(&self) -> Unit {
         use Op::*;
         match self {
-            Ld8 { .. } | St8 { .. } | Ldfd { .. } | Stfd { .. } | Lfetch { .. }
-            | FetchAdd8 { .. } | Cmpxchg8 { .. } | SetfD { .. } | GetfD { .. }
-            | SetfSig { .. } | GetfSig { .. } => Unit::M,
-            FmaD { .. } | FmsD { .. } | FaddD { .. } | FsubD { .. } | FmulD { .. }
-            | FdivD { .. } | FsqrtD { .. } | FabsD { .. } | FnegD { .. } | FcmpD { .. }
-            | FcvtXf { .. } | FcvtFxTrunc { .. } => Unit::F,
-            Add { .. } | Sub { .. } | AddI { .. } | Mul { .. } | ShlI { .. } | ShrI { .. }
-            | SarI { .. } | And { .. } | Or { .. } | Xor { .. } | AndI { .. } | MovI { .. }
-            | Cmp { .. } | CmpI { .. } | MovToLc { .. } | MovToEc { .. }
-            | MovFromLc { .. } | MovFromEc { .. } | MovToB0 { .. } | MovFromB0 { .. }
+            Ld8 { .. }
+            | St8 { .. }
+            | Ldfd { .. }
+            | Stfd { .. }
+            | Lfetch { .. }
+            | FetchAdd8 { .. }
+            | Cmpxchg8 { .. }
+            | SetfD { .. }
+            | GetfD { .. }
+            | SetfSig { .. }
+            | GetfSig { .. } => Unit::M,
+            FmaD { .. }
+            | FmsD { .. }
+            | FaddD { .. }
+            | FsubD { .. }
+            | FmulD { .. }
+            | FdivD { .. }
+            | FsqrtD { .. }
+            | FabsD { .. }
+            | FnegD { .. }
+            | FcmpD { .. }
+            | FcvtXf { .. }
+            | FcvtFxTrunc { .. } => Unit::F,
+            Add { .. }
+            | Sub { .. }
+            | AddI { .. }
+            | Mul { .. }
+            | ShlI { .. }
+            | ShrI { .. }
+            | SarI { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | AndI { .. }
+            | MovI { .. }
+            | Cmp { .. }
+            | CmpI { .. }
+            | MovToLc { .. }
+            | MovToEc { .. }
+            | MovFromLc { .. }
+            | MovFromEc { .. }
+            | MovToB0 { .. }
+            | MovFromB0 { .. }
             | Clrrrb => Unit::I,
-            BrCond { .. } | BrCtop { .. } | BrCloop { .. } | BrWtop { .. }
-            | BrCall { .. } | BrRet | Hlt => Unit::B,
+            BrCond { .. }
+            | BrCtop { .. }
+            | BrCloop { .. }
+            | BrWtop { .. }
+            | BrCall { .. }
+            | BrRet
+            | Hlt => Unit::B,
             Nop { unit } => *unit,
         }
     }
@@ -385,13 +456,25 @@ impl Op {
 }
 
 /// `nop.m` slot — what `noprefetch` writes over an `lfetch`.
-pub const NOP_SLOT_M: Insn = Insn { qp: 0, op: Op::Nop { unit: Unit::M } };
+pub const NOP_SLOT_M: Insn = Insn {
+    qp: 0,
+    op: Op::Nop { unit: Unit::M },
+};
 /// `nop.i` slot.
-pub const NOP_SLOT_I: Insn = Insn { qp: 0, op: Op::Nop { unit: Unit::I } };
+pub const NOP_SLOT_I: Insn = Insn {
+    qp: 0,
+    op: Op::Nop { unit: Unit::I },
+};
 /// `nop.f` slot.
-pub const NOP_SLOT_F: Insn = Insn { qp: 0, op: Op::Nop { unit: Unit::F } };
+pub const NOP_SLOT_F: Insn = Insn {
+    qp: 0,
+    op: Op::Nop { unit: Unit::F },
+};
 /// `nop.b` slot.
-pub const NOP_SLOT_B: Insn = Insn { qp: 0, op: Op::Nop { unit: Unit::B } };
+pub const NOP_SLOT_B: Insn = Insn {
+    qp: 0,
+    op: Op::Nop { unit: Unit::B },
+};
 
 #[cfg(test)]
 mod tests {
@@ -399,10 +482,36 @@ mod tests {
 
     #[test]
     fn units_are_consistent_with_slot_classes() {
-        assert_eq!(Op::Lfetch { base: 1, post_inc: 0, hint: LfetchHint::Nt1, excl: false }.unit(), Unit::M);
-        assert_eq!(Op::FmaD { dest: 6, f1: 7, f2: 8, f3: 9 }.unit(), Unit::F);
+        assert_eq!(
+            Op::Lfetch {
+                base: 1,
+                post_inc: 0,
+                hint: LfetchHint::Nt1,
+                excl: false
+            }
+            .unit(),
+            Unit::M
+        );
+        assert_eq!(
+            Op::FmaD {
+                dest: 6,
+                f1: 7,
+                f2: 8,
+                f3: 9
+            }
+            .unit(),
+            Unit::F
+        );
         assert_eq!(Op::BrCtop { target: 0 }.unit(), Unit::B);
-        assert_eq!(Op::Add { dest: 1, r2: 2, r3: 3 }.unit(), Unit::I);
+        assert_eq!(
+            Op::Add {
+                dest: 1,
+                r2: 2,
+                r3: 3
+            }
+            .unit(),
+            Unit::I
+        );
         assert_eq!(Op::Nop { unit: Unit::F }.unit(), Unit::F);
     }
 
@@ -426,7 +535,15 @@ mod tests {
 
     #[test]
     fn lfetch_predicates() {
-        let lf = Insn::pred(16, Op::Lfetch { base: 43, post_inc: 0, hint: LfetchHint::Nt1, excl: false });
+        let lf = Insn::pred(
+            16,
+            Op::Lfetch {
+                base: 43,
+                post_inc: 0,
+                hint: LfetchHint::Nt1,
+                excl: false,
+            },
+        );
         assert!(lf.is_lfetch());
         assert!(!lf.is_branch());
         assert_eq!(lf.qp, 16);

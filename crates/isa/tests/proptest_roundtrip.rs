@@ -1,8 +1,8 @@
 //! Property tests: every well-formed instruction round-trips through the
 //! binary encoding, and arbitrary 64-bit words never panic the decoder.
 
-use cobra_isa::{decode, encode, CmpRel, Insn, LfetchHint, Unit};
 use cobra_isa::insn::Op;
+use cobra_isa::{decode, encode, CmpRel, Insn, LfetchHint, Unit};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = u8> {
@@ -45,36 +45,103 @@ fn arb_unit() -> impl Strategy<Value = Unit> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (arb_reg(), arb_reg(), arb_imm22(), any::<bool>())
-            .prop_map(|(dest, base, post_inc, bias)| Op::Ld8 { dest, base, post_inc, bias }),
-        (arb_reg(), arb_reg(), arb_imm22())
-            .prop_map(|(src, base, post_inc)| Op::St8 { src, base, post_inc }),
-        (arb_reg(), arb_reg(), arb_imm22())
-            .prop_map(|(dest, base, post_inc)| Op::Ldfd { dest, base, post_inc }),
-        (arb_reg(), arb_reg(), arb_imm22())
-            .prop_map(|(src, base, post_inc)| Op::Stfd { src, base, post_inc }),
-        (arb_reg(), arb_imm22(), arb_hint(), any::<bool>())
-            .prop_map(|(base, post_inc, hint, excl)| Op::Lfetch { base, post_inc, hint, excl }),
-        (arb_reg(), arb_reg(), arb_imm22())
-            .prop_map(|(dest, base, inc)| Op::FetchAdd8 { dest, base, inc }),
-        (arb_reg(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(dest, base, new, cmp)| Op::Cmpxchg8 { dest, base, new, cmp }),
-        (arb_reg(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(dest, f1, f2, f3)| Op::FmaD { dest, f1, f2, f3 }),
-        (arb_reg(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(dest, f1, f2, f3)| Op::FmsD { dest, f1, f2, f3 }),
+        (arb_reg(), arb_reg(), arb_imm22(), any::<bool>()).prop_map(
+            |(dest, base, post_inc, bias)| Op::Ld8 {
+                dest,
+                base,
+                post_inc,
+                bias
+            }
+        ),
+        (arb_reg(), arb_reg(), arb_imm22()).prop_map(|(src, base, post_inc)| Op::St8 {
+            src,
+            base,
+            post_inc
+        }),
+        (arb_reg(), arb_reg(), arb_imm22()).prop_map(|(dest, base, post_inc)| Op::Ldfd {
+            dest,
+            base,
+            post_inc
+        }),
+        (arb_reg(), arb_reg(), arb_imm22()).prop_map(|(src, base, post_inc)| Op::Stfd {
+            src,
+            base,
+            post_inc
+        }),
+        (arb_reg(), arb_imm22(), arb_hint(), any::<bool>()).prop_map(
+            |(base, post_inc, hint, excl)| Op::Lfetch {
+                base,
+                post_inc,
+                hint,
+                excl
+            }
+        ),
+        (arb_reg(), arb_reg(), arb_imm22()).prop_map(|(dest, base, inc)| Op::FetchAdd8 {
+            dest,
+            base,
+            inc
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(dest, base, new, cmp)| {
+            Op::Cmpxchg8 {
+                dest,
+                base,
+                new,
+                cmp,
+            }
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(dest, f1, f2, f3)| Op::FmaD {
+            dest,
+            f1,
+            f2,
+            f3
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(dest, f1, f2, f3)| Op::FmsD {
+            dest,
+            f1,
+            f2,
+            f3
+        }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(dest, f1, f2)| Op::FaddD { dest, f1, f2 }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(dest, f1, f2)| Op::FdivD { dest, f1, f2 }),
-        (arb_pr(), arb_pr(), arb_rel(), arb_reg(), arb_reg())
-            .prop_map(|(p1, p2, rel, f1, f2)| Op::FcmpD { p1, p2, rel, f1, f2 }),
+        (arb_pr(), arb_pr(), arb_rel(), arb_reg(), arb_reg()).prop_map(|(p1, p2, rel, f1, f2)| {
+            Op::FcmpD {
+                p1,
+                p2,
+                rel,
+                f1,
+                f2,
+            }
+        }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(dest, r2, r3)| Op::Add { dest, r2, r3 }),
-        (arb_reg(), arb_reg(), arb_imm22()).prop_map(|(dest, src, imm)| Op::AddI { dest, src, imm }),
-        (arb_reg(), arb_reg(), 0u8..64).prop_map(|(dest, src, count)| Op::ShlI { dest, src, count }),
+        (arb_reg(), arb_reg(), arb_imm22()).prop_map(|(dest, src, imm)| Op::AddI {
+            dest,
+            src,
+            imm
+        }),
+        (arb_reg(), arb_reg(), 0u8..64).prop_map(|(dest, src, count)| Op::ShlI {
+            dest,
+            src,
+            count
+        }),
         (arb_reg(), -(1i64 << 42)..(1i64 << 42)).prop_map(|(dest, imm)| Op::MovI { dest, imm }),
-        (arb_pr(), arb_pr(), arb_rel(), arb_reg(), arb_reg())
-            .prop_map(|(p1, p2, rel, r2, r3)| Op::Cmp { p1, p2, rel, r2, r3 }),
-        (arb_pr(), arb_pr(), arb_rel(), arb_imm22(), arb_reg())
-            .prop_map(|(p1, p2, rel, imm, r3)| Op::CmpI { p1, p2, rel, imm, r3 }),
+        (arb_pr(), arb_pr(), arb_rel(), arb_reg(), arb_reg()).prop_map(|(p1, p2, rel, r2, r3)| {
+            Op::Cmp {
+                p1,
+                p2,
+                rel,
+                r2,
+                r3,
+            }
+        }),
+        (arb_pr(), arb_pr(), arb_rel(), arb_imm22(), arb_reg()).prop_map(
+            |(p1, p2, rel, imm, r3)| Op::CmpI {
+                p1,
+                p2,
+                rel,
+                imm,
+                r3
+            }
+        ),
         any::<u32>().prop_map(|target| Op::BrCond { target }),
         any::<u32>().prop_map(|target| Op::BrCtop { target }),
         any::<u32>().prop_map(|target| Op::BrCloop { target }),

@@ -38,8 +38,12 @@ pub struct DaxpyParams {
 
 impl DaxpyParams {
     pub fn new(working_set_bytes: usize, reps: usize) -> Self {
-        assert!(working_set_bytes % 16 == 0);
-        DaxpyParams { working_set_bytes, reps, a: 2.0 }
+        assert!(working_set_bytes.is_multiple_of(16));
+        DaxpyParams {
+            working_set_bytes,
+            reps,
+            a: 2.0,
+        }
     }
 
     /// Elements per array.
@@ -95,7 +99,14 @@ impl Daxpy {
         a.hlt();
         let image = a.finish();
 
-        Daxpy { params, image, entry, x_addr, y_addr, meta }
+        Daxpy {
+            params,
+            image,
+            entry,
+            x_addr,
+            y_addr,
+            meta,
+        }
     }
 
     pub fn params(&self) -> &DaxpyParams {
@@ -151,11 +162,25 @@ impl Workload for Daxpy {
         hook: &mut dyn QuantumHook,
     ) -> WorkloadRun {
         let start = machine.cycle();
-        let args = [self.x_addr as i64, self.y_addr as i64, self.params.a.to_bits() as i64];
+        let args = [
+            self.x_addr as i64,
+            self.y_addr as i64,
+            self.params.a.to_bits() as i64,
+        ];
         for _ in 0..self.params.reps {
-            rt.parallel_for(machine, team, self.entry, 0, self.params.n() as i64, &args, hook);
+            rt.parallel_for(
+                machine,
+                team,
+                self.entry,
+                0,
+                self.params.n() as i64,
+                &args,
+                hook,
+            );
         }
-        WorkloadRun { cycles: machine.cycle() - start }
+        WorkloadRun {
+            cycles: machine.cycle() - start,
+        }
     }
 
     fn verify(&self, mem: &DataMem) -> Result<(), String> {
@@ -199,7 +224,11 @@ mod tests {
     #[test]
     fn static_lfetch_count_matches_figure2_shape() {
         let cfg = MachineConfig::smp4();
-        let d = Daxpy::build(DaxpyParams::new(128 * 1024, 1), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+        let d = Daxpy::build(
+            DaxpyParams::new(128 * 1024, 1),
+            &PrefetchPolicy::aggressive(),
+            cfg.mem_bytes,
+        );
         // 6-line burst + 2 per-iteration prefetches (x and y streams).
         let count = d.image().count_matching(|i| i.is_lfetch());
         assert_eq!(count, 8);

@@ -45,18 +45,29 @@ pub struct PrefetchPolicy {
 impl PrefetchPolicy {
     /// The baseline: aggressive prefetching as icc -O3 generates it.
     pub fn aggressive() -> Self {
-        PrefetchPolicy { enabled: true, distance_bytes: 1200, burst_lines: 6, excl: false }
+        PrefetchPolicy {
+            enabled: true,
+            distance_bytes: 1200,
+            burst_lines: 6,
+            excl: false,
+        }
     }
 
     /// Static noprefetch variant: identical schedule to [`Self::aggressive`]
     /// with every `lfetch` replaced by `nop.m` (§2's modified binaries).
     pub fn none() -> Self {
-        PrefetchPolicy { enabled: false, ..Self::aggressive() }
+        PrefetchPolicy {
+            enabled: false,
+            ..Self::aggressive()
+        }
     }
 
     /// Static blanket-`.excl` variant.
     pub fn aggressive_excl() -> Self {
-        PrefetchPolicy { excl: true, ..Self::aggressive() }
+        PrefetchPolicy {
+            excl: true,
+            ..Self::aggressive()
+        }
     }
 
     fn hint(&self) -> LfetchHint {
@@ -201,7 +212,13 @@ pub fn emit_stream_loop(
 
     let skip = a.new_label();
     // if (n <= 0) goto skip;
-    a.emit(Insn::new(Op::CmpI { p1: 6, p2: 7, rel: CmpRel::Ge, imm: 0, r3: spec.n }));
+    a.emit(Insn::new(Op::CmpI {
+        p1: 6,
+        p2: 7,
+        rel: CmpRel::Ge,
+        imm: 0,
+        r3: spec.n,
+    }));
     a.br_cond(6, skip);
 
     for &ptr in &spec.burst {
@@ -221,7 +238,13 @@ pub fn emit_stream_loop(
     // Prime the stage predicates: p16 = 1, p17..p(15+ec) = 0.
     a.cmp(16, 17, CmpRel::Eq, 0, 0);
     for stage in 2..ec {
-        a.emit(Insn::new(Op::Cmp { p1: 16 + stage, p2: P_SINK, rel: CmpRel::Ne, r2: 0, r3: 0 }));
+        a.emit(Insn::new(Op::Cmp {
+            p1: 16 + stage,
+            p2: P_SINK,
+            rel: CmpRel::Ne,
+            r2: 0,
+            r3: 0,
+        }));
     }
 
     let top = a.new_label();
@@ -276,7 +299,15 @@ pub fn emit_stream_loop(
         }
         StreamOp::Dot => {
             a.comment("acc += x1[i]*x2[i]");
-            a.emit(Insn::pred(cp, Op::FmaD { dest: spec.acc, f1: x1_c, f2: x2_c, f3: spec.acc }));
+            a.emit(Insn::pred(
+                cp,
+                Op::FmaD {
+                    dest: spec.acc,
+                    f1: x1_c,
+                    f2: x2_c,
+                    f3: spec.acc,
+                },
+            ));
         }
     }
 
@@ -322,20 +353,35 @@ impl StreamLoopSpec {
 /// log2(element size in bytes) times the per-index stride.
 pub fn emit_ptr(a: &mut Assembler, dest: u8, base: u8, lo_reg: u8, offset_elems: i32, shift: u8) {
     a.addi(dest, lo_reg, offset_elems);
-    a.emit(Insn::new(Op::ShlI { dest, src: dest, count: shift }));
-    a.emit(Insn::new(Op::Add { dest, r2: dest, r3: base }));
+    a.emit(Insn::new(Op::ShlI {
+        dest,
+        src: dest,
+        count: shift,
+    }));
+    a.emit(Insn::new(Op::Add {
+        dest,
+        r2: dest,
+        r3: base,
+    }));
 }
 
 /// Emit trip-count setup: `dest = hi_reg - lo_reg`.
 pub fn emit_trip_count(a: &mut Assembler, dest: u8, lo_reg: u8, hi_reg: u8) {
-    a.emit(Insn::new(Op::Sub { dest, r2: hi_reg, r3: lo_reg }));
+    a.emit(Insn::new(Op::Sub {
+        dest,
+        r2: hi_reg,
+        r3: lo_reg,
+    }));
 }
 
 /// Emit `dest_fr = f64::from_bits(bits_reg)` — how scalar coefficients
 /// arrive in region bodies (passed as raw bits in integer argument
 /// registers).
 pub fn emit_coef(a: &mut Assembler, dest_fr: u8, bits_reg: u8) {
-    a.emit(Insn::new(Op::SetfD { dest: dest_fr, src: bits_reg }));
+    a.emit(Insn::new(Op::SetfD {
+        dest: dest_fr,
+        src: bits_reg,
+    }));
 }
 
 #[cfg(test)]
@@ -365,7 +411,12 @@ mod tests {
         a.addi(27, 2, 1200);
         a.addi(28, 4, 1200);
         // zero the accumulator
-        a.emit(Insn::new(Op::FmaD { dest: 9, f1: 0, f2: 0, f3: 0 }));
+        a.emit(Insn::new(Op::FmaD {
+            dest: 9,
+            f1: 0,
+            f2: 0,
+            f3: 0,
+        }));
         let spec = match op {
             StreamOp::Copy => StreamLoopSpec {
                 op,
@@ -464,7 +515,13 @@ mod tests {
     #[test]
     fn daxpy_computes_correctly_across_threads() {
         for threads in [1, 2, 4] {
-            let (m, x, y, _) = run(StreamOp::Daxpy, &PrefetchPolicy::aggressive(), 333, threads, 3.0);
+            let (m, x, y, _) = run(
+                StreamOp::Daxpy,
+                &PrefetchPolicy::aggressive(),
+                333,
+                threads,
+                3.0,
+            );
             for i in 0..333 {
                 let want = y[i] + 3.0 * x[i];
                 let got = m.shared.mem.read_f64((Y + 8 * i as i64) as u64);
@@ -490,6 +547,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i addresses memory and indexes x
     fn copy_scale_triad_semantics() {
         let (m, x, ..) = run(StreamOp::Copy, &PrefetchPolicy::aggressive(), 100, 2, 0.0);
         for i in 0..100 {
@@ -501,7 +559,10 @@ mod tests {
         }
         let (m, x, _, z) = run(StreamOp::Triad, &PrefetchPolicy::aggressive(), 100, 4, 4.0);
         for i in 0..100 {
-            assert_eq!(m.shared.mem.read_f64((Y + 8 * i as i64) as u64), z[i] + 4.0 * x[i]);
+            assert_eq!(
+                m.shared.mem.read_f64((Y + 8 * i as i64) as u64),
+                z[i] + 4.0 * x[i]
+            );
         }
     }
 

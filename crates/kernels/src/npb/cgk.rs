@@ -19,8 +19,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::minicc::{
-    emit_coef, emit_ptr, emit_stream_loop, emit_trip_count, PrefetchPolicy, Stream,
-    StreamLoopSpec, StreamOp,
+    emit_coef, emit_ptr, emit_stream_loop, emit_trip_count, PrefetchPolicy, Stream, StreamLoopSpec,
+    StreamOp,
 };
 use crate::workload::{Arena, Workload, WorkloadRun};
 
@@ -38,7 +38,11 @@ pub struct CgParams {
 impl CgParams {
     /// Class-S-like scale (NPB class S: n=1400, niter=15).
     pub fn class_s() -> Self {
-        CgParams { n: 1400, row_nnz: 8, iterations: 15 }
+        CgParams {
+            n: 1400,
+            row_nnz: 8,
+            iterations: 15,
+        }
     }
 }
 
@@ -157,19 +161,52 @@ impl Cg {
         emit_ptr(a, 5, abi::R_ARG0 + 4, abi::R_LO, 0, 3); // &q[lo]
         emit_trip_count(a, 21, abi::R_LO, abi::R_HI);
         let done = a.new_label();
-        a.emit(Insn::new(Op::CmpI { p1: 6, p2: 7, rel: CmpRel::Ge, imm: 0, r3: 21 }));
+        a.emit(Insn::new(Op::CmpI {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Ge,
+            imm: 0,
+            r3: 21,
+        }));
         a.br_cond(6, done);
         let outer = a.new_label();
         a.bind(outer);
         a.ld8(0, 6, 2, 8); // start = rowptr[row]; r2 -> rowptr[row+1]
         a.ld8(0, 7, 2, 0); // end
-        a.emit(Insn::new(Op::ShlI { dest: 17, src: 6, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 3, r2: 17, r3: abi::R_ARG0 + 2 })); // &vals[start]
-        a.emit(Insn::new(Op::Add { dest: 4, r2: 17, r3: abi::R_ARG0 + 1 })); // &colidx[start]
-        a.emit(Insn::new(Op::Sub { dest: 18, r2: 7, r3: 6 })); // count
-        a.emit(Insn::new(Op::FmaD { dest: 9, f1: 0, f2: 0, f3: 0 })); // acc = 0
+        a.emit(Insn::new(Op::ShlI {
+            dest: 17,
+            src: 6,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 3,
+            r2: 17,
+            r3: abi::R_ARG0 + 2,
+        })); // &vals[start]
+        a.emit(Insn::new(Op::Add {
+            dest: 4,
+            r2: 17,
+            r3: abi::R_ARG0 + 1,
+        })); // &colidx[start]
+        a.emit(Insn::new(Op::Sub {
+            dest: 18,
+            r2: 7,
+            r3: 6,
+        })); // count
+        a.emit(Insn::new(Op::FmaD {
+            dest: 9,
+            f1: 0,
+            f2: 0,
+            f3: 0,
+        })); // acc = 0
         let store = a.new_label();
-        a.emit(Insn::new(Op::CmpI { p1: 6, p2: 7, rel: CmpRel::Ge, imm: 0, r3: 18 }));
+        a.emit(Insn::new(Op::CmpI {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Ge,
+            imm: 0,
+            r3: 18,
+        }));
         a.br_cond(6, store);
         a.addi(18, 18, -1);
         a.mov_to_lc(18);
@@ -195,15 +232,34 @@ impl Cg {
                 excl: policy.excl,
             }));
         }
-        a.emit(Insn::new(Op::ShlI { dest: 19, src: 19, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 19, r2: 19, r3: abi::R_ARG0 + 3 })); // &p[col]
+        a.emit(Insn::new(Op::ShlI {
+            dest: 19,
+            src: 19,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 19,
+            r2: 19,
+            r3: abi::R_ARG0 + 3,
+        })); // &p[col]
         a.ldfd(0, 11, 19, 0);
-        a.emit(Insn::new(Op::FmaD { dest: 9, f1: 10, f2: 11, f3: 9 }));
+        a.emit(Insn::new(Op::FmaD {
+            dest: 9,
+            f1: 10,
+            f2: 11,
+            f3: 9,
+        }));
         a.br_cloop(inner);
         a.bind(store);
         a.stfd(0, 9, 5, 8); // q[row] = acc
         a.addi(21, 21, -1);
-        a.emit(Insn::new(Op::Cmp { p1: 8, p2: 9, rel: CmpRel::Gt, r2: 21, r3: 0 }));
+        a.emit(Insn::new(Op::Cmp {
+            p1: 8,
+            p2: 9,
+            rel: CmpRel::Gt,
+            r2: 21,
+            r3: 0,
+        }));
         // Row loop with a data-dependent body: while-style back edge
         // (no rotating state is live across it).
         a.br_wtop(8, outer);
@@ -221,7 +277,12 @@ impl Cg {
         emit_trip_count(a, 20, abi::R_LO, abi::R_HI);
         a.addi(27, 2, policy.distance_bytes as i32);
         a.addi(28, 3, policy.distance_bytes as i32);
-        a.emit(Insn::new(Op::FmaD { dest: 9, f1: 0, f2: 0, f3: 0 })); // acc = 0
+        a.emit(Insn::new(Op::FmaD {
+            dest: 9,
+            f1: 0,
+            f2: 0,
+            f3: 0,
+        })); // acc = 0
         let spec = StreamLoopSpec {
             op: StreamOp::Dot,
             x1: Stream { ptr: 2, stride: 8 },
@@ -235,8 +296,16 @@ impl Cg {
         };
         emit_stream_loop(a, policy, &spec);
         // partials[tid] (one line per slot: tid << 7)
-        a.emit(Insn::new(Op::ShlI { dest: 7, src: abi::R_TID, count: 7 }));
-        a.emit(Insn::new(Op::Add { dest: 7, r2: 7, r3: abi::R_ARG0 + 2 }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 7,
+            src: abi::R_TID,
+            count: 7,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 7,
+            r2: 7,
+            r3: abi::R_ARG0 + 2,
+        }));
         a.stfd(0, 9, 7, 0);
         a.hlt();
         entry
@@ -341,7 +410,12 @@ impl Cg {
 
     fn sum_partials(&self, machine: &Machine, nthreads: usize) -> f64 {
         (0..nthreads)
-            .map(|t| machine.shared.mem.read_f64(self.layout.partials + 128 * t as u64))
+            .map(|t| {
+                machine
+                    .shared
+                    .mem
+                    .read_f64(self.layout.partials + 128 * t as u64)
+            })
             .sum()
     }
 }
@@ -395,7 +469,13 @@ impl Workload for Cg {
                 self.matvec,
                 0,
                 n,
-                &[l.rowptr as i64, l.colidx as i64, l.vals as i64, l.p as i64, l.q as i64],
+                &[
+                    l.rowptr as i64,
+                    l.colidx as i64,
+                    l.vals as i64,
+                    l.p as i64,
+                    l.q as i64,
+                ],
                 hook,
             );
             // alpha = rho / (p.q)
@@ -453,7 +533,9 @@ impl Workload for Cg {
                 hook,
             );
         }
-        WorkloadRun { cycles: machine.cycle() - start }
+        WorkloadRun {
+            cycles: machine.cycle() - start,
+        }
     }
 
     fn verify(&self, mem: &DataMem) -> Result<(), String> {
@@ -482,7 +564,11 @@ mod tests {
     use cobra_machine::MachineConfig;
 
     fn small() -> CgParams {
-        CgParams { n: 120, row_nnz: 5, iterations: 6 }
+        CgParams {
+            n: 120,
+            row_nnz: 5,
+            iterations: 6,
+        }
     }
 
     #[test]
@@ -492,7 +578,10 @@ mod tests {
             let cg = Cg::build(small(), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
             // Residual must actually shrink (diagonally dominant system).
             let rho0: f64 = cg.b.iter().map(|v| v * v).sum();
-            assert!(cg.expect_rho < rho0 * 1e-3, "CG failed to converge on host mirror");
+            assert!(
+                cg.expect_rho < rho0 * 1e-3,
+                "CG failed to converge on host mirror"
+            );
             let (_m, run) = execute_plain(&cg, &cfg, Team::new(threads));
             assert!(run.cycles > 0, "threads={threads}");
         }
@@ -515,8 +604,12 @@ mod tests {
     fn cg_binary_contains_cloop_inner_and_ctop_vector_loops() {
         let cfg = MachineConfig::smp4();
         let cg = Cg::build(small(), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
-        let cloops = cg.image().count_matching(|i| matches!(i.op, Op::BrCloop { .. }));
-        let ctops = cg.image().count_matching(|i| matches!(i.op, Op::BrCtop { .. }));
+        let cloops = cg
+            .image()
+            .count_matching(|i| matches!(i.op, Op::BrCloop { .. }));
+        let ctops = cg
+            .image()
+            .count_matching(|i| matches!(i.op, Op::BrCtop { .. }));
         assert!(cloops >= 1, "matvec inner loop uses br.cloop");
         assert_eq!(ctops, 5, "five pipelined vector loops");
         assert!(cg.image().count_matching(|i| i.is_lfetch()) > 10);

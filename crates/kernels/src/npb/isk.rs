@@ -30,7 +30,11 @@ pub struct IsParams {
 impl IsParams {
     /// Class-S-like scale (NPB class S sorts 2^16 keys).
     pub fn class_s() -> Self {
-        IsParams { keys: 1 << 15, buckets: 512, reps: 3 }
+        IsParams {
+            keys: 1 << 15,
+            buckets: 512,
+            reps: 3,
+        }
     }
 }
 
@@ -52,8 +56,9 @@ impl Is {
     pub fn build(params: IsParams, policy: &PrefetchPolicy, mem_bytes: usize) -> Self {
         assert!(params.buckets.is_power_of_two());
         let mut rng = SmallRng::seed_from_u64(0x15_15);
-        let keys: Vec<i64> =
-            (0..params.keys).map(|_| rng.gen_range(0..params.buckets as i64)).collect();
+        let keys: Vec<i64> = (0..params.keys)
+            .map(|_| rng.gen_range(0..params.buckets as i64))
+            .collect();
 
         let mut arena = Arena::new(mem_bytes);
         let key_addr = arena.alloc_i64(params.keys);
@@ -65,7 +70,16 @@ impl Is {
         let merge_entry = Self::emit_merge(&mut a, &params);
         let image = a.finish();
 
-        Is { params, image, count_entry, merge_entry, key_addr, priv_addr, counts_addr, keys }
+        Is {
+            params,
+            image,
+            count_entry,
+            merge_entry,
+            key_addr,
+            priv_addr,
+            counts_addr,
+            keys,
+        }
     }
 
     /// Count region: `priv[tid][key[i]] += 1` for `i` in the chunk.
@@ -73,16 +87,42 @@ impl Is {
     fn emit_count(a: &mut Assembler, params: &IsParams, policy: &PrefetchPolicy) -> CodeAddr {
         let entry = a.symbol("is_count");
         // r2 = &key[lo]
-        a.emit(Insn::new(Op::ShlI { dest: 2, src: abi::R_LO, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 2, r2: 2, r3: abi::R_ARG0 }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 2,
+            src: abi::R_LO,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 2,
+            r2: 2,
+            r3: abi::R_ARG0,
+        }));
         // r3 = priv + tid * buckets * 8
         a.movi(3, (params.buckets * 8) as i64);
-        a.emit(Insn::new(Op::Mul { dest: 3, r2: 3, r3: abi::R_TID }));
-        a.emit(Insn::new(Op::Add { dest: 3, r2: 3, r3: abi::R_ARG0 + 1 }));
+        a.emit(Insn::new(Op::Mul {
+            dest: 3,
+            r2: 3,
+            r3: abi::R_TID,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 3,
+            r2: 3,
+            r3: abi::R_ARG0 + 1,
+        }));
         // trip count
-        a.emit(Insn::new(Op::Sub { dest: 20, r2: abi::R_HI, r3: abi::R_LO }));
+        a.emit(Insn::new(Op::Sub {
+            dest: 20,
+            r2: abi::R_HI,
+            r3: abi::R_LO,
+        }));
         let done = a.new_label();
-        a.emit(Insn::new(Op::CmpI { p1: 6, p2: 7, rel: CmpRel::Ge, imm: 0, r3: 20 }));
+        a.emit(Insn::new(Op::CmpI {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Ge,
+            imm: 0,
+            r3: 20,
+        }));
         a.br_cond(6, done);
         a.addi(20, 20, -1);
         a.mov_to_lc(20);
@@ -100,8 +140,16 @@ impl Is {
                 excl: policy.excl,
             }));
         }
-        a.emit(Insn::new(Op::ShlI { dest: 6, src: 6, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 6, r2: 6, r3: 3 }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 6,
+            src: 6,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 6,
+            r2: 6,
+            r3: 3,
+        }));
         a.ld8(0, 7, 6, 0);
         a.addi(7, 7, 1);
         a.st8(0, 7, 6, 0);
@@ -116,16 +164,38 @@ impl Is {
     fn emit_merge(a: &mut Assembler, params: &IsParams) -> CodeAddr {
         let entry = a.symbol("is_merge");
         // r2 = &counts[lo]; bucket cursor r4 = lo (as byte offset r5 = lo*8)
-        a.emit(Insn::new(Op::ShlI { dest: 5, src: abi::R_LO, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 2, r2: 5, r3: abi::R_ARG0 + 1 }));
-        a.emit(Insn::new(Op::Sub { dest: 21, r2: abi::R_HI, r3: abi::R_LO }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 5,
+            src: abi::R_LO,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 2,
+            r2: 5,
+            r3: abi::R_ARG0 + 1,
+        }));
+        a.emit(Insn::new(Op::Sub {
+            dest: 21,
+            r2: abi::R_HI,
+            r3: abi::R_LO,
+        }));
         let done = a.new_label();
-        a.emit(Insn::new(Op::CmpI { p1: 6, p2: 7, rel: CmpRel::Ge, imm: 0, r3: 21 }));
+        a.emit(Insn::new(Op::CmpI {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Ge,
+            imm: 0,
+            r3: 21,
+        }));
         a.br_cond(6, done);
         let outer = a.new_label();
         a.bind(outer);
         // r3 = &priv[0][b] = priv + r5 ; acc r7 = 0
-        a.emit(Insn::new(Op::Add { dest: 3, r2: 5, r3: abi::R_ARG0 }));
+        a.emit(Insn::new(Op::Add {
+            dest: 3,
+            r2: 5,
+            r3: abi::R_ARG0,
+        }));
         a.movi(7, 0);
         // inner over threads: LC = nthreads - 1
         a.addi(22, abi::R_NTH, -1);
@@ -133,12 +203,22 @@ impl Is {
         let inner = a.new_label();
         a.bind(inner);
         a.ld8(0, 6, 3, (params.buckets * 8) as i32);
-        a.emit(Insn::new(Op::Add { dest: 7, r2: 7, r3: 6 }));
+        a.emit(Insn::new(Op::Add {
+            dest: 7,
+            r2: 7,
+            r3: 6,
+        }));
         a.br_cloop(inner);
         a.st8(0, 7, 2, 8);
         a.addi(5, 5, 8);
         a.addi(21, 21, -1);
-        a.emit(Insn::new(Op::Cmp { p1: 8, p2: 9, rel: CmpRel::Gt, r2: 21, r3: 0 }));
+        a.emit(Insn::new(Op::Cmp {
+            p1: 8,
+            p2: 9,
+            rel: CmpRel::Gt,
+            r2: 21,
+            r3: 0,
+        }));
         // While-style back edge (a `br.wtop` loop, as icc emits for loops
         // with data-dependent trip counts; no rotating state is live here).
         a.br_wtop(8, outer);
@@ -159,7 +239,10 @@ impl Workload for Is {
 
     fn init(&self, mem: &mut DataMem) {
         mem.write_i64_slice(self.key_addr, &self.keys);
-        mem.write_i64_slice(self.priv_addr, &vec![0i64; MAX_THREADS * self.params.buckets]);
+        mem.write_i64_slice(
+            self.priv_addr,
+            &vec![0i64; MAX_THREADS * self.params.buckets],
+        );
         mem.write_i64_slice(self.counts_addr, &vec![0i64; self.params.buckets]);
     }
 
@@ -191,9 +274,12 @@ impl Workload for Is {
                 hook,
             );
         }
-        WorkloadRun { cycles: machine.cycle() - start }
+        WorkloadRun {
+            cycles: machine.cycle() - start,
+        }
     }
 
+    #[allow(clippy::needless_range_loop)] // b addresses memory and indexes hist
     fn verify(&self, mem: &DataMem) -> Result<(), String> {
         let mut hist = vec![0i64; self.params.buckets];
         for &k in &self.keys {
@@ -217,7 +303,11 @@ mod tests {
     use cobra_machine::MachineConfig;
 
     fn small() -> IsParams {
-        IsParams { keys: 3000, buckets: 64, reps: 2 }
+        IsParams {
+            keys: 3000,
+            buckets: 64,
+            reps: 2,
+        }
     }
 
     #[test]

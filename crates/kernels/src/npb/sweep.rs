@@ -14,8 +14,7 @@ use cobra_machine::{DataMem, Machine};
 use cobra_omp::{abi, OmpRuntime, QuantumHook, Team};
 
 use crate::minicc::{
-    emit_coef, emit_stream_loop, emit_trip_count, PrefetchPolicy, Stream, StreamLoopSpec,
-    StreamOp,
+    emit_coef, emit_stream_loop, emit_trip_count, PrefetchPolicy, Stream, StreamLoopSpec, StreamOp,
 };
 use crate::workload::{Arena, Workload, WorkloadRun};
 
@@ -84,20 +83,34 @@ impl PassSpec {
         let s = &arrays[self.src];
         assert!(matches!(self.dst_stride, 1 | 2 | 4));
         assert!(matches!(self.src_stride, 1 | 2 | 4));
-        assert!(self.len * self.dst_stride <= d.len, "{}: dst overrun", self.label);
+        assert!(
+            self.len * self.dst_stride <= d.len,
+            "{}: dst overrun",
+            self.label
+        );
         let lo = self.src_offset;
         let hi = self.src_offset + (self.len as i64 - 1) * self.src_stride as i64;
-        assert!(lo >= -(s.halo as i64) && hi < (s.len + s.halo) as i64, "{}: src out of halo", self.label);
+        assert!(
+            lo >= -(s.halo as i64) && hi < (s.len + s.halo) as i64,
+            "{}: src out of halo",
+            self.label
+        );
         if self.dst == self.src {
             assert!(
-                self.op == StreamOp::Daxpy && self.src_offset == 0 && self.src_stride == self.dst_stride,
+                self.op == StreamOp::Daxpy
+                    && self.src_offset == 0
+                    && self.src_stride == self.dst_stride,
                 "{}: in-place pass with a shift would race across chunk boundaries",
                 self.label
             );
         }
         if let Some(s2) = self.src2 {
             assert!(self.op == StreamOp::Triad);
-            assert_ne!(s2, self.dst, "{}: Triad src2 must not alias dst", self.label);
+            assert_ne!(
+                s2, self.dst,
+                "{}: Triad src2 must not alias dst",
+                self.label
+            );
         } else {
             assert_ne!(self.op, StreamOp::Triad);
         }
@@ -150,7 +163,15 @@ impl SweepKernel {
             entries.push(Self::emit_pass_body(&mut a, pass, policy));
         }
         let image = a.finish();
-        SweepKernel { name, image, arrays, array_addr, passes, entries, iterations }
+        SweepKernel {
+            name,
+            image,
+            arrays,
+            array_addr,
+            passes,
+            entries,
+            iterations,
+        }
     }
 
     /// Emit one region body. Arguments: `r12` = effective src base (offset
@@ -162,18 +183,46 @@ impl SweepKernel {
         let s_shift = stride_shift(pass.src_stride);
         let d_shift = stride_shift(pass.dst_stride);
         // x1 = src_eff + (lo << s_shift)
-        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::ShlI { dest: 2, src: abi::R_LO, count: s_shift }));
-        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::Add { dest: 2, r2: 2, r3: abi::R_ARG0 }));
+        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::ShlI {
+            dest: 2,
+            src: abi::R_LO,
+            count: s_shift,
+        }));
+        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::Add {
+            dest: 2,
+            r2: 2,
+            r3: abi::R_ARG0,
+        }));
         let has_x2 = matches!(pass.op, StreamOp::Daxpy | StreamOp::Triad);
         if has_x2 {
             // Daxpy loads dst; Triad loads src2 — both unit-or-dst stride.
-            let x2_shift = if pass.op == StreamOp::Daxpy { d_shift } else { stride_shift(pass.src_stride) };
-            a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::ShlI { dest: 3, src: abi::R_LO, count: x2_shift }));
-            a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::Add { dest: 3, r2: 3, r3: abi::R_ARG0 + 1 }));
+            let x2_shift = if pass.op == StreamOp::Daxpy {
+                d_shift
+            } else {
+                stride_shift(pass.src_stride)
+            };
+            a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::ShlI {
+                dest: 3,
+                src: abi::R_LO,
+                count: x2_shift,
+            }));
+            a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::Add {
+                dest: 3,
+                r2: 3,
+                r3: abi::R_ARG0 + 1,
+            }));
         }
         // y = dst + (lo << d_shift)
-        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::ShlI { dest: 4, src: abi::R_LO, count: d_shift }));
-        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::Add { dest: 4, r2: 4, r3: abi::R_ARG0 + 2 }));
+        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::ShlI {
+            dest: 4,
+            src: abi::R_LO,
+            count: d_shift,
+        }));
+        a.emit(cobra_isa::Insn::new(cobra_isa::insn::Op::Add {
+            dest: 4,
+            r2: 4,
+            r3: abi::R_ARG0 + 2,
+        }));
         emit_trip_count(a, 20, abi::R_LO, abi::R_HI);
         // Prefetch pointers: src stream and dst stream.
         a.addi(27, 2, policy.distance_bytes as i32);
@@ -182,22 +231,38 @@ impl SweepKernel {
         let src_stride_b = (8 * pass.src_stride) as i32;
         let dst_stride_b = (8 * pass.dst_stride) as i32;
         let x2 = if has_x2 {
-            let stride = if pass.op == StreamOp::Daxpy { dst_stride_b } else { src_stride_b };
+            let stride = if pass.op == StreamOp::Daxpy {
+                dst_stride_b
+            } else {
+                src_stride_b
+            };
             Some(Stream { ptr: 3, stride })
         } else {
             None
         };
         let spec = StreamLoopSpec {
             op: pass.op,
-            x1: Stream { ptr: 2, stride: src_stride_b },
+            x1: Stream {
+                ptr: 2,
+                stride: src_stride_b,
+            },
             x2,
-            y: Some(Stream { ptr: 4, stride: dst_stride_b }),
+            y: Some(Stream {
+                ptr: 4,
+                stride: dst_stride_b,
+            }),
             n: 20,
             coef: 6,
             acc: 9,
             prefetch: vec![
-                Stream { ptr: 27, stride: src_stride_b },
-                Stream { ptr: 28, stride: dst_stride_b },
+                Stream {
+                    ptr: 27,
+                    stride: src_stride_b,
+                },
+                Stream {
+                    ptr: 28,
+                    stride: dst_stride_b,
+                },
             ],
             burst: vec![4],
         };
@@ -306,7 +371,9 @@ impl Workload for SweepKernel {
                 rt.parallel_for(machine, team, entry, 0, pass.len as i64, &args, hook);
             }
         }
-        WorkloadRun { cycles: machine.cycle() - start }
+        WorkloadRun {
+            cycles: machine.cycle() - start,
+        }
     }
 
     fn verify(&self, mem: &DataMem) -> Result<(), String> {
@@ -336,9 +403,21 @@ mod tests {
 
     fn toy_kernel(policy: &PrefetchPolicy) -> SweepKernel {
         let arrays = vec![
-            ArrayDecl { name: "u", len: 512, halo: 16 },
-            ArrayDecl { name: "r", len: 512, halo: 16 },
-            ArrayDecl { name: "c", len: 256, halo: 0 },
+            ArrayDecl {
+                name: "u",
+                len: 512,
+                halo: 16,
+            },
+            ArrayDecl {
+                name: "r",
+                len: 512,
+                halo: 16,
+            },
+            ArrayDecl {
+                name: "c",
+                len: 256,
+                halo: 0,
+            },
         ];
         let passes = vec![
             PassSpec::shifted("scale", StreamOp::Scale, 1, 0, 0, 0.5, 512),
@@ -410,10 +489,10 @@ mod tests {
     #[test]
     fn each_pass_gets_its_own_loop_and_prefetches() {
         let k = toy_kernel(&PrefetchPolicy::aggressive());
-        let ctops = k.image().count_matching(|i| {
-            matches!(i.op, cobra_isa::insn::Op::BrCtop { .. })
-        });
-        assert_eq!(ctops, k.num_passes() as usize);
+        let ctops = k
+            .image()
+            .count_matching(|i| matches!(i.op, cobra_isa::insn::Op::BrCtop { .. }));
+        assert_eq!(ctops, k.num_passes());
         let lfetch = k.image().count_matching(|i| i.is_lfetch());
         // burst 6 + 2 in-loop per pass.
         assert_eq!(lfetch, 8 * k.num_passes());
@@ -422,20 +501,45 @@ mod tests {
     #[test]
     #[should_panic(expected = "in-place pass with a shift")]
     fn shifted_inplace_pass_rejected() {
-        let arrays = vec![ArrayDecl { name: "u", len: 64, halo: 4 }];
-        let passes =
-            vec![PassSpec::shifted("bad", StreamOp::Daxpy, 0, 0, 1, 0.5, 64)];
-        SweepKernel::build("bad", arrays, passes, 1, &PrefetchPolicy::aggressive(), 1 << 20);
+        let arrays = vec![ArrayDecl {
+            name: "u",
+            len: 64,
+            halo: 4,
+        }];
+        let passes = vec![PassSpec::shifted("bad", StreamOp::Daxpy, 0, 0, 1, 0.5, 64)];
+        SweepKernel::build(
+            "bad",
+            arrays,
+            passes,
+            1,
+            &PrefetchPolicy::aggressive(),
+            1 << 20,
+        );
     }
 
     #[test]
     #[should_panic(expected = "src out of halo")]
     fn out_of_halo_shift_rejected() {
         let arrays = vec![
-            ArrayDecl { name: "u", len: 64, halo: 2 },
-            ArrayDecl { name: "v", len: 64, halo: 2 },
+            ArrayDecl {
+                name: "u",
+                len: 64,
+                halo: 2,
+            },
+            ArrayDecl {
+                name: "v",
+                len: 64,
+                halo: 2,
+            },
         ];
         let passes = vec![PassSpec::shifted("bad", StreamOp::Daxpy, 0, 1, 5, 0.5, 64)];
-        SweepKernel::build("bad", arrays, passes, 1, &PrefetchPolicy::aggressive(), 1 << 20);
+        SweepKernel::build(
+            "bad",
+            arrays,
+            passes,
+            1,
+            &PrefetchPolicy::aggressive(),
+            1 << 20,
+        );
     }
 }

@@ -21,8 +21,16 @@ fn cfd_arrays() -> Vec<ArrayDecl> {
     let n3 = CFD_N * CFD_N * CFD_N;
     let halo = CFD_N * CFD_N; // covers ±N² z-direction shifts
     vec![
-        ArrayDecl { name: "u", len: n3, halo },
-        ArrayDecl { name: "rhs", len: n3, halo },
+        ArrayDecl {
+            name: "u",
+            len: n3,
+            halo,
+        },
+        ArrayDecl {
+            name: "rhs",
+            len: n3,
+            halo,
+        },
     ]
 }
 
@@ -108,7 +116,15 @@ pub fn sp(policy: &PrefetchPolicy, mem_bytes: usize) -> SweepKernel {
             n3,
         ));
     }
-    passes.push(PassSpec::shifted("add", StreamOp::Daxpy, u, rhs, 0, 0.1, n3));
+    passes.push(PassSpec::shifted(
+        "add",
+        StreamOp::Daxpy,
+        u,
+        rhs,
+        0,
+        0.1,
+        n3,
+    ));
     SweepKernel::build("sp", cfd_arrays(), passes, 8, policy, mem_bytes)
 }
 
@@ -145,8 +161,16 @@ pub fn ft(policy: &PrefetchPolicy, mem_bytes: usize) -> SweepKernel {
     let len = total - max_shift;
     let (z0, z1) = (0usize, 1usize);
     let arrays = vec![
-        ArrayDecl { name: "z0", len: total, halo: 0 },
-        ArrayDecl { name: "z1", len: total, halo: 0 },
+        ArrayDecl {
+            name: "z0",
+            len: total,
+            halo: 0,
+        },
+        ArrayDecl {
+            name: "z1",
+            len: total,
+            halo: 0,
+        },
     ];
     let mut passes = Vec::new();
     let mut src = z0;
@@ -168,7 +192,15 @@ pub fn ft(policy: &PrefetchPolicy, mem_bytes: usize) -> SweepKernel {
         src = dst;
     }
     // After 6 passes the data is back in z0; one checksum-style scale.
-    passes.push(PassSpec::shifted("evolve", StreamOp::Scale, z1, z0, 0, 0.9, len));
+    passes.push(PassSpec::shifted(
+        "evolve",
+        StreamOp::Scale,
+        z1,
+        z0,
+        0,
+        0.9,
+        len,
+    ));
     SweepKernel::build("ft", arrays, passes, 7, policy, mem_bytes)
 }
 
@@ -181,12 +213,36 @@ pub fn mg(policy: &PrefetchPolicy, mem_bytes: usize) -> SweepKernel {
     let l2 = l0 / 4;
     let (f0, f1, f2, r0, r1, r2) = (0usize, 1, 2, 3, 4, 5);
     let arrays = vec![
-        ArrayDecl { name: "f0", len: l0, halo: 2 },
-        ArrayDecl { name: "f1", len: l1, halo: 2 },
-        ArrayDecl { name: "f2", len: l2, halo: 2 },
-        ArrayDecl { name: "r0", len: l0, halo: 2 },
-        ArrayDecl { name: "r1", len: l1, halo: 2 },
-        ArrayDecl { name: "r2", len: l2, halo: 2 },
+        ArrayDecl {
+            name: "f0",
+            len: l0,
+            halo: 2,
+        },
+        ArrayDecl {
+            name: "f1",
+            len: l1,
+            halo: 2,
+        },
+        ArrayDecl {
+            name: "f2",
+            len: l2,
+            halo: 2,
+        },
+        ArrayDecl {
+            name: "r0",
+            len: l0,
+            halo: 2,
+        },
+        ArrayDecl {
+            name: "r1",
+            len: l1,
+            halo: 2,
+        },
+        ArrayDecl {
+            name: "r2",
+            len: l2,
+            halo: 2,
+        },
     ];
     let smooth = |lbl: [&'static str; 3], f: usize, r: usize, len: usize| {
         [

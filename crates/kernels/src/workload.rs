@@ -20,7 +20,10 @@ impl Arena {
     pub const DATA_BASE: u64 = 0x1_0000;
 
     pub fn new(mem_bytes: usize) -> Self {
-        Arena { next: Self::DATA_BASE, limit: mem_bytes as u64 }
+        Arena {
+            next: Self::DATA_BASE,
+            limit: mem_bytes as u64,
+        }
     }
 
     /// Allocate `n` f64 elements; returns the byte address.

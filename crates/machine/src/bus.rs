@@ -19,7 +19,12 @@ pub struct Bus {
 
 impl Bus {
     pub fn new(occupancy: u64) -> Self {
-        Bus { free_at: 0, occupancy, transactions: 0, busy_cycles: 0 }
+        Bus {
+            free_at: 0,
+            occupancy,
+            transactions: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// Acquire the bus at time `now`; returns the grant time (>= `now`).

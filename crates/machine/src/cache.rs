@@ -33,7 +33,12 @@ struct Slot {
 }
 
 impl Slot {
-    const EMPTY: Slot = Slot { tag: 0, state: Mesi::Shared, lru: 0, valid: false };
+    const EMPTY: Slot = Slot {
+        tag: 0,
+        state: Mesi::Shared,
+        lru: 0,
+        valid: false,
+    };
 }
 
 /// One set-associative cache level.
@@ -49,7 +54,12 @@ impl Cache {
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = geom.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        Cache { geom, sets, slots: vec![Slot::EMPTY; sets * geom.ways], tick: 0 }
+        Cache {
+            geom,
+            sets,
+            slots: vec![Slot::EMPTY; sets * geom.ways],
+            tick: 0,
+        }
     }
 
     #[inline]
@@ -122,7 +132,12 @@ impl Cache {
         // Free slot?
         for s in slots.iter_mut() {
             if !s.valid {
-                *s = Slot { tag: line, state, lru: tick, valid: true };
+                *s = Slot {
+                    tag: line,
+                    state,
+                    lru: tick,
+                    valid: true,
+                };
                 return None;
             }
         }
@@ -132,7 +147,12 @@ impl Cache {
             .min_by_key(|s| s.lru)
             .expect("non-zero associativity");
         let evicted = (victim.tag, victim.state);
-        *victim = Slot { tag: line, state, lru: tick, valid: true };
+        *victim = Slot {
+            tag: line,
+            state,
+            lru: tick,
+            valid: true,
+        };
         Some(evicted)
     }
 
@@ -190,7 +210,7 @@ pub struct PrivateHierarchy {
 impl PrivateHierarchy {
     pub fn new(l1: CacheGeometry, l2: CacheGeometry, l3: CacheGeometry) -> Self {
         assert_eq!(l2.line, l3.line, "L2 and L3 share the coherence line size");
-        assert!(l2.line >= l1.line && l2.line % l1.line == 0);
+        assert!(l2.line >= l1.line && l2.line.is_multiple_of(l1.line));
         let ratio = (l2.line / l1.line) as u64;
         PrivateHierarchy {
             l1: Cache::new(l1),
@@ -241,7 +261,12 @@ impl PrivateHierarchy {
 
     /// Install a coherence line with `state`, maintaining inclusion.
     /// Returns bus-relevant side effects (L3 writebacks of dirty victims).
-    pub fn fill(&mut self, line: LineAddr, state: Mesi, into_l1: Option<LineAddr>) -> Vec<FillEffect> {
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        state: Mesi,
+        into_l1: Option<LineAddr>,
+    ) -> Vec<FillEffect> {
         let mut effects = Vec::new();
         if let Some((victim, victim_state)) = self.l3.insert(line, state) {
             // Back-invalidate inner copies of the displaced line (inclusion).
@@ -317,7 +342,12 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let geom = CacheGeometry { size: 4 * 128, ways: 4, line: 128, hit_latency: 1 };
+        let geom = CacheGeometry {
+            size: 4 * 128,
+            ways: 4,
+            line: 128,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(geom); // 1 set, 4 ways
         for line in 0..4 {
             assert_eq!(c.insert(line, Mesi::Shared), None);
@@ -330,7 +360,12 @@ mod tests {
 
     #[test]
     fn reinsert_updates_state_without_eviction() {
-        let geom = CacheGeometry { size: 2 * 128, ways: 2, line: 128, hit_latency: 1 };
+        let geom = CacheGeometry {
+            size: 2 * 128,
+            ways: 2,
+            line: 128,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(geom);
         c.insert(7, Mesi::Shared);
         assert_eq!(c.insert(7, Mesi::Modified), None);
@@ -371,8 +406,22 @@ mod tests {
     fn dirty_l3_eviction_reports_writeback() {
         let c = MachineConfig::smp4();
         // Shrink L3 to a single set of 2 ways for a deterministic eviction.
-        let tiny = CacheGeometry { size: 2 * 128, ways: 2, line: 128, hit_latency: 12 };
-        let mut h = PrivateHierarchy::new(c.l1d, CacheGeometry { size: 2 * 128, ways: 2, line: 128, hit_latency: 5 }, tiny);
+        let tiny = CacheGeometry {
+            size: 2 * 128,
+            ways: 2,
+            line: 128,
+            hit_latency: 12,
+        };
+        let mut h = PrivateHierarchy::new(
+            c.l1d,
+            CacheGeometry {
+                size: 2 * 128,
+                ways: 2,
+                line: 128,
+                hit_latency: 5,
+            },
+            tiny,
+        );
         assert!(h.fill(1, Mesi::Modified, None).is_empty());
         assert!(h.fill(2, Mesi::Shared, None).is_empty());
         let effects = h.fill(3, Mesi::Exclusive, None);

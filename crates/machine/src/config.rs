@@ -107,9 +107,24 @@ impl MachineConfig {
             name: format!("smp{n}"),
             num_cpus: n,
             topology: Topology::SmpBus,
-            l1d: CacheGeometry { size: 16 << 10, ways: 4, line: 64, hit_latency: 1 },
-            l2: CacheGeometry { size: 256 << 10, ways: 8, line: 128, hit_latency: 5 },
-            l3: CacheGeometry { size: 1536 << 10, ways: 12, line: 128, hit_latency: 12 },
+            l1d: CacheGeometry {
+                size: 16 << 10,
+                ways: 4,
+                line: 64,
+                hit_latency: 1,
+            },
+            l2: CacheGeometry {
+                size: 256 << 10,
+                ways: 8,
+                line: 128,
+                hit_latency: 5,
+            },
+            l3: CacheGeometry {
+                size: 1536 << 10,
+                ways: 12,
+                line: 128,
+                hit_latency: 12,
+            },
             mem_latency: 140,
             hitm_latency: 190,
             cache2cache_latency: 60,
@@ -137,7 +152,10 @@ impl MachineConfig {
 
     /// A cc-NUMA machine with `n` CPUs in 2-CPU nodes.
     pub fn altix(n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "Altix config needs an even CPU count");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "Altix config needs an even CPU count"
+        );
         let mut cfg = Self::smp(n);
         cfg.name = format!("altix{n}");
         cfg.topology = Topology::Numa { cpus_per_node: 2 };
@@ -200,7 +218,11 @@ mod tests {
         assert_eq!(c.num_cpus, 4);
         assert_eq!(c.topology, Topology::SmpBus);
         assert_eq!(c.l2.line, 128, "Itanium 2 L2 line size per the paper");
-        assert_eq!(c.l2.size, 256 << 10, "256KB L2 per the paper's DAXPY analysis");
+        assert_eq!(
+            c.l2.size,
+            256 << 10,
+            "256KB L2 per the paper's DAXPY analysis"
+        );
         assert_eq!(c.num_nodes(), 1);
         assert_eq!(c.node_of_cpu(3), 0);
         // Coherent misses cost more than plain memory (paper: 120-150 vs 180-200).

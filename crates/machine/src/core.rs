@@ -77,7 +77,12 @@ impl Core {
     /// Bind a software thread: reset register state, set the entry PC and
     /// pass `args` in `r8..`, per the workspace calling convention.
     pub fn bind_thread(&mut self, tid: u32, entry: CodeAddr, args: &[i64]) {
-        assert_eq!(self.status, CoreStatus::Idle, "cpu {} already busy", self.cpu);
+        assert_eq!(
+            self.status,
+            CoreStatus::Idle,
+            "cpu {} already busy",
+            self.cpu
+        );
         assert!(args.len() <= 16, "at most 16 register arguments");
         *self = Core::new(self.cpu);
         self.status = CoreStatus::Running;
@@ -93,7 +98,11 @@ impl Core {
 
     /// Release a halted thread, returning the core to the idle pool.
     pub fn release(&mut self) {
-        assert_eq!(self.status, CoreStatus::Halted, "release requires a halted core");
+        assert_eq!(
+            self.status,
+            CoreStatus::Halted,
+            "release requires a halted core"
+        );
         self.status = CoreStatus::Idle;
         self.tid = None;
     }
@@ -201,7 +210,9 @@ impl Core {
                         .max(self.fr_ready_at(f2))
                         .max(self.fr_ready_at(f3));
                 }
-                FaddD { f1, f2, .. } | FsubD { f1, f2, .. } | FmulD { f1, f2, .. }
+                FaddD { f1, f2, .. }
+                | FsubD { f1, f2, .. }
+                | FmulD { f1, f2, .. }
                 | FdivD { f1, f2, .. } => {
                     fr_t = fr_t.max(self.fr_ready_at(f1)).max(self.fr_ready_at(f2));
                 }
@@ -218,12 +229,19 @@ impl Core {
                 FcvtXf { src, .. } | FcvtFxTrunc { src, .. } => {
                     fr_t = fr_t.max(self.fr_ready_at(src));
                 }
-                Add { r2, r3, .. } | Sub { r2, r3, .. } | Mul { r2, r3, .. }
-                | And { r2, r3, .. } | Or { r2, r3, .. } | Xor { r2, r3, .. } => {
+                Add { r2, r3, .. }
+                | Sub { r2, r3, .. }
+                | Mul { r2, r3, .. }
+                | And { r2, r3, .. }
+                | Or { r2, r3, .. }
+                | Xor { r2, r3, .. } => {
                     gr(r2, &mut t);
                     gr(r3, &mut t);
                 }
-                AddI { src, .. } | AndI { src, .. } | ShlI { src, .. } | ShrI { src, .. }
+                AddI { src, .. }
+                | AndI { src, .. }
+                | ShlI { src, .. }
+                | ShrI { src, .. }
                 | SarI { src, .. } => gr(src, &mut t),
                 MovI { .. } => {}
                 Cmp { r2, r3, .. } => {
@@ -291,7 +309,12 @@ impl Core {
         }
 
         match insn.op {
-            Ld8 { dest, base, post_inc, bias } => {
+            Ld8 {
+                dest,
+                base,
+                post_inc,
+                bias,
+            } => {
                 let addr = self.read_gr(base) as u64;
                 let value = shared.mem.read_u64(addr) as i64;
                 let out = shared.memsys.access(
@@ -307,7 +330,11 @@ impl Core {
                 self.post_inc(base, post_inc, int_ready);
                 self.resume_at = self.resume_at.max(out.stall_until);
             }
-            St8 { src, base, post_inc } => {
+            St8 {
+                src,
+                base,
+                post_inc,
+            } => {
                 let addr = self.read_gr(base) as u64;
                 shared.mem.write_u64(addr, self.read_gr(src) as u64);
                 let out = shared.memsys.access(
@@ -322,7 +349,11 @@ impl Core {
                 self.post_inc(base, post_inc, int_ready);
                 self.resume_at = self.resume_at.max(out.stall_until);
             }
-            Ldfd { dest, base, post_inc } => {
+            Ldfd {
+                dest,
+                base,
+                post_inc,
+            } => {
                 let addr = self.read_gr(base) as u64;
                 let value = shared.mem.read_f64(addr);
                 let out = shared.memsys.access(
@@ -331,14 +362,21 @@ impl Core {
                     self.cpu,
                     now,
                     pc,
-                    AccessKind::Load { fp: true, bias: false },
+                    AccessKind::Load {
+                        fp: true,
+                        bias: false,
+                    },
                     addr,
                 );
                 self.write_fr(dest, value, out.complete_at);
                 self.post_inc(base, post_inc, int_ready);
                 self.resume_at = self.resume_at.max(out.stall_until);
             }
-            Stfd { src, base, post_inc } => {
+            Stfd {
+                src,
+                base,
+                post_inc,
+            } => {
                 let addr = self.read_gr(base) as u64;
                 shared.mem.write_f64(addr, self.read_fr(src));
                 let out = shared.memsys.access(
@@ -353,7 +391,12 @@ impl Core {
                 self.post_inc(base, post_inc, int_ready);
                 self.resume_at = self.resume_at.max(out.stall_until);
             }
-            Lfetch { base, post_inc, excl, .. } => {
+            Lfetch {
+                base,
+                post_inc,
+                excl,
+                ..
+            } => {
                 let addr = self.read_gr(base) as u64;
                 if shared.mem.in_bounds(addr) {
                     let _ = shared.memsys.access(
@@ -385,7 +428,12 @@ impl Core {
                 // Acquire semantics: later operations wait for the RMW.
                 self.resume_at = self.resume_at.max(out.complete_at);
             }
-            Cmpxchg8 { dest, base, new, cmp } => {
+            Cmpxchg8 {
+                dest,
+                base,
+                new,
+                cmp,
+            } => {
                 let addr = self.read_gr(base) as u64;
                 let old = shared.mem.read_u64(addr) as i64;
                 if old == self.read_gr(cmp) {
@@ -408,7 +456,9 @@ impl Core {
                 self.write_fr(dest, v, fp_ready);
             }
             FmsD { dest, f1, f2, f3 } => {
-                let v = self.read_fr(f1).mul_add(self.read_fr(f2), -self.read_fr(f3));
+                let v = self
+                    .read_fr(f1)
+                    .mul_add(self.read_fr(f2), -self.read_fr(f3));
                 self.write_fr(dest, v, fp_ready);
             }
             FaddD { dest, f1, f2 } => {
@@ -439,7 +489,13 @@ impl Core {
                 let v = -self.read_fr(f1);
                 self.write_fr(dest, v, fp_ready);
             }
-            FcmpD { p1, p2, rel, f1, f2 } => {
+            FcmpD {
+                p1,
+                p2,
+                rel,
+                f1,
+                f2,
+            } => {
                 let r = rel.eval_f64(self.read_fr(f1), self.read_fr(f2));
                 self.write_pr(p1, r, int_ready);
                 self.write_pr(p2, !r, int_ready);
@@ -517,12 +573,24 @@ impl Core {
             MovI { dest, imm } => {
                 self.write_gr(dest, imm, int_ready);
             }
-            Cmp { p1, p2, rel, r2, r3 } => {
+            Cmp {
+                p1,
+                p2,
+                rel,
+                r2,
+                r3,
+            } => {
                 let r = rel.eval_i64(self.read_gr(r2), self.read_gr(r3));
                 self.write_pr(p1, r, int_ready);
                 self.write_pr(p2, !r, int_ready);
             }
-            CmpI { p1, p2, rel, imm, r3 } => {
+            CmpI {
+                p1,
+                p2,
+                rel,
+                imm,
+                r3,
+            } => {
                 let r = rel.eval_i64(imm as i64, self.read_gr(r3));
                 self.write_pr(p1, r, int_ready);
                 self.write_pr(p2, !r, int_ready);

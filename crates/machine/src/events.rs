@@ -110,7 +110,9 @@ pub struct CpuStats {
 
 impl Default for CpuStats {
     fn default() -> Self {
-        CpuStats { counts: vec![0; NUM_EVENTS] }
+        CpuStats {
+            counts: vec![0; NUM_EVENTS],
+        }
     }
 }
 
@@ -147,6 +149,18 @@ impl CpuStats {
         } else {
             Some(self.coherent_events() as f64 / total as f64)
         }
+    }
+
+    /// The compact counter set telemetry snapshots at quantum boundaries:
+    /// `(inst_retired, l2_miss, l3_miss, bus_memory, coherent)`.
+    pub fn snapshot_counts(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.get(Event::InstRetired),
+            self.get(Event::L2Miss),
+            self.get(Event::L3Miss),
+            self.get(Event::BusMemory),
+            self.coherent_events(),
+        )
     }
 
     /// Element-wise accumulate (for building machine-wide totals).

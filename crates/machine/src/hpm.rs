@@ -126,7 +126,12 @@ impl Hpm {
         if latency < self.dear_min_latency {
             return false;
         }
-        self.dear = Some(DearRecord { pc, addr, latency, cycle });
+        self.dear = Some(DearRecord {
+            pc,
+            addr,
+            latency,
+            cycle,
+        });
         true
     }
 
@@ -163,7 +168,9 @@ impl Hpm {
     /// crossed period; captures beyond the buffer are dropped and counted,
     /// like a saturated interrupt queue).
     pub fn poll_overflow(&mut self, stats: &CpuStats, pc: u32, tid: u32, cycle: u64) {
-        let Some(s) = self.sampling.as_mut() else { return };
+        let Some(s) = self.sampling.as_mut() else {
+            return;
+        };
         let current = stats.get(s.config.event);
         if current < s.next_threshold {
             return;
@@ -222,8 +229,20 @@ mod tests {
         }
         let snap = h.btb_snapshot();
         assert_eq!(snap.len(), 4);
-        assert_eq!(snap[0], BtbEntry { src: 2, target: 102 });
-        assert_eq!(snap[3], BtbEntry { src: 5, target: 105 });
+        assert_eq!(
+            snap[0],
+            BtbEntry {
+                src: 2,
+                target: 102
+            }
+        );
+        assert_eq!(
+            snap[3],
+            BtbEntry {
+                src: 5,
+                target: 105
+            }
+        );
     }
 
     #[test]
@@ -231,7 +250,10 @@ mod tests {
         let mut h = Hpm::new(13);
         assert!(!h.dear_latch(10, 0x1000, 12, 5), "L3 hits are filtered out");
         assert_eq!(h.dear(), None);
-        assert!(h.dear_latch(10, 0x1000, 190, 6), "coherent-band latency latches");
+        assert!(
+            h.dear_latch(10, 0x1000, 190, 6),
+            "coherent-band latency latches"
+        );
         let rec = h.dear().unwrap();
         assert_eq!(rec.latency, 190);
         assert_eq!(rec.pc, 10);
@@ -245,7 +267,13 @@ mod tests {
         let mut h = Hpm::new(13);
         let mut stats = CpuStats::new();
         stats.add(Event::InstRetired, 50);
-        h.program_sampling(SamplingConfig { event: Event::InstRetired, period: 100 }, stats.get(Event::InstRetired));
+        h.program_sampling(
+            SamplingConfig {
+                event: Event::InstRetired,
+                period: 100,
+            },
+            stats.get(Event::InstRetired),
+        );
         h.poll_overflow(&stats, 11, 2, 500);
         assert!(h.take_overflows().is_empty());
         stats.add(Event::InstRetired, 100);
@@ -273,7 +301,13 @@ mod tests {
     fn capture_queue_saturates_and_counts_drops() {
         let mut h = Hpm::new(13);
         let mut stats = CpuStats::new();
-        h.program_sampling(SamplingConfig { event: Event::InstRetired, period: 1 }, 0);
+        h.program_sampling(
+            SamplingConfig {
+                event: Event::InstRetired,
+                period: 1,
+            },
+            0,
+        );
         stats.add(Event::InstRetired, 2 * MAX_PENDING_CAPTURES as u64);
         h.poll_overflow(&stats, 1, 0, 1);
         assert_eq!(h.take_overflows().len(), MAX_PENDING_CAPTURES);
@@ -284,6 +318,12 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_rejected() {
         let mut h = Hpm::new(13);
-        h.program_sampling(SamplingConfig { event: Event::CpuCycles, period: 0 }, 0);
+        h.program_sampling(
+            SamplingConfig {
+                event: Event::CpuCycles,
+                period: 0,
+            },
+            0,
+        );
     }
 }

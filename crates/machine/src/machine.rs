@@ -28,7 +28,9 @@ pub struct DataMem {
 
 impl DataMem {
     pub fn new(size: usize) -> Self {
-        DataMem { bytes: vec![0; size] }
+        DataMem {
+            bytes: vec![0; size],
+        }
     }
 
     #[inline]
@@ -49,7 +51,11 @@ impl DataMem {
     #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         let a = addr as usize;
-        u64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("read_u64 out of bounds"))
+        u64::from_le_bytes(
+            self.bytes[a..a + 8]
+                .try_into()
+                .expect("read_u64 out of bounds"),
+        )
     }
 
     #[inline]
@@ -77,7 +83,9 @@ impl DataMem {
 
     /// Bulk-read a contiguous `f64` array (host-side verification).
     pub fn read_f64_slice(&self, addr: u64, len: usize) -> Vec<f64> {
-        (0..len).map(|k| self.read_f64(addr + 8 * k as u64)).collect()
+        (0..len)
+            .map(|k| self.read_f64(addr + 8 * k as u64))
+            .collect()
     }
 
     /// Bulk-initialize a contiguous `i64` array.
@@ -97,7 +105,9 @@ pub struct ProgramCode {
 
 impl ProgramCode {
     pub fn new(image: CodeImage) -> Self {
-        let decoded = image.decode_all().expect("undecodable instruction in program image");
+        let decoded = image
+            .decode_all()
+            .expect("undecodable instruction in program image");
         ProgramCode { image, decoded }
     }
 
@@ -122,8 +132,10 @@ impl ProgramCode {
     /// Patch one slot from a raw (validated) word.
     pub fn patch_word(&mut self, addr: CodeAddr, word: u64) -> Result<u64, PatchError> {
         let old = self.image.patch_word(addr, word)?;
-        self.decoded[addr as usize] =
-            self.image.insn(addr).expect("patch_word validated the word");
+        self.decoded[addr as usize] = self
+            .image
+            .insn(addr)
+            .expect("patch_word validated the word");
         Ok(old)
     }
 
@@ -132,7 +144,11 @@ impl ProgramCode {
         let start = self.image.append_trace(insns);
         // Re-decode the appended region (plus alignment padding).
         for addr in self.decoded.len()..self.image.len() as usize {
-            self.decoded.push(self.image.insn(addr as CodeAddr).expect("fresh trace decodes"));
+            self.decoded.push(
+                self.image
+                    .insn(addr as CodeAddr)
+                    .expect("fresh trace decodes"),
+            );
         }
         start
     }
@@ -146,7 +162,10 @@ impl ProgramCode {
     pub fn revert_to_mark(&mut self, mark: usize) {
         self.image.revert_to_mark(mark);
         for (addr, slot) in self.decoded.iter_mut().enumerate() {
-            *slot = self.image.insn(addr as CodeAddr).expect("image stays decodable");
+            *slot = self
+                .image
+                .insn(addr as CodeAddr)
+                .expect("image stays decodable");
         }
     }
 }
@@ -192,7 +211,11 @@ impl Machine {
             cycle: 0,
             cfg,
         };
-        Machine { cores: (0..n).map(Core::new).collect(), shared, next_tid: 0 }
+        Machine {
+            cores: (0..n).map(Core::new).collect(),
+            shared,
+            next_tid: 0,
+        }
     }
 
     /// Number of CPUs.
@@ -250,11 +273,17 @@ impl Machine {
         let start = self.shared.cycle;
         while !self.all_halted() {
             if self.shared.cycle - start >= max_cycles {
-                return RunResult { cycles: self.shared.cycle - start, halted: false };
+                return RunResult {
+                    cycles: self.shared.cycle - start,
+                    halted: false,
+                };
             }
             self.step();
         }
-        RunResult { cycles: self.shared.cycle - start, halted: true }
+        RunResult {
+            cycles: self.shared.cycle - start,
+            halted: true,
+        }
     }
 
     /// Run at most `quantum` cycles (stops early when all threads halt).
@@ -351,7 +380,11 @@ mod tests {
     #[test]
     fn thread_args_arrive_in_r8() {
         let mut m = machine_with(|a| {
-            a.emit(Insn::new(Op::Add { dest: 4, r2: 8, r3: 9 }));
+            a.emit(Insn::new(Op::Add {
+                dest: 4,
+                r2: 8,
+                r3: 9,
+            }));
             a.hlt();
         });
         m.spawn_thread(2, 0, &[40, 2]);
@@ -370,7 +403,11 @@ mod tests {
             let top = a.new_label();
             a.bind(top);
             a.addi(6, 6, 1);
-            a.emit(Insn::new(Op::Add { dest: 5, r2: 5, r3: 6 }));
+            a.emit(Insn::new(Op::Add {
+                dest: 5,
+                r2: 5,
+                r3: 6,
+            }));
             a.br_cloop(top);
             a.hlt();
         });
@@ -467,11 +504,18 @@ mod tests {
             a.addi(5, 5, 1);
             a.mov_to_ec(5);
             a.movi(7, 0); // counter of p16-guarded executions
-            // prime p16 = true for the first iteration
+                          // prime p16 = true for the first iteration
             a.cmp(16, 17, CmpRel::Eq, 0, 0);
             let top = a.new_label();
             a.bind(top);
-            a.emit(Insn::pred(16, Op::AddI { dest: 7, src: 7, imm: 1 }));
+            a.emit(Insn::pred(
+                16,
+                Op::AddI {
+                    dest: 7,
+                    src: 7,
+                    imm: 1,
+                },
+            ));
             a.br_ctop(top);
             a.hlt();
         });
@@ -509,10 +553,7 @@ mod tests {
             a.nop(Unit::I);
             a.hlt();
         });
-        let entry = m.append_trace(&[
-            Insn::new(Op::MovI { dest: 4, imm: 99 }),
-            Insn::new(Op::Hlt),
-        ]);
+        let entry = m.append_trace(&[Insn::new(Op::MovI { dest: 4, imm: 99 }), Insn::new(Op::Hlt)]);
         m.spawn_thread(0, entry, &[]);
         assert!(m.run(100).halted);
         assert_eq!(m.core(0).gr(4), 99);

@@ -90,7 +90,10 @@ pub struct PageMap {
 
 impl PageMap {
     fn new(mem_bytes: usize, page_bytes: usize) -> Self {
-        PageMap { page_bytes, home: vec![None; mem_bytes.div_ceil(page_bytes)] }
+        PageMap {
+            page_bytes,
+            home: vec![None; mem_bytes.div_ceil(page_bytes)],
+        }
     }
 
     /// Home node of the page containing `addr`, assigning it to
@@ -133,11 +136,14 @@ pub struct MemSystem {
 
 impl MemSystem {
     pub fn new(cfg: &MachineConfig) -> Self {
-        let hierarchies =
-            (0..cfg.num_cpus).map(|_| PrivateHierarchy::new(cfg.l1d, cfg.l2, cfg.l3)).collect();
+        let hierarchies = (0..cfg.num_cpus)
+            .map(|_| PrivateHierarchy::new(cfg.l1d, cfg.l2, cfg.l3))
+            .collect();
         MemSystem {
             hierarchies,
-            node_buses: (0..cfg.num_nodes()).map(|_| Bus::new(cfg.bus_occupancy)).collect(),
+            node_buses: (0..cfg.num_nodes())
+                .map(|_| Bus::new(cfg.bus_occupancy))
+                .collect(),
             mshrs: vec![Vec::new(); cfg.num_cpus],
             store_bufs: vec![Vec::new(); cfg.num_cpus],
             store_drain_tail: vec![0; cfg.num_cpus],
@@ -196,7 +202,10 @@ impl MemSystem {
     ) -> AccessOutcome {
         let line = self.line_of(addr);
         let l1_line = addr / self.l1_line_bytes;
-        let none = AccessOutcome { complete_at: now, stall_until: now };
+        let none = AccessOutcome {
+            complete_at: now,
+            stall_until: now,
+        };
 
         match kind {
             AccessKind::Prefetch { excl } => {
@@ -251,7 +260,10 @@ impl MemSystem {
                 if let Some(ready) = self.mshr_inflight(cpu, line, now) {
                     let complete_at = ready.max(now + 1);
                     self.dear_check(stats, hpm, cpu, now, pc, addr, complete_at - now);
-                    return AccessOutcome { complete_at, stall_until: now };
+                    return AccessOutcome {
+                        complete_at,
+                        stall_until: now,
+                    };
                 }
                 if let Some(level) = self.hierarchies[cpu].probe_load(line, l1_line, fp) {
                     let lat = match level {
@@ -274,7 +286,10 @@ impl MemSystem {
                         let _ = self.transaction(stats, cpu, now, TxnType::Upgrade, addr);
                         self.hierarchies[cpu].set_state(line, Mesi::Exclusive);
                     }
-                    return AccessOutcome { complete_at: now + lat, stall_until: now };
+                    return AccessOutcome {
+                        complete_at: now + lat,
+                        stall_until: now,
+                    };
                 }
                 // Full miss: goes to the bus.
                 if !fp {
@@ -286,12 +301,19 @@ impl MemSystem {
                 let ttype = if bias { TxnType::RdX } else { TxnType::Rd };
                 let txn = self.transaction(stats, cpu, issue_at, ttype, addr);
                 let ready = issue_at + txn.latency;
-                let state = if bias { Mesi::Exclusive } else { txn.grant_state };
+                let state = if bias {
+                    Mesi::Exclusive
+                } else {
+                    txn.grant_state
+                };
                 let into_l1 = if fp { None } else { Some(l1_line) };
                 self.fill_and_account(stats, cpu, now, line, state, into_l1);
                 self.mshr_push(cpu, line, ready);
                 self.dear_check(stats, hpm, cpu, now, pc, addr, ready - now);
-                AccessOutcome { complete_at: ready, stall_until }
+                AccessOutcome {
+                    complete_at: ready,
+                    stall_until,
+                }
             }
 
             AccessKind::Store => {
@@ -326,7 +348,10 @@ impl MemSystem {
                 };
                 self.store_drain_tail[cpu] = drain_done;
                 self.store_bufs[cpu].push(drain_done);
-                AccessOutcome { complete_at: drain_done, stall_until }
+                AccessOutcome {
+                    complete_at: drain_done,
+                    stall_until,
+                }
             }
 
             AccessKind::Atomic => {
@@ -350,7 +375,10 @@ impl MemSystem {
                         now + txn.latency + 1
                     }
                 };
-                AccessOutcome { complete_at, stall_until: now }
+                AccessOutcome {
+                    complete_at,
+                    stall_until: now,
+                }
             }
         }
     }
@@ -411,9 +439,11 @@ impl MemSystem {
         };
 
         match ttype {
-            TxnType::Writeback => {
-                TxnResult { latency: queue_delay, grant_state: Mesi::Shared, from_memory: false }
-            }
+            TxnType::Writeback => TxnResult {
+                latency: queue_delay,
+                grant_state: Mesi::Shared,
+                from_memory: false,
+            },
             TxnType::Rd => {
                 let mut owner_m = None;
                 let mut clean_sharer = None;
@@ -450,7 +480,9 @@ impl MemSystem {
                 } else if let Some(s) = clean_sharer {
                     // Clean snoop hit: sharers downgrade to S.
                     for other in 0..self.cfg.num_cpus {
-                        if other != cpu && self.hierarchies[other].state(line) == Some(Mesi::Exclusive) {
+                        if other != cpu
+                            && self.hierarchies[other].state(line) == Some(Mesi::Exclusive)
+                        {
                             self.hierarchies[other].set_state(line, Mesi::Shared);
                         }
                     }
@@ -544,6 +576,7 @@ impl MemSystem {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dear_check(
         &self,
         stats: &mut [CpuStats],
@@ -560,7 +593,10 @@ impl MemSystem {
     }
 
     fn mshr_inflight(&self, cpu: usize, line: u64, now: u64) -> Option<u64> {
-        self.mshrs[cpu].iter().find(|e| e.line == line && e.ready > now).map(|e| e.ready)
+        self.mshrs[cpu]
+            .iter()
+            .find(|e| e.line == line && e.ready > now)
+            .map(|e| e.ready)
     }
 
     fn mshr_purge(&mut self, cpu: usize, now: u64) {
@@ -616,11 +652,16 @@ mod tests {
     fn setup(cfg: &MachineConfig) -> (MemSystem, Vec<CpuStats>, Vec<Hpm>) {
         let ms = MemSystem::new(cfg);
         let stats = (0..cfg.num_cpus).map(|_| CpuStats::new()).collect();
-        let hpm = (0..cfg.num_cpus).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+        let hpm = (0..cfg.num_cpus)
+            .map(|_| Hpm::new(cfg.dear_min_latency))
+            .collect();
         (ms, stats, hpm)
     }
 
-    const LOAD_FP: AccessKind = AccessKind::Load { fp: true, bias: false };
+    const LOAD_FP: AccessKind = AccessKind::Load {
+        fp: true,
+        bias: false,
+    };
 
     #[test]
     fn cold_load_pays_memory_latency_and_fills_exclusive() {
@@ -679,7 +720,10 @@ mod tests {
         let out = ms.access(&mut st, &mut hp, 1, 1000, 1, LOAD_FP, 0x1000);
         assert_eq!(st[1].get(Event::BusRdHitm), 1);
         assert!(out.complete_at - 1000 >= cfg.hitm_latency);
-        assert!(out.complete_at - 1000 > cfg.mem_latency, "coherent miss slower than memory (paper §4)");
+        assert!(
+            out.complete_at - 1000 > cfg.mem_latency,
+            "coherent miss slower than memory (paper §4)"
+        );
         assert_eq!(ms.peek_state(0, 0x1000), Some(Mesi::Shared));
     }
 
@@ -705,7 +749,11 @@ mod tests {
         let bus_before = st[0].get(Event::BusMemory);
         let out = ms.access(&mut st, &mut hp, 0, 500, 1, AccessKind::Store, 0x1000);
         assert_eq!(out.complete_at, 501);
-        assert_eq!(st[0].get(Event::BusMemory), bus_before, "E->M is a silent transition");
+        assert_eq!(
+            st[0].get(Event::BusMemory),
+            bus_before,
+            "E->M is a silent transition"
+        );
         assert_eq!(ms.peek_state(0, 0x1000), Some(Mesi::Modified));
     }
 
@@ -716,10 +764,22 @@ mod tests {
         ms.access(&mut st, &mut hp, 0, 0, 1, AccessKind::Store, 0x2000);
         // CPU1 prefetches exclusively: RdX snooping a modified line. The
         // grant is a clean Exclusive (cache-to-cache source).
-        ms.access(&mut st, &mut hp, 1, 1000, 1, AccessKind::Prefetch { excl: true }, 0x2000);
+        ms.access(
+            &mut st,
+            &mut hp,
+            1,
+            1000,
+            1,
+            AccessKind::Prefetch { excl: true },
+            0x2000,
+        );
         assert_eq!(st[1].get(Event::BusRdInvalAllHitm), 1);
         assert_eq!(ms.peek_state(0, 0x2000), None);
-        assert_eq!(ms.peek_state(1, 0x2000), Some(Mesi::Exclusive), "clean c2c grant");
+        assert_eq!(
+            ms.peek_state(1, 0x2000),
+            Some(Mesi::Exclusive),
+            "clean c2c grant"
+        );
         // CPU1's subsequent store is silent.
         let bus_before: u64 = st[1].get(Event::BusMemory);
         let out = ms.access(&mut st, &mut hp, 1, 2000, 1, AccessKind::Store, 0x2000);
@@ -734,7 +794,15 @@ mod tests {
         let cfg = MachineConfig::smp4();
         let (mut ms, mut st, mut hp) = setup(&cfg);
         ms.access(&mut st, &mut hp, 1, 0, 1, AccessKind::Store, 0x3000);
-        ms.access(&mut st, &mut hp, 0, 1000, 1, AccessKind::Prefetch { excl: false }, 0x3000);
+        ms.access(
+            &mut st,
+            &mut hp,
+            0,
+            1000,
+            1,
+            AccessKind::Prefetch { excl: false },
+            0x3000,
+        );
         assert_eq!(st[0].get(Event::BusRdHitm), 1);
         assert_eq!(ms.peek_state(1, 0x3000), Some(Mesi::Shared));
         let out = ms.access(&mut st, &mut hp, 1, 2000, 1, AccessKind::Store, 0x3000);
@@ -747,12 +815,32 @@ mod tests {
         let cfg = MachineConfig::smp4();
         let (mut ms, mut st, mut hp) = setup(&cfg);
         for k in 0..cfg.mshrs_per_cpu as u64 {
-            ms.access(&mut st, &mut hp, 0, 0, 1, AccessKind::Prefetch { excl: false }, k * 128);
+            ms.access(
+                &mut st,
+                &mut hp,
+                0,
+                0,
+                1,
+                AccessKind::Prefetch { excl: false },
+                k * 128,
+            );
         }
         assert_eq!(st[0].get(Event::LfetchDropped), 0);
-        ms.access(&mut st, &mut hp, 0, 0, 1, AccessKind::Prefetch { excl: false }, 0x10000);
+        ms.access(
+            &mut st,
+            &mut hp,
+            0,
+            0,
+            1,
+            AccessKind::Prefetch { excl: false },
+            0x10000,
+        );
         assert_eq!(st[0].get(Event::LfetchDropped), 1);
-        assert_eq!(ms.peek_state(0, 0x10000), None, "dropped prefetch fills nothing");
+        assert_eq!(
+            ms.peek_state(0, 0x10000),
+            None,
+            "dropped prefetch fills nothing"
+        );
     }
 
     #[test]
@@ -771,7 +859,10 @@ mod tests {
             let out = ms.access(&mut st, &mut hp, 1, 10_000, 1, AccessKind::Store, addr);
             stall = out.stall_until;
         }
-        assert!(stall > 10_000, "the (N+1)-th expensive store must stall the core");
+        assert!(
+            stall > 10_000,
+            "the (N+1)-th expensive store must stall the core"
+        );
     }
 
     #[test]
@@ -785,7 +876,10 @@ mod tests {
         let remote = ms.access(&mut st, &mut hp, 6, 10_000, 1, LOAD_FP, 0x4000 + 512);
         let local_lat = local.complete_at;
         let remote_lat = remote.complete_at - 10_000;
-        assert!(remote_lat > local_lat, "remote {remote_lat} vs local {local_lat}");
+        assert!(
+            remote_lat > local_lat,
+            "remote {remote_lat} vs local {local_lat}"
+        );
         assert_eq!(ms.pages().peek(0x4000), Some(0));
     }
 
@@ -807,7 +901,15 @@ mod tests {
         ms.access(&mut st, &mut hp, 0, 0, 1, LOAD_FP, 0x5000);
         ms.access(&mut st, &mut hp, 1, 100, 1, LOAD_FP, 0x5000);
         // CPU1 prefetches exclusively on its Shared copy: non-blocking upgrade.
-        let out = ms.access(&mut st, &mut hp, 1, 1000, 1, AccessKind::Prefetch { excl: true }, 0x5000);
+        let out = ms.access(
+            &mut st,
+            &mut hp,
+            1,
+            1000,
+            1,
+            AccessKind::Prefetch { excl: true },
+            0x5000,
+        );
         assert_eq!(out.complete_at, 1000, "prefetch never blocks");
         assert_eq!(st[1].get(Event::BusUpgrade), 1);
         assert_eq!(ms.peek_state(1, 0x5000), Some(Mesi::Exclusive));
@@ -821,10 +923,26 @@ mod tests {
         // to — the L2-writeback inflation behind the paper's 2 MB slowdown.
         let cfg = MachineConfig::smp4();
         let (mut ms, mut st, mut hp) = setup(&cfg);
-        ms.access(&mut st, &mut hp, 0, 0, 1, AccessKind::Prefetch { excl: true }, 0x7000);
+        ms.access(
+            &mut st,
+            &mut hp,
+            0,
+            0,
+            1,
+            AccessKind::Prefetch { excl: true },
+            0x7000,
+        );
         assert_eq!(ms.peek_state(0, 0x7000), Some(Mesi::Modified));
         // Plain prefetch from memory stays clean.
-        ms.access(&mut st, &mut hp, 0, 0, 1, AccessKind::Prefetch { excl: false }, 0x9100);
+        ms.access(
+            &mut st,
+            &mut hp,
+            0,
+            0,
+            1,
+            AccessKind::Prefetch { excl: false },
+            0x9100,
+        );
         assert_eq!(ms.peek_state(0, 0x9100), Some(Mesi::Exclusive));
     }
 

@@ -34,13 +34,41 @@ fn integer_alu_semantics() {
     let m = run(|a| {
         a.movi(4, 100);
         a.movi(5, 7);
-        a.emit(Insn::new(Op::Add { dest: 10, r2: 4, r3: 5 }));
-        a.emit(Insn::new(Op::Sub { dest: 11, r2: 4, r3: 5 }));
-        a.emit(Insn::new(Op::Mul { dest: 12, r2: 4, r3: 5 }));
-        a.emit(Insn::new(Op::And { dest: 13, r2: 4, r3: 5 }));
-        a.emit(Insn::new(Op::Or { dest: 14, r2: 4, r3: 5 }));
-        a.emit(Insn::new(Op::Xor { dest: 15, r2: 4, r3: 5 }));
-        a.emit(Insn::new(Op::AndI { dest: 16, src: 4, imm: 0xf }));
+        a.emit(Insn::new(Op::Add {
+            dest: 10,
+            r2: 4,
+            r3: 5,
+        }));
+        a.emit(Insn::new(Op::Sub {
+            dest: 11,
+            r2: 4,
+            r3: 5,
+        }));
+        a.emit(Insn::new(Op::Mul {
+            dest: 12,
+            r2: 4,
+            r3: 5,
+        }));
+        a.emit(Insn::new(Op::And {
+            dest: 13,
+            r2: 4,
+            r3: 5,
+        }));
+        a.emit(Insn::new(Op::Or {
+            dest: 14,
+            r2: 4,
+            r3: 5,
+        }));
+        a.emit(Insn::new(Op::Xor {
+            dest: 15,
+            r2: 4,
+            r3: 5,
+        }));
+        a.emit(Insn::new(Op::AndI {
+            dest: 16,
+            src: 4,
+            imm: 0xf,
+        }));
         a.addi(17, 4, -1);
     });
     assert_eq!(m.core(0).gr(10), 107);
@@ -57,9 +85,21 @@ fn integer_alu_semantics() {
 fn shifts_are_logical_and_arithmetic() {
     let m = run(|a| {
         a.movi(4, -16);
-        a.emit(Insn::new(Op::ShlI { dest: 10, src: 4, count: 2 }));
-        a.emit(Insn::new(Op::ShrI { dest: 11, src: 4, count: 2 }));
-        a.emit(Insn::new(Op::SarI { dest: 12, src: 4, count: 2 }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 10,
+            src: 4,
+            count: 2,
+        }));
+        a.emit(Insn::new(Op::ShrI {
+            dest: 11,
+            src: 4,
+            count: 2,
+        }));
+        a.emit(Insn::new(Op::SarI {
+            dest: 12,
+            src: 4,
+            count: 2,
+        }));
     });
     assert_eq!(m.core(0).gr(10), -64);
     assert_eq!(m.core(0).gr(11), ((-16i64 as u64) >> 2) as i64);
@@ -70,7 +110,11 @@ fn shifts_are_logical_and_arithmetic() {
 fn gr0_reads_zero_and_ignores_writes() {
     let m = run(|a| {
         a.emit(Insn::new(Op::MovI { dest: 0, imm: 99 }));
-        a.emit(Insn::new(Op::Add { dest: 10, r2: 0, r3: 0 }));
+        a.emit(Insn::new(Op::Add {
+            dest: 10,
+            r2: 0,
+            r3: 0,
+        }));
     });
     assert_eq!(m.core(0).gr(0), 0);
     assert_eq!(m.core(0).gr(10), 0);
@@ -81,11 +125,30 @@ fn fr0_and_fr1_are_architectural_constants() {
     let m = run_args(&[7.5f64.to_bits() as i64], |a| {
         a.emit(Insn::new(Op::SetfD { dest: 6, src: 8 }));
         // f10 = f6 * f1 + f0 = 7.5
-        a.emit(Insn::new(Op::FmaD { dest: 10, f1: 6, f2: 1, f3: 0 }));
+        a.emit(Insn::new(Op::FmaD {
+            dest: 10,
+            f1: 6,
+            f2: 1,
+            f3: 0,
+        }));
         // writes to f0/f1 are ignored
-        a.emit(Insn::new(Op::FmaD { dest: 0, f1: 6, f2: 6, f3: 6 }));
-        a.emit(Insn::new(Op::FmaD { dest: 1, f1: 6, f2: 6, f3: 6 }));
-        a.emit(Insn::new(Op::FaddD { dest: 11, f1: 0, f2: 1 }));
+        a.emit(Insn::new(Op::FmaD {
+            dest: 0,
+            f1: 6,
+            f2: 6,
+            f3: 6,
+        }));
+        a.emit(Insn::new(Op::FmaD {
+            dest: 1,
+            f1: 6,
+            f2: 6,
+            f3: 6,
+        }));
+        a.emit(Insn::new(Op::FaddD {
+            dest: 11,
+            f1: 0,
+            f2: 1,
+        }));
     });
     assert_eq!(m.core(0).fr(10), 7.5);
     assert_eq!(m.core(0).fr(11), 1.0, "f0 + f1 == 0 + 1");
@@ -93,18 +156,47 @@ fn fr0_and_fr1_are_architectural_constants() {
 
 #[test]
 fn fp_arithmetic_matches_ieee() {
-    let m = run_args(&[3.0f64.to_bits() as i64, (-2.5f64).to_bits() as i64], |a| {
-        a.emit(Insn::new(Op::SetfD { dest: 6, src: 8 }));
-        a.emit(Insn::new(Op::SetfD { dest: 7, src: 9 }));
-        a.emit(Insn::new(Op::FaddD { dest: 10, f1: 6, f2: 7 }));
-        a.emit(Insn::new(Op::FsubD { dest: 11, f1: 6, f2: 7 }));
-        a.emit(Insn::new(Op::FmulD { dest: 12, f1: 6, f2: 7 }));
-        a.emit(Insn::new(Op::FdivD { dest: 13, f1: 6, f2: 7 }));
-        a.emit(Insn::new(Op::FabsD { dest: 14, f1: 7 }));
-        a.emit(Insn::new(Op::FnegD { dest: 15, f1: 6 }));
-        a.emit(Insn::new(Op::FmaD { dest: 16, f1: 6, f2: 7, f3: 6 }));
-        a.emit(Insn::new(Op::FmsD { dest: 17, f1: 6, f2: 7, f3: 6 }));
-    });
+    let m = run_args(
+        &[3.0f64.to_bits() as i64, (-2.5f64).to_bits() as i64],
+        |a| {
+            a.emit(Insn::new(Op::SetfD { dest: 6, src: 8 }));
+            a.emit(Insn::new(Op::SetfD { dest: 7, src: 9 }));
+            a.emit(Insn::new(Op::FaddD {
+                dest: 10,
+                f1: 6,
+                f2: 7,
+            }));
+            a.emit(Insn::new(Op::FsubD {
+                dest: 11,
+                f1: 6,
+                f2: 7,
+            }));
+            a.emit(Insn::new(Op::FmulD {
+                dest: 12,
+                f1: 6,
+                f2: 7,
+            }));
+            a.emit(Insn::new(Op::FdivD {
+                dest: 13,
+                f1: 6,
+                f2: 7,
+            }));
+            a.emit(Insn::new(Op::FabsD { dest: 14, f1: 7 }));
+            a.emit(Insn::new(Op::FnegD { dest: 15, f1: 6 }));
+            a.emit(Insn::new(Op::FmaD {
+                dest: 16,
+                f1: 6,
+                f2: 7,
+                f3: 6,
+            }));
+            a.emit(Insn::new(Op::FmsD {
+                dest: 17,
+                f1: 6,
+                f2: 7,
+                f3: 6,
+            }));
+        },
+    );
     let c = m.core(0);
     assert_eq!(c.fr(10), 0.5);
     assert_eq!(c.fr(11), 5.5);
@@ -118,20 +210,23 @@ fn fp_arithmetic_matches_ieee() {
 
 #[test]
 fn fsqrt_and_conversions() {
-    let m = run_args(&[2.25f64.to_bits() as i64, (-3.7f64).to_bits() as i64], |a| {
-        a.emit(Insn::new(Op::SetfD { dest: 6, src: 8 }));
-        a.emit(Insn::new(Op::FsqrtD { dest: 10, f1: 6 }));
-        // int -> fp: 12345 through setf.sig + fcvt.xf
-        a.movi(5, 12345);
-        a.emit(Insn::new(Op::SetfSig { dest: 11, src: 5 }));
-        a.emit(Insn::new(Op::FcvtXf { dest: 12, src: 11 }));
-        // fp -> int: trunc(-3.7) = -3 through fcvt.fx.trunc + getf.sig
-        a.emit(Insn::new(Op::SetfD { dest: 13, src: 9 }));
-        a.emit(Insn::new(Op::FcvtFxTrunc { dest: 14, src: 13 }));
-        a.emit(Insn::new(Op::GetfSig { dest: 20, src: 14 }));
-        // getf.d moves raw bits
-        a.emit(Insn::new(Op::GetfD { dest: 21, src: 6 }));
-    });
+    let m = run_args(
+        &[2.25f64.to_bits() as i64, (-3.7f64).to_bits() as i64],
+        |a| {
+            a.emit(Insn::new(Op::SetfD { dest: 6, src: 8 }));
+            a.emit(Insn::new(Op::FsqrtD { dest: 10, f1: 6 }));
+            // int -> fp: 12345 through setf.sig + fcvt.xf
+            a.movi(5, 12345);
+            a.emit(Insn::new(Op::SetfSig { dest: 11, src: 5 }));
+            a.emit(Insn::new(Op::FcvtXf { dest: 12, src: 11 }));
+            // fp -> int: trunc(-3.7) = -3 through fcvt.fx.trunc + getf.sig
+            a.emit(Insn::new(Op::SetfD { dest: 13, src: 9 }));
+            a.emit(Insn::new(Op::FcvtFxTrunc { dest: 14, src: 13 }));
+            a.emit(Insn::new(Op::GetfSig { dest: 20, src: 14 }));
+            // getf.d moves raw bits
+            a.emit(Insn::new(Op::GetfD { dest: 21, src: 6 }));
+        },
+    );
     let c = m.core(0);
     assert_eq!(c.fr(10), 1.5);
     assert_eq!(c.fr(12), 12345.0);
@@ -146,9 +241,21 @@ fn integer_and_float_compares_set_both_predicates() {
         a.movi(5, 20);
         a.cmp(6, 7, CmpRel::Lt, 4, 5); // p6=1 p7=0
         a.cmp(8, 9, CmpRel::Eq, 4, 5); // p8=0 p9=1
-        a.emit(Insn::new(Op::CmpI { p1: 10, p2: 11, rel: CmpRel::Gt, imm: 15, r3: 4 })); // 15>10
+        a.emit(Insn::new(Op::CmpI {
+            p1: 10,
+            p2: 11,
+            rel: CmpRel::Gt,
+            imm: 15,
+            r3: 4,
+        })); // 15>10
         a.emit(Insn::new(Op::SetfD { dest: 6, src: 8 }));
-        a.emit(Insn::new(Op::FcmpD { p1: 12, p2: 13, rel: CmpRel::Ge, f1: 6, f2: 1 })); // 1.5>=1.0
+        a.emit(Insn::new(Op::FcmpD {
+            p1: 12,
+            p2: 13,
+            rel: CmpRel::Ge,
+            f1: 6,
+            f2: 1,
+        })); // 1.5>=1.0
     });
     let c = m.core(0);
     assert!(c.pr(6) && !c.pr(7));
@@ -174,7 +281,14 @@ fn predicated_off_instruction_has_no_side_effects() {
         a.movi(4, 0x2000);
         a.cmp(6, 7, CmpRel::Ne, 0, 0); // p6 = false, p7 = true
         a.emit(Insn::pred(6, Op::MovI { dest: 10, imm: 1 }));
-        a.emit(Insn::pred(6, Op::St8 { src: 4, base: 4, post_inc: 8 })); // no store, no post-inc
+        a.emit(Insn::pred(
+            6,
+            Op::St8 {
+                src: 4,
+                base: 4,
+                post_inc: 8,
+            },
+        )); // no store, no post-inc
         a.emit(Insn::pred(7, Op::MovI { dest: 11, imm: 2 }));
     });
     assert_eq!(m.core(0).gr(10), 0);
@@ -207,8 +321,16 @@ fn fetchadd_returns_old_value_and_updates_memory() {
         a.movi(4, 0x4000);
         a.movi(5, 10);
         a.st8(0, 5, 4, 0);
-        a.emit(Insn::new(Op::FetchAdd8 { dest: 10, base: 4, inc: 5 }));
-        a.emit(Insn::new(Op::FetchAdd8 { dest: 11, base: 4, inc: -3 }));
+        a.emit(Insn::new(Op::FetchAdd8 {
+            dest: 10,
+            base: 4,
+            inc: 5,
+        }));
+        a.emit(Insn::new(Op::FetchAdd8 {
+            dest: 11,
+            base: 4,
+            inc: -3,
+        }));
     });
     assert_eq!(m.core(0).gr(10), 10);
     assert_eq!(m.core(0).gr(11), 15);
@@ -223,14 +345,28 @@ fn cmpxchg_succeeds_only_on_match() {
         a.st8(0, 5, 4, 0);
         a.movi(6, 100); // comparand (matches)
         a.movi(7, 111); // new
-        a.emit(Insn::new(Op::Cmpxchg8 { dest: 10, base: 4, new: 7, cmp: 6 }));
+        a.emit(Insn::new(Op::Cmpxchg8 {
+            dest: 10,
+            base: 4,
+            new: 7,
+            cmp: 6,
+        }));
         // second attempt with stale comparand fails
         a.movi(8, 222);
-        a.emit(Insn::new(Op::Cmpxchg8 { dest: 11, base: 4, new: 8, cmp: 6 }));
+        a.emit(Insn::new(Op::Cmpxchg8 {
+            dest: 11,
+            base: 4,
+            new: 8,
+            cmp: 6,
+        }));
     });
     assert_eq!(m.core(0).gr(10), 100, "old value returned");
     assert_eq!(m.core(0).gr(11), 111, "old value of failed cas");
-    assert_eq!(m.shared.mem.read_u64(0x5000), 111, "failed cas must not store");
+    assert_eq!(
+        m.shared.mem.read_u64(0x5000),
+        111,
+        "failed cas must not store"
+    );
 }
 
 #[test]
@@ -342,7 +478,14 @@ fn ctop_epilogue_count_drains_pipeline() {
         a.movi(8, 0); // total iteration counter
         let top = a.new_label();
         a.bind(top);
-        a.emit(Insn::pred(16, Op::AddI { dest: 7, src: 7, imm: 1 }));
+        a.emit(Insn::pred(
+            16,
+            Op::AddI {
+                dest: 7,
+                src: 7,
+                imm: 1,
+            },
+        ));
         a.addi(8, 8, 1);
         a.br_ctop(top);
     });
@@ -376,12 +519,25 @@ fn fdiv_latency_exceeds_fma_latency() {
             a.emit(Insn::new(Op::SetfD { dest: 6, src: 8 }));
             for _ in 0..8 {
                 if long {
-                    a.emit(Insn::new(Op::FdivD { dest: 7, f1: 6, f2: 6 }));
+                    a.emit(Insn::new(Op::FdivD {
+                        dest: 7,
+                        f1: 6,
+                        f2: 6,
+                    }));
                 } else {
-                    a.emit(Insn::new(Op::FmaD { dest: 7, f1: 6, f2: 6, f3: 6 }));
+                    a.emit(Insn::new(Op::FmaD {
+                        dest: 7,
+                        f1: 6,
+                        f2: 6,
+                        f3: 6,
+                    }));
                 }
                 // immediate consumer forces the stall
-                a.emit(Insn::new(Op::FaddD { dest: 8, f1: 7, f2: 7 }));
+                a.emit(Insn::new(Op::FaddD {
+                    dest: 8,
+                    f1: 7,
+                    f2: 7,
+                }));
             }
         });
         m.cycle()
@@ -407,7 +563,12 @@ fn nops_of_every_unit_retire() {
 fn ld8_bias_acquires_exclusive_ownership() {
     let mut a = Assembler::new();
     a.movi(4, 0x7000);
-    a.emit(Insn::new(Op::Ld8 { dest: 10, base: 4, post_inc: 0, bias: true }));
+    a.emit(Insn::new(Op::Ld8 {
+        dest: 10,
+        base: 4,
+        post_inc: 0,
+        bias: true,
+    }));
     a.hlt();
     let mut m = Machine::new(MachineConfig::smp4(), a.finish());
     m.shared.mem.write_u64(0x7000, 99);

@@ -3,9 +3,7 @@
 //! MESI single-writer invariant must hold after every access, and timing
 //! must be monotone (complete_at >= now).
 
-use cobra_machine::{
-    AccessKind, CpuStats, Event, Hpm, MachineConfig, MemSystem, Mesi,
-};
+use cobra_machine::{AccessKind, CpuStats, Event, Hpm, MachineConfig, MemSystem, Mesi};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -45,9 +43,15 @@ fn check_invariants(ms: &MemSystem, cfg: &MachineConfig, lines: &[u64]) {
         }
         // Single-writer: at most one M or E holder, and exclusivity means
         // no other copies at all.
-        assert!(m_holders + e_holders <= 1, "line {line}: M={m_holders} E={e_holders}");
+        assert!(
+            m_holders + e_holders <= 1,
+            "line {line}: M={m_holders} E={e_holders}"
+        );
         if m_holders + e_holders == 1 {
-            assert_eq!(s_holders, 0, "line {line}: exclusive owner coexists with sharers");
+            assert_eq!(
+                s_holders, 0,
+                "line {line}: exclusive owner coexists with sharers"
+            );
         }
     }
 }
@@ -55,7 +59,9 @@ fn check_invariants(ms: &MemSystem, cfg: &MachineConfig, lines: &[u64]) {
 fn run_sequence(cfg: MachineConfig, ops: Vec<(usize, OpKind, u64)>) {
     let mut ms = MemSystem::new(&cfg);
     let mut stats: Vec<CpuStats> = (0..cfg.num_cpus).map(|_| CpuStats::new()).collect();
-    let mut hpm: Vec<Hpm> = (0..cfg.num_cpus).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+    let mut hpm: Vec<Hpm> = (0..cfg.num_cpus)
+        .map(|_| Hpm::new(cfg.dear_min_latency))
+        .collect();
     let line_bytes = cfg.coherence_line() as u64;
     let lines: Vec<u64> = (0..16).collect();
 
@@ -65,8 +71,14 @@ fn run_sequence(cfg: MachineConfig, ops: Vec<(usize, OpKind, u64)>) {
         let line = lines[(line_sel % lines.len() as u64) as usize];
         let addr = line * line_bytes + 8 * (line_sel % 16);
         let kind = match op {
-            OpKind::LoadFp => AccessKind::Load { fp: true, bias: false },
-            OpKind::LoadInt => AccessKind::Load { fp: false, bias: false },
+            OpKind::LoadFp => AccessKind::Load {
+                fp: true,
+                bias: false,
+            },
+            OpKind::LoadInt => AccessKind::Load {
+                fp: false,
+                bias: false,
+            },
             OpKind::Store => AccessKind::Store,
             OpKind::Prefetch => AccessKind::Prefetch { excl: false },
             OpKind::PrefetchExcl => AccessKind::Prefetch { excl: true },

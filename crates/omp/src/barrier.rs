@@ -31,7 +31,13 @@ impl Default for BarrierRegs {
     fn default() -> Self {
         // r24-r26 / p12-p13 are reserved for barriers by workspace
         // convention (kernels keep user state out of them).
-        BarrierRegs { addr: 24, tmp: 25, expect: 26, p_spin: 12, p_done: 13 }
+        BarrierRegs {
+            addr: 24,
+            tmp: 25,
+            expect: 26,
+            p_spin: 12,
+            p_done: 13,
+        }
     }
 }
 
@@ -41,10 +47,18 @@ impl Default for BarrierRegs {
 pub fn emit_barrier(a: &mut Assembler, counter_addr: i64, round: i64, regs: BarrierRegs) {
     assert!(round >= 1, "barrier rounds are 1-based");
     a.movi(regs.addr, counter_addr);
-    a.emit(Insn::new(Op::FetchAdd8 { dest: regs.tmp, base: regs.addr, inc: 1 }));
+    a.emit(Insn::new(Op::FetchAdd8 {
+        dest: regs.tmp,
+        base: regs.addr,
+        inc: 1,
+    }));
     // expected = round * num_threads
     a.movi(regs.expect, round);
-    a.emit(Insn::new(Op::Mul { dest: regs.expect, r2: regs.expect, r3: abi::R_NTH }));
+    a.emit(Insn::new(Op::Mul {
+        dest: regs.expect,
+        r2: regs.expect,
+        r3: abi::R_NTH,
+    }));
     let spin = a.new_label();
     a.bind(spin);
     a.ld8(0, regs.tmp, regs.addr, 0);
@@ -77,7 +91,13 @@ mod tests {
         // Optionally skew thread 0 with a delay loop so phases interleave.
         if skew {
             let done = a.new_label();
-            a.emit(Insn::new(Op::CmpI { p1: 6, p2: 7, rel: CmpRel::Ne, imm: 0, r3: abi::R_TID }));
+            a.emit(Insn::new(Op::CmpI {
+                p1: 6,
+                p2: 7,
+                rel: CmpRel::Ne,
+                imm: 0,
+                r3: abi::R_TID,
+            }));
             a.br_cond(6, done);
             a.movi(4, 3000);
             a.mov_to_lc(4);
@@ -89,22 +109,52 @@ mod tests {
         }
         // Phase 1: A[tid] = tid + 1
         a.movi(4, A_BASE);
-        a.emit(Insn::new(Op::ShlI { dest: 5, src: abi::R_TID, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 4, r2: 4, r3: 5 }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 5,
+            src: abi::R_TID,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 4,
+            r2: 4,
+            r3: 5,
+        }));
         a.addi(6, abi::R_TID, 1);
         a.st8(0, 6, 4, 0);
         emit_barrier(&mut a, BARRIER_ADDR, 1, BarrierRegs::default());
         // Phase 2: r7 = (tid+1) % n  (n is 2 or 4 here; compute via compare)
         a.addi(7, abi::R_TID, 1);
-        a.emit(Insn::new(Op::Cmp { p1: 6, p2: 7, rel: CmpRel::Eq, r2: 7, r3: abi::R_NTH }));
+        a.emit(Insn::new(Op::Cmp {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Eq,
+            r2: 7,
+            r3: abi::R_NTH,
+        }));
         a.emit(Insn::pred(6, Op::MovI { dest: 7, imm: 0 }));
         a.movi(4, A_BASE);
-        a.emit(Insn::new(Op::ShlI { dest: 5, src: 7, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 4, r2: 4, r3: 5 }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 5,
+            src: 7,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 4,
+            r2: 4,
+            r3: 5,
+        }));
         a.ld8(0, 8, 4, 0);
         a.movi(4, B_BASE);
-        a.emit(Insn::new(Op::ShlI { dest: 5, src: abi::R_TID, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 4, r2: 4, r3: 5 }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 5,
+            src: abi::R_TID,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 4,
+            r2: 4,
+            r3: 5,
+        }));
         a.st8(0, 8, 4, 0);
         a.hlt();
         a.finish()

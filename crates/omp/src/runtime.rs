@@ -21,7 +21,11 @@ pub struct OmpRuntime {
 
 impl Default for OmpRuntime {
     fn default() -> Self {
-        OmpRuntime { fork_overhead: 800, quantum: 50_000, max_region_cycles: 2_000_000_000 }
+        OmpRuntime {
+            fork_overhead: 800,
+            quantum: 50_000,
+            max_region_cycles: 2_000_000_000,
+        }
     }
 }
 
@@ -70,6 +74,7 @@ impl OmpRuntime {
     /// # Panics
     /// Panics if the region exceeds `max_region_cycles` (a deadlocked
     /// barrier or a runaway loop — a workload bug worth failing loudly on).
+    #[allow(clippy::too_many_arguments)]
     pub fn parallel_for(
         &self,
         machine: &mut Machine,
@@ -80,8 +85,14 @@ impl OmpRuntime {
         user_args: &[i64],
         hook: &mut dyn QuantumHook,
     ) -> RegionStats {
-        assert!(team.num_threads <= machine.num_cpus(), "team larger than machine");
-        assert!(user_args.len() <= abi::MAX_USER_ARGS, "too many user arguments");
+        assert!(
+            team.num_threads <= machine.num_cpus(),
+            "team larger than machine"
+        );
+        assert!(
+            user_args.len() <= abi::MAX_USER_ARGS,
+            "too many user arguments"
+        );
         let start = machine.cycle();
 
         // Fork: model thread-wakeup cost before any useful work.
@@ -112,7 +123,9 @@ impl OmpRuntime {
 
         machine.release_halted();
         hook.on_join(machine);
-        RegionStats { cycles: machine.cycle() - start }
+        RegionStats {
+            cycles: machine.cycle() - start,
+        }
     }
 
     /// Execute a serial region on CPU 0 (team of one over the full range).
@@ -141,12 +154,30 @@ mod tests {
         let mut a = Assembler::new();
         a.symbol("body");
         // r4 = A + 8*lo ; r5 = hi - lo (trip count)
-        a.emit(Insn::new(Op::ShlI { dest: 4, src: abi::R_LO, count: 3 }));
-        a.emit(Insn::new(Op::Add { dest: 4, r2: 4, r3: abi::R_ARG0 }));
-        a.emit(Insn::new(Op::Sub { dest: 5, r2: abi::R_HI, r3: abi::R_LO }));
+        a.emit(Insn::new(Op::ShlI {
+            dest: 4,
+            src: abi::R_LO,
+            count: 3,
+        }));
+        a.emit(Insn::new(Op::Add {
+            dest: 4,
+            r2: 4,
+            r3: abi::R_ARG0,
+        }));
+        a.emit(Insn::new(Op::Sub {
+            dest: 5,
+            r2: abi::R_HI,
+            r3: abi::R_LO,
+        }));
         // empty chunk?
         let done = a.new_label();
-        a.emit(Insn::new(Op::CmpI { p1: 6, p2: 7, rel: CmpRel::Ge, imm: 0, r3: 5 }));
+        a.emit(Insn::new(Op::CmpI {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Ge,
+            imm: 0,
+            r3: 5,
+        }));
         a.br_cond(6, done);
         a.addi(5, 5, -1);
         a.mov_to_lc(5);
@@ -196,7 +227,10 @@ mod tests {
     #[test]
     fn fork_overhead_is_charged() {
         let image = store_tid_program();
-        let rt = OmpRuntime { fork_overhead: 5000, ..OmpRuntime::default() };
+        let rt = OmpRuntime {
+            fork_overhead: 5000,
+            ..OmpRuntime::default()
+        };
         let mut m = Machine::new(MachineConfig::smp4(), image);
         let s = rt.parallel_for(&mut m, Team::new(2), 0, 0, 4, &[0x3_0000], &mut NullHook);
         assert!(s.cycles >= 5000);
@@ -223,8 +257,15 @@ mod tests {
         }
         let image = store_tid_program();
         let mut m = Machine::new(MachineConfig::smp4(), image);
-        let rt = OmpRuntime { quantum: 50, ..OmpRuntime::default() };
-        let mut hook = Counting { forks: 0, quanta: 0, joins: 0 };
+        let rt = OmpRuntime {
+            quantum: 50,
+            ..OmpRuntime::default()
+        };
+        let mut hook = Counting {
+            forks: 0,
+            quanta: 0,
+            joins: 0,
+        };
         rt.parallel_for(&mut m, Team::new(3), 0, 0, 300, &[0x4_0000], &mut hook);
         assert_eq!(hook.forks, 1);
         assert_eq!(hook.joins, 1);

@@ -77,7 +77,11 @@ impl PerfmonDriver {
 
     /// Program every CPU's HPM for sampling (counter init at startup, §3.2).
     pub fn attach(&mut self, machine: &mut Machine) {
-        assert_eq!(machine.num_cpus(), self.per_cpu.len(), "driver/machine CPU count mismatch");
+        assert_eq!(
+            machine.num_cpus(),
+            self.per_cpu.len(),
+            "driver/machine CPU count mismatch"
+        );
         for cpu in 0..machine.num_cpus() {
             let baseline = machine.stats()[cpu].get(self.config.sampling_event);
             machine.shared.hpm[cpu].program_sampling(
@@ -186,7 +190,10 @@ mod tests {
         }
         let mut drv = PerfmonDriver::new(
             4,
-            PerfmonConfig { sampling_period: period, ..PerfmonConfig::default() },
+            PerfmonConfig {
+                sampling_period: period,
+                ..PerfmonConfig::default()
+            },
         );
         drv.attach(&mut m);
         (m, drv)
@@ -227,7 +234,10 @@ mod tests {
             let samples = drv.drain(cpu);
             assert!(!samples.is_empty(), "cpu {cpu} produced no samples");
             assert!(samples.iter().all(|s| s.cpu == cpu as u32));
-            assert!(samples.iter().all(|s| s.tid == cpu as u32), "tid == spawn order here");
+            assert!(
+                samples.iter().all(|s| s.tid == cpu as u32),
+                "tid == spawn order here"
+            );
         }
         assert!(drv.total_samples() > 0);
     }

@@ -26,7 +26,12 @@ impl PmcSelection {
     /// to total bus traffic, plus cache-miss progress counters.
     pub fn coherence_default() -> Self {
         PmcSelection {
-            events: [Event::BusMemory, Event::BusRdHitm, Event::L2Miss, Event::L3Miss],
+            events: [
+                Event::BusMemory,
+                Event::BusRdHitm,
+                Event::L2Miss,
+                Event::L3Miss,
+            ],
         }
     }
 }
@@ -61,7 +66,10 @@ pub struct SampleRecord {
 impl SampleRecord {
     /// Counter value for `event`, if it was one of the programmed four.
     pub fn counter(&self, event: Event) -> Option<u64> {
-        self.events.iter().position(|&e| e == event).map(|i| self.counters[i])
+        self.events
+            .iter()
+            .position(|&e| e == event)
+            .map(|i| self.counters[i])
     }
 }
 

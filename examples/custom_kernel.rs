@@ -12,12 +12,12 @@
 
 use cobra::isa::{disasm, Assembler};
 use cobra::kernels::{
-    emit_coef, emit_ptr, emit_stream_loop, emit_trip_count, PrefetchPolicy, Stream,
-    StreamLoopSpec, StreamOp,
+    emit_coef, emit_ptr, emit_stream_loop, emit_trip_count, PrefetchPolicy, Stream, StreamLoopSpec,
+    StreamOp,
 };
 use cobra::machine::{Machine, MachineConfig};
 use cobra::omp::{abi, OmpRuntime, Team};
-use cobra::rt::{Cobra, CobraConfig, Strategy};
+use cobra::rt::{Cobra, Strategy};
 
 const N: usize = 24 * 1024; // elements per array (192 KB each)
 const REPS: usize = 24;
@@ -52,7 +52,10 @@ fn build_triad(policy: &PrefetchPolicy) -> cobra::isa::CodeImage {
 fn main() {
     let cfg = MachineConfig::smp4();
     let image = build_triad(&PrefetchPolicy::aggressive());
-    println!("=== generated triad kernel ===\n{}", disasm::disasm_image(&image));
+    println!(
+        "=== generated triad kernel ===\n{}",
+        disasm::disasm_image(&image)
+    );
 
     let mut machine = Machine::new(cfg.clone(), image);
     // Lay the three arrays out after the reserved low region.
@@ -63,13 +66,21 @@ fn main() {
     machine.shared.mem.write_f64_slice(a_base, &av);
     machine.shared.mem.write_f64_slice(b_base, &bv);
 
-    let mut ccfg = CobraConfig::default();
-    ccfg.optimizer.strategy = Strategy::ExclHint;
-    let mut cobra = Cobra::attach(ccfg, &mut machine);
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let mut cobra = Cobra::builder()
+        .strategy(Strategy::ExclHint)
+        .attach(&mut machine);
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     let team = Team::new(4);
     let entry = machine.shared.code.image().symbol("triad_body").unwrap();
-    let args = [a_base as i64, b_base as i64, c_base as i64, s.to_bits() as i64];
+    let args = [
+        a_base as i64,
+        b_base as i64,
+        c_base as i64,
+        s.to_bits() as i64,
+    ];
     for _ in 0..REPS {
         rt.parallel_for(&mut machine, team, entry, 0, N as i64, &args, &mut cobra);
     }

@@ -22,7 +22,10 @@ fn main() {
         ("noprefetch", PrefetchPolicy::none()),
         ("prefetch.excl", PrefetchPolicy::aggressive_excl()),
     ];
-    println!("{:>6} {:>8} | {:>12} {:>12} {:>13} | winner", "ws", "threads", "prefetch", "noprefetch", "prefetch.excl");
+    println!(
+        "{:>6} {:>8} | {:>12} {:>12} {:>13} | winner",
+        "ws", "threads", "prefetch", "noprefetch", "prefetch.excl"
+    );
     for ws in [128 * 1024, 512 * 1024, 2 * 1024 * 1024] {
         for threads in [1usize, 2, 4] {
             let mut cells = Vec::new();

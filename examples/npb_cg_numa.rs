@@ -9,21 +9,28 @@
 //! Run with: `cargo run --release --example npb_cg_numa`
 
 use cobra::kernels::npb;
-use cobra::kernels::workload::{execute_plain, Workload};
+use cobra::kernels::workload::execute_plain;
 use cobra::kernels::PrefetchPolicy;
 use cobra::machine::{Event, Machine, MachineConfig};
 use cobra::omp::{OmpRuntime, Team};
-use cobra::rt::{Cobra, CobraConfig, Strategy};
+use cobra::rt::{Cobra, Strategy};
 
 fn main() {
     let cfg = MachineConfig::altix8();
     let team = Team::new(8);
 
-    let baseline = npb::build(npb::Benchmark::Cg, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let baseline = npb::build(
+        npb::Benchmark::Cg,
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
     let (m, base) = execute_plain(&*baseline, &cfg, team);
     println!("baseline cg.S on {}: {} cycles", cfg.name, base.cycles);
     println!("\nper-CPU coherence view (baseline):");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>8}", "cpu", "BUS_MEM", "RD_HITM", "UPGRADE", "ratio");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>8}",
+        "cpu", "BUS_MEM", "RD_HITM", "UPGRADE", "ratio"
+    );
     for (cpu, st) in m.stats().iter().enumerate() {
         println!(
             "{:>4} {:>10} {:>10} {:>10} {:>8.3}",
@@ -35,16 +42,24 @@ fn main() {
         );
     }
 
-    let wl = npb::build(npb::Benchmark::Cg, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+    let wl = npb::build(
+        npb::Benchmark::Cg,
+        &PrefetchPolicy::aggressive(),
+        cfg.mem_bytes,
+    );
     let mut machine = Machine::new(cfg.clone(), wl.image().clone());
     wl.init(&mut machine.shared.mem);
-    let mut ccfg = CobraConfig::default();
-    ccfg.optimizer.strategy = Strategy::NoPrefetch;
-    let mut cobra = Cobra::attach(ccfg, &mut machine);
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let mut cobra = Cobra::builder()
+        .strategy(Strategy::NoPrefetch)
+        .attach(&mut machine);
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     let run = wl.run(&mut machine, team, &rt, &mut cobra);
     let report = cobra.detach(&mut machine);
-    wl.verify(&machine.shared.mem).expect("CG must still converge correctly");
+    wl.verify(&machine.shared.mem)
+        .expect("CG must still converge correctly");
 
     println!("\nwith COBRA (noprefetch strategy): {} cycles", run.cycles);
     println!(
@@ -56,6 +71,9 @@ fn main() {
         println!("  tick {:>3}: {}", p.tick, p.description);
     }
     for r in &report.reverted {
-        println!("  tick {:>3}: reverted plan {} — {}", r.tick, r.plan_id, r.reason);
+        println!(
+            "  tick {:>3}: reverted plan {} — {}",
+            r.tick, r.plan_id, r.reason
+        );
     }
 }

@@ -13,7 +13,7 @@ use cobra::kernels::workload::{execute_plain, Workload};
 use cobra::kernels::{Daxpy, DaxpyParams, PrefetchPolicy};
 use cobra::machine::{Machine, MachineConfig};
 use cobra::omp::{OmpRuntime, Team};
-use cobra::rt::{Cobra, CobraConfig};
+use cobra::rt::Cobra;
 
 fn main() {
     let machine_cfg = MachineConfig::smp4();
@@ -30,11 +30,15 @@ fn main() {
     let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), machine_cfg.mem_bytes);
     let mut machine = Machine::new(machine_cfg.clone(), wl.image().clone());
     wl.init(&mut machine.shared.mem);
-    let mut cobra = Cobra::attach(CobraConfig::default(), &mut machine);
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let mut cobra = Cobra::builder().attach(&mut machine);
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     let run = wl.run(&mut machine, team, &rt, &mut cobra);
     let report = cobra.detach(&mut machine);
-    wl.verify(&machine.shared.mem).expect("numerics preserved under patching");
+    wl.verify(&machine.shared.mem)
+        .expect("numerics preserved under patching");
 
     println!("with COBRA:           {:>9} cycles", run.cycles);
     println!(

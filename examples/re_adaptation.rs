@@ -15,17 +15,24 @@
 use cobra::kernels::{Daxpy, DaxpyParams, PrefetchPolicy, Workload};
 use cobra::machine::{Machine, MachineConfig};
 use cobra::omp::{NullHook, OmpRuntime, QuantumHook, Team};
-use cobra::rt::{Cobra, CobraConfig, Strategy};
+use cobra::rt::{Cobra, Strategy};
 
 const SMALL_N: i64 = 8 * 1024; // 128 KB working set (two arrays)
 const PHASE1_REPS: usize = 60;
 const PHASE2_REPS: usize = 16;
 
 fn run_two_phase(hook: &mut dyn QuantumHook, machine: &mut Machine, wl: &Daxpy) -> (u64, u64) {
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     let team = Team::new(4);
     let full_n = wl.params().n() as i64;
-    let args = [wl.x_addr() as i64, wl.y_addr() as i64, wl.params().a.to_bits() as i64];
+    let args = [
+        wl.x_addr() as i64,
+        wl.y_addr() as i64,
+        wl.params().a.to_bits() as i64,
+    ];
     let entry = machine.shared.code.image().symbol("daxpy_body").unwrap();
 
     let start = machine.cycle();
@@ -54,9 +61,9 @@ fn main() {
     let wl = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
     let mut m = Machine::new(cfg.clone(), wl.image().clone());
     wl.init(&mut m.shared.mem);
-    let mut ccfg = CobraConfig::default();
-    ccfg.optimizer.strategy = Strategy::NoPrefetch;
-    let mut cobra = Cobra::attach(ccfg, &mut m);
+    let mut cobra = Cobra::builder()
+        .strategy(Strategy::NoPrefetch)
+        .attach(&mut m);
     let (c1, c2) = run_two_phase(&mut cobra, &mut m, &wl);
     let report = cobra.detach(&mut m);
     println!("with COBRA: phase1 {c1:>9} cycles   phase2 {c2:>9} cycles");
@@ -70,6 +77,9 @@ fn main() {
         println!("  tick {:>3}: APPLY  {}", p.tick, p.description);
     }
     for r in &report.reverted {
-        println!("  tick {:>3}: REVERT plan {} — {}", r.tick, r.plan_id, r.reason);
+        println!(
+            "  tick {:>3}: REVERT plan {} — {}",
+            r.tick, r.plan_id, r.reason
+        );
     }
 }

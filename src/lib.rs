@@ -13,7 +13,9 @@
 //!   benchmark suite.
 //! * [`rt`] — **the paper's contribution**: the COBRA framework itself
 //!   (monitoring threads, the optimization thread, trace selection, and the
-//!   `noprefetch` / `lfetch.excl` binary optimizations).
+//!   `noprefetch` / `lfetch.excl` binary optimizations), attached via
+//!   `rt::Cobra::builder()`, with typed pipeline telemetry in
+//!   `rt::telemetry`.
 //! * [`harness`] — experiment drivers regenerating every table and figure.
 //!
 //! See `README.md` for a guided tour and `examples/quickstart.rs` for the

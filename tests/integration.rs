@@ -5,7 +5,7 @@ use cobra::kernels::workload::{execute_plain, Workload};
 use cobra::kernels::{npb, Daxpy, DaxpyParams, PrefetchPolicy};
 use cobra::machine::{Event, Machine, MachineConfig};
 use cobra::omp::{OmpRuntime, Team};
-use cobra::rt::{Cobra, CobraConfig, Strategy};
+use cobra::rt::{Cobra, Strategy};
 
 /// Every benchmark binary decodes cleanly and carries the symbols and
 /// structure the optimizer relies on.
@@ -18,7 +18,11 @@ fn all_npb_binaries_decode_and_are_bundle_aligned() {
         let insns = image.decode_all().expect("every word decodes");
         assert_eq!(insns.len() as u32, image.len());
         assert_eq!(image.len() % cobra::isa::SLOTS_PER_BUNDLE, 0);
-        assert!(image.symbols().count() >= 1, "{}: named entry points", b.name());
+        assert!(
+            image.symbols().count() >= 1,
+            "{}: named entry points",
+            b.name()
+        );
     }
 }
 
@@ -44,9 +48,17 @@ fn npb_verifies_across_machines_and_policies() {
 fn simulation_is_deterministic() {
     let cfg = MachineConfig::smp4();
     let run = || {
-        let d = Daxpy::build(DaxpyParams::new(64 * 1024, 6), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+        let d = Daxpy::build(
+            DaxpyParams::new(64 * 1024, 6),
+            &PrefetchPolicy::aggressive(),
+            cfg.mem_bytes,
+        );
         let (m, r) = execute_plain(&d, &cfg, Team::new(4));
-        (r.cycles, m.total_stats().get(Event::BusMemory), m.total_stats().get(Event::L3Miss))
+        (
+            r.cycles,
+            m.total_stats().get(Event::BusMemory),
+            m.total_stats().get(Event::L3Miss),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -57,11 +69,18 @@ fn simulation_is_deterministic() {
 fn cobra_runs_are_deterministic() {
     let cfg = MachineConfig::smp4();
     let run = || {
-        let wl = Daxpy::build(DaxpyParams::new(128 * 1024, 24), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+        let wl = Daxpy::build(
+            DaxpyParams::new(128 * 1024, 24),
+            &PrefetchPolicy::aggressive(),
+            cfg.mem_bytes,
+        );
         let mut m = Machine::new(cfg.clone(), wl.image().clone());
         wl.init(&mut m.shared.mem);
-        let mut cobra = Cobra::attach(CobraConfig::default(), &mut m);
-        let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+        let mut cobra = Cobra::builder().attach(&mut m);
+        let rt = OmpRuntime {
+            quantum: 20_000,
+            ..OmpRuntime::default()
+        };
         let r = wl.run(&mut m, Team::new(4), &rt, &mut cobra);
         let report = cobra.detach(&mut m);
         (r.cycles, report.applied.len(), report.samples_forwarded)
@@ -75,7 +94,11 @@ fn cobra_runs_are_deterministic() {
 #[test]
 fn numa_pays_more_for_the_same_sharing() {
     let run = |cfg: &MachineConfig, threads: usize| {
-        let d = Daxpy::build(DaxpyParams::new(128 * 1024, 12), &PrefetchPolicy::aggressive(), cfg.mem_bytes);
+        let d = Daxpy::build(
+            DaxpyParams::new(128 * 1024, 12),
+            &PrefetchPolicy::aggressive(),
+            cfg.mem_bytes,
+        );
         let (m, r) = execute_plain(&d, cfg, Team::new(threads));
         let t = m.total_stats();
         // Cycles per coherent event proxies the per-miss penalty.
@@ -102,18 +125,28 @@ fn patching_preserves_numerics_bit_for_bit() {
     let wl2 = Daxpy::build(params, &PrefetchPolicy::aggressive(), cfg.mem_bytes);
     let mut m = Machine::new(cfg.clone(), wl2.image().clone());
     wl2.init(&mut m.shared.mem);
-    let mut ccfg = CobraConfig::default();
-    ccfg.optimizer.strategy = Strategy::NoPrefetch;
-    let mut cobra = Cobra::attach(ccfg, &mut m);
-    let rt = OmpRuntime { quantum: 20_000, ..OmpRuntime::default() };
+    let mut cobra = Cobra::builder()
+        .strategy(Strategy::NoPrefetch)
+        .attach(&mut m);
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
     wl2.run(&mut m, Team::new(4), &rt, &mut cobra);
     let report = cobra.detach(&mut m);
-    assert!(!report.applied.is_empty(), "deployment expected: {}", report.summary());
+    assert!(
+        !report.applied.is_empty(),
+        "deployment expected: {}",
+        report.summary()
+    );
 
     let n = params.n();
     let base = m_base.shared.mem.read_f64_slice(wl.y_addr(), n);
     let patched = m.shared.mem.read_f64_slice(wl2.y_addr(), n);
-    assert_eq!(base, patched, "prefetch rewriting must never change results");
+    assert_eq!(
+        base, patched,
+        "prefetch rewriting must never change results"
+    );
 }
 
 /// EP and IS show (almost) no coherent misses — the reason the paper
