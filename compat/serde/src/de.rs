@@ -36,10 +36,24 @@ impl std::error::Error for Error {}
 /// Extracts and deserializes field `name` from a struct object. Used by the
 /// `serde_derive` shim's generated `from_value` bodies.
 pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
-    match obj.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => {
-            T::from_value(v).map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}")))
-        }
+    match field_opt(obj, name, ty)? {
+        Some(v) => Ok(v),
         None => Err(Error::custom(format!("missing field `{name}` for {ty}"))),
+    }
+}
+
+/// Like [`field`], but a missing field is `Ok(None)` instead of an error.
+/// Backs `#[serde(default)]` / `#[serde(default = "path")]` in the derive
+/// shim: present-but-malformed values still fail loudly.
+pub fn field_opt<T: Deserialize>(
+    obj: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<Option<T>, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}"))),
+        None => Ok(None),
     }
 }

@@ -10,8 +10,9 @@
 //! The derive macros come from the in-tree `serde_derive` shim and emit
 //! externally-tagged enum representations matching upstream serde's
 //! defaults, so the JSON produced here looks like what real serde_json
-//! would print for the same types. `#[serde(...)]` attributes are NOT
-//! supported (and not used anywhere in this workspace).
+//! would print for the same types. Of the `#[serde(...)]` attributes, only
+//! `default` / `default = "path"` on named fields are supported (missing
+//! fields fall back instead of erroring); the derive rejects the rest.
 
 pub mod de;
 pub mod value;

@@ -9,19 +9,23 @@
 //! * enums with unit, tuple, and struct variants (externally tagged, like
 //!   upstream serde's default representation);
 //! * arbitrary non-macro attributes on items/fields/variants (skipped);
-//! * NO generics and NO `#[serde(...)]` attributes — both unused in-repo.
+//! * `#[serde(default)]` and `#[serde(default = "path")]` on named fields:
+//!   a missing field deserializes to `Default::default()` / `path()` instead
+//!   of erroring, so configs and reports stay readable across added fields.
+//!   All other `#[serde(...)]` attributes are rejected at compile time;
+//! * NO generics — unused in-repo.
 //!
 //! The generated impls target the value-tree model of the in-tree `serde`
 //! shim (`Serialize::to_value` / `Deserialize::from_value`).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -34,6 +38,17 @@ enum Mode {
 
 struct Field {
     name: String,
+    default: FieldDefault,
+}
+
+/// How a missing field deserializes, per `#[serde(default...)]`.
+enum FieldDefault {
+    /// No attribute: a missing field is an error.
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
 }
 
 enum Body {
@@ -163,7 +178,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = take_field_attrs(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -185,12 +200,79 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             }
         }
         skip_type(&tokens, &mut i);
-        fields.push(Field { name });
+        fields.push(Field { name, default });
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
     }
     Ok(fields)
+}
+
+/// Like [`skip_attrs_and_vis`], but inspects `#[serde(...)]` attributes:
+/// `default` / `default = "path"` are honored, anything else is rejected
+/// (silently ignoring `rename`/`skip`/... would change wire format).
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<FieldDefault, String> {
+    let mut default = FieldDefault::Required;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if let Some(d) = parse_serde_attr(g.stream())? {
+                            default = d;
+                        }
+                        *i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(default),
+        }
+    }
+}
+
+/// Parses the inside of one `#[...]`: returns `Some` for a recognized
+/// `serde(default...)`, `None` for any non-serde attribute (doc, allow, ...).
+fn parse_serde_attr(stream: TokenStream) -> Result<Option<FieldDefault>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match (inner.first(), inner.get(1), inner.get(2)) {
+                (Some(TokenTree::Ident(kw)), None, None) if kw.to_string() == "default" => {
+                    Ok(Some(FieldDefault::DefaultTrait))
+                }
+                (
+                    Some(TokenTree::Ident(kw)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if kw.to_string() == "default" && eq.as_char() == '=' => {
+                    let raw = lit.to_string();
+                    let path = raw.trim_matches('"').to_string();
+                    if path.is_empty() || path == raw {
+                        return Err(format!(
+                            "serde_derive shim: expected `default = \"path\"`, got {raw}"
+                        ));
+                    }
+                    Ok(Some(FieldDefault::Path(path)))
+                }
+                _ => Err(format!(
+                    "serde_derive shim: unsupported #[serde(...)] attribute `{}` (only `default` and `default = \"path\"` are implemented)",
+                    g.stream()
+                )),
+            }
+        }
+        _ => Ok(None),
+    }
 }
 
 /// Advances past one type, stopping at a `,` outside angle brackets.
@@ -369,6 +451,23 @@ fn gen_serialize(name: &str, body: &Body) -> String {
     )
 }
 
+/// One `field_name: <extraction>,` line of a generated struct literal.
+/// `ty_literal` is an already-quoted type name for error messages.
+fn gen_field_extract(f: &Field, ty_literal: &str) -> String {
+    let n = &f.name;
+    match &f.default {
+        FieldDefault::Required => {
+            format!("{n}: ::serde::de::field(__obj, {n:?}, {ty_literal})?,\n")
+        }
+        FieldDefault::DefaultTrait => format!(
+            "{n}: ::serde::de::field_opt(__obj, {n:?}, {ty_literal})?.unwrap_or_default(),\n"
+        ),
+        FieldDefault::Path(path) => format!(
+            "{n}: match ::serde::de::field_opt(__obj, {n:?}, {ty_literal})? {{ ::std::option::Option::Some(__fv) => __fv, ::std::option::Option::None => {path}() }},\n"
+        ),
+    }
+}
+
 fn gen_deserialize(name: &str, body: &Body) -> String {
     let body_code = match body {
         Body::UnitStruct => format!(
@@ -379,10 +478,7 @@ fn gen_deserialize(name: &str, body: &Body) -> String {
                 "{{ let __obj = __v.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object for struct {name}\"))?;\n::std::result::Result::Ok({name} {{\n"
             );
             for f in fields {
-                code.push_str(&format!(
-                    "{n}: ::serde::de::field(__obj, {n:?}, {name:?})?,\n",
-                    n = f.name
-                ));
+                code.push_str(&gen_field_extract(f, &format!("{name:?}")));
             }
             code.push_str("}) }");
             code
@@ -429,10 +525,7 @@ fn gen_deserialize(name: &str, body: &Body) -> String {
                             "{vn:?} => {{ let __obj = __inner.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object payload for {name}::{vn}\"))?;\n::std::result::Result::Ok({name}::{vn} {{\n"
                         );
                         for f in fields {
-                            arm.push_str(&format!(
-                                "{n}: ::serde::de::field(__obj, {n:?}, \"{name}::{vn}\")?,\n",
-                                n = f.name
-                            ));
+                            arm.push_str(&gen_field_extract(f, &format!("\"{name}::{vn}\"")));
                         }
                         arm.push_str("}) }\n");
                         payload_arms.push_str(&arm);

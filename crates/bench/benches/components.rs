@@ -128,6 +128,50 @@ fn bench_machine_stepping(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // Stall-heavy throughput: a line-striding FP load (one 128-byte line per
+    // iteration, so every load misses to memory) feeding an immediate use,
+    // which parks all four cores in long all-stalled windows. This is the
+    // case the stall-skip fast path exists for; the per-cycle reference is
+    // benchmarked alongside it so the speedup is visible in the report. Both
+    // configurations must simulate the exact same machine — asserted below
+    // before anything is timed.
+    let stall_image = {
+        let mut a = Assembler::new();
+        a.movi(4, 0x1000);
+        a.movi(5, 100_000);
+        a.mov_to_lc(5);
+        let top = a.new_label();
+        a.bind(top);
+        a.ldfd(0, 6, 4, 128);
+        a.fma_d(0, 7, 6, 1, 7); // immediate use: full load-use stall
+        a.br_cloop(top);
+        a.hlt();
+        a.finish()
+    };
+    let run_stall_heavy = |stall_skip: bool| {
+        let cfg = MachineConfig::smp4().with_stall_skip(stall_skip);
+        let mut m = Machine::new(cfg, stall_image.clone());
+        for cpu in 0..4 {
+            m.spawn_thread(cpu, 0, &[]);
+        }
+        m.run_quantum(200_000);
+        m
+    };
+    let reference = run_stall_heavy(false);
+    let fast = run_stall_heavy(true);
+    assert_eq!(
+        (reference.cycle(), reference.total_stats()),
+        (fast.cycle(), fast.total_stats()),
+        "stall-skip fast path must be cycle- and counter-identical"
+    );
+    let mut group = c.benchmark_group("components/machine/stall_heavy_200k_cycles");
+    for (variant, stall_skip) in [("per_cycle", false), ("stall_skip", true)] {
+        group.bench_function(BenchmarkId::from_parameter(variant), |b| {
+            b.iter(|| run_stall_heavy(criterion::black_box(stall_skip)))
+        });
+    }
+    group.finish();
 }
 
 fn bench_cobra_decision(c: &mut Criterion) {

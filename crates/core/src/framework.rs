@@ -329,6 +329,7 @@ impl Cobra {
 
     /// Detach: stop sampling, shut down helper threads, return the report.
     pub fn detach(mut self, machine: &mut Machine) -> CobraReport {
+        self.report.guest_faults = machine.total_stats().get(cobra_machine::Event::GuestFaults);
         self.driver.detach(machine);
         for m in self.monitors.iter_mut().flatten() {
             let _ = m.tx.send(ToMonitor::Shutdown);
@@ -414,6 +415,7 @@ impl QuantumHook for Cobra {
             let reply = self.replies.recv().expect("optimization thread alive");
             self.report.samples_merged = reply.samples_merged;
             self.report.phase_changes = reply.phase_changes;
+            self.report.stale_deltas = reply.stale_deltas;
             for action in reply.actions {
                 self.apply_action(machine, action);
             }
@@ -558,5 +560,39 @@ mod tests {
         }
         assert_eq!(report.telemetry_records, log.len() as u64);
         assert_eq!(report.telemetry_dropped, 0);
+    }
+
+    /// The stall-skip fast path must be invisible to the whole pipeline:
+    /// a memory-bound parallel region under COBRA lands on the same final
+    /// cycle, event totals, and sample counts with the fast path on or off.
+    #[test]
+    fn stall_skip_fast_path_is_invisible_to_the_pipeline() {
+        let run = |stall_skip: bool| {
+            let image = {
+                let mut a = cobra_isa::Assembler::new();
+                a.movi(4, 0x1000);
+                a.movi(5, 400);
+                a.mov_to_lc(5);
+                let top = a.new_label();
+                a.bind(top);
+                a.ldfd(0, 6, 4, 8);
+                a.fma_d(0, 7, 6, 1, 0); // immediate use: load-use stall
+                a.br_cloop(top);
+                a.hlt();
+                a.finish()
+            };
+            let mut m = Machine::new(MachineConfig::smp4().with_stall_skip(stall_skip), image);
+            let mut cobra = Cobra::builder().attach(&mut m);
+            let rt = OmpRuntime {
+                quantum: 1000,
+                ..OmpRuntime::default()
+            };
+            rt.parallel_for(&mut m, Team::new(4), 0, 0, 4, &[], &mut cobra);
+            let report = cobra.detach(&mut m);
+            (m.cycle(), m.total_stats(), report.samples_forwarded)
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert_eq!(reference, fast);
     }
 }

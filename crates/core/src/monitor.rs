@@ -40,8 +40,14 @@ pub enum ToMonitor {
 /// Messages to the optimization thread.
 #[derive(Debug)]
 pub enum ToOpt {
-    /// A monitoring thread's reduction for the current tick.
-    Delta(crate::profile::ProfileDelta),
+    /// A monitoring thread's reduction for one tick. The tag pins the delta
+    /// to the tick whose samples it reduces: a delta that arrives after its
+    /// tick has already been folded is dropped (and counted) rather than
+    /// silently polluting a later tick's rolling window.
+    Delta {
+        tick: u64,
+        delta: crate::profile::ProfileDelta,
+    },
     /// A monitoring thread finished the tick.
     TickAck {
         cpu: u32,
@@ -65,6 +71,9 @@ pub struct TickReply {
     pub phase_changes: u64,
     /// Total samples merged so far.
     pub samples_merged: u64,
+    /// Total deltas dropped so far because they arrived after their tick
+    /// had already been folded.
+    pub stale_deltas: u64,
 }
 
 /// Statistics a monitoring thread reports at shutdown.
@@ -109,7 +118,7 @@ pub fn monitoring_thread(
                 stats.ticks += 1;
                 // Delta first, then the ack: per-sender channel ordering
                 // guarantees the optimization thread sees them in order.
-                if tx.send(ToOpt::Delta(delta)).is_err() {
+                if tx.send(ToOpt::Delta { tick, delta }).is_err() {
                     break;
                 }
                 if tx.send(ToOpt::TickAck { cpu, tick }).is_err() {
@@ -143,10 +152,30 @@ pub fn optimization_thread(
     let rolling_ticks = optimizer.config().rolling_ticks.max(1);
     let mut pending_acks: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     let mut expected: Option<(u64, u64, usize)> = None;
-    let mut current_tick: Vec<crate::profile::ProfileDelta> = Vec::new();
+    // Deltas keyed by the tick they belong to, so a late delta can never be
+    // folded into the wrong tick's rolling window.
+    let mut pending_deltas: std::collections::HashMap<u64, Vec<crate::profile::ProfileDelta>> =
+        std::collections::HashMap::new();
+    let mut last_folded: Option<u64> = None;
     let mut recent: std::collections::VecDeque<Vec<crate::profile::ProfileDelta>> =
         std::collections::VecDeque::new();
     let mut samples_merged = 0u64;
+    let mut stale_deltas = 0u64;
+
+    let drop_stale = |delta_tick: u64,
+                      cpu: u32,
+                      at_tick: u64,
+                      stale: &mut u64,
+                      telemetry: &Option<TelemetryEmitter>| {
+        *stale += 1;
+        if let Some(t) = telemetry {
+            t.emit(TelemetryEvent::StaleDelta {
+                tick: at_tick,
+                cpu,
+                delta_tick,
+            });
+        }
+    };
 
     loop {
         let msg = match rx.recv() {
@@ -154,9 +183,20 @@ pub fn optimization_thread(
             Err(_) => return,
         };
         match msg {
-            ToOpt::Delta(delta) => {
-                samples_merged += delta.samples;
-                current_tick.push(delta);
+            ToOpt::Delta { tick, delta } => {
+                if last_folded.is_some_and(|t| tick <= t) {
+                    // Its tick is already folded: dropping is the only move
+                    // that keeps the rolling window honest.
+                    drop_stale(
+                        tick,
+                        delta.cpu,
+                        last_folded.unwrap_or(0),
+                        &mut stale_deltas,
+                        &telemetry,
+                    );
+                } else {
+                    pending_deltas.entry(tick).or_default().push(delta);
+                }
             }
             ToOpt::TickAck { cpu: _, tick } => {
                 *pending_acks.entry(tick).or_insert(0) += 1;
@@ -177,12 +217,30 @@ pub fn optimization_thread(
                 pending_acks.remove(&tick);
                 expected = None;
 
+                // Fold exactly this tick's deltas; purge anything older
+                // (it can only exist if a tick was skipped — still stale).
+                let current_tick = pending_deltas.remove(&tick).unwrap_or_default();
+                let old_keys: Vec<u64> = pending_deltas
+                    .keys()
+                    .copied()
+                    .filter(|&k| k < tick)
+                    .collect();
+                for k in old_keys {
+                    for d in pending_deltas.remove(&k).unwrap_or_default() {
+                        drop_stale(k, d.cpu, tick, &mut stale_deltas, &telemetry);
+                    }
+                }
+                last_folded = Some(tick);
+                for d in &current_tick {
+                    samples_merged += d.samples;
+                }
+
                 // Phase detection on this tick's merged window.
                 let mut tick_window = CounterWindow::default();
                 for d in &current_tick {
                     tick_window.merge(&d.window);
                 }
-                recent.push_back(std::mem::take(&mut current_tick));
+                recent.push_back(current_tick);
                 while recent.len() > rolling_ticks {
                     recent.pop_front();
                 }
@@ -218,6 +276,7 @@ pub fn optimization_thread(
                     actions,
                     phase_changes: phases.phases() - 1,
                     samples_merged,
+                    stale_deltas,
                 };
                 if reply_tx.send(reply).is_err() {
                     return;
@@ -267,10 +326,11 @@ mod tests {
         to_mon_tx.send(ToMonitor::Tick(0)).unwrap();
 
         match to_opt_rx.recv().unwrap() {
-            ToOpt::Delta(d) => {
-                assert_eq!(d.cpu, 2);
-                assert_eq!(d.samples, 2);
-                assert_eq!(d.branch_pairs.len(), 2);
+            ToOpt::Delta { tick, delta } => {
+                assert_eq!(tick, 0, "delta carries the tick it reduces");
+                assert_eq!(delta.cpu, 2);
+                assert_eq!(delta.samples, 2);
+                assert_eq!(delta.branch_pairs.len(), 2);
             }
             other => panic!("{other:?}"),
         }
@@ -303,11 +363,14 @@ mod tests {
         });
 
         // Two monitors; acks can arrive before BeginTick.
-        tx.send(ToOpt::Delta(crate::profile::ProfileDelta {
-            cpu: 0,
-            samples: 1,
-            ..Default::default()
-        }))
+        tx.send(ToOpt::Delta {
+            tick: 0,
+            delta: crate::profile::ProfileDelta {
+                cpu: 0,
+                samples: 1,
+                ..Default::default()
+            },
+        })
         .unwrap();
         tx.send(ToOpt::TickAck { cpu: 0, tick: 0 }).unwrap();
         tx.send(ToOpt::TickAck { cpu: 1, tick: 0 }).unwrap();
@@ -330,6 +393,64 @@ mod tests {
         .unwrap();
         tx.send(ToOpt::TickAck { cpu: 0, tick: 1 }).unwrap();
         let _ = reply_rx.recv().unwrap();
+
+        tx.send(ToOpt::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn late_delta_is_dropped_not_folded_into_later_tick() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.nop(cobra_isa::Unit::I);
+            a.finish()
+        };
+        let optimizer = Optimizer::new(OptimizerConfig::default(), image);
+        let bands = LatencyBands { coherent_min: 165 };
+        let phases = PhaseDetector::new(PhaseConfig::default());
+        let (tx, rx) = unbounded();
+        let (reply_tx, reply_rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            optimization_thread(optimizer, bands, phases, rx, reply_tx, None)
+        });
+
+        // Tick 0 completes without its delta (e.g. a slow monitor).
+        tx.send(ToOpt::BeginTick {
+            tick: 0,
+            cycle: 20_000,
+            expected: 1,
+        })
+        .unwrap();
+        tx.send(ToOpt::TickAck { cpu: 0, tick: 0 }).unwrap();
+        let r0 = reply_rx.recv().unwrap();
+        assert_eq!(r0.samples_merged, 0);
+        assert_eq!(r0.stale_deltas, 0);
+
+        // The straggler arrives after its tick was folded.
+        tx.send(ToOpt::Delta {
+            tick: 0,
+            delta: crate::profile::ProfileDelta {
+                cpu: 3,
+                samples: 7,
+                ..Default::default()
+            },
+        })
+        .unwrap();
+
+        // Tick 1 must not absorb the stale delta.
+        tx.send(ToOpt::BeginTick {
+            tick: 1,
+            cycle: 40_000,
+            expected: 1,
+        })
+        .unwrap();
+        tx.send(ToOpt::TickAck { cpu: 0, tick: 1 }).unwrap();
+        let r1 = reply_rx.recv().unwrap();
+        assert_eq!(
+            r1.samples_merged, 0,
+            "stale delta's samples must never be merged"
+        );
+        assert_eq!(r1.stale_deltas, 1, "and the drop is counted");
 
         tx.send(ToOpt::Shutdown).unwrap();
         handle.join().unwrap();

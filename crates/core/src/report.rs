@@ -54,6 +54,13 @@ pub struct CobraReport {
     pub telemetry_records: u64,
     /// Telemetry records dropped because the ring was full.
     pub telemetry_dropped: u64,
+    /// Monitoring-thread deltas dropped because they arrived after their
+    /// tick had already been folded.
+    #[serde(default)]
+    pub stale_deltas: u64,
+    /// Guest memory faults taken by working threads over the run.
+    #[serde(default)]
+    pub guest_faults: u64,
 }
 
 impl CobraReport {
@@ -119,5 +126,24 @@ mod tests {
         assert_eq!(r.applied_of_kind(OptKind::ExclHint), 1);
         assert!(r.summary().contains("2 deployments"));
         assert!(r.summary().contains("1 reverts"));
+    }
+
+    /// Reports serialized before `stale_deltas`/`guest_faults` existed must
+    /// still deserialize (the fields default to 0).
+    #[test]
+    fn old_reports_without_new_fields_still_load() {
+        let mut old = serde::Serialize::to_value(&CobraReport {
+            samples_forwarded: 7,
+            ..CobraReport::default()
+        });
+        if let serde::Value::Object(fields) = &mut old {
+            fields.retain(|(k, _)| k != "stale_deltas" && k != "guest_faults");
+        } else {
+            panic!("report serializes to an object");
+        }
+        let r: CobraReport = serde::Deserialize::from_value(&old).expect("tolerant deserialize");
+        assert_eq!(r.samples_forwarded, 7);
+        assert_eq!(r.stale_deltas, 0);
+        assert_eq!(r.guest_faults, 0);
     }
 }

@@ -117,6 +117,14 @@ pub enum TelemetryEvent {
         /// The rewrite chosen, or `None` when the optimizer declined.
         decision: Option<OptKind>,
     },
+    /// A monitoring thread's delta arrived after its tick had already been
+    /// folded and was dropped (`tick` is the latest folded tick at drop
+    /// time; `delta_tick` is the tick the delta belonged to).
+    StaleDelta {
+        tick: u64,
+        cpu: u32,
+        delta_tick: u64,
+    },
     /// The phase detector fired; profile history was discarded.
     PhaseChange { tick: u64, cycle: u64, phases: u64 },
     /// A plan was applied to the live image at a quantum safe point.
@@ -168,6 +176,7 @@ impl TelemetryEvent {
             TelemetryEvent::KernelDrain { .. } => "kernel_drain",
             TelemetryEvent::UsbLevel { .. } => "usb_level",
             TelemetryEvent::LoopClassified { .. } => "loop_classified",
+            TelemetryEvent::StaleDelta { .. } => "stale_delta",
             TelemetryEvent::PhaseChange { .. } => "phase_change",
             TelemetryEvent::Deploy { .. } => "deploy",
             TelemetryEvent::CpiTrial { .. } => "cpi_trial",

@@ -164,11 +164,16 @@ impl CodeImage {
         Some(rec)
     }
 
-    /// Undo all patches applied at or after `mark` (see [`Self::patch_mark`]).
-    pub fn revert_to_mark(&mut self, mark: usize) {
+    /// Undo all patches applied at or after `mark` (see [`Self::patch_mark`]),
+    /// newest first. Returns the undone records so callers that maintain a
+    /// decoded shadow copy can refresh exactly the touched slots instead of
+    /// re-decoding the whole image.
+    pub fn revert_to_mark(&mut self, mark: usize) -> Vec<PatchRecord> {
+        let mut undone = Vec::with_capacity(self.patch_log.len().saturating_sub(mark));
         while self.patch_log.len() > mark {
-            self.revert_last_patch();
+            undone.push(self.revert_last_patch().expect("log length checked"));
         }
+        undone
     }
 
     /// Current position in the patch log, for later [`Self::revert_to_mark`].

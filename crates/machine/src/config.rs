@@ -93,6 +93,18 @@ pub struct MachineConfig {
     pub fp_long_latency: u64,
     /// Size of data memory in bytes.
     pub mem_bytes: usize,
+    /// Event-driven stall skip: when every bound core is stalled on a known
+    /// wake-up cycle (or idle), [`crate::Machine::run`] jumps the clock to
+    /// the earliest wake-up point instead of stepping cycle-by-cycle.
+    /// Simulation results are bit-identical either way (enforced by the
+    /// `stall_skip_equivalence` suite); turning it off selects the per-cycle
+    /// reference loop.
+    #[serde(default = "default_stall_skip")]
+    pub stall_skip: bool,
+}
+
+fn default_stall_skip() -> bool {
+    true
 }
 
 impl MachineConfig {
@@ -141,6 +153,7 @@ impl MachineConfig {
             fp_latency: 4,
             fp_long_latency: 30,
             mem_bytes: 64 << 20,
+            stall_skip: true,
         }
     }
 
@@ -172,6 +185,13 @@ impl MachineConfig {
         // Each node has its own bus; contention per node is milder.
         cfg.bus_occupancy = 5;
         cfg
+    }
+
+    /// Same configuration with the stall-skip fast path toggled (used by
+    /// the equivalence suite to compare against the per-cycle reference).
+    pub fn with_stall_skip(mut self, on: bool) -> Self {
+        self.stall_skip = on;
+        self
     }
 
     /// Number of NUMA nodes (1 for an SMP).
@@ -268,5 +288,19 @@ mod tests {
     #[should_panic(expected = "even CPU count")]
     fn odd_altix_rejected() {
         let _ = MachineConfig::altix(3);
+    }
+
+    /// Configs serialized before `stall_skip` existed must still load, with
+    /// the fast path defaulting to on.
+    #[test]
+    fn config_without_stall_skip_field_defaults_on() {
+        let mut v = serde::Serialize::to_value(&MachineConfig::smp4().with_stall_skip(false));
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "stall_skip");
+        } else {
+            panic!("config serializes to an object");
+        }
+        let cfg: MachineConfig = serde::Deserialize::from_value(&v).expect("tolerant deserialize");
+        assert!(cfg.stall_skip);
     }
 }

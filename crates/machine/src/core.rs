@@ -27,6 +27,21 @@ pub enum CoreStatus {
     Running,
     /// The bound thread executed `hlt`.
     Halted,
+    /// The bound thread performed an out-of-bounds data access and was
+    /// terminated. The simulator host never panics on guest faults; the
+    /// faulting PC/address are kept in [`Core::fault`].
+    Faulted,
+}
+
+/// Details of a guest memory fault (the simulated SIGSEGV/SIGBUS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// Slot address of the faulting instruction (PC is left pointing here).
+    pub pc: CodeAddr,
+    /// The offending data address.
+    pub addr: u64,
+    /// Cycle at which the fault was taken.
+    pub cycle: u64,
 }
 
 /// Architectural + microarchitectural state of one CPU.
@@ -51,6 +66,8 @@ pub struct Core {
     pr_ready: [u64; 64],
     /// Cycle until which the core is stalled.
     resume_at: u64,
+    /// Details of the fault that terminated the bound thread, if any.
+    pub fault: Option<FaultInfo>,
 }
 
 impl Core {
@@ -71,6 +88,7 @@ impl Core {
             fr_ready: [0; 128],
             pr_ready: [0; 64],
             resume_at: 0,
+            fault: None,
         }
     }
 
@@ -96,12 +114,12 @@ impl Core {
         self.pr[0] = true;
     }
 
-    /// Release a halted thread, returning the core to the idle pool.
+    /// Release a halted (or faulted) thread, returning the core to the idle
+    /// pool. Fault details stay readable until the next `bind_thread`.
     pub fn release(&mut self) {
-        assert_eq!(
-            self.status,
-            CoreStatus::Halted,
-            "release requires a halted core"
+        assert!(
+            matches!(self.status, CoreStatus::Halted | CoreStatus::Faulted),
+            "release requires a halted or faulted core"
         );
         self.status = CoreStatus::Idle;
         self.tid = None;
@@ -286,6 +304,20 @@ impl Core {
         }
     }
 
+    /// Terminate the bound thread on an out-of-bounds data access. The PC is
+    /// left at the faulting instruction, no architectural or memory-system
+    /// state is touched, and execution of this core stops for good.
+    fn raise_fault(&mut self, shared: &mut Shared, now: u64, pc: CodeAddr, addr: u64) -> bool {
+        self.status = CoreStatus::Faulted;
+        self.fault = Some(FaultInfo {
+            pc,
+            addr,
+            cycle: now,
+        });
+        shared.stats[self.cpu].add(Event::GuestFaults, 1);
+        true
+    }
+
     /// Execute one instruction at `self.pc`; advances the PC. Returns true
     /// when a taken branch ended the issue group.
     fn execute(&mut self, shared: &mut Shared, now: u64, insn: Insn) -> bool {
@@ -316,6 +348,9 @@ impl Core {
                 bias,
             } => {
                 let addr = self.read_gr(base) as u64;
+                if !shared.mem.in_bounds(addr) {
+                    return self.raise_fault(shared, now, pc, addr);
+                }
                 let value = shared.mem.read_u64(addr) as i64;
                 let out = shared.memsys.access(
                     &mut shared.stats,
@@ -336,6 +371,9 @@ impl Core {
                 post_inc,
             } => {
                 let addr = self.read_gr(base) as u64;
+                if !shared.mem.in_bounds(addr) {
+                    return self.raise_fault(shared, now, pc, addr);
+                }
                 shared.mem.write_u64(addr, self.read_gr(src) as u64);
                 let out = shared.memsys.access(
                     &mut shared.stats,
@@ -355,6 +393,9 @@ impl Core {
                 post_inc,
             } => {
                 let addr = self.read_gr(base) as u64;
+                if !shared.mem.in_bounds(addr) {
+                    return self.raise_fault(shared, now, pc, addr);
+                }
                 let value = shared.mem.read_f64(addr);
                 let out = shared.memsys.access(
                     &mut shared.stats,
@@ -378,6 +419,9 @@ impl Core {
                 post_inc,
             } => {
                 let addr = self.read_gr(base) as u64;
+                if !shared.mem.in_bounds(addr) {
+                    return self.raise_fault(shared, now, pc, addr);
+                }
                 shared.mem.write_f64(addr, self.read_fr(src));
                 let out = shared.memsys.access(
                     &mut shared.stats,
@@ -413,6 +457,9 @@ impl Core {
             }
             FetchAdd8 { dest, base, inc } => {
                 let addr = self.read_gr(base) as u64;
+                if !shared.mem.in_bounds(addr) {
+                    return self.raise_fault(shared, now, pc, addr);
+                }
                 let old = shared.mem.read_u64(addr) as i64;
                 shared.mem.write_u64(addr, (old + inc as i64) as u64);
                 let out = shared.memsys.access(
@@ -435,6 +482,9 @@ impl Core {
                 cmp,
             } => {
                 let addr = self.read_gr(base) as u64;
+                if !shared.mem.in_bounds(addr) {
+                    return self.raise_fault(shared, now, pc, addr);
+                }
                 let old = shared.mem.read_u64(addr) as i64;
                 if old == self.read_gr(cmp) {
                     shared.mem.write_u64(addr, self.read_gr(new) as u64);
@@ -712,5 +762,11 @@ impl Core {
     /// Loop-count application register.
     pub fn lc(&self) -> u64 {
         self.lc
+    }
+
+    /// Cycle until which the core is stalled. The stall-skip fast path reads
+    /// this to find the earliest wake-up point across all Running cores.
+    pub fn resume_at(&self) -> u64 {
+        self.resume_at
     }
 }

@@ -51,10 +51,13 @@ pub enum Event {
     StallCycles,
     /// Taken branches (feeds the Branch Trace Buffer).
     BrTaken,
+    /// Guest memory faults (out-of-bounds data accesses that terminated the
+    /// offending thread instead of the simulator host).
+    GuestFaults,
 }
 
 /// Number of distinct events.
-pub const NUM_EVENTS: usize = Event::BrTaken as usize + 1;
+pub const NUM_EVENTS: usize = Event::GuestFaults as usize + 1;
 
 /// All events, for iteration/reporting.
 pub const ALL_EVENTS: [Event; NUM_EVENTS] = [
@@ -75,6 +78,7 @@ pub const ALL_EVENTS: [Event; NUM_EVENTS] = [
     Event::LfetchDropped,
     Event::StallCycles,
     Event::BrTaken,
+    Event::GuestFaults,
 ];
 
 impl Event {
@@ -98,12 +102,13 @@ impl Event {
             Event::LfetchDropped => "LFETCH_DROPPED",
             Event::StallCycles => "BE_STALL_CYCLES",
             Event::BrTaken => "BR_TAKEN",
+            Event::GuestFaults => "GUEST_FAULTS",
         }
     }
 }
 
 /// Per-CPU event counters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CpuStats {
     counts: Vec<u64>,
 }

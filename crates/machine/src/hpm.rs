@@ -64,7 +64,7 @@ pub struct Hpm {
 /// State captured by the sampling hardware at the instant a counter
 /// overflows (a real PMU interrupt records the event-time state; deferring
 /// capture to the driver's poll would smear timestamps across the quantum).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverflowCapture {
     pub cycle: u64,
     pub pc: u32,
@@ -161,6 +161,19 @@ impl Hpm {
     /// Sampling configuration, if programmed.
     pub fn sampling_config(&self) -> Option<SamplingConfig> {
         self.sampling.as_ref().map(|s| s.config)
+    }
+
+    /// Events remaining until the next sampling overflow, given the current
+    /// free-running count of the sampled event. `None` when sampling is off.
+    ///
+    /// The stall-skip fast path uses this to cap a bulk cycle jump: when the
+    /// sampled event advances once per stalled cycle (`CPU_CYCLES`,
+    /// `BE_STALL_CYCLES`), skipping more than the headroom would smear an
+    /// overflow capture past its true cycle.
+    pub fn sampling_headroom(&self, current: u64) -> Option<u64> {
+        self.sampling
+            .as_ref()
+            .map(|s| s.next_threshold.saturating_sub(current))
     }
 
     /// Check the free-running counters against the sampling threshold; on a

@@ -33,8 +33,8 @@ pub mod memsys;
 pub use bus::Bus;
 pub use cache::{Cache, HitLevel, Mesi, PrivateHierarchy};
 pub use config::{CacheGeometry, MachineConfig, Topology};
-pub use core::{Core, CoreStatus};
+pub use core::{Core, CoreStatus, FaultInfo};
 pub use events::{CpuStats, Event, ALL_EVENTS, NUM_EVENTS};
-pub use hpm::{BtbEntry, DearRecord, Hpm, SamplingConfig, BTB_PAIRS};
+pub use hpm::{BtbEntry, DearRecord, Hpm, OverflowCapture, SamplingConfig, BTB_PAIRS};
 pub use machine::{DataMem, Machine, ProgramCode, RunResult, Shared};
 pub use memsys::{AccessKind, AccessOutcome, MemSystem, PageMap};

@@ -16,7 +16,7 @@ use cobra_isa::CodeAddr;
 
 use crate::config::MachineConfig;
 use crate::core::{Core, CoreStatus};
-use crate::events::{self, CpuStats};
+use crate::events::{self, CpuStats, Event};
 use crate::hpm::Hpm;
 use crate::memsys::MemSystem;
 
@@ -43,9 +43,15 @@ impl DataMem {
         self.bytes.is_empty()
     }
 
+    /// Can a full 8-byte access at `addr` be satisfied? Overflow-safe for
+    /// any guest-computed address, including those near `u64::MAX` (where a
+    /// naive `addr + 8` wraps around and would falsely pass).
     #[inline]
     pub fn in_bounds(&self, addr: u64) -> bool {
-        (addr as usize) + 8 <= self.bytes.len()
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| a.checked_add(8))
+            .is_some_and(|end| end <= self.bytes.len())
     }
 
     #[inline]
@@ -158,14 +164,15 @@ impl ProgramCode {
         self.image.patch_mark()
     }
 
-    /// Revert patches past `mark`, refreshing the decoded copy.
+    /// Revert patches past `mark`, refreshing the decoded copy. Only the
+    /// slots named in the reverted patch records are re-decoded — reverting
+    /// one deployment must not cost a full-image decode.
     pub fn revert_to_mark(&mut self, mark: usize) {
-        self.image.revert_to_mark(mark);
-        for (addr, slot) in self.decoded.iter_mut().enumerate() {
-            *slot = self
+        for rec in self.image.revert_to_mark(mark) {
+            self.decoded[rec.addr as usize] = self
                 .image
-                .insn(addr as CodeAddr)
-                .expect("image stays decodable");
+                .insn(rec.addr)
+                .expect("reverted word decoded when first patched");
         }
     }
 }
@@ -187,8 +194,12 @@ pub struct Shared {
 pub struct RunResult {
     /// Cycles executed by this call.
     pub cycles: u64,
-    /// True when every bound thread reached `hlt`.
+    /// True when no bound thread remains runnable: each one reached `hlt`
+    /// or took a guest memory fault (see `faulted`).
     pub halted: bool,
+    /// True when at least one bound thread terminated with a guest memory
+    /// fault instead of a clean `hlt`.
+    pub faulted: bool,
 }
 
 /// A simulated multiprocessor executing one program image.
@@ -255,34 +266,136 @@ impl Machine {
         }
     }
 
-    /// Are all bound threads halted? (False when no thread is bound.)
+    /// Has every bound thread terminated — reached `hlt` or faulted?
+    /// (False when no thread is bound.)
     pub fn all_halted(&self) -> bool {
         let mut any = false;
         for c in &self.cores {
             match c.status {
                 CoreStatus::Running => return false,
-                CoreStatus::Halted => any = true,
+                CoreStatus::Halted | CoreStatus::Faulted => any = true,
                 CoreStatus::Idle => {}
             }
         }
         any
     }
 
-    /// Run until every bound thread halts or `max_cycles` elapse.
+    /// Did any bound thread terminate with a guest memory fault?
+    pub fn any_faulted(&self) -> bool {
+        self.cores.iter().any(|c| c.status == CoreStatus::Faulted)
+    }
+
+    /// When no Running core can execute at the current cycle, the number of
+    /// cycles (≥ 1, ≤ `budget`) that can be skipped in bulk without changing
+    /// any observable state relative to the per-cycle reference loop.
+    /// `None` when some core executes this cycle or the budget is spent.
+    ///
+    /// The window is the distance to the earliest wake-up (`resume_at`)
+    /// across Running cores — or the whole budget when no core is Running —
+    /// additionally capped, per CPU whose HPM samples an event that advances
+    /// once per stalled cycle (`CPU_CYCLES`, `BE_STALL_CYCLES`), at the
+    /// sampling headroom: a longer jump would land an overflow capture past
+    /// the cycle where the reference path takes it.
+    fn stall_skip_window(&self, budget: u64) -> Option<u64> {
+        if budget == 0 {
+            return None;
+        }
+        let now = self.shared.cycle;
+        let mut n = budget;
+        let mut any_running = false;
+        for c in &self.cores {
+            if c.status != CoreStatus::Running {
+                continue;
+            }
+            any_running = true;
+            let resume = c.resume_at();
+            if resume <= now {
+                return None; // this core executes this cycle
+            }
+            n = n.min(resume - now);
+        }
+        if any_running {
+            for c in &self.cores {
+                if c.status != CoreStatus::Running {
+                    continue;
+                }
+                if let Some(sc) = self.shared.hpm[c.cpu].sampling_config() {
+                    if matches!(sc.event, Event::CpuCycles | Event::StallCycles) {
+                        let current = self.shared.stats[c.cpu].get(sc.event);
+                        if let Some(headroom) = self.shared.hpm[c.cpu].sampling_headroom(current) {
+                            // After every poll the threshold moves past the
+                            // counter, so headroom ≥ 1; the max(1) guards
+                            // forward progress regardless.
+                            n = n.min(headroom.max(1));
+                        }
+                    }
+                }
+            }
+        }
+        Some(n)
+    }
+
+    /// Advance the clock by `n` cycles across an all-stalled (or all-idle)
+    /// window, reproducing exactly the per-cycle loop's observable effects:
+    /// each Running core accrues `n` CPU and stall cycles (snoop stalls are
+    /// provably zero — they only accrue while some core executes), and one
+    /// end-of-window overflow poll per CPU lands any sampling crossing on
+    /// the same cycle as the reference path (guaranteed by the headroom cap
+    /// in [`Self::stall_skip_window`]).
+    fn skip_stalled(&mut self, n: u64) {
+        for c in &self.cores {
+            if c.status == CoreStatus::Running {
+                debug_assert_eq!(
+                    self.shared.memsys.snoop_stall_pending(c.cpu),
+                    0,
+                    "snoop stalls cannot be pending while every core is stalled"
+                );
+                self.shared.stats[c.cpu].add(Event::CpuCycles, n);
+                self.shared.stats[c.cpu].add(Event::StallCycles, n);
+            }
+        }
+        self.shared.cycle += n;
+        for cpu in 0..self.cores.len() {
+            let core = &self.cores[cpu];
+            self.shared.hpm[cpu].poll_overflow(
+                &self.shared.stats[cpu],
+                core.pc,
+                core.tid.unwrap_or(u32::MAX),
+                self.shared.cycle,
+            );
+        }
+    }
+
+    /// Run until every bound thread terminates or `max_cycles` elapse.
+    ///
+    /// With [`MachineConfig::stall_skip`] on (the default), cycles where no
+    /// core can execute are skipped in bulk to the earliest wake-up point;
+    /// results are bit-identical to the per-cycle reference loop (enforced
+    /// by the `stall_skip_equivalence` test suite). Turning the flag off
+    /// selects the reference loop.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         let start = self.shared.cycle;
         while !self.all_halted() {
-            if self.shared.cycle - start >= max_cycles {
+            let elapsed = self.shared.cycle - start;
+            if elapsed >= max_cycles {
                 return RunResult {
-                    cycles: self.shared.cycle - start,
+                    cycles: elapsed,
                     halted: false,
+                    faulted: self.any_faulted(),
                 };
+            }
+            if self.shared.cfg.stall_skip {
+                if let Some(n) = self.stall_skip_window(max_cycles - elapsed) {
+                    self.skip_stalled(n);
+                    continue;
+                }
             }
             self.step();
         }
         RunResult {
             cycles: self.shared.cycle - start,
             halted: true,
+            faulted: self.any_faulted(),
         }
     }
 
@@ -292,11 +405,11 @@ impl Machine {
         self.run(quantum)
     }
 
-    /// Release every halted core back to the idle pool (end of a parallel
-    /// region).
+    /// Release every halted or faulted core back to the idle pool (end of a
+    /// parallel region).
     pub fn release_halted(&mut self) {
         for c in &mut self.cores {
-            if c.status == CoreStatus::Halted {
+            if matches!(c.status, CoreStatus::Halted | CoreStatus::Faulted) {
                 c.release();
             }
         }
@@ -361,6 +474,43 @@ mod tests {
         assert_eq!(m.read_f64_slice(64, 3), vec![1.0, 2.0, 3.0]);
         assert!(m.in_bounds(4088));
         assert!(!m.in_bounds(4089));
+    }
+
+    #[test]
+    fn in_bounds_rejects_wrapping_addresses() {
+        // `addr + 8` wraps near u64::MAX; a naive check would accept these.
+        let m = DataMem::new(1 << 12);
+        assert!(!m.in_bounds(u64::MAX));
+        assert!(!m.in_bounds(u64::MAX - 7));
+        assert!(!m.in_bounds(u64::MAX - 8));
+        assert!(!m.in_bounds(1 << 40));
+    }
+
+    #[test]
+    fn oob_store_faults_guest_thread_not_host() {
+        let mut m = machine_with(|a| {
+            a.movi(4, -8); // as u64: 0xffff...fff8 — wraps past the memory end
+            a.movi(5, 7);
+            a.st8(0, 5, 4, 0);
+            a.movi(6, 1); // must never execute
+            a.hlt();
+        });
+        m.spawn_thread(0, 0, &[]);
+        let r = m.run(1000);
+        assert!(r.halted, "faulted thread terminates the run");
+        assert!(r.faulted);
+        assert_eq!(m.core(0).status, CoreStatus::Faulted);
+        let fault = m.core(0).fault.expect("fault details recorded");
+        assert_eq!(fault.addr, (-8i64) as u64);
+        assert_eq!(m.core(0).gr(6), 0, "execution stops at the fault");
+        assert_eq!(
+            m.stats()[0].get(crate::events::Event::GuestFaults),
+            1,
+            "fault is counted"
+        );
+        // The core can be released and reused like a halted one.
+        m.release_halted();
+        assert_eq!(m.core(0).status, CoreStatus::Idle);
     }
 
     #[test]

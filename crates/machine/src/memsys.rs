@@ -181,6 +181,15 @@ impl MemSystem {
         std::mem::take(&mut self.snoop_stall[cpu])
     }
 
+    /// Snoop-victim stall cycles accrued but not yet delivered to a CPU
+    /// (read-only). Snoop stalls only accrue while some core executes a
+    /// memory access, so this is zero across any all-stalled window — the
+    /// invariant the stall-skip fast path relies on to jump cycles without
+    /// missing a delivery.
+    pub fn snoop_stall_pending(&self, cpu: usize) -> u64 {
+        self.snoop_stall[cpu]
+    }
+
     /// Cycle at which the CPU's store buffer will be fully drained (threads
     /// must wait for this before completing — join memory ordering).
     pub fn store_drain_time(&self, cpu: usize) -> u64 {

@@ -3,7 +3,7 @@
 //! while it runs.
 
 use cobra_isa::CodeAddr;
-use cobra_machine::Machine;
+use cobra_machine::{CoreStatus, Machine};
 
 use crate::team::{abi, Team};
 
@@ -34,6 +34,10 @@ impl Default for OmpRuntime {
 pub struct RegionStats {
     /// Cycles from fork to join (including fork overhead).
     pub cycles: u64,
+    /// Team threads that terminated with a guest memory fault instead of a
+    /// clean `hlt`. The region still joins; the faulting thread's partial
+    /// work is whatever it completed before the fault.
+    pub faulted_threads: usize,
 }
 
 /// Events a driver can observe while a region runs. COBRA's framework
@@ -121,10 +125,14 @@ impl OmpRuntime {
             );
         }
 
+        let faulted_threads = (0..machine.num_cpus())
+            .filter(|&cpu| machine.core(cpu).status == CoreStatus::Faulted)
+            .count();
         machine.release_halted();
         hook.on_join(machine);
         RegionStats {
             cycles: machine.cycle() - start,
+            faulted_threads,
         }
     }
 
@@ -280,6 +288,26 @@ mod tests {
         // Range of 2 over 4 threads: threads 2 and 3 get empty chunks.
         let s = rt.parallel_for(&mut m, Team::new(4), 0, 0, 2, &[0x5_0000], &mut NullHook);
         assert!(s.cycles > 0);
+        assert_eq!(s.faulted_threads, 0);
+    }
+
+    #[test]
+    fn faulting_thread_terminates_region_without_host_panic() {
+        // The array base is far beyond data memory, so every store faults;
+        // threads with empty chunks halt cleanly.
+        let image = store_tid_program();
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        let rt = OmpRuntime::default();
+        let bad_base = i64::MAX - 1024;
+        let s = rt.parallel_for(&mut m, Team::new(4), 0, 0, 2, &[bad_base], &mut NullHook);
+        assert_eq!(s.faulted_threads, 2, "both non-empty chunks fault");
+        // The machine is reusable: faulted cores were released at join.
+        let s2 = rt.parallel_for(&mut m, Team::new(4), 0, 0, 8, &[0x6_0000], &mut NullHook);
+        assert_eq!(s2.faulted_threads, 0);
+        for i in 0..8 {
+            let v = m.shared.mem.read_u64((0x6_0000 + 8 * i) as u64);
+            assert!(v < 4, "element {i} written by a valid tid");
+        }
     }
 
     #[test]
