@@ -94,6 +94,134 @@ fn bench_memsys(c: &mut Criterion) {
     });
 }
 
+fn bench_memsys_fastpath(c: &mut Criterion) {
+    let load = AccessKind::Load {
+        fp: true,
+        bias: false,
+    };
+
+    // Private-hit cost: repeated loads to a line this CPU already holds in
+    // E/M — the case the MRU filter answers without touching the
+    // probe/effects/snoop machinery. The reference path is measured
+    // alongside; the fast path must clear 1.5x before anything is timed by
+    // Criterion, and both passes must agree on outcomes and counters.
+    let private_hit_pass = |fast: bool, n: u64| {
+        let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+        let mut ms = MemSystem::new(&cfg);
+        let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
+        let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+        ms.access(&mut stats, &mut hpm, 0, 0, 1, load, 0x1000);
+        let mut now = 1_000u64;
+        let mut digest = 0u64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            now += 1;
+            let out = ms.access(&mut stats, &mut hpm, 0, now, 1, load, 0x1000);
+            digest ^= out
+                .complete_at
+                .wrapping_mul(3)
+                .wrapping_add(out.stall_until);
+        }
+        (t0.elapsed(), digest, stats[0].clone())
+    };
+    const HITS: u64 = 1_000_000;
+    let (ref_elapsed, ref_digest, ref_stats) = (0..3)
+        .map(|_| private_hit_pass(false, HITS))
+        .min_by_key(|(d, _, _)| *d)
+        .unwrap();
+    let (fast_elapsed, fast_digest, fast_stats) = (0..3)
+        .map(|_| private_hit_pass(true, HITS))
+        .min_by_key(|(d, _, _)| *d)
+        .unwrap();
+    assert_eq!(
+        (ref_digest, ref_stats),
+        (fast_digest, fast_stats),
+        "fast path must answer private hits identically to the reference"
+    );
+    let ratio = ref_elapsed.as_secs_f64() / fast_elapsed.as_secs_f64();
+    assert!(
+        ratio >= 1.5,
+        "private-hit fast path must be >= 1.5x the reference, got {ratio:.2}x \
+         ({ref_elapsed:?} reference vs {fast_elapsed:?} fast)"
+    );
+    let mut g = c.benchmark_group("components/memsys/private_hit_load");
+    for (variant, fast) in [("reference", false), ("fast_path", true)] {
+        g.bench_function(BenchmarkId::from_parameter(variant), |b| {
+            let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+            let mut ms = MemSystem::new(&cfg);
+            let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
+            let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+            ms.access(&mut stats, &mut hpm, 0, 0, 1, load, 0x1000);
+            let mut now = 1_000u64;
+            b.iter(|| {
+                now += 1;
+                ms.access(&mut stats, &mut hpm, 0, now, 1, load, 0x1000)
+            })
+        });
+    }
+    g.finish();
+
+    // Snoop-miss cost: a cold-line load stream where no other hierarchy can
+    // hold the line, so the presence vector lets the fast path skip the
+    // O(num_cpus) snoop loops that the reference walks on every miss.
+    let snoop_miss_pass = |fast: bool, n: u64| {
+        let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+        let mut ms = MemSystem::new(&cfg);
+        let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
+        let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+        let mut now = 0u64;
+        let mut digest = 0u64;
+        let t0 = std::time::Instant::now();
+        for i in 0..n {
+            now += 600;
+            let addr = 0x1000 + (i % 300_000) * 128;
+            let out = ms.access(&mut stats, &mut hpm, 0, now, 1, load, addr);
+            digest ^= out
+                .complete_at
+                .wrapping_mul(3)
+                .wrapping_add(out.stall_until);
+        }
+        (t0.elapsed(), digest, stats[0].clone())
+    };
+    const MISSES: u64 = 300_000;
+    let (miss_ref_elapsed, miss_ref_digest, miss_ref_stats) = (0..3)
+        .map(|_| snoop_miss_pass(false, MISSES))
+        .min_by_key(|(d, _, _)| *d)
+        .unwrap();
+    let (miss_fast_elapsed, miss_fast_digest, miss_fast_stats) = (0..3)
+        .map(|_| snoop_miss_pass(true, MISSES))
+        .min_by_key(|(d, _, _)| *d)
+        .unwrap();
+    assert_eq!(
+        (miss_ref_digest, miss_ref_stats),
+        (miss_fast_digest, miss_fast_stats),
+        "presence-vector snoop skip must not change miss handling"
+    );
+    assert!(
+        miss_fast_elapsed.as_secs_f64() <= miss_ref_elapsed.as_secs_f64() * 1.10,
+        "snoop skip must not slow down the miss path: {miss_ref_elapsed:?} reference \
+         vs {miss_fast_elapsed:?} fast"
+    );
+    let mut g = c.benchmark_group("components/memsys/snoop_miss_load");
+    for (variant, fast) in [("reference", false), ("fast_path", true)] {
+        g.bench_function(BenchmarkId::from_parameter(variant), |b| {
+            let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+            let mut ms = MemSystem::new(&cfg);
+            let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
+            let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
+            let mut now = 0u64;
+            let mut i = 0u64;
+            b.iter(|| {
+                now += 600;
+                i += 1;
+                let addr = 0x1000 + (i % 300_000) * 128;
+                ms.access(&mut stats, &mut hpm, 0, now, 1, load, addr)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_machine_stepping(c: &mut Criterion) {
     // Simulation throughput: 4 cores running an arithmetic loop.
     let image = {
@@ -149,8 +277,10 @@ fn bench_machine_stepping(c: &mut Criterion) {
         a.hlt();
         a.finish()
     };
-    let run_stall_heavy = |stall_skip: bool| {
-        let cfg = MachineConfig::smp4().with_stall_skip(stall_skip);
+    let run_stall_heavy = |stall_skip: bool, mem_fast_path: bool| {
+        let cfg = MachineConfig::smp4()
+            .with_stall_skip(stall_skip)
+            .with_mem_fast_path(mem_fast_path);
         let mut m = Machine::new(cfg, stall_image.clone());
         for cpu in 0..4 {
             m.spawn_thread(cpu, 0, &[]);
@@ -158,17 +288,32 @@ fn bench_machine_stepping(c: &mut Criterion) {
         m.run_quantum(200_000);
         m
     };
-    let reference = run_stall_heavy(false);
-    let fast = run_stall_heavy(true);
+    let reference = run_stall_heavy(false, true);
+    let fast = run_stall_heavy(true, true);
+    let mem_ref = run_stall_heavy(true, false);
     assert_eq!(
         (reference.cycle(), reference.total_stats()),
         (fast.cycle(), fast.total_stats()),
         "stall-skip fast path must be cycle- and counter-identical"
     );
+    assert_eq!(
+        (mem_ref.cycle(), mem_ref.total_stats()),
+        (fast.cycle(), fast.total_stats()),
+        "memory fast path must be cycle- and counter-identical"
+    );
     let mut group = c.benchmark_group("components/machine/stall_heavy_200k_cycles");
-    for (variant, stall_skip) in [("per_cycle", false), ("stall_skip", true)] {
+    for (variant, stall_skip, mem_fast_path) in [
+        ("per_cycle", false, true),
+        ("stall_skip", true, true),
+        ("stall_skip_memref", true, false),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(variant), |b| {
-            b.iter(|| run_stall_heavy(criterion::black_box(stall_skip)))
+            b.iter(|| {
+                run_stall_heavy(
+                    criterion::black_box(stall_skip),
+                    criterion::black_box(mem_fast_path),
+                )
+            })
         });
     }
     group.finish();
@@ -311,6 +456,7 @@ criterion_group!(
     benches,
     bench_isa,
     bench_memsys,
+    bench_memsys_fastpath,
     bench_machine_stepping,
     bench_cobra_decision,
     bench_telemetry

@@ -2,14 +2,20 @@
 //! Reported "time" is simulated cycles (1 cycle = 1 ns); compare the
 //! `noprefetch`/`prefetch_excl`/`adaptive` rows against `prefetch` to read
 //! the speedups of Figure 5(a)/(b).
+//!
+//! All grid cells are independent simulations, so they are computed
+//! through the parallel trial runner first and then replayed to Criterion
+//! in input order.
 
-use cobra_bench::{bench_metric, npb_metrics};
+use cobra_bench::{bench_metric, npb_metrics_grid, NpbJob};
 use cobra_kernels::npb;
 use cobra_machine::MachineConfig;
 use cobra_rt::Strategy;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig5(c: &mut Criterion) {
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
     for (cfg, threads) in [
         (MachineConfig::smp4(), 4usize),
         (MachineConfig::altix8(), 8),
@@ -21,15 +27,19 @@ fn fig5(c: &mut Criterion) {
                 ("prefetch_excl", Some(Strategy::ExclHint)),
                 ("adaptive", Some(Strategy::Adaptive)),
             ] {
-                let m = npb_metrics(bench, &cfg, threads, strategy);
-                bench_metric(
-                    c,
-                    &format!("fig5/{}/{}", cfg.name, bench.name()),
-                    BenchmarkId::from_parameter(name),
-                    m.cycles,
-                );
+                labels.push((format!("fig5/{}/{}", cfg.name, bench.name()), name));
+                jobs.push(NpbJob {
+                    cfg: cfg.clone(),
+                    threads,
+                    bench,
+                    strategy,
+                });
             }
         }
+    }
+    let metrics = npb_metrics_grid(&jobs);
+    for ((group, name), m) in labels.into_iter().zip(metrics) {
+        bench_metric(c, &group, BenchmarkId::from_parameter(name), m.cycles);
     }
 }
 

@@ -2,14 +2,20 @@
 //! COBRA. Reported "time" is the **bus transaction count** (1 txn = 1 ns).
 //! The paper's observation: Figure 7 tracks Figure 6 because L3 misses are
 //! serviced by bus transactions.
+//!
+//! All grid cells are independent simulations, so they are computed
+//! through the parallel trial runner first and then replayed to Criterion
+//! in input order.
 
-use cobra_bench::{bench_metric, npb_metrics};
+use cobra_bench::{bench_metric, npb_metrics_grid, NpbJob};
 use cobra_kernels::npb;
 use cobra_machine::MachineConfig;
 use cobra_rt::Strategy;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig7(c: &mut Criterion) {
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
     for (cfg, threads) in [
         (MachineConfig::smp4(), 4usize),
         (MachineConfig::altix8(), 8),
@@ -20,15 +26,24 @@ fn fig7(c: &mut Criterion) {
                 ("noprefetch", Some(Strategy::NoPrefetch)),
                 ("prefetch_excl", Some(Strategy::ExclHint)),
             ] {
-                let m = npb_metrics(bench, &cfg, threads, strategy);
-                bench_metric(
-                    c,
-                    &format!("fig7/{}/{}", cfg.name, bench.name()),
-                    BenchmarkId::from_parameter(name),
-                    m.bus_transactions,
-                );
+                labels.push((format!("fig7/{}/{}", cfg.name, bench.name()), name));
+                jobs.push(NpbJob {
+                    cfg: cfg.clone(),
+                    threads,
+                    bench,
+                    strategy,
+                });
             }
         }
+    }
+    let metrics = npb_metrics_grid(&jobs);
+    for ((group, name), m) in labels.into_iter().zip(metrics) {
+        bench_metric(
+            c,
+            &group,
+            BenchmarkId::from_parameter(name),
+            m.bus_transactions,
+        );
     }
 }
 

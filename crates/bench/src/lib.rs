@@ -18,11 +18,43 @@ use cobra_rt::{Cobra, Strategy};
 use criterion::{BenchmarkId, Criterion};
 
 /// Simulated metrics of one run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimMetrics {
     pub cycles: u64,
     pub l3_misses: u64,
     pub bus_transactions: u64,
+}
+
+/// One cell of an NPB figure grid (machine × benchmark × strategy arm).
+#[derive(Debug, Clone)]
+pub struct NpbJob {
+    pub cfg: MachineConfig,
+    pub threads: usize,
+    pub bench: npb::Benchmark,
+    pub strategy: Option<Strategy>,
+}
+
+/// Compute a whole figure grid through the deterministic parallel trial
+/// runner. Results come back in input order, and the first cell is re-run
+/// sequentially afterwards to assert the fan-out changed nothing — each
+/// trial builds its own `Machine`, so parallel and sequential runs are
+/// bit-identical by construction.
+pub fn npb_metrics_grid(jobs: &[NpbJob]) -> Vec<SimMetrics> {
+    let out: Vec<SimMetrics> =
+        cobra_harness::run_trials(jobs, cobra_harness::default_workers(), |j| {
+            npb_metrics(j.bench, &j.cfg, j.threads, j.strategy)
+        })
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    if let (Some(j), Some(got)) = (jobs.first(), out.first()) {
+        let seq = npb_metrics(j.bench, &j.cfg, j.threads, j.strategy);
+        assert_eq!(
+            *got, seq,
+            "parallel trial diverged from its sequential reference"
+        );
+    }
+    out
 }
 
 /// Run a DAXPY configuration (steady state: warm run differenced against a

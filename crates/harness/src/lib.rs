@@ -11,16 +11,19 @@
 //!
 //! The `cobra-repro` binary exposes them as subcommands; `--md` emits
 //! Markdown for EXPERIMENTS.md; `--json` dumps raw measurements.
-//! Simulations fan out across host threads ([`sweep`]).
+//! Simulations fan out across host threads through the deterministic
+//! parallel trial runner ([`runner`], fail-fast wrapper in [`sweep`]).
 
 pub mod ablate;
 pub mod fig2;
 pub mod fig3;
 pub mod npbsuite;
+pub mod runner;
 pub mod staticnpb;
 pub mod sweep;
 pub mod table;
 pub mod table1;
 
+pub use runner::{run_trials, TrialPanic};
 pub use sweep::{default_workers, parallel_map};
 pub use table::Table;

@@ -1,0 +1,148 @@
+//! Deterministic parallel trial runner: the host-side fan-out for
+//! experiment sweeps and figure benches.
+//!
+//! Independent `Machine` trials (bench × arm grids, fig sweeps, config
+//! grids) are pushed through a crossbeam channel work queue and claimed by
+//! scoped worker threads. Three properties make the runner safe to put in
+//! front of paper artefacts:
+//!
+//! * **Deterministic order** — results are reassembled by input index, so
+//!   the output is identical to a sequential run of the same closure no
+//!   matter how the OS schedules workers.
+//! * **Panic isolation** — each trial runs under `catch_unwind`; one
+//!   diverging trial surfaces as an error for *that index* instead of
+//!   poisoning the whole sweep (callers that want fail-fast semantics use
+//!   [`crate::parallel_map`], which re-raises the first panic).
+//! * **No shared simulation state** — a trial closure receives `&T` and
+//!   must build its own `Machine`; every simulation stays single-threaded
+//!   internally, so parallel trials are bit-identical to sequential ones.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A trial that panicked instead of returning a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialPanic {
+    /// Input-order index of the failed trial.
+    pub index: usize,
+    /// Panic payload rendered to text (`<opaque panic>` if not a string).
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial #{} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TrialPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<opaque panic>".to_string()
+    }
+}
+
+/// Run `f` over every item on at most `max_workers` scoped host threads,
+/// returning per-trial results in input order with panics isolated per
+/// trial.
+pub fn run_trials<T, R, F>(items: &[T], max_workers: usize, f: F) -> Vec<Result<R, TrialPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(max_workers >= 1, "need at least one worker");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    for idx in 0..n {
+        job_tx.send(idx).expect("job queue open");
+    }
+    // Workers drain the queue, then see the disconnect and exit.
+    drop(job_tx);
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Result<R, TrialPanic>)>();
+    let mut results: Vec<Option<Result<R, TrialPanic>>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..max_workers.min(n) {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok(idx) = job_rx.recv() {
+                    let out =
+                        catch_unwind(AssertUnwindSafe(|| f(&items[idx]))).map_err(|p| TrialPanic {
+                            index: idx,
+                            message: panic_message(&*p),
+                        });
+                    if res_tx.send((idx, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        // Reassemble in input order while workers run.
+        while let Ok((idx, out)) = res_rx.recv() {
+            results[idx] = Some(out);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every queued trial reports exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Reverse-proportional work: later items finish first unless the
+        // runner reorders by index.
+        let items: Vec<u64> = (0..32).collect();
+        let out = run_trials(&items, 8, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+            x * x
+        });
+        let vals: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..32).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_trial_is_isolated() {
+        let items: Vec<u32> = (0..10).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let out = run_trials(&items, 4, |&x| {
+            if x == 3 {
+                panic!("boom {x}");
+            }
+            x + 1
+        });
+        std::panic::set_hook(hook);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert!(e.message.contains("boom 3"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_and_excess_workers() {
+        let out: Vec<Result<u8, _>> = run_trials(&[], 16, |x: &u8| *x);
+        assert!(out.is_empty());
+        let out = run_trials(&[41u8], 16, |x| x + 1);
+        assert_eq!(out[0].as_ref().unwrap(), &42);
+    }
+}

@@ -1,37 +1,28 @@
 //! Parallel experiment execution: each simulation instance runs on its own
 //! host thread (scoped, bounded concurrency), following the workspace's
 //! data-parallel sweep idiom.
+//!
+//! This module keeps the fail-fast convenience wrapper; the underlying
+//! channel-fed worker pool with per-trial panic isolation lives in
+//! [`crate::runner`].
+
+use crate::runner::run_trials;
 
 /// Run `f` over `items` with at most `max_workers` concurrent host threads;
 /// results come back in input order.
+///
+/// A panicking item re-raises the first (lowest-index) panic on the caller
+/// thread; use [`run_trials`] directly to observe per-trial failures
+/// instead.
 pub fn parallel_map<T, R, F>(items: Vec<T>, max_workers: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    assert!(max_workers >= 1);
-    let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mx = parking_lot::Mutex::new(&mut results);
-    let items_ref = &items;
-    let f_ref = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..max_workers.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let r = f_ref(&items_ref[idx]);
-                results_mx.lock()[idx] = Some(r);
-            });
-        }
-    });
-    results
+    run_trials(&items, max_workers, f)
         .into_iter()
-        .map(|r| r.expect("all items processed"))
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
         .collect()
 }
 
@@ -62,5 +53,26 @@ mod tests {
         assert!(out.is_empty());
         let out = parallel_map(vec![7u32], 1, |&x| x + 1);
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn propagates_the_lowest_index_panic() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let got = std::panic::catch_unwind(|| {
+            parallel_map((0..8u32).collect(), 4, |&x| {
+                if x >= 5 {
+                    panic!("bad trial {x}");
+                }
+                x
+            })
+        });
+        std::panic::set_hook(hook);
+        let msg = got
+            .expect_err("must propagate")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("trial #5"), "got: {msg}");
     }
 }

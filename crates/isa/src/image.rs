@@ -52,6 +52,10 @@ pub struct PatchRecord {
 #[derive(Debug, Clone, Default)]
 pub struct CodeImage {
     words: Vec<u64>,
+    /// Decoded shadow of `words`, kept coherent by every mutation so
+    /// [`Self::insn`] is a slot read instead of a per-call decode
+    /// (`None` marks a word that does not decode).
+    decoded: Vec<Option<Insn>>,
     /// Length of the original (pre-trace-cache) text, in words.
     main_len: u32,
     symbols: BTreeMap<String, CodeAddr>,
@@ -63,8 +67,10 @@ impl CodeImage {
     /// Build an image from already-encoded words (the assembler's output).
     pub fn from_words(words: Vec<u64>, symbols: BTreeMap<String, CodeAddr>) -> Self {
         let main_len = words.len() as u32;
+        let decoded = words.iter().map(|&w| decode(w).ok()).collect();
         CodeImage {
             words,
+            decoded,
             main_len,
             symbols,
             comments: BTreeMap::new(),
@@ -112,14 +118,26 @@ impl CodeImage {
         &self.words
     }
 
-    /// Decode the instruction at `addr`.
+    /// Instruction at `addr`, served from the decoded shadow (the raw word
+    /// is only re-decoded to reproduce the error when it is invalid).
+    #[inline]
     pub fn insn(&self, addr: CodeAddr) -> Result<Insn, DecodeError> {
-        decode(self.word(addr))
+        match self.decoded[addr as usize] {
+            Some(insn) => Ok(insn),
+            None => decode(self.word(addr)),
+        }
     }
 
     /// Decode every instruction in the image (fails on the first bad word).
     pub fn decode_all(&self) -> Result<Vec<Insn>, DecodeError> {
-        self.words.iter().map(|&w| decode(w)).collect()
+        self.words
+            .iter()
+            .zip(&self.decoded)
+            .map(|(&w, d)| match d {
+                Some(insn) => Ok(*insn),
+                None => decode(w),
+            })
+            .collect()
     }
 
     /// Count instructions in the *original text* matching a predicate.
@@ -127,9 +145,9 @@ impl CodeImage {
     /// `br.cloop`/`br.wtop` words this way — from the binary, not from
     /// code-generator metadata.
     pub fn count_matching(&self, mut pred: impl FnMut(&Insn) -> bool) -> usize {
-        self.words[..self.main_len as usize]
+        self.decoded[..self.main_len as usize]
             .iter()
-            .filter_map(|&w| decode(w).ok())
+            .filter_map(|d| d.as_ref())
             .filter(|i| pred(i))
             .count()
     }
@@ -146,9 +164,10 @@ impl CodeImage {
         if addr >= self.len() {
             return Err(PatchError::OutOfRange(addr));
         }
-        decode(new_word).map_err(PatchError::InvalidWord)?;
+        let decoded = decode(new_word).map_err(PatchError::InvalidWord)?;
         let old_word = self.words[addr as usize];
         self.words[addr as usize] = new_word;
+        self.decoded[addr as usize] = Some(decoded);
         self.patch_log.push(PatchRecord {
             addr,
             old_word,
@@ -161,6 +180,7 @@ impl CodeImage {
     pub fn revert_last_patch(&mut self) -> Option<PatchRecord> {
         let rec = self.patch_log.pop()?;
         self.words[rec.addr as usize] = rec.old_word;
+        self.decoded[rec.addr as usize] = decode(rec.old_word).ok();
         Some(rec)
     }
 
@@ -194,15 +214,20 @@ impl CodeImage {
     pub fn append_trace(&mut self, insns: &[Insn]) -> CodeAddr {
         use crate::insn::NOP_SLOT_I;
         let start = bundle_align(self.len());
+        let push = |img: &mut Self, insn: &Insn| {
+            let word = encode(insn);
+            img.words.push(word);
+            img.decoded.push(decode(word).ok());
+        };
         while self.len() < start {
-            self.words.push(encode(&NOP_SLOT_I));
+            push(self, &NOP_SLOT_I);
         }
         for insn in insns {
-            self.words.push(encode(insn));
+            push(self, insn);
         }
         // Pad the tail so the image always ends on a bundle boundary.
         while !self.len().is_multiple_of(SLOTS_PER_BUNDLE) {
-            self.words.push(encode(&NOP_SLOT_I));
+            push(self, &NOP_SLOT_I);
         }
         start
     }
@@ -329,6 +354,29 @@ mod tests {
         assert_eq!(img.comment(0), Some("prefetch y[0]+648"));
         assert_eq!(img.symbol("missing"), None);
         assert_eq!(img.symbols().count(), 1);
+    }
+
+    #[test]
+    fn decoded_shadow_tracks_every_mutation() {
+        let shadow_coherent = |img: &CodeImage| {
+            for a in 0..img.len() {
+                assert_eq!(
+                    img.insn(a).ok(),
+                    decode(img.word(a)).ok(),
+                    "shadow diverged at {a}"
+                );
+            }
+        };
+        let mut img = tiny_image();
+        shadow_coherent(&img);
+        let mark = img.patch_mark();
+        img.patch(1, &NOP_SLOT_M).unwrap();
+        shadow_coherent(&img);
+        img.append_trace(&[NOP_SLOT_M, NOP_SLOT_M]);
+        shadow_coherent(&img);
+        img.revert_to_mark(mark);
+        shadow_coherent(&img);
+        assert_eq!(img.insn(1).unwrap(), tiny_image().insn(1).unwrap());
     }
 
     #[test]

@@ -101,10 +101,30 @@ pub struct MachineConfig {
     /// reference loop.
     #[serde(default = "default_stall_skip")]
     pub stall_skip: bool,
+    /// Memory-system private-hit fast path: a per-CPU MRU line filter in
+    /// front of [`crate::MemSystem::access`] short-circuits the full
+    /// probe/snoop machinery for repeated accesses to a line the CPU already
+    /// holds Modified/Exclusive, and a presence vector skips the
+    /// O(num_cpus) snoop loops when no other hierarchy can hold the line.
+    /// Results are bit-identical either way (enforced by the
+    /// `mem_fastpath_equivalence` suite); turning it off selects the full
+    /// reference path for every access.
+    #[serde(default = "default_mem_fast_path")]
+    pub mem_fast_path: bool,
 }
 
 fn default_stall_skip() -> bool {
     true
+}
+
+fn default_mem_fast_path() -> bool {
+    true
+}
+
+/// `COBRA_MEM_FAST_PATH=0` forces the reference memory path for every
+/// config constructed afterwards (the CI job that keeps it green).
+fn env_mem_fast_path() -> bool {
+    !matches!(std::env::var("COBRA_MEM_FAST_PATH"), Ok(v) if v == "0")
 }
 
 impl MachineConfig {
@@ -154,6 +174,7 @@ impl MachineConfig {
             fp_long_latency: 30,
             mem_bytes: 64 << 20,
             stall_skip: true,
+            mem_fast_path: env_mem_fast_path(),
         }
     }
 
@@ -191,6 +212,13 @@ impl MachineConfig {
     /// the equivalence suite to compare against the per-cycle reference).
     pub fn with_stall_skip(mut self, on: bool) -> Self {
         self.stall_skip = on;
+        self
+    }
+
+    /// Same configuration with the memory-system hit fast path toggled
+    /// (used by the equivalence suite to compare against the reference).
+    pub fn with_mem_fast_path(mut self, on: bool) -> Self {
+        self.mem_fast_path = on;
         self
     }
 
@@ -302,5 +330,19 @@ mod tests {
         }
         let cfg: MachineConfig = serde::Deserialize::from_value(&v).expect("tolerant deserialize");
         assert!(cfg.stall_skip);
+    }
+
+    /// Configs serialized before `mem_fast_path` existed must still load,
+    /// with the fast path defaulting to on.
+    #[test]
+    fn config_without_mem_fast_path_field_defaults_on() {
+        let mut v = serde::Serialize::to_value(&MachineConfig::smp4().with_mem_fast_path(false));
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "mem_fast_path");
+        } else {
+            panic!("config serializes to an object");
+        }
+        let cfg: MachineConfig = serde::Deserialize::from_value(&v).expect("tolerant deserialize");
+        assert!(cfg.mem_fast_path);
     }
 }
