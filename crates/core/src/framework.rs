@@ -29,14 +29,18 @@
 //! sample — and, when telemetry is enabled, per drained telemetry record —
 //! so reported speedups are net of monitoring cost.
 
+use std::path::PathBuf;
+
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use cobra_machine::Machine;
 use cobra_omp::{QuantumHook, Team};
 use cobra_perfmon::{PerfmonConfig, PerfmonDriver};
+use cobra_store::{Snapshot, Store, StoreKey};
 
 use crate::monitor::{monitoring_thread, optimization_thread, TickReply, ToMonitor, ToOpt};
 use crate::optimizer::{DeployMode, Optimizer, OptimizerConfig, PlanAction, Strategy};
+use crate::persist::{seed_from_snapshot, snapshot_from_final};
 use crate::phase::{PhaseConfig, PhaseDetector};
 use crate::profile::LatencyBands;
 use crate::report::{AppliedPlan, CobraReport, RevertedPlan};
@@ -83,6 +87,7 @@ pub struct CobraBuilder {
     cfg: CobraConfig,
     sink: Option<TelemetrySink>,
     ring_capacity: usize,
+    store: Option<PathBuf>,
 }
 
 impl Default for CobraBuilder {
@@ -91,6 +96,7 @@ impl Default for CobraBuilder {
             cfg: CobraConfig::default(),
             sink: None,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            store: None,
         }
     }
 }
@@ -165,6 +171,16 @@ impl CobraBuilder {
         self
     }
 
+    /// Persist profiles and decisions to `dir` and warm-start from any
+    /// snapshot already there that matches this binary and machine. A
+    /// missing, mismatched, or damaged snapshot degrades to a cold start
+    /// (counted in the report, never fatal); an updated snapshot is saved
+    /// at detach.
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
+    }
+
     /// Attach to a machine: program the HPMs, start the optimization
     /// thread. Monitoring threads are created lazily at thread fork.
     pub fn attach(self, machine: &mut Machine) -> Cobra {
@@ -172,6 +188,7 @@ impl CobraBuilder {
             cfg,
             sink,
             ring_capacity,
+            store,
         } = self;
         let mut driver = PerfmonDriver::new(machine.num_cpus(), cfg.perfmon);
         driver.attach(machine);
@@ -185,6 +202,43 @@ impl CobraBuilder {
             optimizer.set_telemetry(e.clone());
         }
         let phases = PhaseDetector::new(cfg.phase);
+
+        let mut report = CobraReport::default();
+        // Warm start: load a matching snapshot before the optimization
+        // thread spawns, so seeds are in place for the very first tick.
+        let store_ctx = store.map(|dir| {
+            let store = Store::new(dir);
+            let key = StoreKey::for_run(machine.shared.code.image(), &machine.shared.cfg);
+            let lr = store.load(&key);
+            report.store_skipped_records = lr.skipped_records;
+            if let Some(err) = &lr.error {
+                report.store_errors += 1;
+                if let Some(e) = &emitter {
+                    e.emit(TelemetryEvent::StoreError {
+                        tick: 0,
+                        cycle: machine.shared.cycle,
+                        detail: err.clone(),
+                    });
+                }
+            }
+            if let Some(snap) = &lr.snapshot {
+                let seed = seed_from_snapshot(snap);
+                report.warm_started = true;
+                report.warm_seeded_decisions = seed.decisions.len();
+                report.warm_seeded_blacklist = seed.blacklist.len();
+                if let Some(e) = &emitter {
+                    e.emit(TelemetryEvent::WarmStart {
+                        tick: 0,
+                        cycle: machine.shared.cycle,
+                        seeded_decisions: seed.decisions.len(),
+                        seeded_blacklist: seed.blacklist.len(),
+                        skipped_records: lr.skipped_records,
+                    });
+                }
+                optimizer.warm_start(seed);
+            }
+            (store, key, lr.snapshot)
+        });
 
         let (to_opt, opt_rx) = unbounded();
         let (reply_tx, replies) = unbounded();
@@ -204,9 +258,10 @@ impl CobraBuilder {
             replies,
             opt_join: Some(opt_join),
             tick: 0,
-            report: CobraReport::default(),
+            report,
             hub,
             emitter,
+            store_ctx,
         }
     }
 }
@@ -223,11 +278,14 @@ pub struct Cobra {
     monitors: Vec<Option<MonitorHandle>>,
     to_opt: Sender<ToOpt>,
     replies: Receiver<TickReply>,
-    opt_join: Option<std::thread::JoinHandle<()>>,
+    opt_join: Option<std::thread::JoinHandle<crate::monitor::OptFinal>>,
     tick: u64,
     report: CobraReport,
     hub: Option<TelemetryHub>,
     emitter: Option<TelemetryEmitter>,
+    /// Store handle, snapshot key, and the prior snapshot (merged into the
+    /// one saved at detach) when persistence is configured.
+    store_ctx: Option<(Store, StoreKey, Option<Snapshot>)>,
 }
 
 impl Cobra {
@@ -340,8 +398,32 @@ impl Cobra {
             }
         }
         let _ = self.to_opt.send(ToOpt::Shutdown);
-        if let Some(j) = self.opt_join.take() {
-            let _ = j.join();
+        let fin = self.opt_join.take().and_then(|j| j.join().ok());
+        if let (Some(fin), Some((store, key, prior))) = (&fin, self.store_ctx.take()) {
+            let fresh = snapshot_from_final(key, fin);
+            let merged = match &prior {
+                Some(p) => cobra_store::merge(&[p.clone(), fresh.clone()]).unwrap_or(fresh),
+                None => fresh,
+            };
+            match store.save(&merged) {
+                Ok(path) => {
+                    self.report.store_saved_records = merged.record_count() as u64;
+                    self.emit(TelemetryEvent::StoreSave {
+                        tick: self.tick,
+                        cycle: machine.shared.cycle,
+                        records: merged.record_count(),
+                        path: path.display().to_string(),
+                    });
+                }
+                Err(err) => {
+                    self.report.store_errors += 1;
+                    self.emit(TelemetryEvent::StoreError {
+                        tick: self.tick,
+                        cycle: machine.shared.cycle,
+                        detail: err,
+                    });
+                }
+            }
         }
         if let Some(hub) = self.hub.take() {
             self.emit(TelemetryEvent::Detach {
@@ -416,6 +498,9 @@ impl QuantumHook for Cobra {
             self.report.samples_merged = reply.samples_merged;
             self.report.phase_changes = reply.phase_changes;
             self.report.stale_deltas = reply.stale_deltas;
+            self.report.warm_hits = reply.warm_hits;
+            self.report.warm_mismatches = reply.warm_mismatches;
+            self.report.undecodable_loops = reply.undecodable_loops;
             for action in reply.actions {
                 self.apply_action(machine, action);
             }

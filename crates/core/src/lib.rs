@@ -31,6 +31,7 @@
 pub mod framework;
 pub mod monitor;
 pub mod optimizer;
+pub mod persist;
 pub mod phase;
 pub mod profile;
 pub mod report;
@@ -39,9 +40,12 @@ pub mod trace;
 pub mod usb;
 
 pub use framework::{Cobra, CobraBuilder, CobraConfig};
+pub use monitor::OptFinal;
 pub use optimizer::{
-    DeployMode, OptKind, Optimizer, OptimizerConfig, PatchPlan, PlanAction, Strategy, TracePlan,
+    DecisionExport, DeployMode, OptKind, Optimizer, OptimizerConfig, PatchPlan, PlanAction,
+    Strategy, TracePlan, WarmSeed,
 };
+pub use persist::{profile_record, seed_from_snapshot, snapshot_from_final};
 pub use phase::{PhaseConfig, PhaseDetector};
 pub use profile::{
     CounterWindow, DelinquentStats, LatencyBands, ProfileDelta, SystemProfile, ThreadProfiler,

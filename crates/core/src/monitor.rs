@@ -74,6 +74,25 @@ pub struct TickReply {
     /// Total deltas dropped so far because they arrived after their tick
     /// had already been folded.
     pub stale_deltas: u64,
+    /// Warm-start seeds confirmed by the live profile so far.
+    pub warm_hits: u64,
+    /// Warm-start seeds dropped because the live profile disagreed so far.
+    pub warm_mismatches: u64,
+    /// Candidate loops skipped so far because a word failed to decode.
+    pub undecodable_loops: u64,
+}
+
+/// Everything the optimization thread hands back when it exits — the
+/// material a `cobra-store` snapshot is built from.
+#[derive(Debug)]
+pub struct OptFinal {
+    /// Final per-loop decisions (deployed + reverted), sorted by loop head.
+    pub decisions: Vec<crate::optimizer::DecisionExport>,
+    /// Blacklisted loop heads, sorted.
+    pub blacklist: Vec<cobra_isa::CodeAddr>,
+    /// Profile accumulated over the *whole* run (unlike the rolling
+    /// decision profile, nothing ages out of this one).
+    pub cumulative: SystemProfile,
 }
 
 /// Statistics a monitoring thread reports at shutdown.
@@ -148,8 +167,17 @@ pub fn optimization_thread(
     rx: Receiver<ToOpt>,
     reply_tx: Sender<TickReply>,
     telemetry: Option<TelemetryEmitter>,
-) {
+) -> OptFinal {
     let rolling_ticks = optimizer.config().rolling_ticks.max(1);
+    let mut cumulative = SystemProfile::new(bands);
+    let finish = |optimizer: &Optimizer, cumulative: SystemProfile| {
+        let (decisions, blacklist) = optimizer.export_state();
+        OptFinal {
+            decisions,
+            blacklist,
+            cumulative,
+        }
+    };
     let mut pending_acks: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     let mut expected: Option<(u64, u64, usize)> = None;
     // Deltas keyed by the tick they belong to, so a late delta can never be
@@ -180,7 +208,7 @@ pub fn optimization_thread(
     loop {
         let msg = match rx.recv() {
             Ok(m) => m,
-            Err(_) => return,
+            Err(_) => return finish(&optimizer, cumulative),
         };
         match msg {
             ToOpt::Delta { tick, delta } => {
@@ -208,7 +236,7 @@ pub fn optimization_thread(
             } => {
                 expected = Some((tick, cycle, n));
             }
-            ToOpt::Shutdown => return,
+            ToOpt::Shutdown => return finish(&optimizer, cumulative),
         }
 
         if let Some((tick, cycle, n)) = expected {
@@ -233,6 +261,7 @@ pub fn optimization_thread(
                 last_folded = Some(tick);
                 for d in &current_tick {
                     samples_merged += d.samples;
+                    cumulative.absorb(d);
                 }
 
                 // Phase detection on this tick's merged window.
@@ -277,9 +306,12 @@ pub fn optimization_thread(
                     phase_changes: phases.phases() - 1,
                     samples_merged,
                     stale_deltas,
+                    warm_hits: optimizer.warm_hits(),
+                    warm_mismatches: optimizer.warm_mismatches(),
+                    undecodable_loops: optimizer.undecodable_loops(),
                 };
                 if reply_tx.send(reply).is_err() {
-                    return;
+                    return finish(&optimizer, cumulative);
                 }
             }
         }

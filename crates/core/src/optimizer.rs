@@ -17,7 +17,7 @@
 //! (`.excl`). Deployments can be reverted when the post-deployment CPI
 //! regresses (continuous re-adaptation).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use cobra_isa::insn::{Insn, Op};
 use cobra_isa::{encode, CodeAddr, CodeImage, NOP_SLOT_M};
@@ -37,11 +37,19 @@ pub enum OptKind {
 }
 
 impl OptKind {
+    pub const ALL: [OptKind; 2] = [OptKind::NoPrefetch, OptKind::ExclHint];
+
     pub fn name(self) -> &'static str {
         match self {
             OptKind::NoPrefetch => "noprefetch",
             OptKind::ExclHint => "prefetch.excl",
         }
+    }
+
+    /// Inverse of [`OptKind::name`]; `None` for unknown names (e.g. a store
+    /// record written by an incompatible build).
+    pub fn from_name(name: &str) -> Option<OptKind> {
+        OptKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -119,6 +127,17 @@ pub struct OptimizerConfig {
     /// lets the program's cold start age out of the rolling profile so
     /// decisions reflect steady-state behaviour.
     pub warmup_ticks: u64,
+    /// Shortened learning window used when the optimizer was warm-started
+    /// from a store snapshot: *seeded* loops (deployed and validated in a
+    /// prior run) may deploy after this many ticks; unseeded loops still
+    /// wait out the full `warmup_ticks`, so a warm run converges to the
+    /// same final deployment set as a cold one, just earlier.
+    #[serde(default = "default_warm_warmup_ticks")]
+    pub warm_warmup_ticks: u64,
+}
+
+fn default_warm_warmup_ticks() -> u64 {
+    6
 }
 
 impl Default for OptimizerConfig {
@@ -143,6 +162,7 @@ impl Default for OptimizerConfig {
             regression_ticks: 20,
             rolling_ticks: 16,
             warmup_ticks: 18,
+            warm_warmup_ticks: default_warm_warmup_ticks(),
         }
     }
 }
@@ -186,11 +206,35 @@ pub struct TracePlan {
 struct Deployment {
     plan_id: u64,
     loop_head: CodeAddr,
+    kind: OptKind,
     /// `(addr, old_word)` for revert.
     undo: Vec<(CodeAddr, u64)>,
     baseline_cpi: f64,
+    /// CPI of the most recent completed trial window (0 until one closes).
+    last_post_cpi: f64,
     post_ticks: u64,
     reverted: bool,
+}
+
+/// Prior-run knowledge used to warm-start an optimizer (decoded from a
+/// `cobra-store` snapshot by the framework).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarmSeed {
+    /// Loops deployed (and not reverted) in a prior run, with the rewrite
+    /// that stuck.
+    pub decisions: Vec<(CodeAddr, OptKind)>,
+    /// Loops whose deployments regressed in a prior run: skipped outright.
+    pub blacklist: Vec<CodeAddr>,
+}
+
+/// One loop's final decision, exported at detach for persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionExport {
+    pub loop_head: CodeAddr,
+    pub kind: OptKind,
+    pub reverted: bool,
+    pub baseline_cpi: f64,
+    pub post_cpi: f64,
 }
 
 /// The optimization-thread state: decisions, plan construction, and its own
@@ -206,6 +250,14 @@ pub struct Optimizer {
     deployments: Vec<Deployment>,
     next_plan_id: u64,
     ticks_seen: u64,
+    /// Seeded decisions from a warm start, pending live validation.
+    seeded: HashMap<CodeAddr, OptKind>,
+    /// Whether [`Optimizer::warm_start`] ran (enables the shortened
+    /// learning window even after every seed is consumed).
+    warm: bool,
+    warm_hits: u64,
+    warm_mismatches: u64,
+    undecodable_loops: u64,
     telemetry: Option<TelemetryEmitter>,
     /// Quantum tick / machine cycle of the tick being considered (set by
     /// [`Optimizer::begin_tick`]), used to stamp telemetry events.
@@ -225,6 +277,11 @@ impl Optimizer {
             deployments: Vec::new(),
             next_plan_id: 0,
             ticks_seen: 0,
+            seeded: HashMap::new(),
+            warm: false,
+            warm_hits: 0,
+            warm_mismatches: 0,
+            undecodable_loops: 0,
             telemetry: None,
             cur_tick: 0,
             cur_cycle: 0,
@@ -247,6 +304,63 @@ impl Optimizer {
         self.cur_cycle = cycle;
     }
 
+    /// Seed the optimizer with prior-run knowledge (call before the first
+    /// tick). Blacklisted loops are skipped outright; seeded decisions
+    /// shorten the learning window to `warm_warmup_ticks`, but each one is
+    /// still **validated against the live profile** before deploying — a
+    /// mismatch drops the seed and the loop falls back to the normal
+    /// post-`warmup_ticks` decision path.
+    pub fn warm_start(&mut self, seed: WarmSeed) {
+        self.warm = true;
+        for (head, kind) in seed.decisions {
+            self.seeded.insert(head, kind);
+        }
+        for head in seed.blacklist {
+            self.blacklisted_heads.insert(head);
+        }
+    }
+
+    /// Whether [`Optimizer::warm_start`] ran.
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// Seeded deployments whose live classification agreed.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
+    /// Seeded decisions dropped because the live profile disagreed.
+    pub fn warm_mismatches(&self) -> u64 {
+        self.warm_mismatches
+    }
+
+    /// Candidate loops skipped because a word in them failed to decode.
+    pub fn undecodable_loops(&self) -> u64 {
+        self.undecodable_loops
+    }
+
+    /// Final per-loop decisions and the blacklist, for persistence. Both
+    /// lists are sorted by loop head so snapshots serialize
+    /// deterministically.
+    pub fn export_state(&self) -> (Vec<DecisionExport>, Vec<CodeAddr>) {
+        let mut decisions: Vec<DecisionExport> = self
+            .deployments
+            .iter()
+            .map(|d| DecisionExport {
+                loop_head: d.loop_head,
+                kind: d.kind,
+                reverted: d.reverted,
+                baseline_cpi: d.baseline_cpi,
+                post_cpi: d.last_post_cpi,
+            })
+            .collect();
+        decisions.sort_by_key(|d| d.loop_head);
+        let mut blacklist: Vec<CodeAddr> = self.blacklisted_heads.iter().copied().collect();
+        blacklist.sort_unstable();
+        (decisions, blacklist)
+    }
+
     fn emit(&self, event: TelemetryEvent) {
         if let Some(t) = &self.telemetry {
             t.emit(event);
@@ -261,9 +375,18 @@ impl Optimizer {
         self.ticks_seen += 1;
         self.track_regressions(profile, &mut actions);
 
-        if self.ticks_seen <= self.cfg.warmup_ticks {
+        // A warm-started run may act after the shortened learning window —
+        // but only on seeded loops (see below); everything else still waits
+        // out the full cold warmup.
+        let warmup_gate = if self.warm {
+            self.cfg.warm_warmup_ticks.min(self.cfg.warmup_ticks)
+        } else {
+            self.cfg.warmup_ticks
+        };
+        if self.ticks_seen <= warmup_gate {
             return actions;
         }
+        let in_warm_window = self.warm && self.ticks_seen <= self.cfg.warmup_ticks;
         if profile.samples < self.cfg.min_profile_samples {
             return actions;
         }
@@ -296,7 +419,19 @@ impl Optimizer {
                 candidates.push(lp.clone());
                 extra += 1;
             }
-        } else if candidates.is_empty() {
+        }
+        // Seeded loops are candidates on prior-run evidence alone: this
+        // early in a warm run the DEAR may not have re-pinpointed them yet.
+        if !self.seeded.is_empty() {
+            for lp in &loops {
+                if self.seeded.contains_key(&lp.head)
+                    && !candidates.iter().any(|c| c.head == lp.head)
+                {
+                    candidates.push(lp.clone());
+                }
+            }
+        }
+        if candidates.is_empty() {
             return actions;
         }
         let mut deployed_this_tick = 0usize;
@@ -306,6 +441,13 @@ impl Optimizer {
             }
             if self.optimized_heads.contains(&lp.head) || self.blacklisted_heads.contains(&lp.head)
             {
+                continue;
+            }
+            // During the shortened learning window only loops with a seeded
+            // (previously validated) decision may deploy; unseeded loops
+            // wait out the full cold warmup so a warm run converges to the
+            // same deployment set as a cold one.
+            if in_warm_window && !self.seeded.contains_key(&lp.head) {
                 continue;
             }
             // Never optimize our own optimized traces (their back edges are
@@ -328,19 +470,55 @@ impl Optimizer {
                 prefetch_effective,
                 decision: kind,
             });
-            let Some(kind) = kind else { continue };
-            let plan = self.build_plan(&lp, &sites, kind, profile);
+            let seeded_kind = self.seeded.get(&lp.head).copied();
+            let Some(kind) = kind else {
+                if seeded_kind.is_some() {
+                    // The live profile declines what the prior run deployed:
+                    // drop the seed, let the normal path re-decide later.
+                    self.seeded.remove(&lp.head);
+                    self.warm_mismatches += 1;
+                }
+                continue;
+            };
+            if let Some(seed) = seeded_kind {
+                self.seeded.remove(&lp.head);
+                if seed == kind {
+                    self.warm_hits += 1;
+                } else {
+                    self.warm_mismatches += 1;
+                    if in_warm_window {
+                        // Mismatched seeds never deploy early; the loop
+                        // falls back to the normal post-warmup path.
+                        continue;
+                    }
+                }
+            }
+            let Some(plan) = self.build_plan(&lp, &sites, kind, profile) else {
+                // A word in the loop no longer decodes (e.g. foreign bytes
+                // in the text): skip and never retry, don't abort the
+                // optimizer thread.
+                self.undecodable_loops += 1;
+                self.blacklisted_heads.insert(lp.head);
+                self.emit(TelemetryEvent::UndecodableLoop {
+                    tick: self.cur_tick,
+                    cycle: self.cur_cycle,
+                    loop_head: lp.head,
+                });
+                continue;
+            };
             self.apply_to_own_image(&plan);
             self.optimized_heads.insert(lp.head);
             self.deployments.push(Deployment {
                 plan_id: plan.id,
                 loop_head: lp.head,
+                kind,
                 undo: plan
                     .writes
                     .iter()
                     .map(|&(addr, _)| (addr, self.undo_word(addr, &plan)))
                     .collect(),
                 baseline_cpi: profile.window.cpi(),
+                last_post_cpi: 0.0,
                 post_ticks: 0,
                 reverted: false,
             });
@@ -440,13 +618,16 @@ impl Optimizer {
         }
     }
 
+    /// Build the rewrite plan for one loop, or `None` when any word the
+    /// plan must read fails to decode — the caller skips (and counts) the
+    /// loop instead of panicking the optimizer thread.
     fn build_plan(
         &mut self,
         lp: &HotLoop,
         sites: &[CodeAddr],
         kind: OptKind,
         profile: &SystemProfile,
-    ) -> PatchPlan {
+    ) -> Option<PatchPlan> {
         let id = self.next_plan_id;
         self.next_plan_id += 1;
         let description = format!(
@@ -460,21 +641,19 @@ impl Optimizer {
         );
         match self.cfg.deploy {
             DeployMode::InPlace => {
-                let writes = sites
-                    .iter()
-                    .map(|&addr| {
-                        let insn = self.image.insn(addr).expect("site decodes");
-                        (addr, encode(&self.rewrite_lfetch(&insn, kind)))
-                    })
-                    .collect();
-                PatchPlan {
+                let mut writes = Vec::with_capacity(sites.len());
+                for &addr in sites {
+                    let insn = self.image.insn(addr).ok()?;
+                    writes.push((addr, encode(&self.rewrite_lfetch(&insn, kind))));
+                }
+                Some(PatchPlan {
                     id,
                     kind,
                     loop_head: lp.head,
                     description,
                     writes,
                     trace: None,
-                }
+                })
             }
             DeployMode::TraceCache => {
                 // Clone the body, rewriting in-body prefetches and
@@ -482,10 +661,10 @@ impl Optimizer {
                 let expected_start = cobra_isa::bundle_align(self.image.len());
                 let mut insns = Vec::with_capacity(lp.len() as usize + 1);
                 for addr in lp.head..=lp.back_edge {
-                    let mut insn = self.image.insn(addr).expect("body decodes");
+                    let mut insn = self.image.insn(addr).ok()?;
                     insn = self.rewrite_lfetch(&insn, kind);
                     if insn.op.branch_target() == Some(lp.head) {
-                        insn.op = insn.op.with_branch_target(expected_start).expect("branch");
+                        insn.op = insn.op.with_branch_target(expected_start)?;
                     }
                     insns.push(insn);
                 }
@@ -497,21 +676,18 @@ impl Optimizer {
                 // Entry-window sites (the hoisted burst) are outside the
                 // body; rewrite those in place. The original head becomes a
                 // redirect into the trace.
-                let mut writes: Vec<(CodeAddr, u64)> = sites
-                    .iter()
-                    .filter(|&&a| a < lp.head)
-                    .map(|&addr| {
-                        let insn = self.image.insn(addr).expect("site decodes");
-                        (addr, encode(&self.rewrite_lfetch(&insn, kind)))
-                    })
-                    .collect();
+                let mut writes: Vec<(CodeAddr, u64)> = Vec::with_capacity(sites.len() + 1);
+                for &addr in sites.iter().filter(|&&a| a < lp.head) {
+                    let insn = self.image.insn(addr).ok()?;
+                    writes.push((addr, encode(&self.rewrite_lfetch(&insn, kind))));
+                }
                 writes.push((
                     lp.head,
                     encode(&Insn::new(Op::BrCond {
                         target: expected_start,
                     })),
                 ));
-                PatchPlan {
+                Some(PatchPlan {
                     id,
                     kind,
                     loop_head: lp.head,
@@ -521,7 +697,7 @@ impl Optimizer {
                         expected_start,
                         insns,
                     }),
-                }
+                })
             }
         }
     }
@@ -564,6 +740,7 @@ impl Optimizer {
             if d.post_ticks >= cfg.regression_ticks && profile.window.instructions > 0 {
                 // The rolling window is fully post-deployment by now.
                 let post_cpi = profile.window.cpi();
+                d.last_post_cpi = post_cpi;
                 if std::env::var("COBRA_DEBUG_REGRESSION").is_ok() {
                     eprintln!(
                         "[regress?] plan {} post_ticks {} cpi {:.3} baseline {:.3}",
@@ -871,5 +1048,151 @@ mod tests {
             assert_eq!(image.word(addr), old, "undo word mismatch at {addr}");
         }
         assert_eq!(opt.active_deployments(), 0);
+    }
+
+    /// A loop whose body contains a word that no longer decodes (stale
+    /// profile, self-modifying guest, bit rot) must be skipped and
+    /// blacklisted — not abort the optimization thread.
+    #[test]
+    fn undecodable_body_word_skips_loop_and_blacklists() {
+        let (image, head, back, load_pc) = loop_image();
+        // Corrupt the store between the loads: not an lfetch (so site
+        // discovery still finds the loop) but decoded when cloning the body.
+        let mut words = image.words().to_vec();
+        words[(head + 2) as usize] = u64::MAX;
+        assert!(cobra_isa::decode(u64::MAX).is_err());
+        let corrupt = CodeImage::from_words(words, Default::default());
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::TraceCache,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
+            corrupt,
+        );
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let actions = opt.consider(&profile);
+        assert!(
+            !actions.iter().any(|a| matches!(a, PlanAction::Apply(_))),
+            "no plan may be built from an undecodable body: {actions:?}"
+        );
+        assert_eq!(opt.undecodable_loops(), 1);
+        // Blacklisted: re-considering does not retry (and does not recount).
+        assert!(opt.consider(&profile).is_empty());
+        assert_eq!(opt.undecodable_loops(), 1);
+        assert_eq!(opt.active_deployments(), 0);
+    }
+
+    /// A warm-started optimizer deploys a seeded, profile-confirmed
+    /// decision after the shortened learning window — strictly earlier than
+    /// the cold run — and converges on the same plan.
+    #[test]
+    fn warm_start_deploys_seeded_decision_earlier() {
+        let (image, head, back, load_pc) = loop_image();
+        let cfg = OptimizerConfig {
+            deploy: DeployMode::InPlace,
+            warmup_ticks: 10,
+            warm_warmup_ticks: 2,
+            ..Default::default()
+        };
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let first_deploy = |opt: &mut Optimizer| -> Option<(u64, OptKind)> {
+            for tick in 1..=20u64 {
+                for action in opt.consider(&profile) {
+                    if let PlanAction::Apply(plan) = action {
+                        return Some((tick, plan.kind));
+                    }
+                }
+            }
+            None
+        };
+
+        let mut cold = Optimizer::new(cfg, image.clone());
+        let (cold_tick, cold_kind) = first_deploy(&mut cold).expect("cold run deploys");
+        assert_eq!(cold_tick, 11, "cold run waits out the full warmup");
+
+        let mut warm = Optimizer::new(cfg, image);
+        warm.warm_start(WarmSeed {
+            decisions: vec![(head, cold_kind)],
+            blacklist: vec![],
+        });
+        assert!(warm.is_warm());
+        let (warm_tick, warm_kind) = first_deploy(&mut warm).expect("warm run deploys");
+        assert_eq!(warm_kind, cold_kind, "warm run converges on the same plan");
+        assert!(
+            warm_tick < cold_tick,
+            "warm deploy at tick {warm_tick} must beat cold tick {cold_tick}"
+        );
+        assert_eq!(warm.warm_hits(), 1);
+        assert_eq!(warm.warm_mismatches(), 0);
+    }
+
+    /// A seed the live profile contradicts is dropped: no early deploy, and
+    /// after the full warmup the normal path decides from scratch.
+    #[test]
+    fn warm_mismatch_falls_back_to_cold_path() {
+        let (image, head, back, load_pc) = loop_image();
+        let cfg = OptimizerConfig {
+            deploy: DeployMode::InPlace,
+            warmup_ticks: 6,
+            warm_warmup_ticks: 1,
+            ..Default::default()
+        };
+        // Live profile says the working set fits → NoPrefetch; seed claims
+        // the prior run deployed ExclHint.
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let mut opt = Optimizer::new(cfg, image);
+        opt.warm_start(WarmSeed {
+            decisions: vec![(head, OptKind::ExclHint)],
+            blacklist: vec![],
+        });
+        let mut deploys = Vec::new();
+        for tick in 1..=12u64 {
+            for action in opt.consider(&profile) {
+                if let PlanAction::Apply(plan) = action {
+                    deploys.push((tick, plan.kind));
+                }
+            }
+        }
+        assert_eq!(opt.warm_mismatches(), 1);
+        assert_eq!(opt.warm_hits(), 0);
+        assert_eq!(deploys.len(), 1, "exactly one deployment: {deploys:?}");
+        let (tick, kind) = deploys[0];
+        assert_eq!(kind, OptKind::NoPrefetch, "live profile wins");
+        assert!(
+            tick > 6,
+            "mismatched seed must not deploy early (tick {tick})"
+        );
+    }
+
+    /// Seeded blacklist entries (prior reverts) are never re-trialed.
+    #[test]
+    fn seeded_blacklist_suppresses_deployment() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
+            image,
+        );
+        opt.warm_start(WarmSeed {
+            decisions: vec![],
+            blacklist: vec![head],
+        });
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        for _ in 0..8 {
+            assert!(opt.consider(&profile).is_empty());
+        }
+        assert_eq!(opt.active_deployments(), 0);
+    }
+
+    #[test]
+    fn optkind_names_round_trip() {
+        for kind in OptKind::ALL {
+            assert_eq!(OptKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(OptKind::from_name("bogus"), None);
     }
 }

@@ -70,7 +70,9 @@ impl PhaseDetector {
         let l2 = window.l2_per_kinst();
         let l3 = window.l3_per_kinst();
         self.windows_seen += 1;
-        if self.windows_seen <= self.cfg.warmup_windows {
+        // The first meaningful window *defines* the estimate — comparing it
+        // against the initial zero would fire spuriously with warmup 0.
+        if self.windows_seen == 1 || self.windows_seen <= self.cfg.warmup_windows {
             self.fold(l2, l3);
             return false;
         }
@@ -163,6 +165,79 @@ mod tests {
             d.observe(&window(2000, 1500));
         }
         assert!(d.observe(&window(2000, 10)));
+    }
+
+    /// The very first window can never fire: it *defines* the estimate.
+    #[test]
+    fn first_window_never_fires_even_without_warmup() {
+        let cfg = PhaseConfig {
+            warmup_windows: 0,
+            ..PhaseConfig::default()
+        };
+        let mut d = PhaseDetector::new(cfg);
+        assert!(!d.observe(&window(9000, 9000)));
+        assert_eq!(d.phases(), 1);
+        // And it seeded the baseline: a similar follow-up stays quiet, a
+        // collapse fires.
+        assert!(!d.observe(&window(9100, 8900)));
+        assert!(d.observe(&window(10, 10)));
+        assert_eq!(d.phases(), 2);
+    }
+
+    /// `departed` uses a strict `>`: a fresh rate at *exactly* the change
+    /// factor is still the same phase; one epsilon beyond departs.
+    #[test]
+    fn exact_threshold_delta_does_not_fire() {
+        let cfg = PhaseConfig {
+            change_factor: 4.0,
+            alpha: 0.0, // freeze the estimate at the seed for exactness
+            warmup_windows: 1,
+            ..PhaseConfig::default()
+        };
+        let mut d = PhaseDetector::new(cfg);
+        // Seed: 100 misses / 100k inst = 1.0 per kinst on both levels.
+        assert!(!d.observe(&window(100, 100)));
+        // Exactly 4.0x on both levels: ratio == factor, strict > says no.
+        assert!(!d.observe(&window(400, 400)));
+        assert_eq!(d.phases(), 1);
+        // One miss beyond the exact multiple crosses the threshold.
+        assert!(d.observe(&window(401, 100)));
+        assert_eq!(d.phases(), 2);
+    }
+
+    /// Zero-instruction windows (idle quantum, all CPUs stalled out of the
+    /// sampling window) are skipped without dividing by zero or aging the
+    /// warm-up counter.
+    #[test]
+    fn zero_instruction_windows_are_inert() {
+        let mut d = PhaseDetector::new(PhaseConfig::default());
+        let empty = CounterWindow::default();
+        for _ in 0..100 {
+            assert!(!d.observe(&empty));
+        }
+        assert_eq!(d.phases(), 1);
+        // The detector is still in pristine warm-up: the usual warm-up
+        // window count must elapse before anything can fire.
+        for _ in 0..PhaseConfig::default().warmup_windows {
+            assert!(!d.observe(&window(500, 100)));
+        }
+        assert!(d.observe(&window(500, 5000)));
+        assert_eq!(d.phases(), 2);
+    }
+
+    /// Zero misses on a busy window: the 0.05 floor keeps a silent cache
+    /// from reading as an infinite-ratio phase change against a quiet
+    /// baseline, while a real burst from silence still fires.
+    #[test]
+    fn silence_to_silence_is_stable_but_burst_from_silence_fires() {
+        let mut d = PhaseDetector::new(PhaseConfig::default());
+        for _ in 0..10 {
+            assert!(!d.observe(&window(0, 0)));
+        }
+        assert_eq!(d.phases(), 1);
+        // 100 misses/kinst against a floored 0.05 baseline: departs.
+        assert!(d.observe(&window(10_000, 0)));
+        assert_eq!(d.phases(), 2);
     }
 
     #[test]

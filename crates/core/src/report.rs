@@ -61,6 +61,33 @@ pub struct CobraReport {
     /// Guest memory faults taken by working threads over the run.
     #[serde(default)]
     pub guest_faults: u64,
+    /// Whether the optimizer warm-started from a persisted snapshot.
+    #[serde(default)]
+    pub warm_started: bool,
+    /// Prior decisions seeded into the optimizer at warm start.
+    #[serde(default)]
+    pub warm_seeded_decisions: usize,
+    /// Prior blacklist entries seeded at warm start.
+    #[serde(default)]
+    pub warm_seeded_blacklist: usize,
+    /// Seeded decisions confirmed by the live profile and fast-tracked.
+    #[serde(default)]
+    pub warm_hits: u64,
+    /// Seeded decisions contradicted by the live profile and dropped.
+    #[serde(default)]
+    pub warm_mismatches: u64,
+    /// Hot loops skipped because a body word no longer decodes.
+    #[serde(default)]
+    pub undecodable_loops: u64,
+    /// Damaged store records skipped while loading the snapshot.
+    #[serde(default)]
+    pub store_skipped_records: u64,
+    /// Store load/save failures (each degrades gracefully and is counted).
+    #[serde(default)]
+    pub store_errors: u64,
+    /// Records in the snapshot saved at detach (0 when no store configured).
+    #[serde(default)]
+    pub store_saved_records: u64,
 }
 
 impl CobraReport {
@@ -137,7 +164,13 @@ mod tests {
             ..CobraReport::default()
         });
         if let serde::Value::Object(fields) = &mut old {
-            fields.retain(|(k, _)| k != "stale_deltas" && k != "guest_faults");
+            fields.retain(|(k, _)| {
+                k != "stale_deltas"
+                    && k != "guest_faults"
+                    && !k.starts_with("warm_")
+                    && !k.starts_with("store_")
+                    && k != "undecodable_loops"
+            });
         } else {
             panic!("report serializes to an object");
         }
@@ -145,5 +178,8 @@ mod tests {
         assert_eq!(r.samples_forwarded, 7);
         assert_eq!(r.stale_deltas, 0);
         assert_eq!(r.guest_faults, 0);
+        assert!(!r.warm_started);
+        assert_eq!(r.warm_hits, 0);
+        assert_eq!(r.store_skipped_records, 0);
     }
 }

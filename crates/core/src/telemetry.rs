@@ -160,6 +160,38 @@ pub enum TelemetryEvent {
         cycle: u64,
         loop_head: CodeAddr,
     },
+    /// A candidate loop contained a word the decoder rejects; the loop was
+    /// skipped (and blacklisted) instead of aborting the optimizer thread.
+    UndecodableLoop {
+        tick: u64,
+        cycle: u64,
+        loop_head: CodeAddr,
+    },
+    /// A store snapshot matched this run's binary/machine key and seeded
+    /// the optimizer at attach.
+    WarmStart {
+        tick: u64,
+        cycle: u64,
+        seeded_decisions: usize,
+        seeded_blacklist: usize,
+        /// Damaged store records skipped while loading the snapshot.
+        skipped_records: u64,
+    },
+    /// The store could not provide (or persist) a snapshot — corrupt
+    /// header, version/key mismatch, or I/O failure. The run continues
+    /// cold; this event is the only trace of the rejection.
+    StoreError {
+        tick: u64,
+        cycle: u64,
+        detail: String,
+    },
+    /// An updated snapshot was committed to the store at detach.
+    StoreSave {
+        tick: u64,
+        cycle: u64,
+        records: usize,
+        path: String,
+    },
     /// The framework detached; final counters.
     Detach {
         tick: u64,
@@ -182,6 +214,10 @@ impl TelemetryEvent {
             TelemetryEvent::CpiTrial { .. } => "cpi_trial",
             TelemetryEvent::Revert { .. } => "revert",
             TelemetryEvent::Blacklist { .. } => "blacklist",
+            TelemetryEvent::UndecodableLoop { .. } => "undecodable_loop",
+            TelemetryEvent::WarmStart { .. } => "warm_start",
+            TelemetryEvent::StoreError { .. } => "store_error",
+            TelemetryEvent::StoreSave { .. } => "store_save",
             TelemetryEvent::Detach { .. } => "detach",
         }
     }

@@ -1,0 +1,224 @@
+//! Cross-run warm start through `cobra-store`: run A saves a snapshot at
+//! detach, run B loads it, seeds the optimizer, and converges on the same
+//! deployments strictly earlier. Mismatched binaries/machines and damaged
+//! stores degrade to a cold start — counted, never fatal.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cobra_kernels::workload::Workload;
+use cobra_kernels::{Daxpy, DaxpyParams, PrefetchPolicy};
+use cobra_machine::MachineConfig;
+use cobra_omp::{OmpRuntime, Team};
+use cobra_rt::{Cobra, CobraReport, DeployMode, Strategy, TelemetryEvent, TelemetrySink};
+
+fn tmp_store() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "cobra-warmstart-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn workload() -> Daxpy {
+    // The §2 scenario: 128 KB working set, prefetch-compiled — COBRA
+    // deterministically deploys noprefetch on smp4 with 4 threads.
+    Daxpy::build(
+        DaxpyParams::new(128 * 1024, 48),
+        &PrefetchPolicy::aggressive(),
+        MachineConfig::smp4().mem_bytes,
+    )
+}
+
+/// One full attached run against `store`; returns the report and the
+/// telemetry log.
+fn run(
+    wl: &Daxpy,
+    machine_cfg: &MachineConfig,
+    store: &std::path::Path,
+) -> (
+    CobraReport,
+    std::sync::Arc<std::sync::Mutex<cobra_rt::TelemetryLog>>,
+) {
+    let mut m = cobra_machine::Machine::new(machine_cfg.clone(), wl.image().clone());
+    wl.init(&mut m.shared.mem);
+    let (sink, log) = TelemetrySink::memory();
+    let mut cobra = Cobra::builder()
+        .strategy(Strategy::Adaptive)
+        .deploy_mode(DeployMode::TraceCache)
+        .telemetry(sink)
+        .store(store)
+        .attach(&mut m);
+    let rt = OmpRuntime {
+        quantum: 20_000,
+        ..OmpRuntime::default()
+    };
+    let r = wl.run(&mut m, Team::new(4), &rt, &mut cobra);
+    let report = cobra.detach(&mut m);
+    wl.verify(&m.shared.mem).expect("verification under COBRA");
+    assert!(r.cycles > 0);
+    (report, log)
+}
+
+/// Final active deployment set as comparable (head, kind-name) pairs.
+fn active_set(report: &CobraReport) -> Vec<(u32, &'static str)> {
+    let mut v: Vec<_> = report
+        .applied
+        .iter()
+        .filter(|a| !report.reverted.iter().any(|r| r.plan_id == a.plan_id))
+        .map(|a| (a.loop_head, a.kind.name()))
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn warm_start_round_trip_converges_earlier_to_same_deployments() {
+    let store = tmp_store();
+    let wl = workload();
+    let cfg = MachineConfig::smp4();
+
+    let (cold, cold_log) = run(&wl, &cfg, &store);
+    assert!(!cold.warm_started, "first run has nothing to warm from");
+    assert_eq!(
+        cold.store_errors, 0,
+        "empty store dir is a clean cold start"
+    );
+    assert!(
+        !cold.applied.is_empty(),
+        "scenario must deploy: {}",
+        cold.summary()
+    );
+    assert!(cold.store_saved_records > 0, "detach must persist the run");
+    {
+        let cold_log = cold_log.lock().unwrap();
+        assert!(cold_log.count("store_save") >= 1);
+        assert_eq!(cold_log.count("warm_start"), 0);
+    }
+
+    let (warm, warm_log) = run(&wl, &cfg, &store);
+    assert!(warm.warm_started, "second run must find the snapshot");
+    assert!(warm.warm_seeded_decisions > 0);
+    assert_eq!(warm.store_skipped_records, 0, "pristine store");
+    assert!(
+        warm.warm_hits >= 1,
+        "seed must be confirmed by the live profile"
+    );
+    assert_eq!(warm_log.lock().unwrap().count("warm_start"), 1);
+
+    // Same final deployment set, strictly fewer learning quanta before the
+    // first deployment.
+    assert_eq!(
+        active_set(&cold),
+        active_set(&warm),
+        "warm run must converge on the cold run's deployments\ncold: {}\nwarm: {}",
+        cold.summary(),
+        warm.summary()
+    );
+    let cold_first = cold.applied.iter().map(|a| a.tick).min().unwrap();
+    let warm_first = warm.applied.iter().map(|a| a.tick).min().unwrap();
+    assert!(
+        warm_first < cold_first,
+        "warm run must deploy strictly earlier: warm tick {warm_first} vs cold tick {cold_first}"
+    );
+
+    // The saved snapshot accumulated both runs.
+    let key = cobra_store::StoreKey::for_run(wl.image(), &cfg);
+    let lr = cobra_store::Store::new(&store).load(&key);
+    assert_eq!(lr.snapshot.expect("snapshot after two runs").runs, 2);
+}
+
+#[test]
+fn host_fast_path_toggles_do_not_orphan_snapshots() {
+    // stall_skip / mem_fast_path change host simulation speed, not guest
+    // behaviour — a snapshot saved with them on must warm a run with them
+    // off (the machine fingerprint masks both).
+    let store = tmp_store();
+    let wl = workload();
+    let (cold, _) = run(&wl, &MachineConfig::smp4().with_stall_skip(true), &store);
+    assert!(!cold.warm_started);
+    let (warm, _) = run(&wl, &MachineConfig::smp4().with_stall_skip(false), &store);
+    assert!(warm.warm_started, "fast-path flags must not change the key");
+}
+
+#[test]
+fn mismatched_machine_rejects_snapshot_and_is_telemetered() {
+    let store = tmp_store();
+    let wl = workload();
+    let (cold, _) = run(&wl, &MachineConfig::smp4(), &store);
+    assert!(cold.store_saved_records > 0);
+
+    // Same binary, different topology: stale decisions must not apply.
+    let (other, log) = run(&wl, &MachineConfig::altix8(), &store);
+    assert!(
+        !other.warm_started,
+        "altix8 must not warm from an smp4 profile"
+    );
+    assert!(other.store_errors >= 1, "the rejection must be counted");
+    let log = log.lock().unwrap();
+    let errors = log.of_category("store_error");
+    assert!(!errors.is_empty(), "the rejection must be telemetered");
+    if let TelemetryEvent::StoreError { detail, .. } = &errors[0].event {
+        assert!(
+            detail.contains("rejected"),
+            "reason names the cause: {detail}"
+        );
+    } else {
+        unreachable!();
+    }
+}
+
+#[test]
+fn mismatched_image_rejects_snapshot() {
+    let store = tmp_store();
+    let cfg = MachineConfig::smp4();
+    let (cold, _) = run(&workload(), &cfg, &store);
+    assert!(cold.store_saved_records > 0);
+
+    // A different binary (prefetch-free compile ⇒ different text) on the
+    // same machine: cold start, counted.
+    let other_wl = Daxpy::build(
+        DaxpyParams::new(128 * 1024, 48),
+        &PrefetchPolicy::none(),
+        cfg.mem_bytes,
+    );
+    let (other, _) = run(&other_wl, &cfg, &store);
+    assert!(!other.warm_started, "different text must not warm-start");
+    assert!(other.store_errors >= 1);
+}
+
+#[test]
+fn damaged_snapshot_degrades_to_cold_start_without_panicking() {
+    let store = tmp_store();
+    let wl = workload();
+    let cfg = MachineConfig::smp4();
+    let (cold, _) = run(&wl, &cfg, &store);
+    assert!(cold.store_saved_records > 0);
+
+    // Smash every line after the header with garbage.
+    let key = cobra_store::StoreKey::for_run(wl.image(), &cfg);
+    let path = cobra_store::Store::new(&store).path_for(&key);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    assert!(lines.len() > 2, "snapshot has records to damage");
+    for line in lines.iter_mut().skip(1) {
+        *line = "{\"crc\":0,\"body\":garbage".into();
+    }
+    std::fs::write(&path, lines.join("\n")).unwrap();
+
+    let (after, _) = run(&wl, &cfg, &store);
+    assert!(
+        after.store_skipped_records > 0,
+        "damaged records must be counted: {} skipped, {} errors",
+        after.store_skipped_records,
+        after.store_errors
+    );
+    // Header survived, every record after it was dropped: a warm start with
+    // nothing seeded, or a rejected snapshot — either way the run completes
+    // and re-deploys from the live profile.
+    assert!(!after.applied.is_empty(), "{}", after.summary());
+}

@@ -18,6 +18,7 @@ pub mod ablate;
 pub mod fig2;
 pub mod fig3;
 pub mod npbsuite;
+pub mod profilecmd;
 pub mod runner;
 pub mod staticnpb;
 pub mod sweep;

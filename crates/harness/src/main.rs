@@ -6,17 +6,21 @@
 //! cobra-repro table1                   # Table 1: static counts
 //! cobra-repro fig5  [--machine M]      # Figures 5/6/7 for one machine
 //! cobra-repro trace FILE               # summarize a --trace-out JSONL
+//! cobra-repro profile save --store DIR [--bench B] [--machine M]
+//! cobra-repro profile inspect PATH     # summarize snapshot file or dir
+//! cobra-repro profile merge --out FILE IN...
 //! cobra-repro all   [--md] [--json]    # everything (EXPERIMENTS.md source)
 //! ```
 //!
 //! Options: `--machine smp4|altix8`, `--md` (Markdown), `--json` (raw data),
 //! `--reps N` (DAXPY outer repetitions), `--workers N` (host threads),
 //! `--trace-out FILE` (fig5/fig6/fig7 only: write the COBRA telemetry
-//! stream as JSONL, one record per line).
+//! stream as JSONL, one record per line), `--store DIR` (fig5/fig6/fig7
+//! only: persist profiles/decisions and warm-start from prior runs).
 
 use std::path::PathBuf;
 
-use cobra_harness::{default_workers, fig2, fig3, npbsuite, table1};
+use cobra_harness::{default_workers, fig2, fig3, npbsuite, profilecmd, table1};
 use cobra_machine::MachineConfig;
 use cobra_rt::{read_jsonl, TelemetrySink, TraceSummary};
 
@@ -49,6 +53,24 @@ struct Opts {
     workers: usize,
     machine: String,
     trace_out: Option<PathBuf>,
+    store: Option<PathBuf>,
+}
+
+/// Next flag value, or a one-line usage error and exit 2 (never a panic).
+fn flag_value<'a>(it: &mut impl Iterator<Item = &'a String>, usage: &str) -> &'a String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    })
+}
+
+/// Parse a numeric flag value; malformed input is a one-line error, exit 2.
+fn numeric_flag<'a>(it: &mut impl Iterator<Item = &'a String>, usage: &str) -> usize {
+    let raw = flag_value(it, usage);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{usage}: {raw:?} is not a number");
+        std::process::exit(2);
+    })
 }
 
 fn parse(args: &[String]) -> (Command, Opts) {
@@ -59,6 +81,7 @@ fn parse(args: &[String]) -> (Command, Opts) {
         workers: default_workers(),
         machine: "smp4".into(),
         trace_out: None,
+        store: None,
     };
     let mut it = args.iter();
     let name = it.next().cloned().unwrap_or_else(|| "all".into());
@@ -68,20 +91,19 @@ fn parse(args: &[String]) -> (Command, Opts) {
             "--md" => opts.markdown = true,
             "--json" => opts.json = true,
             "--reps" => {
-                opts.reps = it.next().expect("--reps N").parse().expect("numeric reps");
+                opts.reps = numeric_flag(&mut it, "--reps N");
             }
             "--workers" => {
-                opts.workers = it
-                    .next()
-                    .expect("--workers N")
-                    .parse()
-                    .expect("numeric workers");
+                opts.workers = numeric_flag(&mut it, "--workers N");
             }
             "--machine" => {
-                opts.machine = it.next().expect("--machine NAME").clone();
+                opts.machine = flag_value(&mut it, "--machine NAME").clone();
             }
             "--trace-out" => {
-                opts.trace_out = Some(PathBuf::from(it.next().expect("--trace-out FILE")));
+                opts.trace_out = Some(PathBuf::from(flag_value(&mut it, "--trace-out FILE")));
+            }
+            "--store" => {
+                opts.store = Some(PathBuf::from(flag_value(&mut it, "--store DIR")));
             }
             other => {
                 // `trace` takes one positional FILE; everything else is an error.
@@ -113,7 +135,7 @@ fn parse(args: &[String]) -> (Command, Opts) {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|all"
+                "unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|profile|all"
             );
             std::process::exit(2);
         }
@@ -127,6 +149,10 @@ fn parse(args: &[String]) -> (Command, Opts) {
 fn validate(cmd: &Command, opts: &Opts) {
     if opts.trace_out.is_some() && !cmd.accepts_trace_out() {
         eprintln!("--trace-out is only supported with fig5|fig6|fig7");
+        std::process::exit(2);
+    }
+    if opts.store.is_some() && !cmd.accepts_trace_out() {
+        eprintln!("--store is only supported with fig5|fig6|fig7 (see also `profile save`)");
         std::process::exit(2);
     }
     if matches!(cmd, Command::Trace(_)) && (opts.json || opts.markdown) {
@@ -156,7 +182,19 @@ fn run_npb_figure(cmd: &Command, opts: &Opts) {
             std::process::exit(2);
         })
     });
-    let data = npbsuite::measure(&cfg, threads, opts.workers, sink.as_ref());
+    if let Some(dir) = &opts.store {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create store directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let data = npbsuite::measure(
+        &cfg,
+        threads,
+        opts.workers,
+        sink.as_ref(),
+        opts.store.as_deref(),
+    );
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&data).unwrap());
     } else {
@@ -185,6 +223,100 @@ fn run_npb_figure(cmd: &Command, opts: &Opts) {
     if let Some(path) = &opts.trace_out {
         eprintln!("telemetry trace written to {}", path.display());
     }
+    if let Some(dir) = &opts.store {
+        eprintln!(
+            "profiles persisted to {} (rerun with the same --store to warm-start)",
+            dir.display()
+        );
+    }
+}
+
+/// `cobra-repro profile save|inspect|merge` — its own tiny arg grammar.
+fn run_profile(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!(
+            "usage:\n  profile save --store DIR [--bench B] [--machine M] [--workers N]\n  \
+             profile inspect PATH\n  profile merge --out FILE IN..."
+        );
+        std::process::exit(2);
+    };
+    let Some(action) = args.first() else { usage() };
+    let mut it = args[1..].iter();
+    match action.as_str() {
+        "save" => {
+            let mut store: Option<PathBuf> = None;
+            let mut bench = "bt".to_string();
+            let mut machine = "smp4".to_string();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--store" => store = Some(PathBuf::from(flag_value(&mut it, "--store DIR"))),
+                    "--bench" => bench = flag_value(&mut it, "--bench NAME").clone(),
+                    "--machine" => machine = flag_value(&mut it, "--machine NAME").clone(),
+                    // Accepted for interface symmetry; save runs one arm.
+                    "--workers" => {
+                        let _ = numeric_flag(&mut it, "--workers N");
+                    }
+                    _ => usage(),
+                }
+            }
+            let Some(store) = store else {
+                eprintln!("profile save requires --store DIR");
+                std::process::exit(2);
+            };
+            let (cfg, threads) = machine_by_name(&machine);
+            match profilecmd::save(&bench, &cfg, threads, &store) {
+                Ok(msg) => {
+                    println!("{msg}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("profile save failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "inspect" => {
+            let (Some(path), None) = (it.next(), it.next()) else {
+                usage()
+            };
+            match profilecmd::inspect(&PathBuf::from(path)) {
+                Ok(text) => {
+                    print!("{text}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("profile inspect: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "merge" => {
+            let mut out: Option<PathBuf> = None;
+            let mut inputs: Vec<PathBuf> = Vec::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out = Some(PathBuf::from(flag_value(&mut it, "--out FILE"))),
+                    other if !other.starts_with('-') => inputs.push(PathBuf::from(other)),
+                    _ => usage(),
+                }
+            }
+            let Some(out) = out else {
+                eprintln!("profile merge requires --out FILE");
+                std::process::exit(2);
+            };
+            match profilecmd::merge(&inputs, &out) {
+                Ok(msg) => {
+                    print!("{msg}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("profile merge: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn summarize_trace(file: &PathBuf) {
@@ -206,6 +338,9 @@ fn summarize_trace(file: &PathBuf) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("profile") {
+        run_profile(&args[1..]);
+    }
     let (cmd, opts) = parse(&args);
     match &cmd {
         Command::Fig2 => print!("{}", fig2::run()),
@@ -257,10 +392,10 @@ fn main() {
             let (smp_cfg, smp_t) = machine_by_name("smp4");
             let (alt_cfg, alt_t) = machine_by_name("altix8");
             println!("## Figures 5-7 (smp4, {smp_t} threads)\n");
-            let smp = npbsuite::measure(&smp_cfg, smp_t, opts.workers, None);
+            let smp = npbsuite::measure(&smp_cfg, smp_t, opts.workers, None, None);
             println!("{}", npbsuite::render(&smp, md));
             println!("## Figures 5-7 (altix8, {alt_t} threads)\n");
-            let alt = npbsuite::measure(&alt_cfg, alt_t, opts.workers, None);
+            let alt = npbsuite::measure(&alt_cfg, alt_t, opts.workers, None, None);
             println!("{}", npbsuite::render(&alt, md));
             println!("## Cross-machine shape checks\n");
             for (desc, ok) in npbsuite::shape_checks(&smp, &alt) {

@@ -14,6 +14,8 @@
 //! (Fig. 6) and memory bus transactions (Fig. 7), all normalized to the
 //! baseline, as the paper does.
 
+use std::path::Path;
+
 use cobra_kernels::workload::execute_plain;
 use cobra_kernels::{npb, PrefetchPolicy};
 use cobra_machine::{Event, Machine, MachineConfig};
@@ -105,12 +107,17 @@ pub struct SuiteData {
     pub results: Vec<BenchResult>,
 }
 
-fn run_arm(
+/// Run one (benchmark, arm) measurement. When `store` is given, every
+/// COBRA-attached arm persists its profile under a per-arm subdirectory
+/// (arms must not warm-start from each other's decisions) and warm-starts
+/// from any snapshot a previous invocation left there.
+pub fn run_arm(
     bench: npb::Benchmark,
     arm: Arm,
     machine_cfg: &MachineConfig,
     threads: usize,
     trace: Option<&TelemetrySink>,
+    store: Option<&Path>,
 ) -> ArmResult {
     let wl = npb::build(bench, &PrefetchPolicy::aggressive(), machine_cfg.mem_bytes);
     let team = Team::new(threads);
@@ -130,6 +137,11 @@ fn run_arm(
             let mut builder = Cobra::builder().strategy(strategy);
             if let Some(sink) = trace {
                 builder = builder.telemetry(sink.clone());
+            }
+            if let Some(dir) = store {
+                let arm_dir = dir.join(arm.name());
+                let _ = std::fs::create_dir_all(&arm_dir);
+                builder = builder.store(arm_dir);
             }
             let mut cobra = builder.attach(&mut m);
             let run = wl.run(&mut m, team, &rt, &mut cobra);
@@ -164,6 +176,7 @@ pub fn measure(
     threads: usize,
     workers: usize,
     trace: Option<&TelemetrySink>,
+    store: Option<&Path>,
 ) -> SuiteData {
     let mut jobs = Vec::new();
     for &bench in &npb::Benchmark::COHERENT {
@@ -172,7 +185,10 @@ pub fn measure(
         }
     }
     let results_flat = parallel_map(jobs, workers, |&(bench, arm)| {
-        (bench, run_arm(bench, arm, machine_cfg, threads, trace))
+        (
+            bench,
+            run_arm(bench, arm, machine_cfg, threads, trace, store),
+        )
     });
     let results = npb::Benchmark::COHERENT
         .iter()

@@ -1,0 +1,239 @@
+//! `cobra-repro profile` — manage `cobra-store` snapshot repositories from
+//! the command line:
+//!
+//! * `profile save` runs one coherent NPB benchmark under adaptive COBRA
+//!   against a store directory, leaving a warm-startable snapshot behind;
+//! * `profile inspect` summarizes one snapshot file or every snapshot in a
+//!   directory (damage is reported, never fatal);
+//! * `profile merge` folds several same-key snapshot files into one.
+
+use std::path::{Path, PathBuf};
+
+use cobra_machine::MachineConfig;
+use cobra_store::{read_snapshot_file, write_snapshot_file, Snapshot};
+
+use crate::npbsuite::{self, Arm};
+
+/// Resolve a benchmark by name among the coherent suite.
+fn bench_by_name(name: &str) -> Result<cobra_kernels::npb::Benchmark, String> {
+    cobra_kernels::npb::Benchmark::COHERENT
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = cobra_kernels::npb::Benchmark::COHERENT
+                .iter()
+                .map(|b| b.name())
+                .collect();
+            format!(
+                "unknown benchmark {name}; expected one of {}",
+                known.join("|")
+            )
+        })
+}
+
+/// `profile save`: one adaptive run of `bench` against `dir`, so the next
+/// run (or `--store` figure sweep) warm-starts. Returns a human summary.
+pub fn save(
+    bench: &str,
+    machine_cfg: &MachineConfig,
+    threads: usize,
+    dir: &Path,
+) -> Result<String, String> {
+    let bench = bench_by_name(bench)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let result = npbsuite::run_arm(bench, Arm::Adaptive, machine_cfg, threads, None, Some(dir));
+    let report = result.cobra.as_ref().expect("adaptive arm runs COBRA");
+    if report.store_errors > 0 && report.store_saved_records == 0 {
+        return Err(format!(
+            "run completed but the snapshot was not saved ({} store error(s))",
+            report.store_errors
+        ));
+    }
+    Ok(format!(
+        "{} on {} ({} threads): {}\n{} — saved {} record(s){}",
+        bench.name(),
+        machine_cfg.name,
+        threads,
+        report.summary(),
+        if report.warm_started {
+            "warm-started from prior snapshot"
+        } else {
+            "cold start"
+        },
+        report.store_saved_records,
+        if report.store_skipped_records > 0 {
+            format!(
+                " ({} damaged record(s) skipped)",
+                report.store_skipped_records
+            )
+        } else {
+            String::new()
+        },
+    ))
+}
+
+/// Snapshot files under `path`: itself if a file, else every `*.jsonl`
+/// directly inside it, sorted for deterministic output.
+fn snapshot_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_file() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    if !path.is_dir() {
+        return Err(format!("{} does not exist", path.display()));
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no snapshot files (*.jsonl) in {}", path.display()));
+    }
+    Ok(files)
+}
+
+/// `profile inspect`: one line per snapshot (plus damage notes).
+pub fn inspect(path: &Path) -> Result<String, String> {
+    let mut out = String::new();
+    for file in snapshot_files(path)? {
+        let lr = read_snapshot_file(&file, None);
+        out.push_str(&format!("{}:\n", file.display()));
+        match &lr.snapshot {
+            Some(snap) => out.push_str(&format!("  {}\n", snap.summary())),
+            None => out.push_str(&format!(
+                "  rejected: {}\n",
+                lr.error.as_deref().unwrap_or("no valid records")
+            )),
+        }
+        if lr.skipped_records > 0 {
+            out.push_str(&format!(
+                "  {} damaged record(s) skipped\n",
+                lr.skipped_records
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `profile merge`: fold same-key snapshot files into `out`.
+pub fn merge(inputs: &[PathBuf], out: &Path) -> Result<String, String> {
+    if inputs.len() < 2 {
+        return Err("merge needs at least two input snapshot files".into());
+    }
+    let mut snaps: Vec<Snapshot> = Vec::with_capacity(inputs.len());
+    for file in inputs {
+        let lr = read_snapshot_file(file, None);
+        match lr.snapshot {
+            Some(s) => {
+                if lr.skipped_records > 0 {
+                    eprintln!(
+                        "warning: {} damaged record(s) skipped in {}",
+                        lr.skipped_records,
+                        file.display()
+                    );
+                }
+                snaps.push(s);
+            }
+            None => {
+                return Err(format!(
+                    "{}: {}",
+                    file.display(),
+                    lr.error.unwrap_or_else(|| "no valid records".into())
+                ))
+            }
+        }
+    }
+    let merged = cobra_store::merge(&snaps)?;
+    write_snapshot_file(out, &merged)?;
+    Ok(format!(
+        "merged {} snapshot(s) into {}\n  {}\n",
+        snaps.len(),
+        out.display(),
+        merged.summary()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_store::{DecisionRecord, StoreKey};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir() -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "cobra-profilecmd-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn snap(runs: u64) -> Snapshot {
+        let mut s = Snapshot::empty(StoreKey {
+            image_hash: 0xaaaa,
+            machine_fp: 0xbbbb,
+        });
+        s.runs = runs;
+        s.decisions.push(DecisionRecord {
+            loop_head: 40,
+            kind: "noprefetch".into(),
+            reverted: false,
+            baseline_cpi: 1.4,
+            post_cpi: 1.1,
+        });
+        s
+    }
+
+    #[test]
+    fn bench_lookup_is_case_insensitive_and_rejects_unknown() {
+        assert!(bench_by_name("bt").is_ok());
+        assert!(bench_by_name("BT").is_ok());
+        let err = bench_by_name("ep").unwrap_err();
+        assert!(err.contains("unknown benchmark"), "{err}");
+    }
+
+    #[test]
+    fn inspect_reports_missing_and_empty_paths() {
+        let dir = tmp_dir();
+        assert!(inspect(&dir.join("nope"))
+            .unwrap_err()
+            .contains("does not exist"));
+        assert!(inspect(&dir).unwrap_err().contains("no snapshot files"));
+    }
+
+    #[test]
+    fn inspect_summarizes_files_and_directories() {
+        let dir = tmp_dir();
+        let file = dir.join("a.jsonl");
+        write_snapshot_file(&file, &snap(2)).unwrap();
+        let by_file = inspect(&file).unwrap();
+        assert!(by_file.contains("2 run(s)"), "{by_file}");
+        let by_dir = inspect(&dir).unwrap();
+        assert!(by_dir.contains("a.jsonl"), "{by_dir}");
+    }
+
+    #[test]
+    fn merge_sums_runs_and_rejects_damage() {
+        let dir = tmp_dir();
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        write_snapshot_file(&a, &snap(1)).unwrap();
+        write_snapshot_file(&b, &snap(3)).unwrap();
+        let out = dir.join("merged.jsonl");
+        let msg = merge(&[a.clone(), b.clone()], &out).unwrap();
+        assert!(msg.contains("4 run(s)"), "{msg}");
+        let lr = read_snapshot_file(&out, None);
+        assert_eq!(lr.snapshot.unwrap().runs, 4);
+
+        std::fs::write(&b, "not a snapshot").unwrap();
+        assert!(merge(&[a, b], &out).is_err());
+        assert!(
+            merge(std::slice::from_ref(&out), &dir.join("x.jsonl")).is_err(),
+            "single input rejected"
+        );
+    }
+}

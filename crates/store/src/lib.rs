@@ -1,0 +1,828 @@
+//! # cobra-store — persistent profile & decision repository
+//!
+//! COBRA's continuous re-adaptation normally ends at process exit: every run
+//! re-learns the same delinquent loads and re-trials the same reverts. This
+//! crate persists what a run learned — the aggregate [`ProfileRecord`], the
+//! per-loop [`DecisionRecord`]s (which rewrite, deploy outcome, CPI-trial
+//! verdict) and the revert blacklist — so the next run on the *same binary
+//! and machine* can warm-start instead of starting cold.
+//!
+//! ## Keying
+//!
+//! A snapshot is keyed by [`StoreKey`]: an FNV-1a hash of the pristine main
+//! program text (trace-cache appendix excluded — deployments must not
+//! re-key the binary) plus a fingerprint of the [`MachineConfig`] with the
+//! host-side fast-path toggles (`stall_skip`, `mem_fast_path`) masked out,
+//! because those are proven bit-identical to the reference paths and must
+//! not invalidate profiles. A profile recorded for a different binary or a
+//! different cache/topology is **rejected**, never silently applied.
+//!
+//! ## File format & corruption tolerance
+//!
+//! One JSON-Lines file per key (`<imagehash>-<machinefp>.jsonl`). Each line
+//! is an envelope `{"crc": <fnv64>, "body": <record>}` where the checksum
+//! covers the canonical (deterministic field order) serialization of the
+//! body. The first record is a [`Record::Header`] carrying the format
+//! version and the key. Writes go through a temp file in the same directory
+//! followed by an atomic rename, so readers never observe a torn snapshot
+//! and concurrent writers degrade to last-writer-wins, not corruption.
+//!
+//! Loading never fails hard: a line that does not parse, whose checksum
+//! does not match, or whose record is semantically invalid is *skipped and
+//! counted* ([`LoadReport::skipped_records`]); a missing/corrupt header, a
+//! version mismatch, or a key mismatch rejects the whole snapshot with
+//! [`LoadReport::error`] set — the caller degrades to a cold start.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cobra_isa::CodeImage;
+use cobra_machine::MachineConfig;
+use serde::{Deserialize, Serialize, Value};
+
+/// On-disk format version; bumped on incompatible record changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Optimization-kind names a [`DecisionRecord`] may carry. Mirrors
+/// `cobra_rt::OptKind::name()` (this crate sits below `cobra-rt` and cannot
+/// reference the enum; `cobra-rt` has a test pinning the two lists
+/// together).
+pub const KNOWN_KINDS: [&str; 2] = ["noprefetch", "prefetch.excl"];
+
+/// 64-bit FNV-1a over a byte stream.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv1a_words(words: &[u64], seed: u64) -> u64 {
+    let mut h = seed;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Identity of a (binary, machine) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StoreKey {
+    /// FNV-1a over the pristine main program text.
+    pub image_hash: u64,
+    /// FNV-1a over the machine configuration, fast-path toggles excluded.
+    pub machine_fp: u64,
+}
+
+impl StoreKey {
+    /// Key for an image/config pair as seen at attach time.
+    pub fn for_run(image: &CodeImage, cfg: &MachineConfig) -> StoreKey {
+        StoreKey {
+            image_hash: image_hash(image),
+            machine_fp: machine_fingerprint(cfg),
+        }
+    }
+
+    /// Stable file stem for this key.
+    pub fn file_stem(&self) -> String {
+        format!("{:016x}-{:016x}", self.image_hash, self.machine_fp)
+    }
+}
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.file_stem())
+    }
+}
+
+/// Content hash of the *main* program text. The trace-cache appendix is
+/// excluded so a snapshot saved after deployments keys the same binary.
+pub fn image_hash(image: &CodeImage) -> u64 {
+    let main = &image.words()[..image.main_len() as usize];
+    fnv1a_words(main, fnv1a(&(main.len() as u64).to_le_bytes()))
+}
+
+/// Fingerprint of everything about a [`MachineConfig`] that changes guest
+/// behaviour. `stall_skip` and `mem_fast_path` select host fast paths that
+/// are bit-identical to the reference implementations (enforced by the
+/// equivalence suites), so they are masked out: toggling them must not
+/// orphan a warm-start snapshot.
+pub fn machine_fingerprint(cfg: &MachineConfig) -> u64 {
+    let mut v = Serialize::to_value(cfg);
+    if let Value::Object(fields) = &mut v {
+        fields.retain(|(k, _)| k != "stall_skip" && k != "mem_fast_path");
+    }
+    let canon = serde_json::to_string(&v).expect("config serializes");
+    fnv1a(canon.as_bytes())
+}
+
+/// Plain-field mirror of one delinquent-load entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelinquentRecord {
+    pub pc: u32,
+    pub coherent: u64,
+    pub memory: u64,
+    pub total_latency: u64,
+}
+
+/// Plain-field mirror of one BTB branch pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchPairRecord {
+    pub src: u32,
+    pub target: u32,
+    pub count: u64,
+}
+
+/// Aggregate system profile of one or more runs (a flattened
+/// `cobra_rt::SystemProfile` — this crate sits below `cobra-rt`, so it
+/// mirrors the counters rather than referencing the type).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    pub instructions: u64,
+    pub cycles: u64,
+    pub bus_memory: u64,
+    pub bus_coherent: u64,
+    pub l2_miss: u64,
+    pub l3_miss: u64,
+    pub samples: u64,
+    pub delinquent: Vec<DelinquentRecord>,
+    pub branch_pairs: Vec<BranchPairRecord>,
+}
+
+impl ProfileRecord {
+    /// Sum `other` into `self` (delinquent/branch entries merged by key and
+    /// kept sorted for deterministic serialization).
+    pub fn merge(&mut self, other: &ProfileRecord) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.bus_memory += other.bus_memory;
+        self.bus_coherent += other.bus_coherent;
+        self.l2_miss += other.l2_miss;
+        self.l3_miss += other.l3_miss;
+        self.samples += other.samples;
+        let mut del: BTreeMap<u32, DelinquentRecord> =
+            self.delinquent.iter().map(|d| (d.pc, *d)).collect();
+        for d in &other.delinquent {
+            let e = del.entry(d.pc).or_insert(DelinquentRecord {
+                pc: d.pc,
+                coherent: 0,
+                memory: 0,
+                total_latency: 0,
+            });
+            e.coherent += d.coherent;
+            e.memory += d.memory;
+            e.total_latency += d.total_latency;
+        }
+        self.delinquent = del.into_values().collect();
+        let mut pairs: BTreeMap<(u32, u32), u64> = self
+            .branch_pairs
+            .iter()
+            .map(|p| ((p.src, p.target), p.count))
+            .collect();
+        for p in &other.branch_pairs {
+            *pairs.entry((p.src, p.target)).or_insert(0) += p.count;
+        }
+        self.branch_pairs = pairs
+            .into_iter()
+            .map(|((src, target), count)| BranchPairRecord { src, target, count })
+            .collect();
+    }
+}
+
+/// Final decision for one loop: which rewrite was deployed and how its
+/// CPI trial ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    pub loop_head: u32,
+    /// One of [`KNOWN_KINDS`]; records with any other name are dropped at
+    /// load (counted as skipped).
+    pub kind: String,
+    /// Whether the CPI trial regressed and the deployment was reverted.
+    pub reverted: bool,
+    pub baseline_cpi: f64,
+    /// Last trial-window CPI (0 when no trial window completed).
+    pub post_cpi: f64,
+}
+
+/// One line of a snapshot file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// Must be the first valid record of a file.
+    Header {
+        version: u32,
+        image_hash: u64,
+        machine_fp: u64,
+        /// Runs folded into this snapshot.
+        runs: u64,
+    },
+    Profile(ProfileRecord),
+    Decision(DecisionRecord),
+    /// A loop that must never be re-trialled.
+    Blacklist {
+        loop_head: u32,
+    },
+}
+
+/// A fully-loaded (or about-to-be-saved) repository entry for one key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub key: StoreKey,
+    /// Runs folded into this snapshot.
+    pub runs: u64,
+    pub profile: ProfileRecord,
+    pub decisions: Vec<DecisionRecord>,
+    pub blacklist: Vec<u32>,
+}
+
+impl Snapshot {
+    /// Empty snapshot for `key` (runs = 0 until something is folded in).
+    pub fn empty(key: StoreKey) -> Snapshot {
+        Snapshot {
+            key,
+            runs: 0,
+            profile: ProfileRecord::default(),
+            decisions: Vec::new(),
+            blacklist: Vec::new(),
+        }
+    }
+
+    /// Records this snapshot serializes to (header first).
+    fn records(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(2 + self.decisions.len() + self.blacklist.len());
+        out.push(Record::Header {
+            version: FORMAT_VERSION,
+            image_hash: self.key.image_hash,
+            machine_fp: self.key.machine_fp,
+            runs: self.runs,
+        });
+        out.push(Record::Profile(self.profile.clone()));
+        for d in &self.decisions {
+            out.push(Record::Decision(d.clone()));
+        }
+        for &loop_head in &self.blacklist {
+            out.push(Record::Blacklist { loop_head });
+        }
+        out
+    }
+
+    /// Total records this snapshot writes (header included).
+    pub fn record_count(&self) -> usize {
+        2 + self.decisions.len() + self.blacklist.len()
+    }
+
+    /// One-line human summary for `profile inspect`.
+    pub fn summary(&self) -> String {
+        let reverted = self.decisions.iter().filter(|d| d.reverted).count();
+        format!(
+            "key {} v{} — {} run(s), {} samples, {} delinquent pcs, {} decisions ({} reverted), {} blacklisted",
+            self.key,
+            FORMAT_VERSION,
+            self.runs,
+            self.profile.samples,
+            self.profile.delinquent.len(),
+            self.decisions.len(),
+            reverted,
+            self.blacklist.len(),
+        )
+    }
+}
+
+/// Merge snapshots of the same key: profiles summed, decisions merged with
+/// later inputs overriding earlier ones per loop head, blacklists unioned.
+pub fn merge(snapshots: &[Snapshot]) -> Result<Snapshot, String> {
+    let first = snapshots.first().ok_or("nothing to merge")?;
+    let mut out = Snapshot::empty(first.key);
+    let mut decisions: BTreeMap<u32, DecisionRecord> = BTreeMap::new();
+    let mut blacklist: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for s in snapshots {
+        if s.key != first.key {
+            return Err(format!(
+                "key mismatch: cannot merge {} into {}",
+                s.key, first.key
+            ));
+        }
+        out.runs += s.runs;
+        out.profile.merge(&s.profile);
+        for d in &s.decisions {
+            decisions.insert(d.loop_head, d.clone());
+        }
+        blacklist.extend(s.blacklist.iter().copied());
+    }
+    out.decisions = decisions.into_values().collect();
+    out.blacklist = blacklist.into_iter().collect();
+    Ok(out)
+}
+
+/// Outcome of loading a snapshot. Never an `Err`: corruption degrades to
+/// `snapshot: None` (cold start) with `error` explaining why, and damaged
+/// individual records are skipped and counted.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    pub snapshot: Option<Snapshot>,
+    /// Lines dropped: unparseable, checksum mismatch, or invalid contents.
+    pub skipped_records: u64,
+    /// Whole-snapshot rejection reason (missing/corrupt header, version or
+    /// key mismatch, I/O error). `None` with `snapshot: None` means the
+    /// file simply does not exist — a clean cold start.
+    pub error: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Envelope {
+    crc: u64,
+    body: Record,
+}
+
+fn encode_record(r: &Record) -> String {
+    let body = serde_json::to_string(r).expect("record serializes");
+    format!("{{\"crc\":{},\"body\":{}}}", fnv1a(body.as_bytes()), body)
+}
+
+/// Parse and checksum-verify one line; `None` means damaged.
+fn decode_record(line: &str) -> Option<Record> {
+    let env: Envelope = serde_json::from_str(line).ok()?;
+    // The writer serialized the body with deterministic field order, so
+    // re-serializing the parsed body reproduces the checksummed bytes; any
+    // bit that survived parsing but changed a value fails here.
+    let canon = serde_json::to_string(&env.body).ok()?;
+    if fnv1a(canon.as_bytes()) != env.crc {
+        return None;
+    }
+    if let Record::Decision(d) = &env.body {
+        if !KNOWN_KINDS.contains(&d.kind.as_str()) {
+            return None;
+        }
+    }
+    Some(env.body)
+}
+
+fn assemble(records: Vec<Record>, expected: Option<&StoreKey>) -> LoadReport {
+    let mut report = LoadReport::default();
+    let header = records.iter().find_map(|r| match r {
+        Record::Header {
+            version,
+            image_hash,
+            machine_fp,
+            runs,
+        } => Some((
+            *version,
+            StoreKey {
+                image_hash: *image_hash,
+                machine_fp: *machine_fp,
+            },
+            *runs,
+        )),
+        _ => None,
+    });
+    let Some((version, key, runs)) = header else {
+        report.error = Some("no valid header record".into());
+        return report;
+    };
+    if version != FORMAT_VERSION {
+        report.error = Some(format!(
+            "format version {version} (this build reads {FORMAT_VERSION})"
+        ));
+        return report;
+    }
+    if let Some(want) = expected {
+        if key != *want {
+            report.error = Some(format!(
+                "snapshot keyed {key} but this run is {want}: different binary or machine"
+            ));
+            return report;
+        }
+    }
+    let mut snap = Snapshot::empty(key);
+    snap.runs = runs;
+    let mut decisions: BTreeMap<u32, DecisionRecord> = BTreeMap::new();
+    let mut blacklist: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for r in records {
+        match r {
+            Record::Header { .. } => {}
+            Record::Profile(p) => snap.profile.merge(&p),
+            Record::Decision(d) => {
+                decisions.insert(d.loop_head, d);
+            }
+            Record::Blacklist { loop_head } => {
+                blacklist.insert(loop_head);
+            }
+        }
+    }
+    snap.decisions = decisions.into_values().collect();
+    snap.blacklist = blacklist.into_iter().collect();
+    report.snapshot = Some(snap);
+    report
+}
+
+/// Load a snapshot file, skipping (and counting) damaged lines. Pass
+/// `expected` to reject a snapshot whose header keys a different
+/// binary/machine.
+pub fn read_snapshot_file(path: &Path, expected: Option<&StoreKey>) -> LoadReport {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadReport::default(),
+        Err(e) => {
+            return LoadReport {
+                error: Some(format!("cannot read {}: {e}", path.display())),
+                ..LoadReport::default()
+            }
+        }
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => {
+                // Non-UTF8 / I/O mid-file: everything after is suspect.
+                skipped += 1;
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_record(&line) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    let mut report = assemble(records, expected);
+    report.skipped_records = skipped;
+    report
+}
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `snapshot` to `path` via a same-directory temp file and an atomic
+/// rename, so a concurrent reader sees either the old or the new snapshot,
+/// never a torn one.
+pub fn write_snapshot_file(path: &Path, snapshot: &Snapshot) -> Result<(), String> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "snapshot".into()),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let write = (|| -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        for r in snapshot.records() {
+            writeln!(f, "{}", encode_record(&r))?;
+        }
+        f.flush()
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(format!("cannot write {}: {e}", tmp.display()));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot commit {}: {e}", path.display())
+    })
+}
+
+/// A directory of snapshots, one file per [`StoreKey`].
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    pub fn new(root: impl Into<PathBuf>) -> Store {
+        Store { root: root.into() }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path a snapshot for `key` lives at.
+    pub fn path_for(&self, key: &StoreKey) -> PathBuf {
+        self.root.join(format!("{}.jsonl", key.file_stem()))
+    }
+
+    /// Load the snapshot for `key`. A missing file with *other* snapshots
+    /// present reports an error (the store holds profiles, just not for
+    /// this binary/machine — worth telemetering); an empty or absent store
+    /// is a clean cold start.
+    pub fn load(&self, key: &StoreKey) -> LoadReport {
+        let path = self.path_for(key);
+        if !path.exists() {
+            let others = self.snapshot_paths().len();
+            if others > 0 {
+                return LoadReport {
+                    error: Some(format!(
+                        "no snapshot for key {key}; {others} snapshot(s) for other \
+                         binaries/machines rejected"
+                    )),
+                    ..LoadReport::default()
+                };
+            }
+            return LoadReport::default();
+        }
+        read_snapshot_file(&path, Some(key))
+    }
+
+    /// Atomically write `snapshot` under its key; returns the final path.
+    pub fn save(&self, snapshot: &Snapshot) -> Result<PathBuf, String> {
+        let path = self.path_for(&snapshot.key);
+        write_snapshot_file(&path, snapshot)?;
+        Ok(path)
+    }
+
+    /// Every snapshot file currently in the store, sorted by name.
+    pub fn snapshot_paths(&self) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = std::fs::read_dir(&self.root)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "cobra-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_snapshot(key: StoreKey) -> Snapshot {
+        let mut s = Snapshot::empty(key);
+        s.runs = 1;
+        s.profile = ProfileRecord {
+            instructions: 1_000_000,
+            cycles: 1_500_000,
+            bus_memory: 4_000,
+            bus_coherent: 900,
+            l2_miss: 2_000,
+            l3_miss: 1_200,
+            samples: 640,
+            delinquent: vec![DelinquentRecord {
+                pc: 12,
+                coherent: 30,
+                memory: 4,
+                total_latency: 6_000,
+            }],
+            branch_pairs: vec![BranchPairRecord {
+                src: 19,
+                target: 11,
+                count: 250,
+            }],
+        };
+        s.decisions = vec![DecisionRecord {
+            loop_head: 11,
+            kind: "noprefetch".into(),
+            reverted: false,
+            baseline_cpi: 1.5,
+            post_cpi: 1.2,
+        }];
+        s.blacklist = vec![40];
+        s
+    }
+
+    fn key() -> StoreKey {
+        StoreKey {
+            image_hash: 0xdead_beef,
+            machine_fp: 0x1234_5678,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = Store::new(tmp_root("roundtrip"));
+        let snap = sample_snapshot(key());
+        let path = store.save(&snap).unwrap();
+        assert!(path.ends_with(format!("{}.jsonl", key().file_stem())));
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 0);
+        assert_eq!(lr.error, None);
+        assert_eq!(lr.snapshot.unwrap(), snap);
+    }
+
+    #[test]
+    fn missing_store_is_clean_cold_start() {
+        let store = Store::new(tmp_root("missing").join("never-created"));
+        let lr = store.load(&key());
+        assert!(lr.snapshot.is_none());
+        assert!(lr.error.is_none());
+        assert_eq!(lr.skipped_records, 0);
+    }
+
+    #[test]
+    fn other_keys_present_is_a_reported_rejection() {
+        let store = Store::new(tmp_root("otherkey"));
+        store.save(&sample_snapshot(key())).unwrap();
+        let other = StoreKey {
+            image_hash: 1,
+            machine_fp: 2,
+        };
+        let lr = store.load(&other);
+        assert!(lr.snapshot.is_none());
+        assert!(lr.error.unwrap().contains("other binaries/machines"));
+    }
+
+    #[test]
+    fn renamed_snapshot_with_wrong_header_key_is_rejected() {
+        let store = Store::new(tmp_root("renamed"));
+        let snap = sample_snapshot(key());
+        let src = store.save(&snap).unwrap();
+        let other = StoreKey {
+            image_hash: 7,
+            machine_fp: 8,
+        };
+        std::fs::rename(&src, store.path_for(&other)).unwrap();
+        let lr = store.load(&other);
+        assert!(lr.snapshot.is_none());
+        assert!(lr.error.unwrap().contains("different binary or machine"));
+    }
+
+    #[test]
+    fn corrupt_line_is_skipped_and_counted() {
+        let store = Store::new(tmp_root("corrupt"));
+        let mut snap = sample_snapshot(key());
+        snap.decisions.push(DecisionRecord {
+            loop_head: 90,
+            kind: "prefetch.excl".into(),
+            reverted: true,
+            baseline_cpi: 1.0,
+            post_cpi: 2.0,
+        });
+        let path = store.save(&snap).unwrap();
+        // Flip one byte inside the second decision's line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let idx = lines
+            .iter()
+            .position(|l| l.contains("\"loop_head\":90"))
+            .unwrap();
+        lines[idx] = lines[idx].replace("\"reverted\":true", "\"reverted\":fals"); // breaks parse
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 1);
+        let got = lr.snapshot.unwrap();
+        assert_eq!(got.decisions.len(), 1, "damaged decision dropped");
+        assert_eq!(got.decisions[0].loop_head, 11);
+    }
+
+    #[test]
+    fn checksum_catches_value_tampering_that_still_parses() {
+        let store = Store::new(tmp_root("tamper"));
+        let snap = sample_snapshot(key());
+        let path = store.save(&snap).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Change a numeric value without breaking JSON.
+        let tampered = text.replace("\"baseline_cpi\":1.5", "\"baseline_cpi\":9.5");
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 1, "crc mismatch drops the line");
+        assert!(lr.snapshot.unwrap().decisions.is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_rejects_whole_snapshot() {
+        let store = Store::new(tmp_root("version"));
+        let snap = sample_snapshot(key());
+        let path = store.save(&snap).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // Re-encode the header at a future version (valid crc, wrong version).
+        lines[0] = encode_record(&Record::Header {
+            version: FORMAT_VERSION + 1,
+            image_hash: key().image_hash,
+            machine_fp: key().machine_fp,
+            runs: 1,
+        });
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let lr = store.load(&key());
+        assert!(lr.snapshot.is_none());
+        assert!(lr.error.unwrap().contains("version"));
+    }
+
+    #[test]
+    fn unknown_decision_kind_is_dropped() {
+        let store = Store::new(tmp_root("kind"));
+        let snap = sample_snapshot(key());
+        let path = store.save(&snap).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&encode_record(&Record::Decision(DecisionRecord {
+            loop_head: 77,
+            kind: "superluminal".into(),
+            reverted: false,
+            baseline_cpi: 1.0,
+            post_cpi: 1.0,
+        })));
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 1);
+        assert!(lr
+            .snapshot
+            .unwrap()
+            .decisions
+            .iter()
+            .all(|d| d.loop_head != 77));
+    }
+
+    #[test]
+    fn merge_sums_profiles_and_unions_decisions() {
+        let mut a = sample_snapshot(key());
+        let mut b = sample_snapshot(key());
+        b.decisions[0].kind = "prefetch.excl".into();
+        b.decisions.push(DecisionRecord {
+            loop_head: 99,
+            kind: "noprefetch".into(),
+            reverted: false,
+            baseline_cpi: 2.0,
+            post_cpi: 1.9,
+        });
+        b.blacklist = vec![40, 41];
+        a.profile.branch_pairs.push(BranchPairRecord {
+            src: 70,
+            target: 60,
+            count: 5,
+        });
+        let m = merge(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(m.runs, 2);
+        assert_eq!(m.profile.samples, 1280);
+        assert_eq!(m.profile.delinquent[0].coherent, 60);
+        // Later snapshot wins per loop head.
+        assert_eq!(m.decisions.len(), 2);
+        assert_eq!(m.decisions[0].kind, "prefetch.excl");
+        assert_eq!(m.blacklist, vec![40, 41]);
+        let other = sample_snapshot(StoreKey {
+            image_hash: 5,
+            machine_fp: 6,
+        });
+        assert!(merge(&[a, other]).is_err());
+    }
+
+    #[test]
+    fn machine_fingerprint_ignores_fast_path_toggles() {
+        let base = MachineConfig::smp4();
+        let skip_off = base.clone().with_stall_skip(false);
+        let mut fast_off = base.clone();
+        fast_off.mem_fast_path = false;
+        assert_eq!(machine_fingerprint(&base), machine_fingerprint(&skip_off));
+        assert_eq!(machine_fingerprint(&base), machine_fingerprint(&fast_off));
+        assert_ne!(
+            machine_fingerprint(&base),
+            machine_fingerprint(&MachineConfig::altix8())
+        );
+        let mut bigger_l3 = base.clone();
+        bigger_l3.l3.size *= 2;
+        assert_ne!(machine_fingerprint(&base), machine_fingerprint(&bigger_l3));
+    }
+
+    #[test]
+    fn image_hash_ignores_trace_appendix() {
+        let mut a = cobra_isa::Assembler::new();
+        a.movi(4, 7);
+        a.hlt();
+        let mut img = a.finish();
+        let pristine = image_hash(&img);
+        img.append_trace(&[cobra_isa::Insn::new(cobra_isa::insn::Op::Nop {
+            unit: cobra_isa::Unit::M,
+        })]);
+        assert_eq!(
+            image_hash(&img),
+            pristine,
+            "appended traces must not re-key"
+        );
+        let mut b = cobra_isa::Assembler::new();
+        b.movi(4, 8);
+        b.hlt();
+        assert_ne!(image_hash(&b.finish()), pristine);
+    }
+}
