@@ -13,8 +13,9 @@ use cobra_kernels::{Daxpy, DaxpyParams, PrefetchPolicy};
 use cobra_machine::{AccessKind, CpuStats, Hpm, Machine, MachineConfig, MemSystem};
 use cobra_omp::{OmpRuntime, Team};
 use cobra_rt::{
-    select_loops, Cobra, LatencyBands, Optimizer, OptimizerConfig, ProfileDelta, Strategy,
-    SystemProfile, TelemetryEvent, TelemetryHub, TelemetrySink, TraceConfig,
+    select_loops, verify_plan, Cobra, DeployMode, LatencyBands, Optimizer, OptimizerConfig,
+    PatchPlan, PlanAction, ProfileDelta, Strategy, SystemProfile, TelemetryEvent, TelemetryHub,
+    TelemetrySink, TraceConfig,
 };
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
@@ -222,24 +223,29 @@ fn bench_memsys_fastpath(c: &mut Criterion) {
     g.finish();
 }
 
+/// 4-core arithmetic loop image: the cheapest busy workload a quantum can
+/// carry (used as the simulation-throughput fixture and as the quantum
+/// floor in the verify-overhead budget).
+fn arith_loop_image() -> cobra_isa::CodeImage {
+    let mut a = Assembler::new();
+    a.movi(4, 1_000_000_000);
+    a.mov_to_lc(4);
+    let top = a.new_label();
+    a.bind(top);
+    a.addi(5, 5, 1);
+    a.emit(Insn::new(Op::Add {
+        dest: 6,
+        r2: 6,
+        r3: 5,
+    }));
+    a.br_cloop(top);
+    a.hlt();
+    a.finish()
+}
+
 fn bench_machine_stepping(c: &mut Criterion) {
     // Simulation throughput: 4 cores running an arithmetic loop.
-    let image = {
-        let mut a = Assembler::new();
-        a.movi(4, 1_000_000_000);
-        a.mov_to_lc(4);
-        let top = a.new_label();
-        a.bind(top);
-        a.addi(5, 5, 1);
-        a.emit(Insn::new(Op::Add {
-            dest: 6,
-            r2: 6,
-            r3: 5,
-        }));
-        a.br_cloop(top);
-        a.hlt();
-        a.finish()
-    };
+    let image = arith_loop_image();
     c.bench_function("components/machine/step_4_cores_1k_cycles", |b| {
         b.iter_batched(
             || {
@@ -319,9 +325,9 @@ fn bench_machine_stepping(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_cobra_decision(c: &mut Criterion) {
-    // COBRA's reaction time: trace selection + a full optimizer pass over a
-    // profile with many branch pairs and delinquent loads.
+/// Shared fixture for the optimizer benches: a 32-loop image with
+/// prefetching bodies plus a hot profile that makes every loop a candidate.
+fn decision_inputs() -> (cobra_isa::CodeImage, SystemProfile) {
     let image = {
         let mut a = Assembler::new();
         for _ in 0..32 {
@@ -360,6 +366,13 @@ fn bench_cobra_decision(c: &mut Criterion) {
         }
     }
     profile.absorb(&delta);
+    (image, profile)
+}
+
+fn bench_cobra_decision(c: &mut Criterion) {
+    // COBRA's reaction time: trace selection + a full optimizer pass over a
+    // profile with many branch pairs and delinquent loads.
+    let (image, profile) = decision_inputs();
 
     c.bench_function("components/cobra/trace_selection", |b| {
         b.iter(|| select_loops(criterion::black_box(&profile), &TraceConfig::default()))
@@ -378,6 +391,112 @@ fn bench_cobra_decision(c: &mut Criterion) {
             |mut opt| opt.consider(criterion::black_box(&profile)),
             BatchSize::SmallInput,
         )
+    });
+}
+
+fn bench_verify_overhead(c: &mut Criterion) {
+    // The patch-safety gate runs once per deployment, i.e. once per monitor
+    // quantum at most. Prove it costs <5% of a deployment tick, where a
+    // tick is what the runtime actually pays per quantum: simulating the
+    // quantum (floored by the cheapest busy workload — anything realistic
+    // is slower) plus the plan-emitting optimizer pass. Both sides are
+    // min-of-N wall time; the verification side re-checks every plan the
+    // fixture tick emits.
+    let (image, profile) = decision_inputs();
+    let cfg = |verify: bool| OptimizerConfig {
+        warmup_ticks: 0,
+        deploy: DeployMode::InPlace,
+        verify,
+        ..Default::default()
+    };
+    let mut opt = Optimizer::new(cfg(true), image.clone());
+    let window = opt.config().trace.entry_window_slots;
+    let plans: Vec<PatchPlan> = opt
+        .consider(&profile)
+        .into_iter()
+        .filter_map(|a| match a {
+            PlanAction::Apply(p) => Some(p),
+            PlanAction::Revert { .. } => None,
+        })
+        .collect();
+    assert!(!plans.is_empty(), "fixture tick must emit plans");
+    assert_eq!(opt.verify_rejects(), 0, "fixture plans must verify");
+
+    fn min_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+        (0..reps)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap()
+            .max(1)
+    }
+    let consider_ns = min_ns(30, || {
+        let mut opt = Optimizer::new(cfg(false), image.clone());
+        criterion::black_box(opt.consider(criterion::black_box(&profile)));
+    });
+    // Quantum floor: 4 cores of pure arithmetic for the default 20k-cycle
+    // monitor quantum. Every rep continues the same long-running loop, so
+    // each times a fully busy quantum.
+    let mut m = Machine::new(MachineConfig::smp4(), arith_loop_image());
+    for cpu in 0..4 {
+        m.spawn_thread(cpu, 0, &[]);
+    }
+    let quantum_ns = min_ns(5, || {
+        criterion::black_box(m.run_quantum(20_000));
+    });
+    let tick_ns = quantum_ns + consider_ns;
+    let verify_ns = min_ns(100, || {
+        for p in &plans {
+            verify_plan(
+                criterion::black_box(&image),
+                criterion::black_box(p),
+                window,
+            )
+            .expect("captured plan verifies");
+        }
+    });
+    assert!(
+        verify_ns as f64 <= tick_ns as f64 * 0.05,
+        "verification must add <5% to a deployment tick: \
+         tick {tick_ns} ns (quantum {quantum_ns} + optimizer {consider_ns}), \
+         verify {verify_ns} ns ({} plans)",
+        plans.len()
+    );
+    bench_metric(
+        c,
+        "components/verify",
+        BenchmarkId::new("overhead_ns", "deploy_tick"),
+        tick_ns,
+    );
+    bench_metric(
+        c,
+        "components/verify",
+        BenchmarkId::new("overhead_ns", "optimizer_pass"),
+        consider_ns,
+    );
+    bench_metric(
+        c,
+        "components/verify",
+        BenchmarkId::new("overhead_ns", "verify_all_plans"),
+        verify_ns,
+    );
+
+    c.bench_function("components/verify/plan_check", |b| {
+        b.iter(|| {
+            for p in &plans {
+                criterion::black_box(
+                    verify_plan(
+                        criterion::black_box(&image),
+                        criterion::black_box(p),
+                        window,
+                    )
+                    .is_ok(),
+                );
+            }
+        })
     });
 }
 
@@ -459,6 +578,7 @@ criterion_group!(
     bench_memsys_fastpath,
     bench_machine_stepping,
     bench_cobra_decision,
+    bench_verify_overhead,
     bench_telemetry
 );
 criterion_main!(benches);

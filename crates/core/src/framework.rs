@@ -239,6 +239,10 @@ impl CobraBuilder {
             }
             (store, key, lr.snapshot)
         });
+        // Warm seeds are re-verified against the live image inside
+        // `warm_start`; surface any attach-time rejections even if the run
+        // never reaches a tick (ticks overwrite this with the running total).
+        report.verify_rejects = optimizer.verify_rejects();
 
         let (to_opt, opt_rx) = unbounded();
         let (reply_tx, replies) = unbounded();
@@ -501,6 +505,7 @@ impl QuantumHook for Cobra {
             self.report.warm_hits = reply.warm_hits;
             self.report.warm_mismatches = reply.warm_mismatches;
             self.report.undecodable_loops = reply.undecodable_loops;
+            self.report.verify_rejects = reply.verify_rejects;
             for action in reply.actions {
                 self.apply_action(machine, action);
             }

@@ -42,8 +42,8 @@ pub mod usb;
 pub use framework::{Cobra, CobraBuilder, CobraConfig};
 pub use monitor::OptFinal;
 pub use optimizer::{
-    DecisionExport, DeployMode, OptKind, Optimizer, OptimizerConfig, PatchPlan, PlanAction,
-    Strategy, TracePlan, WarmSeed,
+    verify_plan, DecisionExport, DeployMode, OptKind, Optimizer, OptimizerConfig, PatchPlan,
+    PlanAction, Strategy, TracePlan, WarmSeed,
 };
 pub use persist::{profile_record, seed_from_snapshot, snapshot_from_final};
 pub use phase::{PhaseConfig, PhaseDetector};

@@ -80,6 +80,8 @@ pub struct TickReply {
     pub warm_mismatches: u64,
     /// Candidate loops skipped so far because a word failed to decode.
     pub undecodable_loops: u64,
+    /// Plans or warm seeds rejected so far by the `cobra-verify` gate.
+    pub verify_rejects: u64,
 }
 
 /// Everything the optimization thread hands back when it exits — the
@@ -309,6 +311,7 @@ pub fn optimization_thread(
                     warm_hits: optimizer.warm_hits(),
                     warm_mismatches: optimizer.warm_mismatches(),
                     undecodable_loops: optimizer.undecodable_loops(),
+                    verify_rejects: optimizer.verify_rejects(),
                 };
                 if reply_tx.send(reply).is_err() {
                     return finish(&optimizer, cumulative);

@@ -127,6 +127,13 @@ pub struct OptimizerConfig {
     /// lets the program's cold start age out of the rolling profile so
     /// decisions reflect steady-state behaviour.
     pub warmup_ticks: u64,
+    /// Run every plan through the `cobra-verify` static patch-safety
+    /// checker before deployment, and every warm seed through it at attach.
+    /// A rejected plan blacklists its loop (counted in `verify_rejects`);
+    /// the optimizer never panics on a verifier failure. On by default —
+    /// disabling is for verifier-overhead experiments only.
+    #[serde(default = "default_verify")]
+    pub verify: bool,
     /// Shortened learning window used when the optimizer was warm-started
     /// from a store snapshot: *seeded* loops (deployed and validated in a
     /// prior run) may deploy after this many ticks; unseeded loops still
@@ -138,6 +145,10 @@ pub struct OptimizerConfig {
 
 fn default_warm_warmup_ticks() -> u64 {
     6
+}
+
+fn default_verify() -> bool {
+    true
 }
 
 impl Default for OptimizerConfig {
@@ -163,6 +174,7 @@ impl Default for OptimizerConfig {
             rolling_ticks: 16,
             warmup_ticks: 18,
             warm_warmup_ticks: default_warm_warmup_ticks(),
+            verify: default_verify(),
         }
     }
 }
@@ -186,6 +198,10 @@ pub struct PatchPlan {
     pub id: u64,
     pub kind: OptKind,
     pub loop_head: CodeAddr,
+    /// Back-edge address of the loop the plan claims to optimize; the
+    /// verifier bounds every patch site by `[head - entry window, back_edge]`.
+    #[serde(default)]
+    pub back_edge: CodeAddr,
     pub description: String,
     /// Words to write into the existing image, `(addr, new_word)`.
     pub writes: Vec<(CodeAddr, u64)>,
@@ -200,6 +216,42 @@ pub struct TracePlan {
     /// identical images; the apply step asserts agreement).
     pub expected_start: CodeAddr,
     pub insns: Vec<Insn>,
+}
+
+impl From<OptKind> for cobra_verify::RewriteKind {
+    fn from(kind: OptKind) -> Self {
+        match kind {
+            OptKind::NoPrefetch => cobra_verify::RewriteKind::NoPrefetch,
+            OptKind::ExclHint => cobra_verify::RewriteKind::ExclHint,
+        }
+    }
+}
+
+/// Check `plan` against `image` with the full `cobra-verify` rule set.
+/// `entry_window_slots` is the hoisted-burst scan window of the trace
+/// selector (`TraceConfig::entry_window_slots`): patch sites may precede the
+/// loop head by at most that much. Exposed so the harness and benches can
+/// run the exact deploy-gate check on captured plans.
+pub fn verify_plan(
+    image: &CodeImage,
+    plan: &PatchPlan,
+    entry_window_slots: u32,
+) -> Result<(), cobra_verify::VerifyError> {
+    let trace = plan.trace.as_ref().map(|t| cobra_verify::TraceCheck {
+        expected_start: t.expected_start,
+        insns: &t.insns,
+    });
+    cobra_verify::check_plan(
+        image,
+        &cobra_verify::PlanCheck {
+            kind: plan.kind.into(),
+            loop_head: plan.loop_head,
+            back_edge: plan.back_edge,
+            region_start: plan.loop_head.saturating_sub(entry_window_slots),
+            writes: &plan.writes,
+            trace,
+        },
+    )
 }
 
 #[derive(Debug)]
@@ -258,6 +310,7 @@ pub struct Optimizer {
     warm_hits: u64,
     warm_mismatches: u64,
     undecodable_loops: u64,
+    verify_rejects: u64,
     telemetry: Option<TelemetryEmitter>,
     /// Quantum tick / machine cycle of the tick being considered (set by
     /// [`Optimizer::begin_tick`]), used to stamp telemetry events.
@@ -282,6 +335,7 @@ impl Optimizer {
             warm_hits: 0,
             warm_mismatches: 0,
             undecodable_loops: 0,
+            verify_rejects: 0,
             telemetry: None,
             cur_tick: 0,
             cur_cycle: 0,
@@ -313,9 +367,28 @@ impl Optimizer {
     pub fn warm_start(&mut self, seed: WarmSeed) {
         self.warm = true;
         for (head, kind) in seed.decisions {
+            // Re-verify each seed against the *live* image: the store is
+            // keyed by image hash, but a corrupted snapshot record (or a
+            // hash collision) must not smuggle a stale loop head past the
+            // deploy gate. A rejected seed is dropped, not fatal — the loop
+            // simply falls back to the cold decision path.
+            if self.cfg.verify {
+                if let Err(err) = cobra_verify::check_seed(&self.image, head) {
+                    self.verify_rejects += 1;
+                    self.emit(TelemetryEvent::VerifyReject {
+                        tick: self.cur_tick,
+                        cycle: self.cur_cycle,
+                        loop_head: head,
+                        reason: format!("warm seed: {err}"),
+                    });
+                    continue;
+                }
+            }
             self.seeded.insert(head, kind);
         }
         for head in seed.blacklist {
+            // A stale blacklist entry is conservative (skips a loop), so it
+            // needs no verification.
             self.blacklisted_heads.insert(head);
         }
     }
@@ -338,6 +411,11 @@ impl Optimizer {
     /// Candidate loops skipped because a word in them failed to decode.
     pub fn undecodable_loops(&self) -> u64 {
         self.undecodable_loops
+    }
+
+    /// Plans (or warm seeds) rejected by the `cobra-verify` safety checker.
+    pub fn verify_rejects(&self) -> u64 {
+        self.verify_rejects
     }
 
     /// Final per-loop decisions and the blacklist, for persistence. Both
@@ -506,6 +584,24 @@ impl Optimizer {
                 });
                 continue;
             };
+            // The deploy gate: every plan is machine-checked against the
+            // live image before it lands. A rejection means the optimizer
+            // produced (or was fed) something unsafe — blacklist the loop
+            // and keep running rather than deploy a miscompile.
+            if self.cfg.verify {
+                if let Err(err) = verify_plan(&self.image, &plan, self.cfg.trace.entry_window_slots)
+                {
+                    self.verify_rejects += 1;
+                    self.blacklisted_heads.insert(lp.head);
+                    self.emit(TelemetryEvent::VerifyReject {
+                        tick: self.cur_tick,
+                        cycle: self.cur_cycle,
+                        loop_head: lp.head,
+                        reason: err.to_string(),
+                    });
+                    continue;
+                }
+            }
             self.apply_to_own_image(&plan);
             self.optimized_heads.insert(lp.head);
             self.deployments.push(Deployment {
@@ -650,6 +746,7 @@ impl Optimizer {
                     id,
                     kind,
                     loop_head: lp.head,
+                    back_edge: lp.back_edge,
                     description,
                     writes,
                     trace: None,
@@ -691,6 +788,7 @@ impl Optimizer {
                     id,
                     kind,
                     loop_head: lp.head,
+                    back_edge: lp.back_edge,
                     description,
                     writes,
                     trace: Some(TracePlan {
@@ -1194,5 +1292,131 @@ mod tests {
             assert_eq!(OptKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(OptKind::from_name("bogus"), None);
+    }
+
+    /// The OptKind → RewriteKind conversion must stay name-aligned with the
+    /// verifier (same pinning discipline as the store's kind names).
+    #[test]
+    fn optkind_maps_to_verifier_rewrite_kind_by_name() {
+        for kind in OptKind::ALL {
+            let rk: cobra_verify::RewriteKind = kind.into();
+            assert_eq!(kind.name(), rk.name());
+        }
+        assert_eq!(OptKind::ALL.len(), cobra_verify::RewriteKind::ALL.len());
+    }
+
+    /// End-to-end deploy-gate rejection: a loop whose prefetch base register
+    /// feeds a real consumer later in the body. The site selector happily
+    /// picks the lfetch and `build_plan` emits a noprefetch plan, but
+    /// removing the post-incrementing lfetch would starve the consumer —
+    /// the verifier must catch it, blacklist the loop, and deploy nothing.
+    #[test]
+    fn verify_gate_rejects_unsafe_plan_and_blacklists() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        let load_pc = a.ldfd(16, 32, 2, 8);
+        a.lfetch_nt1(16, 27, 8);
+        a.mov(5, 27); // reads the lfetch's base: removal is unsafe
+        let back = a.br_ctop(top);
+        a.hlt();
+        let image = a.finish();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                strategy: Strategy::NoPrefetch,
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
+            image,
+        );
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let actions = opt.consider(&profile);
+        assert!(
+            actions.is_empty(),
+            "unsafe plan must not deploy: {actions:?}"
+        );
+        assert_eq!(opt.verify_rejects(), 1);
+        assert_eq!(opt.active_deployments(), 0);
+        // Blacklisted: never retried.
+        assert!(opt.consider(&profile).is_empty());
+        assert_eq!(opt.verify_rejects(), 1);
+        // The same loop with `.excl` (no removal) is safe and deploys.
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        let load_pc = a.ldfd(16, 32, 2, 8);
+        a.lfetch_nt1(16, 27, 8);
+        a.mov(5, 27);
+        let back = a.br_ctop(top);
+        a.hlt();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                strategy: Strategy::ExclHint,
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
+            a.finish(),
+        );
+        let actions = opt.consider(&hot_profile(load_pc, head, back, 1.0));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(opt.verify_rejects(), 0);
+    }
+
+    /// Warm seeds are re-verified against the live image at attach: a head
+    /// past the main text (stale/corrupt snapshot) is dropped and counted,
+    /// while valid seeds and the normal decision path are unaffected.
+    #[test]
+    fn warm_seed_with_invalid_head_is_dropped() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
+            image,
+        );
+        opt.warm_start(WarmSeed {
+            decisions: vec![(9999, OptKind::NoPrefetch), (head, OptKind::NoPrefetch)],
+            blacklist: vec![],
+        });
+        assert_eq!(opt.verify_rejects(), 1);
+        // The valid seed still deploys through the normal path.
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        let actions = opt.consider(&profile);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(opt.warm_hits(), 1);
+        assert_eq!(opt.verify_rejects(), 1);
+    }
+
+    /// `verify_plan` is the same check the deploy gate runs; a tampered
+    /// write in an otherwise-genuine plan must fail it.
+    #[test]
+    fn verify_plan_rejects_tampered_plan() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                ..Default::default()
+            },
+            image.clone(),
+        );
+        let actions = opt.consider(&hot_profile(load_pc, head, back, 1.0));
+        let mut plan = match actions.into_iter().next() {
+            Some(PlanAction::Apply(p)) => p,
+            other => panic!("{other:?}"),
+        };
+        let window = opt.config().trace.entry_window_slots;
+        verify_plan(&image, &plan, window).expect("genuine plan verifies");
+        plan.writes[0].1 = encode(&Insn::new(Op::Nop {
+            unit: cobra_isa::Unit::I,
+        }));
+        let err = verify_plan(&image, &plan, window).unwrap_err();
+        assert!(err.to_string().contains("violation"));
     }
 }

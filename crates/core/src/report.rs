@@ -79,6 +79,10 @@ pub struct CobraReport {
     /// Hot loops skipped because a body word no longer decodes.
     #[serde(default)]
     pub undecodable_loops: u64,
+    /// Plans or warm seeds rejected by the `cobra-verify` deploy gate
+    /// (each rejection blacklists its loop or drops its seed).
+    #[serde(default)]
+    pub verify_rejects: u64,
     /// Damaged store records skipped while loading the snapshot.
     #[serde(default)]
     pub store_skipped_records: u64,
@@ -170,6 +174,7 @@ mod tests {
                     && !k.starts_with("warm_")
                     && !k.starts_with("store_")
                     && k != "undecodable_loops"
+                    && k != "verify_rejects"
             });
         } else {
             panic!("report serializes to an object");

@@ -167,6 +167,15 @@ pub enum TelemetryEvent {
         cycle: u64,
         loop_head: CodeAddr,
     },
+    /// The `cobra-verify` deploy gate rejected a plan (loop blacklisted) or
+    /// a warm seed (seed dropped); `reason` is the verifier's one-line
+    /// violation summary.
+    VerifyReject {
+        tick: u64,
+        cycle: u64,
+        loop_head: CodeAddr,
+        reason: String,
+    },
     /// A store snapshot matched this run's binary/machine key and seeded
     /// the optimizer at attach.
     WarmStart {
@@ -215,6 +224,7 @@ impl TelemetryEvent {
             TelemetryEvent::Revert { .. } => "revert",
             TelemetryEvent::Blacklist { .. } => "blacklist",
             TelemetryEvent::UndecodableLoop { .. } => "undecodable_loop",
+            TelemetryEvent::VerifyReject { .. } => "verify_reject",
             TelemetryEvent::WarmStart { .. } => "warm_start",
             TelemetryEvent::StoreError { .. } => "store_error",
             TelemetryEvent::StoreSave { .. } => "store_save",

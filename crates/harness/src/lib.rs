@@ -24,6 +24,7 @@ pub mod staticnpb;
 pub mod sweep;
 pub mod table;
 pub mod table1;
+pub mod verifycmd;
 
 pub use runner::{run_trials, TrialPanic};
 pub use sweep::{default_workers, parallel_map};

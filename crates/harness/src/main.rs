@@ -9,6 +9,8 @@
 //! cobra-repro profile save --store DIR [--bench B] [--machine M]
 //! cobra-repro profile inspect PATH     # summarize snapshot file or dir
 //! cobra-repro profile merge --out FILE IN...
+//! cobra-repro verify image [--bench B] [--machine M]   # lint kernel images
+//! cobra-repro verify snapshot PATH     # lint a store snapshot file or dir
 //! cobra-repro all   [--md] [--json]    # everything (EXPERIMENTS.md source)
 //! ```
 //!
@@ -20,7 +22,7 @@
 
 use std::path::PathBuf;
 
-use cobra_harness::{default_workers, fig2, fig3, npbsuite, profilecmd, table1};
+use cobra_harness::{default_workers, fig2, fig3, npbsuite, profilecmd, table1, verifycmd};
 use cobra_machine::MachineConfig;
 use cobra_rt::{read_jsonl, TelemetrySink, TraceSummary};
 
@@ -135,7 +137,7 @@ fn parse(args: &[String]) -> (Command, Opts) {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|profile|all"
+                "unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|profile|verify|all"
             );
             std::process::exit(2);
         }
@@ -319,6 +321,57 @@ fn run_profile(args: &[String]) -> ! {
     }
 }
 
+/// `cobra-repro verify image|snapshot` — its own tiny arg grammar. Exit 2
+/// on bad arguments or unreadable paths, exit 1 when verification finds
+/// violations, exit 0 when everything checks out.
+fn run_verify(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!(
+            "usage:\n  verify image [--bench B] [--machine M]   # whole suite without --bench\n  \
+             verify snapshot PATH"
+        );
+        std::process::exit(2);
+    };
+    let Some(action) = args.first() else { usage() };
+    let mut it = args[1..].iter();
+    let outcome = match action.as_str() {
+        "image" => {
+            let mut bench: Option<String> = None;
+            let mut machine = "smp4".to_string();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--bench" => bench = Some(flag_value(&mut it, "--bench NAME").clone()),
+                    "--machine" => machine = flag_value(&mut it, "--machine NAME").clone(),
+                    _ => usage(),
+                }
+            }
+            let (cfg, _threads) = machine_by_name(&machine);
+            verifycmd::image(bench.as_deref(), &cfg)
+        }
+        "snapshot" => {
+            let (Some(path), None) = (it.next(), it.next()) else {
+                usage()
+            };
+            verifycmd::snapshot(&PathBuf::from(path))
+        }
+        _ => usage(),
+    };
+    match outcome {
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.violations > 0 {
+                eprintln!("verify: {} violation(s)", out.violations);
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("verify {action}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn summarize_trace(file: &PathBuf) {
     let f = std::fs::File::open(file).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", file.display());
@@ -340,6 +393,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("profile") {
         run_profile(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("verify") {
+        run_verify(&args[1..]);
     }
     let (cmd, opts) = parse(&args);
     match &cmd {

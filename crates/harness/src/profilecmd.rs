@@ -74,8 +74,9 @@ pub fn save(
 }
 
 /// Snapshot files under `path`: itself if a file, else every `*.jsonl`
-/// directly inside it, sorted for deterministic output.
-fn snapshot_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+/// directly inside it, sorted for deterministic output. Shared with
+/// `cobra-repro verify snapshot`.
+pub(crate) fn snapshot_files(path: &Path) -> Result<Vec<PathBuf>, String> {
     if path.is_file() {
         return Ok(vec![path.to_path_buf()]);
     }

@@ -349,6 +349,68 @@ mod tests {
     }
 
     #[test]
+    fn backward_branch_at_image_start_resolves_to_slot_zero() {
+        // Loop head at the very first slot: the back edge must resolve to
+        // target 0, not underflow or land past the end.
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        assert_eq!(a.here(), 0);
+        a.addi(5, 5, 1);
+        a.br_ctop(top);
+        let img = a.finish();
+        let back = img
+            .decode_all()
+            .unwrap()
+            .into_iter()
+            .find(|i| matches!(i.op, Op::BrCtop { .. }))
+            .unwrap();
+        assert_eq!(back.op.branch_target(), Some(0));
+        assert!(img.insn(0).is_ok());
+    }
+
+    #[test]
+    fn self_loop_branch_targets_its_own_address() {
+        // A branch that is the first slot of its own bundle and targets the
+        // label bound at that bundle is a one-slot self-loop.
+        let mut a = Assembler::new();
+        a.nop(Unit::I); // push the loop off slot 0
+        let l = a.new_label();
+        a.bind(l);
+        let branch_addr = a.here();
+        a.br_cloop(l);
+        let img = a.finish();
+        let insn = img.insn(branch_addr).unwrap();
+        assert_eq!(insn.op.branch_target(), Some(branch_addr));
+        assert_eq!(branch_addr % SLOTS_PER_BUNDLE, 0);
+    }
+
+    #[test]
+    fn forward_branch_to_final_bundle_stays_in_bounds() {
+        // A forward branch whose target is the last bundle of the image:
+        // the resolved target must be a valid in-bounds slot address.
+        let mut a = Assembler::new();
+        let end = a.new_label();
+        a.addi(5, 5, 1);
+        a.br_cond(0, end);
+        a.addi(6, 6, 1); // skipped
+        a.bind(end);
+        a.nop(Unit::M);
+        a.hlt();
+        let img = a.finish();
+        let cond = img
+            .decode_all()
+            .unwrap()
+            .into_iter()
+            .find(|i| matches!(i.op, Op::BrCond { .. }))
+            .unwrap();
+        let target = cond.op.branch_target().unwrap();
+        assert_eq!(target, img.len() - SLOTS_PER_BUNDLE);
+        assert!(target < img.len());
+        assert!(img.insn(target).is_ok());
+    }
+
+    #[test]
     fn image_ends_bundle_aligned() {
         let mut a = Assembler::new();
         a.nop(Unit::I);

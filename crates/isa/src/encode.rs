@@ -900,6 +900,28 @@ mod tests {
     }
 
     #[test]
+    fn branch_target_arithmetic_edge_cases_roundtrip() {
+        // The target field occupies bits [31:0] of the word, below the
+        // predicate at [55:50], so the full `CodeAddr` range must survive
+        // encode/decode: target 0 (a backward branch to the image start),
+        // a final-bundle address, a self-loop-sized small target, and the
+        // extreme u32::MAX (no wrap into the qp/opcode fields).
+        let targets = [0u32, 3, 0x7fff_fffd, u32::MAX - 2, u32::MAX];
+        for &target in &targets {
+            roundtrip(Insn::new(Op::BrCtop { target }));
+            roundtrip(Insn::new(Op::BrCloop { target }));
+            roundtrip(Insn::new(Op::BrWtop { target }));
+            roundtrip(Insn::new(Op::BrCall { target }));
+            roundtrip(Insn::pred(63, Op::BrCond { target }));
+        }
+        // A max-target branch must still carry its predicate intact.
+        let word = encode(&Insn::pred(63, Op::BrCond { target: u32::MAX }));
+        let back = decode(word).unwrap();
+        assert_eq!(back.qp, 63);
+        assert_eq!(back.op.branch_target(), Some(u32::MAX));
+    }
+
+    #[test]
     fn lfetch_hint_and_excl_are_separate_bits() {
         for excl in [false, true] {
             for hint in [

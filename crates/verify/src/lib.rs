@@ -1,0 +1,1006 @@
+//! # cobra-verify — static patch-safety verification for runtime binary rewrites
+//!
+//! COBRA's whole value proposition is rewriting a live binary under running
+//! threads. This crate is the independent gate that turns "the optimizer is
+//! probably right" into "every deployed rewrite was machine-checked": it
+//! reconstructs a CFG over a [`CodeImage`], computes per-instruction def/use
+//! sets, and applies rule-based semantic-preservation checks to every plan
+//! before it is allowed to land.
+//!
+//! The rule set (see DESIGN.md §5e):
+//!
+//! * **noprefetch** may only replace `lfetch` slots with a same-slot-type
+//!   `nop.m`; when a removed `lfetch` post-increments its base register, a
+//!   flow-sensitive reaching-use walk proves no *binding* instruction reads
+//!   that register before it is redefined (`lfetch` is non-binding, so other
+//!   prefetches reading the register are architecturally irrelevant).
+//! * **prefetch.excl** may only flip the exclusive-ownership hint of an
+//!   existing `lfetch` — base, post-increment, locality hint and predicate
+//!   must all survive the rewrite verbatim.
+//! * A **trace clone** must land bundle-aligned at the next append point, be
+//!   instruction-identical to the source loop modulo the allowed prefetch
+//!   rewrites, keep its back edges inside the trace, exit to the instruction
+//!   after the original back edge, and leave the original body intact so a
+//!   regressed deployment can still be reverted.
+//! * **Whole-image invariants** ([`check_image`]): every word reachable from
+//!   the entry point or a symbol decodes, every static branch target is in
+//!   bounds, and no reachable path falls off the end of the image.
+//! * **Warm seeds** ([`check_seed`]): a decision replayed from a
+//!   `cobra-store` snapshot must still name a decodable loop head that some
+//!   backward branch in the live main text actually targets.
+//!
+//! The crate deliberately depends on `cobra-isa` only: the optimizer hands
+//! it a neutral [`PlanCheck`] description so the verifier cannot inherit the
+//! optimizer's assumptions about its own output.
+
+use cobra_isa::insn::{Insn, Op};
+use cobra_isa::{bundle_align, decode, CodeAddr, CodeImage, NOP_SLOT_M};
+
+pub mod cfg;
+pub mod defuse;
+
+pub use cfg::{check_image, reachable, successors};
+pub use defuse::{defs, uses, Reg};
+
+/// Which rewrite a plan claims to perform (the verifier's mirror of the
+/// optimizer's `OptKind`; `cobra-rt` pins the mapping with a test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteKind {
+    /// Replace selected `lfetch` slots with `nop.m`.
+    NoPrefetch,
+    /// Flip selected `lfetch` slots to `lfetch.excl`.
+    ExclHint,
+}
+
+impl RewriteKind {
+    pub const ALL: [RewriteKind; 2] = [RewriteKind::NoPrefetch, RewriteKind::ExclHint];
+
+    /// Stable name (matches `cobra-rt`'s `OptKind::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriteKind::NoPrefetch => "noprefetch",
+            RewriteKind::ExclHint => "prefetch.excl",
+        }
+    }
+}
+
+/// The trace-cache half of a plan, as handed to the verifier.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCheck<'a> {
+    /// Where the optimizer claims the trace will land.
+    pub expected_start: CodeAddr,
+    /// The cloned (and rewritten) loop body plus one exit branch.
+    pub insns: &'a [Insn],
+}
+
+/// A deployment plan described neutrally for verification, always checked
+/// against the *pre-deployment* image.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanCheck<'a> {
+    pub kind: RewriteKind,
+    /// First instruction of the claimed loop body.
+    pub loop_head: CodeAddr,
+    /// Address of the loop's back-edge branch.
+    pub back_edge: CodeAddr,
+    /// Start of the claimed loop region (head minus the entry window that
+    /// holds the hoisted prefetch burst); every write must land in
+    /// `[region_start, back_edge]`.
+    pub region_start: CodeAddr,
+    /// Words the plan writes into the existing image.
+    pub writes: &'a [(CodeAddr, u64)],
+    /// Trace to append first, when trace-cache deployed.
+    pub trace: Option<TraceCheck<'a>>,
+}
+
+/// One broken invariant. `Display` is the operator-facing one-liner that
+/// telemetry and the CLI print.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A reachable word does not decode.
+    UndecodableWord { addr: CodeAddr },
+    /// A static branch target lies outside the image.
+    BranchTargetOutOfBounds { addr: CodeAddr, target: CodeAddr },
+    /// A reachable non-terminal instruction at the end of the image.
+    FallthroughPastEnd { addr: CodeAddr },
+    /// A symbol points outside the image.
+    SymbolOutOfBounds { name: String, addr: CodeAddr },
+    /// A write lands outside the image.
+    PatchSiteOutOfRange { addr: CodeAddr },
+    /// A write lands outside the claimed loop region.
+    PatchSiteOutsideLoopRegion {
+        addr: CodeAddr,
+        region_start: CodeAddr,
+        back_edge: CodeAddr,
+    },
+    /// A written word does not decode.
+    InvalidWrite { addr: CodeAddr },
+    /// A rewrite targets a slot that does not hold an `lfetch`.
+    NotALfetchSite { addr: CodeAddr },
+    /// A `noprefetch` replacement is not an unpredicated `nop.m`.
+    WrongSlotType { addr: CodeAddr },
+    /// An `.excl` rewrite changed more than the exclusive hint.
+    NotAHintFlip { addr: CodeAddr },
+    /// Removing the `lfetch` at `site` kills a base-register update that a
+    /// binding instruction at `user` still reads.
+    BaseRegisterLive {
+        site: CodeAddr,
+        base: u8,
+        user: CodeAddr,
+    },
+    /// The trace would not land where the plan claims.
+    TraceMisaligned {
+        expected: CodeAddr,
+        actual: CodeAddr,
+    },
+    /// The clone's length disagrees with the claimed loop body.
+    TraceLengthMismatch { expected: usize, actual: usize },
+    /// A cloned instruction differs from the source beyond the allowed
+    /// rewrites.
+    TraceBodyMismatch { index: usize, addr: CodeAddr },
+    /// A cloned branch still targets the original loop head: the back edge
+    /// escaped the trace.
+    TraceBackEdgeEscapes { index: usize, target: CodeAddr },
+    /// The trace's exit branch is missing or mis-targeted.
+    TraceExitInvalid,
+    /// The head redirect is not an unpredicated branch into the trace.
+    HeadRedirectInvalid { addr: CodeAddr },
+    /// A write would clobber the original loop body, which must stay intact
+    /// for revert.
+    OriginalBodyClobbered { addr: CodeAddr },
+    /// A warm seed names a loop head outside the live main text.
+    SeedHeadOutOfRange { head: CodeAddr, main_len: CodeAddr },
+    /// A warm seed names a loop head whose word no longer decodes.
+    SeedUndecodable { head: CodeAddr },
+    /// No backward branch in the live main text targets the seeded head.
+    SeedNotALoopHead { head: CodeAddr },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UndecodableWord { addr } => {
+                write!(f, "reachable word at {addr} does not decode")
+            }
+            Violation::BranchTargetOutOfBounds { addr, target } => {
+                write!(f, "branch at {addr} targets {target}, outside the image")
+            }
+            Violation::FallthroughPastEnd { addr } => {
+                write!(f, "execution can fall through past the image end at {addr}")
+            }
+            Violation::SymbolOutOfBounds { name, addr } => {
+                write!(f, "symbol {name} points at {addr}, outside the image")
+            }
+            Violation::PatchSiteOutOfRange { addr } => {
+                write!(f, "patch site {addr} is outside the image")
+            }
+            Violation::PatchSiteOutsideLoopRegion {
+                addr,
+                region_start,
+                back_edge,
+            } => write!(
+                f,
+                "patch site {addr} is outside the claimed loop region [{region_start},{back_edge}]"
+            ),
+            Violation::InvalidWrite { addr } => {
+                write!(f, "written word at {addr} does not decode")
+            }
+            Violation::NotALfetchSite { addr } => {
+                write!(f, "rewrite at {addr} targets a slot that is not an lfetch")
+            }
+            Violation::WrongSlotType { addr } => write!(
+                f,
+                "noprefetch replacement at {addr} is not an unpredicated nop.m"
+            ),
+            Violation::NotAHintFlip { addr } => write!(
+                f,
+                ".excl rewrite at {addr} changes more than the exclusive hint"
+            ),
+            Violation::BaseRegisterLive { site, base, user } => write!(
+                f,
+                "removing lfetch at {site} kills the r{base} update still read at {user}"
+            ),
+            Violation::TraceMisaligned { expected, actual } => write!(
+                f,
+                "trace claims start {expected} but would land at {actual}"
+            ),
+            Violation::TraceLengthMismatch { expected, actual } => write!(
+                f,
+                "trace clone has {actual} instruction(s), loop body needs {expected}"
+            ),
+            Violation::TraceBodyMismatch { index, addr } => write!(
+                f,
+                "trace clone slot {index} diverges from source instruction at {addr}"
+            ),
+            Violation::TraceBackEdgeEscapes { index, target } => write!(
+                f,
+                "trace clone slot {index} branches to {target}, escaping the trace"
+            ),
+            Violation::TraceExitInvalid => {
+                write!(f, "trace exit branch missing or mis-targeted")
+            }
+            Violation::HeadRedirectInvalid { addr } => write!(
+                f,
+                "head redirect at {addr} is not an unpredicated branch into the trace"
+            ),
+            Violation::OriginalBodyClobbered { addr } => write!(
+                f,
+                "write at {addr} clobbers the original loop body needed for revert"
+            ),
+            Violation::SeedHeadOutOfRange { head, main_len } => write!(
+                f,
+                "seeded loop head {head} is outside the live main text (len {main_len})"
+            ),
+            Violation::SeedUndecodable { head } => {
+                write!(f, "seeded loop head {head} no longer decodes")
+            }
+            Violation::SeedNotALoopHead { head } => write!(
+                f,
+                "no backward branch in the live text targets seeded head {head}"
+            ),
+        }
+    }
+}
+
+/// Verification failure: one or more broken invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyError {
+    fn from_violations(violations: Vec<Violation>) -> Result<(), VerifyError> {
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(VerifyError { violations })
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            write!(f, " [{v}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The rewrite the rules allow at an `lfetch` site, mirroring what the
+/// optimizer is supposed to emit.
+fn allowed_rewrite(old: &Insn, kind: RewriteKind) -> Option<Insn> {
+    match (kind, old.op) {
+        (RewriteKind::NoPrefetch, Op::Lfetch { .. }) => Some(NOP_SLOT_M),
+        (
+            RewriteKind::ExclHint,
+            Op::Lfetch {
+                base,
+                post_inc,
+                hint,
+                ..
+            },
+        ) => Some(Insn::pred(
+            old.qp,
+            Op::Lfetch {
+                base,
+                post_inc,
+                hint,
+                excl: true,
+            },
+        )),
+        _ => None,
+    }
+}
+
+/// Check one `lfetch`-site rewrite (`old` → `new`) against the rules for
+/// `kind`, pushing violations for `addr`.
+fn check_site_rewrite(
+    addr: CodeAddr,
+    old: &Insn,
+    new: &Insn,
+    kind: RewriteKind,
+    out: &mut Vec<Violation>,
+) {
+    if !old.is_lfetch() {
+        out.push(Violation::NotALfetchSite { addr });
+        return;
+    }
+    let allowed = allowed_rewrite(old, kind).expect("lfetch always has an allowed rewrite");
+    if *new != allowed {
+        out.push(match kind {
+            RewriteKind::NoPrefetch => Violation::WrongSlotType { addr },
+            RewriteKind::ExclHint => Violation::NotAHintFlip { addr },
+        });
+    }
+}
+
+/// Forward reaching-use walk for a removed post-incrementing `lfetch`: from
+/// the successors of `site`, does any *binding* (non-`lfetch`) instruction
+/// read `Gr(base)` before an unpredicated redefinition? Other removed sites
+/// are transparent (they will be `nop.m` after the patch); surviving
+/// `lfetch`es neither use (non-binding) nor kill (their post-increment
+/// *reads* the base, propagating the perturbation).
+fn base_use_after_removal(
+    image: &CodeImage,
+    removed: &std::collections::HashSet<CodeAddr>,
+    site: CodeAddr,
+    base: u8,
+) -> Option<CodeAddr> {
+    // This walk runs under the deployment gate on every plan, so it must
+    // not allocate per visited instruction: visited is a bitmap, def/use
+    // sets fill a reused buffer, successors come back in a fixed pair.
+    let mut visited = vec![false; image.len() as usize];
+    let mut stack: Vec<CodeAddr> = Vec::with_capacity(16);
+    let mut regs: Vec<Reg> = Vec::with_capacity(8);
+    let push_succs = |insn: &Insn, addr: CodeAddr, stack: &mut Vec<CodeAddr>| {
+        let (pair, n) = cfg::successor_pair(addr, insn);
+        for &succ in &pair[..n] {
+            if succ < image.len() {
+                stack.push(succ);
+            }
+        }
+    };
+    match image.insn(site) {
+        Ok(insn) => push_succs(&insn, site, &mut stack),
+        Err(_) => return None,
+    }
+    while let Some(addr) = stack.pop() {
+        if std::mem::replace(&mut visited[addr as usize], true) {
+            continue;
+        }
+        let Ok(insn) = image.insn(addr) else {
+            continue; // undecodable paths are check_image's problem
+        };
+        if !removed.contains(&addr) {
+            defuse::uses_into(&insn, &mut regs);
+            let reads_base = regs.contains(&Reg::Gr(base));
+            if reads_base && !insn.is_lfetch() {
+                return Some(addr);
+            }
+            // An unpredicated definition that does not read the base kills
+            // the perturbed value on this path.
+            if insn.qp == 0 && !reads_base {
+                defuse::defs_into(&insn, &mut regs);
+                if regs.contains(&Reg::Gr(base)) {
+                    continue;
+                }
+            }
+        }
+        push_succs(&insn, addr, &mut stack);
+    }
+    None
+}
+
+/// Verify one deployment plan against the pre-deployment image.
+pub fn check_plan(image: &CodeImage, plan: &PlanCheck<'_>) -> Result<(), VerifyError> {
+    let mut v: Vec<Violation> = Vec::new();
+
+    // Whole-plan write invariants: in the image, in the claimed loop
+    // region, and decodable.
+    for &(addr, word) in plan.writes {
+        if addr >= image.len() {
+            v.push(Violation::PatchSiteOutOfRange { addr });
+            continue;
+        }
+        if addr < plan.region_start || addr > plan.back_edge {
+            v.push(Violation::PatchSiteOutsideLoopRegion {
+                addr,
+                region_start: plan.region_start,
+                back_edge: plan.back_edge,
+            });
+        }
+        if decode(word).is_err() {
+            v.push(Violation::InvalidWrite { addr });
+        }
+    }
+
+    // Sites whose lfetch the plan removes (needed for the reaching-use
+    // rule): filled in by the per-mode checks below.
+    let mut removed: std::collections::HashSet<CodeAddr> = std::collections::HashSet::new();
+
+    match &plan.trace {
+        None => {
+            // In place: every write is an lfetch-site rewrite.
+            for &(addr, word) in plan.writes {
+                let (Ok(old), Ok(new)) = (
+                    if addr < image.len() {
+                        image.insn(addr)
+                    } else {
+                        continue;
+                    },
+                    decode(word),
+                ) else {
+                    continue; // already reported above
+                };
+                check_site_rewrite(addr, &old, &new, plan.kind, &mut v);
+                if plan.kind == RewriteKind::NoPrefetch && old.is_lfetch() {
+                    removed.insert(addr);
+                }
+            }
+        }
+        Some(trace) => {
+            // The clone must land exactly where both sides will compute it.
+            let actual = bundle_align(image.len());
+            if trace.expected_start != actual {
+                v.push(Violation::TraceMisaligned {
+                    expected: trace.expected_start,
+                    actual,
+                });
+            }
+            check_trace_clone(image, plan, trace, &mut v, &mut removed);
+            check_trace_writes(image, plan, trace, &mut v, &mut removed);
+        }
+    }
+
+    // Flow-sensitive reaching-use check for every removed post-incrementing
+    // lfetch. The walk runs over the *original* CFG, which over-approximates
+    // the patched control flow (the trace is a copy of the body).
+    for &site in &removed {
+        let Ok(insn) = image.insn(site) else { continue };
+        if let Op::Lfetch { base, post_inc, .. } = insn.op {
+            if post_inc != 0 {
+                if let Some(user) = base_use_after_removal(image, &removed, site, base) {
+                    v.push(Violation::BaseRegisterLive { site, base, user });
+                }
+            }
+        }
+    }
+
+    VerifyError::from_violations(v)
+}
+
+/// Compare the trace clone instruction-by-instruction with the source loop.
+fn check_trace_clone(
+    image: &CodeImage,
+    plan: &PlanCheck<'_>,
+    trace: &TraceCheck<'_>,
+    v: &mut Vec<Violation>,
+    removed: &mut std::collections::HashSet<CodeAddr>,
+) {
+    if plan.back_edge < plan.loop_head || plan.back_edge >= image.len() {
+        v.push(Violation::PatchSiteOutOfRange {
+            addr: plan.back_edge,
+        });
+        return;
+    }
+    let body_len = (plan.back_edge - plan.loop_head + 1) as usize;
+    // Body plus exactly one exit branch.
+    if trace.insns.len() != body_len + 1 {
+        v.push(Violation::TraceLengthMismatch {
+            expected: body_len + 1,
+            actual: trace.insns.len(),
+        });
+        return;
+    }
+    let trace_end = trace.expected_start + trace.insns.len() as CodeAddr;
+    for (i, cloned) in trace.insns[..body_len].iter().enumerate() {
+        let addr = plan.loop_head + i as CodeAddr;
+        let orig = match image.insn(addr) {
+            Ok(orig) => orig,
+            Err(_) => {
+                v.push(Violation::UndecodableWord { addr });
+                continue;
+            }
+        };
+        let as_rewrite = allowed_rewrite(&orig, plan.kind);
+        let as_retarget = if orig.op.branch_target() == Some(plan.loop_head) {
+            orig.op
+                .with_branch_target(trace.expected_start)
+                .map(|op| Insn::pred(orig.qp, op))
+        } else {
+            None
+        };
+        if *cloned == orig {
+            // identical — fine
+        } else if as_rewrite.is_some_and(|r| r == *cloned) {
+            if plan.kind == RewriteKind::NoPrefetch {
+                removed.insert(addr);
+            }
+        } else if as_retarget.is_some_and(|r| r == *cloned) {
+            // back edge retargeted into the trace — fine
+        } else {
+            v.push(Violation::TraceBodyMismatch { index: i, addr });
+        }
+        // No cloned branch may leave the trace for the original head (a
+        // patched head would bounce it straight back in, but the redirect
+        // may already have been reverted) or point outside the image.
+        if let Some(target) = cloned.op.branch_target() {
+            if target == plan.loop_head {
+                v.push(Violation::TraceBackEdgeEscapes { index: i, target });
+            } else if target >= image.len() && !(trace.expected_start..trace_end).contains(&target)
+            {
+                v.push(Violation::BranchTargetOutOfBounds { addr, target });
+            }
+        }
+    }
+    // The exit: an unpredicated branch to the instruction after the
+    // original back edge.
+    let exit = &trace.insns[body_len];
+    let exit_ok = exit.qp == 0
+        && exit.op
+            == (Op::BrCond {
+                target: plan.back_edge + 1,
+            })
+        && plan.back_edge + 1 < image.len();
+    if !exit_ok {
+        v.push(Violation::TraceExitInvalid);
+    }
+}
+
+/// Check a trace plan's in-place writes: burst-site rewrites before the
+/// head, one head redirect, and nothing inside the body.
+fn check_trace_writes(
+    image: &CodeImage,
+    plan: &PlanCheck<'_>,
+    trace: &TraceCheck<'_>,
+    v: &mut Vec<Violation>,
+    removed: &mut std::collections::HashSet<CodeAddr>,
+) {
+    let mut redirects = 0usize;
+    for &(addr, word) in plan.writes {
+        if addr >= image.len() {
+            continue; // already reported
+        }
+        let Ok(new) = decode(word) else { continue };
+        if addr == plan.loop_head {
+            redirects += 1;
+            let ok = new.qp == 0
+                && new.op
+                    == (Op::BrCond {
+                        target: trace.expected_start,
+                    });
+            if !ok {
+                v.push(Violation::HeadRedirectInvalid { addr });
+            }
+        } else if addr > plan.loop_head && addr <= plan.back_edge {
+            // The body must survive untouched for revert.
+            v.push(Violation::OriginalBodyClobbered { addr });
+        } else {
+            // Entry-window burst rewrite.
+            let Ok(old) = image.insn(addr) else {
+                v.push(Violation::NotALfetchSite { addr });
+                continue;
+            };
+            check_site_rewrite(addr, &old, &new, plan.kind, v);
+            if plan.kind == RewriteKind::NoPrefetch && old.is_lfetch() {
+                removed.insert(addr);
+            }
+        }
+    }
+    if redirects != 1 {
+        v.push(Violation::HeadRedirectInvalid {
+            addr: plan.loop_head,
+        });
+    }
+}
+
+/// Verify a warm-start seed against the live image: the head must be a
+/// decodable main-text address that some backward branch still targets.
+pub fn check_seed(image: &CodeImage, head: CodeAddr) -> Result<(), VerifyError> {
+    let mut v = Vec::new();
+    if head >= image.main_len() {
+        v.push(Violation::SeedHeadOutOfRange {
+            head,
+            main_len: image.main_len(),
+        });
+        return VerifyError::from_violations(v);
+    }
+    if image.insn(head).is_err() {
+        v.push(Violation::SeedUndecodable { head });
+    }
+    let has_back_edge = (head..image.main_len()).any(|addr| {
+        image
+            .insn(addr)
+            .is_ok_and(|insn| insn.op.branch_target() == Some(head))
+    });
+    if !has_back_edge {
+        v.push(Violation::SeedNotALoopHead { head });
+    }
+    VerifyError::from_violations(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_isa::insn::NOP_SLOT_I;
+    use cobra_isa::{encode, Assembler, LfetchHint};
+
+    /// The minicc shape: hoisted burst (shared scratch base), loop body
+    /// with an in-loop prefetch, back edge, epilogue that *redefines* the
+    /// scratch register before reading it.
+    fn loop_image() -> (CodeImage, CodeAddr, CodeAddr) {
+        let mut a = Assembler::new();
+        a.mov(31, 3); // scratch base ← pointer
+        a.lfetch_nt1(0, 31, 128); // burst line 0 (post-inc shared base)
+        a.lfetch_nt1(0, 31, 128); // burst line 1
+        a.movi(31, 7); // scratch redefined (kills the perturbation)
+        a.mov_to_ec(31); // ... then read by a binding instruction
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        a.ldfd(16, 32, 2, 8);
+        a.lfetch_nt1(16, 27, 8);
+        a.stfd(23, 46, 4, 8);
+        let back = a.br_ctop(top);
+        a.hlt();
+        (a.finish(), head, back)
+    }
+
+    fn lfetch_sites(image: &CodeImage) -> Vec<CodeAddr> {
+        (0..image.len())
+            .filter(|&a| image.insn(a).is_ok_and(|i| i.is_lfetch()))
+            .collect()
+    }
+
+    fn noprefetch_writes(image: &CodeImage) -> Vec<(CodeAddr, u64)> {
+        lfetch_sites(image)
+            .into_iter()
+            .map(|a| (a, encode(&NOP_SLOT_M)))
+            .collect()
+    }
+
+    fn plan<'a>(
+        head: CodeAddr,
+        back: CodeAddr,
+        kind: RewriteKind,
+        writes: &'a [(CodeAddr, u64)],
+        trace: Option<TraceCheck<'a>>,
+    ) -> PlanCheck<'a> {
+        PlanCheck {
+            kind,
+            loop_head: head,
+            back_edge: back,
+            region_start: head.saturating_sub(24),
+            writes,
+            trace,
+        }
+    }
+
+    #[test]
+    fn accepts_inplace_noprefetch() {
+        let (image, head, back) = loop_image();
+        let writes = noprefetch_writes(&image);
+        check_plan(
+            &image,
+            &plan(head, back, RewriteKind::NoPrefetch, &writes, None),
+        )
+        .expect("the real rewrite shape must verify");
+    }
+
+    #[test]
+    fn accepts_inplace_excl_flip() {
+        let (image, head, back) = loop_image();
+        let writes: Vec<(CodeAddr, u64)> = lfetch_sites(&image)
+            .into_iter()
+            .map(|a| {
+                let old = image.insn(a).unwrap();
+                let Op::Lfetch {
+                    base,
+                    post_inc,
+                    hint,
+                    ..
+                } = old.op
+                else {
+                    unreachable!()
+                };
+                (
+                    a,
+                    encode(&Insn::pred(
+                        old.qp,
+                        Op::Lfetch {
+                            base,
+                            post_inc,
+                            hint,
+                            excl: true,
+                        },
+                    )),
+                )
+            })
+            .collect();
+        check_plan(
+            &image,
+            &plan(head, back, RewriteKind::ExclHint, &writes, None),
+        )
+        .expect(".excl flip must verify");
+    }
+
+    #[test]
+    fn rejects_wrong_slot_type() {
+        let (image, head, back) = loop_image();
+        let mut writes = noprefetch_writes(&image);
+        writes[0].1 = encode(&NOP_SLOT_I); // an I-slot nop in an M slot
+        let err = check_plan(
+            &image,
+            &plan(head, back, RewriteKind::NoPrefetch, &writes, None),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WrongSlotType { .. })));
+    }
+
+    #[test]
+    fn rejects_clobbered_non_prefetch() {
+        let (image, head, back) = loop_image();
+        let mut writes = noprefetch_writes(&image);
+        writes[0].0 = head; // head holds a predicated ldfd, not an lfetch
+        let err = check_plan(
+            &image,
+            &plan(head, back, RewriteKind::NoPrefetch, &writes, None),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotALfetchSite { .. })));
+    }
+
+    #[test]
+    fn rejects_write_outside_region() {
+        let (image, head, back) = loop_image();
+        let writes = [(back + 1, encode(&NOP_SLOT_M))]; // the hlt after the loop
+        let err = check_plan(
+            &image,
+            &plan(head, back, RewriteKind::NoPrefetch, &writes, None),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::PatchSiteOutsideLoopRegion { .. })));
+    }
+
+    #[test]
+    fn rejects_excl_that_changes_base() {
+        let (image, head, back) = loop_image();
+        let site = lfetch_sites(&image)[0];
+        let writes = [(
+            site,
+            encode(&Insn::new(Op::Lfetch {
+                base: 9, // not the original base
+                post_inc: 128,
+                hint: LfetchHint::Nt1,
+                excl: true,
+            })),
+        )];
+        let err = check_plan(
+            &image,
+            &plan(head, back, RewriteKind::ExclHint, &writes, None),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotAHintFlip { .. })));
+    }
+
+    /// Removing a post-incrementing lfetch whose base feeds a binding read
+    /// (no redefinition in between) must be rejected...
+    #[test]
+    fn rejects_live_base_register() {
+        let mut a = Assembler::new();
+        a.lfetch_nt1(0, 20, 64); // r20 += 64 — removed by the plan
+        a.mov_to_lc(20); // binding read of r20, no redefinition
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        a.ldfd(16, 32, 2, 8);
+        let back = a.br_cloop(top);
+        a.hlt();
+        let image = a.finish();
+        let writes = [(0, encode(&NOP_SLOT_M))];
+        let err = check_plan(
+            &image,
+            &plan(head, back, RewriteKind::NoPrefetch, &writes, None),
+        )
+        .unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::BaseRegisterLive { base: 20, .. })),
+            "{err}"
+        );
+    }
+
+    /// ... but the minicc idiom — scratch base redefined before its binding
+    /// read — must pass (flow-sensitivity, not a blanket register scan).
+    #[test]
+    fn accepts_redefined_scratch_base() {
+        let (image, head, back) = loop_image();
+        let writes = noprefetch_writes(&image);
+        check_plan(
+            &image,
+            &plan(head, back, RewriteKind::NoPrefetch, &writes, None),
+        )
+        .expect("redefinition kills the perturbed value");
+    }
+
+    fn trace_plan_parts(
+        image: &CodeImage,
+        head: CodeAddr,
+        back: CodeAddr,
+        kind: RewriteKind,
+    ) -> (Vec<Insn>, Vec<(CodeAddr, u64)>, CodeAddr) {
+        let expected_start = bundle_align(image.len());
+        let mut insns = Vec::new();
+        for addr in head..=back {
+            let mut insn = image.insn(addr).unwrap();
+            if insn.is_lfetch() {
+                insn = allowed_rewrite(&insn, kind).unwrap();
+            }
+            if insn.op.branch_target() == Some(head) {
+                insn.op = insn.op.with_branch_target(expected_start).unwrap();
+            }
+            insns.push(insn);
+        }
+        insns.push(Insn::new(Op::BrCond { target: back + 1 }));
+        let mut writes: Vec<(CodeAddr, u64)> = lfetch_sites(image)
+            .into_iter()
+            .filter(|&a| a < head)
+            .map(|a| {
+                let old = image.insn(a).unwrap();
+                (a, encode(&allowed_rewrite(&old, kind).unwrap()))
+            })
+            .collect();
+        writes.push((
+            head,
+            encode(&Insn::new(Op::BrCond {
+                target: expected_start,
+            })),
+        ));
+        (insns, writes, expected_start)
+    }
+
+    #[test]
+    fn accepts_real_trace_plan() {
+        let (image, head, back) = loop_image();
+        let (insns, writes, start) = trace_plan_parts(&image, head, back, RewriteKind::NoPrefetch);
+        check_plan(
+            &image,
+            &plan(
+                head,
+                back,
+                RewriteKind::NoPrefetch,
+                &writes,
+                Some(TraceCheck {
+                    expected_start: start,
+                    insns: &insns,
+                }),
+            ),
+        )
+        .expect("the optimizer's own trace shape must verify");
+    }
+
+    #[test]
+    fn rejects_misaligned_trace() {
+        let (image, head, back) = loop_image();
+        let (insns, writes, start) = trace_plan_parts(&image, head, back, RewriteKind::NoPrefetch);
+        let err = check_plan(
+            &image,
+            &plan(
+                head,
+                back,
+                RewriteKind::NoPrefetch,
+                &writes,
+                Some(TraceCheck {
+                    expected_start: start + 1,
+                    insns: &insns,
+                }),
+            ),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TraceMisaligned { .. })));
+    }
+
+    #[test]
+    fn rejects_escaped_back_edge() {
+        let (image, head, back) = loop_image();
+        let (mut insns, writes, start) =
+            trace_plan_parts(&image, head, back, RewriteKind::NoPrefetch);
+        let idx = (back - head) as usize;
+        insns[idx].op = insns[idx].op.with_branch_target(head).unwrap();
+        let err = check_plan(
+            &image,
+            &plan(
+                head,
+                back,
+                RewriteKind::NoPrefetch,
+                &writes,
+                Some(TraceCheck {
+                    expected_start: start,
+                    insns: &insns,
+                }),
+            ),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TraceBackEdgeEscapes { .. })));
+    }
+
+    #[test]
+    fn rejects_clobbered_body_and_truncated_trace() {
+        let (image, head, back) = loop_image();
+        let (insns, mut writes, start) =
+            trace_plan_parts(&image, head, back, RewriteKind::NoPrefetch);
+        writes.push((head + 1, encode(&NOP_SLOT_M)));
+        let err = check_plan(
+            &image,
+            &plan(
+                head,
+                back,
+                RewriteKind::NoPrefetch,
+                &writes,
+                Some(TraceCheck {
+                    expected_start: start,
+                    insns: &insns,
+                }),
+            ),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OriginalBodyClobbered { .. })));
+
+        let (mut insns, writes, start) =
+            trace_plan_parts(&image, head, back, RewriteKind::NoPrefetch);
+        insns.remove(1);
+        let err = check_plan(
+            &image,
+            &plan(
+                head,
+                back,
+                RewriteKind::NoPrefetch,
+                &writes,
+                Some(TraceCheck {
+                    expected_start: start,
+                    insns: &insns,
+                }),
+            ),
+        )
+        .unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TraceLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn seed_checks_head_range_decode_and_back_edge() {
+        let (image, head, _back) = loop_image();
+        check_seed(&image, head).expect("real head verifies");
+        let err = check_seed(&image, image.main_len() + 7).unwrap_err();
+        assert!(matches!(
+            err.violations[0],
+            Violation::SeedHeadOutOfRange { .. }
+        ));
+        // An address nothing branches back to is not a loop head.
+        let err = check_seed(&image, 0).unwrap_err();
+        assert!(matches!(
+            err.violations[0],
+            Violation::SeedNotALoopHead { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display_is_one_line() {
+        let err = VerifyError {
+            violations: vec![
+                Violation::TraceExitInvalid,
+                Violation::WrongSlotType { addr: 5 },
+            ],
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("2 violation(s):"), "{text}");
+        assert!(!text.contains('\n'));
+    }
+}
