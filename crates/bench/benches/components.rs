@@ -10,7 +10,7 @@ use cobra_isa::insn::{CmpRel, Op};
 use cobra_isa::{decode, encode, Assembler, Insn, LfetchHint};
 use cobra_kernels::workload::Workload;
 use cobra_kernels::{Daxpy, DaxpyParams, PrefetchPolicy};
-use cobra_machine::{AccessKind, CpuStats, Hpm, Machine, MachineConfig, MemSystem};
+use cobra_machine::{AccessKind, CpuStats, HostAccel, Hpm, Machine, MachineConfig, MemSystem};
 use cobra_omp::{OmpRuntime, Team};
 use cobra_rt::{
     select_loops, verify_plan, Cobra, DeployMode, LatencyBands, Optimizer, OptimizerConfig,
@@ -107,7 +107,7 @@ fn bench_memsys_fastpath(c: &mut Criterion) {
     // alongside; the fast path must clear 1.5x before anything is timed by
     // Criterion, and both passes must agree on outcomes and counters.
     let private_hit_pass = |fast: bool, n: u64| {
-        let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+        let cfg = MachineConfig::smp4().with_host_accel(HostAccel::fast().with_mem_fast_path(fast));
         let mut ms = MemSystem::new(&cfg);
         let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
         let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
@@ -148,7 +148,8 @@ fn bench_memsys_fastpath(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/memsys/private_hit_load");
     for (variant, fast) in [("reference", false), ("fast_path", true)] {
         g.bench_function(BenchmarkId::from_parameter(variant), |b| {
-            let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+            let cfg =
+                MachineConfig::smp4().with_host_accel(HostAccel::fast().with_mem_fast_path(fast));
             let mut ms = MemSystem::new(&cfg);
             let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
             let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
@@ -166,7 +167,7 @@ fn bench_memsys_fastpath(c: &mut Criterion) {
     // hold the line, so the presence vector lets the fast path skip the
     // O(num_cpus) snoop loops that the reference walks on every miss.
     let snoop_miss_pass = |fast: bool, n: u64| {
-        let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+        let cfg = MachineConfig::smp4().with_host_accel(HostAccel::fast().with_mem_fast_path(fast));
         let mut ms = MemSystem::new(&cfg);
         let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
         let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
@@ -206,7 +207,8 @@ fn bench_memsys_fastpath(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/memsys/snoop_miss_load");
     for (variant, fast) in [("reference", false), ("fast_path", true)] {
         g.bench_function(BenchmarkId::from_parameter(variant), |b| {
-            let cfg = MachineConfig::smp4().with_mem_fast_path(fast);
+            let cfg =
+                MachineConfig::smp4().with_host_accel(HostAccel::fast().with_mem_fast_path(fast));
             let mut ms = MemSystem::new(&cfg);
             let mut stats: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
             let mut hpm: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();
@@ -284,9 +286,11 @@ fn bench_machine_stepping(c: &mut Criterion) {
         a.finish()
     };
     let run_stall_heavy = |stall_skip: bool, mem_fast_path: bool| {
-        let cfg = MachineConfig::smp4()
-            .with_stall_skip(stall_skip)
-            .with_mem_fast_path(mem_fast_path);
+        let cfg = MachineConfig::smp4().with_host_accel(
+            HostAccel::fast()
+                .with_stall_skip(stall_skip)
+                .with_mem_fast_path(mem_fast_path),
+        );
         let mut m = Machine::new(cfg, stall_image.clone());
         for cpu in 0..4 {
             m.spawn_thread(cpu, 0, &[]);
@@ -367,6 +371,58 @@ fn decision_inputs() -> (cobra_isa::CodeImage, SystemProfile) {
     }
     profile.absorb(&delta);
     (image, profile)
+}
+
+/// Pre-decoded block dispatch: the solo-core fast path must clear 1.5x over
+/// the per-cycle reference stepper (it targets ~5x) on the arithmetic-loop
+/// fixture, and the two runs must be bit-identical — cycle count, every
+/// event counter, and the architectural registers the loop touches.
+fn bench_block_dispatch(c: &mut Criterion) {
+    let image = arith_loop_image();
+    const CYCLES: u64 = 2_000_000;
+    let dispatch_pass = |block: bool| {
+        let cfg =
+            MachineConfig::smp4().with_host_accel(HostAccel::fast().with_block_dispatch(block));
+        let mut m = Machine::new(cfg, image.clone());
+        m.spawn_thread(0, 0, &[]);
+        let t0 = std::time::Instant::now();
+        m.run_quantum(CYCLES);
+        let elapsed = t0.elapsed();
+        let core = m.core(0);
+        let state = (m.cycle(), m.total_stats(), core.pc, core.gr(5), core.gr(6));
+        (elapsed, state)
+    };
+    let (ref_elapsed, ref_state) = (0..3)
+        .map(|_| dispatch_pass(false))
+        .min_by_key(|(d, _)| *d)
+        .unwrap();
+    let (blk_elapsed, blk_state) = (0..3)
+        .map(|_| dispatch_pass(true))
+        .min_by_key(|(d, _)| *d)
+        .unwrap();
+    assert_eq!(
+        ref_state, blk_state,
+        "block dispatch must be bit-identical to the per-cycle reference"
+    );
+    let ratio = ref_elapsed.as_secs_f64() / blk_elapsed.as_secs_f64();
+    assert!(
+        ratio >= 1.5,
+        "block dispatch must be >= 1.5x the per-cycle reference, got {ratio:.2}x          ({ref_elapsed:?} reference vs {blk_elapsed:?} block)"
+    );
+    eprintln!("block dispatch: {ratio:.2}x ({ref_elapsed:?} per-cycle vs {blk_elapsed:?} block)");
+    bench_metric(
+        c,
+        "components/machine",
+        BenchmarkId::new("block_dispatch_speedup", "x1000"),
+        (ratio * 1000.0) as u64,
+    );
+    let mut g = c.benchmark_group("components/machine/block_dispatch_2m_cycles");
+    for (variant, block) in [("per_cycle", false), ("block_dispatch", true)] {
+        g.bench_function(BenchmarkId::from_parameter(variant), |b| {
+            b.iter(|| dispatch_pass(criterion::black_box(block)))
+        });
+    }
+    g.finish();
 }
 
 fn bench_cobra_decision(c: &mut Criterion) {
@@ -577,6 +633,7 @@ criterion_group!(
     bench_memsys,
     bench_memsys_fastpath,
     bench_machine_stepping,
+    bench_block_dispatch,
     bench_cobra_decision,
     bench_verify_overhead,
     bench_telemetry

@@ -298,14 +298,6 @@ impl Cobra {
         CobraBuilder::default()
     }
 
-    /// Attach with an explicit configuration and no telemetry.
-    #[deprecated(
-        note = "use `Cobra::builder()` (optionally `.config(cfg)`) and `.attach(machine)`"
-    )]
-    pub fn attach(cfg: CobraConfig, machine: &mut Machine) -> Self {
-        Cobra::builder().config(cfg).attach(machine)
-    }
-
     fn emit(&self, event: TelemetryEvent) {
         if let Some(e) = &self.emitter {
             e.emit(event);
@@ -392,6 +384,10 @@ impl Cobra {
     /// Detach: stop sampling, shut down helper threads, return the report.
     pub fn detach(mut self, machine: &mut Machine) -> CobraReport {
         self.report.guest_faults = machine.total_stats().get(cobra_machine::Event::GuestFaults);
+        let blocks = machine.block_stats();
+        self.report.block_builds = blocks.builds;
+        self.report.block_invalidations = blocks.invalidations;
+        self.report.block_fallback_cycles = blocks.fallback_cycles;
         self.driver.detach(machine);
         for m in self.monitors.iter_mut().flatten() {
             let _ = m.tx.send(ToMonitor::Shutdown);
@@ -540,7 +536,7 @@ impl QuantumHook for Cobra {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cobra_machine::MachineConfig;
+    use cobra_machine::{HostAccel, MachineConfig};
     use cobra_omp::OmpRuntime;
 
     /// Attach/detach lifecycle on an idle machine.
@@ -592,20 +588,6 @@ mod tests {
 
     /// The deprecated entry point still attaches and behaves like the
     /// builder.
-    #[test]
-    fn legacy_attach_still_works() {
-        let image = {
-            let mut a = cobra_isa::Assembler::new();
-            a.hlt();
-            a.finish()
-        };
-        let mut m = Machine::new(MachineConfig::smp4(), image);
-        #[allow(deprecated)]
-        let cobra = Cobra::attach(CobraConfig::default(), &mut m);
-        let report = cobra.detach(&mut m);
-        assert_eq!(report.ticks, 0);
-    }
-
     /// Telemetry on a quiet program: quantum events with counter snapshots
     /// flow into a memory sink, and the report counts them.
     #[test]
@@ -671,7 +653,11 @@ mod tests {
                 a.hlt();
                 a.finish()
             };
-            let mut m = Machine::new(MachineConfig::smp4().with_stall_skip(stall_skip), image);
+            let mut m = Machine::new(
+                MachineConfig::smp4()
+                    .with_host_accel(HostAccel::fast().with_stall_skip(stall_skip)),
+                image,
+            );
             let mut cobra = Cobra::builder().attach(&mut m);
             let rt = OmpRuntime {
                 quantum: 1000,

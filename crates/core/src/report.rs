@@ -92,6 +92,15 @@ pub struct CobraReport {
     /// Records in the snapshot saved at detach (0 when no store configured).
     #[serde(default)]
     pub store_saved_records: u64,
+    /// Pre-decoded basic blocks lowered by the dispatch engine.
+    #[serde(default)]
+    pub block_builds: u64,
+    /// Block-cache invalidation rounds forced by patch/revert/append.
+    #[serde(default)]
+    pub block_invalidations: u64,
+    /// Cycles that fell out of block mode back to the reference stepper.
+    #[serde(default)]
+    pub block_fallback_cycles: u64,
 }
 
 impl CobraReport {
@@ -175,6 +184,7 @@ mod tests {
                     && !k.starts_with("store_")
                     && k != "undecodable_loops"
                     && k != "verify_rejects"
+                    && !k.starts_with("block_")
             });
         } else {
             panic!("report serializes to an object");
@@ -186,5 +196,7 @@ mod tests {
         assert!(!r.warm_started);
         assert_eq!(r.warm_hits, 0);
         assert_eq!(r.store_skipped_records, 0);
+        assert_eq!(r.block_builds, 0);
+        assert_eq!(r.block_fallback_cycles, 0);
     }
 }

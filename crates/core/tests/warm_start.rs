@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cobra_kernels::workload::Workload;
 use cobra_kernels::{Daxpy, DaxpyParams, PrefetchPolicy};
-use cobra_machine::MachineConfig;
+use cobra_machine::{HostAccel, MachineConfig};
 use cobra_omp::{OmpRuntime, Team};
 use cobra_rt::{Cobra, CobraReport, DeployMode, Strategy, TelemetryEvent, TelemetrySink};
 
@@ -134,15 +134,20 @@ fn warm_start_round_trip_converges_earlier_to_same_deployments() {
 
 #[test]
 fn host_fast_path_toggles_do_not_orphan_snapshots() {
-    // stall_skip / mem_fast_path change host simulation speed, not guest
-    // behaviour — a snapshot saved with them on must warm a run with them
-    // off (the machine fingerprint masks both).
+    // The host_accel group changes host simulation speed, not guest
+    // behaviour — a snapshot saved with it fast must warm a run with it
+    // in full reference mode (the machine fingerprint masks the group).
     let store = tmp_store();
     let wl = workload();
-    let (cold, _) = run(&wl, &MachineConfig::smp4().with_stall_skip(true), &store);
+    let fast = MachineConfig::smp4().with_host_accel(HostAccel::fast());
+    let (cold, _) = run(&wl, &fast, &store);
     assert!(!cold.warm_started);
-    let (warm, _) = run(&wl, &MachineConfig::smp4().with_stall_skip(false), &store);
-    assert!(warm.warm_started, "fast-path flags must not change the key");
+    let reference = MachineConfig::smp4().with_host_accel(HostAccel::reference());
+    let (warm, _) = run(&wl, &reference, &store);
+    assert!(
+        warm.warm_started,
+        "host-accel flags must not change the key"
+    );
 }
 
 #[test]

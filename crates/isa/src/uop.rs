@@ -1,0 +1,338 @@
+//! Pre-decoded micro-ops: the flat, execute-ready form of an [`Insn`].
+//!
+//! The per-cycle interpreter re-derives two facts about every instruction on
+//! every fetch: which registers it reads (one big `match` to consult the
+//! stall-on-use scoreboard) and whether it can touch the memory system or
+//! transfer control. A [`MicroOp`] computes both once, at block-build time,
+//! so the hot loop degenerates to a table walk: read the pre-resolved source
+//! list, compare scoreboard entries, execute. The block dispatch engine in
+//! `cobra-machine` lowers every instruction of a basic block into this form
+//! and caches the result keyed by the block's entry address.
+//!
+//! The lowering is *purely* a re-arrangement of information already present
+//! in the [`Insn`]: it must enumerate exactly the source registers the
+//! reference interpreter's readiness check consults, no more and no fewer,
+//! or the two paths would stall on different cycles and diverge. The
+//! `block_dispatch_equivalence` suite in `cobra-machine` property-tests that
+//! invariant end to end.
+
+use crate::insn::{Insn, Op};
+
+/// One source register reference, pre-resolved from the operand fields.
+/// Register numbers are *virtual*; the core still maps them through the
+/// rotating-register bases at execution time (rotation is runtime state and
+/// cannot be baked in at lowering time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcReg {
+    /// General register read (integer scoreboard).
+    Gr(u8),
+    /// Floating-point register read (FP scoreboard).
+    Fr(u8),
+}
+
+/// Maximum number of explicit source registers any [`Op`] reads (the
+/// three-input `fma.d`/`fms.d` and `cmpxchg8`).
+pub const MAX_SRCS: usize = 3;
+
+/// Dispatch class of a micro-op: the handful of simple integer and branch
+/// shapes the block engine executes through one specialized arm each, with
+/// operands pre-extracted into the flat [`MicroOp`] fields. Everything else
+/// is [`OpClass::Other`] and goes through the full interpreter arm. The
+/// specialized arms must be semantically byte-identical to the interpreter
+/// (property-tested by `block_dispatch_equivalence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpClass {
+    /// `add d = a, b` (wrapping).
+    Add,
+    /// `sub d = a, b` (wrapping).
+    Sub,
+    /// `adds d = imm, a` (wrapping; immediate pre-widened to i64).
+    AddI,
+    /// `movl d = imm`.
+    MovI,
+    /// `nop` on any unit: consumes the slot, no effects either way.
+    Nop,
+    /// `br.cloop target` (target pre-widened into `imm`; ignores qp).
+    BrCloop,
+    /// Full interpreter dispatch.
+    Other,
+}
+
+/// A pre-decoded instruction: the instruction itself plus everything the
+/// dispatch loop needs without re-matching on the opcode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroOp {
+    /// The decoded instruction (executed exactly as the reference path would).
+    pub insn: Insn,
+    /// Explicit source registers; only the first [`Self::nsrcs`] are valid.
+    /// The qualifying predicate is *not* listed — every instruction reads it
+    /// and the dispatch loop checks it unconditionally.
+    pub srcs: [SrcReg; MAX_SRCS],
+    /// Number of valid entries in [`Self::srcs`].
+    pub nsrcs: u8,
+    flags: u8,
+    /// Dispatch class; operands of specialized classes are pre-extracted
+    /// into [`Self::d`], [`Self::a`], [`Self::b`] and [`Self::imm`].
+    pub class: OpClass,
+    /// Destination register of the specialized classes.
+    pub d: u8,
+    /// First general-register source of the specialized classes.
+    pub a: u8,
+    /// Second general-register source of the specialized classes.
+    pub b: u8,
+    /// Immediate operand (or branch target) of the specialized classes,
+    /// pre-widened to i64.
+    pub imm: i64,
+}
+
+/// Flag: the op may access the coherent memory system (loads, stores,
+/// prefetches, atomics) and therefore accrue snoop-stall penalties on other
+/// CPUs. `hlt` only *queries* the store buffer, it performs no access.
+const F_MEM: u8 = 1 << 0;
+/// Flag: the op can transfer control or end the thread (all branch flavours
+/// and `hlt`) — it terminates a basic block.
+const F_BLOCK_END: u8 = 1 << 1;
+
+impl MicroOp {
+    /// Lower one instruction. Infallible: every decodable [`Insn`] has a
+    /// micro-op form.
+    pub fn lower(insn: Insn) -> MicroOp {
+        use Op::*;
+        let mut srcs = [SrcReg::Gr(0); MAX_SRCS];
+        let mut n = 0usize;
+        let mut flags = 0u8;
+        {
+            let mut push = |s: SrcReg| {
+                srcs[n] = s;
+                n += 1;
+            };
+            match insn.op {
+                Ld8 { base, .. } | Ldfd { base, .. } | Lfetch { base, .. } => {
+                    push(SrcReg::Gr(base));
+                    flags |= F_MEM;
+                }
+                St8 { src, base, .. } => {
+                    push(SrcReg::Gr(src));
+                    push(SrcReg::Gr(base));
+                    flags |= F_MEM;
+                }
+                Stfd { src, base, .. } => {
+                    push(SrcReg::Fr(src));
+                    push(SrcReg::Gr(base));
+                    flags |= F_MEM;
+                }
+                FetchAdd8 { base, .. } => {
+                    push(SrcReg::Gr(base));
+                    flags |= F_MEM;
+                }
+                Cmpxchg8 { base, new, cmp, .. } => {
+                    push(SrcReg::Gr(base));
+                    push(SrcReg::Gr(new));
+                    push(SrcReg::Gr(cmp));
+                    flags |= F_MEM;
+                }
+                FmaD { f1, f2, f3, .. } | FmsD { f1, f2, f3, .. } => {
+                    push(SrcReg::Fr(f1));
+                    push(SrcReg::Fr(f2));
+                    push(SrcReg::Fr(f3));
+                }
+                FaddD { f1, f2, .. }
+                | FsubD { f1, f2, .. }
+                | FmulD { f1, f2, .. }
+                | FdivD { f1, f2, .. }
+                | FcmpD { f1, f2, .. } => {
+                    push(SrcReg::Fr(f1));
+                    push(SrcReg::Fr(f2));
+                }
+                FsqrtD { f1, .. } | FabsD { f1, .. } | FnegD { f1, .. } => {
+                    push(SrcReg::Fr(f1));
+                }
+                SetfD { src, .. } | SetfSig { src, .. } => push(SrcReg::Gr(src)),
+                GetfD { src, .. }
+                | GetfSig { src, .. }
+                | FcvtXf { src, .. }
+                | FcvtFxTrunc { src, .. } => push(SrcReg::Fr(src)),
+                Add { r2, r3, .. }
+                | Sub { r2, r3, .. }
+                | Mul { r2, r3, .. }
+                | And { r2, r3, .. }
+                | Or { r2, r3, .. }
+                | Xor { r2, r3, .. }
+                | Cmp { r2, r3, .. } => {
+                    push(SrcReg::Gr(r2));
+                    push(SrcReg::Gr(r3));
+                }
+                AddI { src, .. }
+                | AndI { src, .. }
+                | ShlI { src, .. }
+                | ShrI { src, .. }
+                | SarI { src, .. } => push(SrcReg::Gr(src)),
+                CmpI { r3, .. } => push(SrcReg::Gr(r3)),
+                MovToLc { src } | MovToEc { src } | MovToB0 { src } => push(SrcReg::Gr(src)),
+                MovI { .. }
+                | MovFromLc { .. }
+                | MovFromEc { .. }
+                | MovFromB0 { .. }
+                | Clrrrb
+                | Nop { .. } => {}
+                BrCond { .. }
+                | BrCtop { .. }
+                | BrCloop { .. }
+                | BrWtop { .. }
+                | BrCall { .. }
+                | BrRet
+                | Hlt => {
+                    flags |= F_BLOCK_END;
+                }
+            }
+        }
+        let (class, d, a, b, imm) = match insn.op {
+            Add { dest, r2, r3 } => (OpClass::Add, dest, r2, r3, 0),
+            Sub { dest, r2, r3 } => (OpClass::Sub, dest, r2, r3, 0),
+            AddI { dest, src, imm } => (OpClass::AddI, dest, src, 0, imm as i64),
+            MovI { dest, imm } => (OpClass::MovI, dest, 0, 0, imm),
+            Nop { .. } => (OpClass::Nop, 0, 0, 0, 0),
+            BrCloop { target } => (OpClass::BrCloop, 0, 0, 0, target as i64),
+            _ => (OpClass::Other, 0, 0, 0, 0),
+        };
+        MicroOp {
+            insn,
+            srcs,
+            nsrcs: n as u8,
+            flags,
+            class,
+            d,
+            a,
+            b,
+            imm,
+        }
+    }
+
+    /// The valid prefix of the source list.
+    #[inline]
+    pub fn sources(&self) -> &[SrcReg] {
+        &self.srcs[..self.nsrcs as usize]
+    }
+
+    /// May this op access the coherent memory system?
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.flags & F_MEM != 0
+    }
+
+    /// Does this op terminate a basic block (branch or `hlt`)?
+    #[inline]
+    pub fn ends_block(&self) -> bool {
+        self.flags & F_BLOCK_END != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::CmpRel;
+
+    #[test]
+    fn memory_ops_carry_the_mem_flag_and_base_sources() {
+        let u = MicroOp::lower(Insn::new(Op::Ld8 {
+            dest: 7,
+            base: 4,
+            post_inc: 8,
+            bias: false,
+        }));
+        assert!(u.is_mem());
+        assert!(!u.ends_block());
+        assert_eq!(u.sources(), &[SrcReg::Gr(4)]);
+
+        let u = MicroOp::lower(Insn::new(Op::Stfd {
+            src: 6,
+            base: 5,
+            post_inc: 0,
+        }));
+        assert!(u.is_mem());
+        assert_eq!(u.sources(), &[SrcReg::Fr(6), SrcReg::Gr(5)]);
+
+        let u = MicroOp::lower(Insn::new(Op::Cmpxchg8 {
+            dest: 7,
+            base: 4,
+            new: 5,
+            cmp: 6,
+        }));
+        assert_eq!(u.sources(), &[SrcReg::Gr(4), SrcReg::Gr(5), SrcReg::Gr(6)]);
+    }
+
+    #[test]
+    fn fp_ops_list_fp_sources() {
+        let u = MicroOp::lower(Insn::new(Op::FmaD {
+            dest: 9,
+            f1: 6,
+            f2: 7,
+            f3: 8,
+        }));
+        assert!(!u.is_mem());
+        assert_eq!(u.sources(), &[SrcReg::Fr(6), SrcReg::Fr(7), SrcReg::Fr(8)]);
+    }
+
+    #[test]
+    fn branches_and_hlt_end_blocks_without_explicit_sources() {
+        for op in [
+            Op::BrCond { target: 3 },
+            Op::BrCtop { target: 3 },
+            Op::BrCloop { target: 3 },
+            Op::BrWtop { target: 3 },
+            Op::BrCall { target: 3 },
+            Op::BrRet,
+            Op::Hlt,
+        ] {
+            let u = MicroOp::lower(Insn::new(op));
+            assert!(u.ends_block(), "{op:?} must end a block");
+            assert!(u.sources().is_empty());
+            assert!(!u.is_mem());
+        }
+        // Straight-line ops do not end blocks.
+        let u = MicroOp::lower(Insn::new(Op::CmpI {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Lt,
+            imm: 3,
+            r3: 4,
+        }));
+        assert!(!u.ends_block());
+        assert_eq!(u.sources(), &[SrcReg::Gr(4)]);
+    }
+
+    #[test]
+    fn specialized_classes_pre_extract_their_operands() {
+        let u = MicroOp::lower(Insn::new(Op::AddI {
+            dest: 5,
+            src: 6,
+            imm: -3,
+        }));
+        assert_eq!((u.class, u.d, u.a, u.imm), (OpClass::AddI, 5, 6, -3));
+
+        let u = MicroOp::lower(Insn::new(Op::Add {
+            dest: 7,
+            r2: 8,
+            r3: 9,
+        }));
+        assert_eq!((u.class, u.d, u.a, u.b), (OpClass::Add, 7, 8, 9));
+
+        let u = MicroOp::lower(Insn::new(Op::MovI {
+            dest: 4,
+            imm: 1 << 40,
+        }));
+        assert_eq!((u.class, u.d, u.imm), (OpClass::MovI, 4, 1 << 40));
+
+        let u = MicroOp::lower(Insn::new(Op::BrCloop { target: 12 }));
+        assert_eq!((u.class, u.imm), (OpClass::BrCloop, 12));
+
+        // Anything with its own interpreter-side complexity stays generic.
+        let u = MicroOp::lower(Insn::new(Op::Mul {
+            dest: 3,
+            r2: 4,
+            r3: 5,
+        }));
+        assert_eq!(u.class, OpClass::Other);
+    }
+}

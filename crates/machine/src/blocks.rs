@@ -1,0 +1,440 @@
+//! Per-generation basic-block cache for the block dispatch engine.
+//!
+//! The decoded shadow in [`crate::machine::ProgramCode`] already avoids
+//! re-*decoding* instruction words, but the per-cycle interpreter still
+//! re-derives the source-register set of every instruction on every fetch.
+//! This module extends the shadow one level further: straight-line runs of
+//! instructions are lowered once into flat [`MicroOp`] tables (basic blocks,
+//! keyed by entry address, cut at branches/`ret`/`hlt` and at the image end)
+//! and cached until the code they cover is patched.
+//!
+//! ## Invalidation contract
+//!
+//! The cache tracks two generation counters:
+//!
+//! * [`ProgramCode::generation`] counts every mutation of the program text
+//!   (patch, trace append, revert). When the cache notices a generation it
+//!   has not seen — code was mutated without going through the precise
+//!   [`Machine`](crate::Machine) hooks — it drops *everything*. Correctness
+//!   never depends on callers remembering to invalidate.
+//! * [`BlockCache::generation`] counts cache-content changes. Cores hold an
+//!   `Arc` cursor to the block they are executing and revalidate it against
+//!   this counter; any invalidation bumps it, forcing a re-lookup. The
+//!   invariant: a cursor whose generation matches the cache's is a block
+//!   that is present in the cache and reflects the current program text.
+//!
+//! The precise hooks ([`note_patch`](BlockCache::note_patch),
+//! [`note_append`](BlockCache::note_append)) drop only the blocks actually
+//! affected: a patch kills the blocks whose address range contains the
+//! patched slot; an append kills only blocks that were cut short by the old
+//! image end (their fall-through successor just came into existence).
+//! Everything else — in particular the hot loop bodies an optimizer is *not*
+//! currently rewriting — stays cached across deployments and reverts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cobra_isa::uop::MicroOp;
+use cobra_isa::CodeAddr;
+
+use crate::machine::ProgramCode;
+
+/// Upper bound on block length in slots. Straight-line runs longer than this
+/// are split into consecutive blocks; the cap bounds build latency and keeps
+/// a patch's invalidation footprint small.
+pub const MAX_BLOCK_SLOTS: usize = 64;
+
+/// One lowered basic block: `uops[k]` is the micro-op at `start + k`.
+#[derive(Debug)]
+pub struct Block {
+    /// Entry slot address.
+    pub start: CodeAddr,
+    /// Lowered instructions, entry first. Non-empty; the last entry is a
+    /// block terminator unless the block was cut by [`MAX_BLOCK_SLOTS`] or
+    /// the image end.
+    pub uops: Box<[MicroOp]>,
+}
+
+impl Block {
+    /// Slot address one past the last instruction of the block.
+    #[inline]
+    pub fn end(&self) -> CodeAddr {
+        self.start + self.uops.len() as CodeAddr
+    }
+
+    /// Micro-op at slot `addr`, if this block covers it.
+    #[inline]
+    pub fn uop_at(&self, addr: CodeAddr) -> Option<&MicroOp> {
+        if addr >= self.start {
+            self.uops.get((addr - self.start) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+/// Telemetry counters of one [`BlockCache`] (surfaced in `CobraReport`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Blocks lowered (cache misses).
+    pub builds: u64,
+    /// Cached blocks dropped by patches/appends/reverts.
+    pub invalidations: u64,
+    /// Machine cycles executed via the per-cycle fallback while block
+    /// dispatch was enabled (HPM sampling programmed, more than one core
+    /// running, or a stalled core burning a cycle with stall-skip off).
+    pub fallback_cycles: u64,
+}
+
+/// The block cache shared by all cores of a machine.
+#[derive(Debug)]
+pub struct BlockCache {
+    map: HashMap<CodeAddr, Arc<Block>>,
+    generation: u64,
+    code_generation: u64,
+    stats: BlockStats,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockCache {
+    pub fn new() -> Self {
+        BlockCache {
+            map: HashMap::new(),
+            generation: 0,
+            code_generation: 0,
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// Cache-content generation; bumped on every invalidation. Cursor
+    /// holders revalidate against this.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Does the cache reflect the current program text? False only when the
+    /// code was mutated behind the [`crate::Machine`] hooks; the next
+    /// [`Self::get_or_build`] then drops everything.
+    #[inline]
+    pub fn is_current(&self, code: &ProgramCode) -> bool {
+        self.code_generation == code.generation()
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> BlockStats {
+        self.stats
+    }
+
+    /// Number of cached blocks (test/introspection aid).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Is a block with this entry address cached? (test/introspection aid)
+    pub fn contains_entry(&self, entry: CodeAddr) -> bool {
+        self.map.contains_key(&entry)
+    }
+
+    /// Count one machine cycle executed via the per-cycle fallback.
+    #[inline]
+    pub fn note_fallback(&mut self) {
+        self.stats.fallback_cycles += 1;
+    }
+
+    /// The block starting at `entry`, building and caching it on a miss.
+    pub fn get_or_build(&mut self, code: &ProgramCode, entry: CodeAddr) -> Arc<Block> {
+        if !self.is_current(code) {
+            // Code was mutated without a precise hook: drop everything.
+            self.invalidate_all();
+            self.code_generation = code.generation();
+        }
+        if let Some(b) = self.map.get(&entry) {
+            return Arc::clone(b);
+        }
+        let block = Arc::new(Self::build(code, entry));
+        self.stats.builds += 1;
+        self.map.insert(entry, Arc::clone(&block));
+        block
+    }
+
+    fn build(code: &ProgramCode, entry: CodeAddr) -> Block {
+        let len = code.len();
+        assert!(
+            entry < len,
+            "block entry {entry} outside program image (len {len})"
+        );
+        let mut uops = Vec::new();
+        let mut addr = entry;
+        while addr < len && uops.len() < MAX_BLOCK_SLOTS {
+            let u = MicroOp::lower(code.insn(addr));
+            let ends = u.ends_block();
+            uops.push(u);
+            addr += 1;
+            if ends {
+                break;
+            }
+        }
+        Block {
+            start: entry,
+            uops: uops.into_boxed_slice(),
+        }
+    }
+
+    /// Precise invalidation after a single-slot patch at `addr`: drop every
+    /// block whose range covers the slot. `code_generation` is the program
+    /// text generation *after* the patch.
+    pub fn note_patch(&mut self, addr: CodeAddr, code_generation: u64) {
+        self.retain(|b| !(b.start <= addr && addr < b.end()));
+        self.code_generation = code_generation;
+    }
+
+    /// Precise invalidation after a trace append that grew the image from
+    /// `old_len` slots: only blocks that were cut short *by the old image
+    /// end* (they end there without a terminator) see new fall-through code
+    /// and must be rebuilt. Everything else is untouched.
+    pub fn note_append(&mut self, old_len: CodeAddr, code_generation: u64) {
+        self.retain(|b| b.end() != old_len || b.uops.last().is_some_and(|u| u.ends_block()));
+        self.code_generation = code_generation;
+    }
+
+    /// Drop every cached block.
+    pub fn invalidate_all(&mut self) {
+        let dropped = self.map.len();
+        if dropped > 0 {
+            self.map.clear();
+            self.stats.invalidations += dropped as u64;
+            self.generation += 1;
+        }
+    }
+
+    fn retain(&mut self, keep: impl Fn(&Block) -> bool) {
+        let before = self.map.len();
+        self.map.retain(|_, b| keep(b));
+        let dropped = before - self.map.len();
+        if dropped > 0 {
+            self.stats.invalidations += dropped as u64;
+            self.generation += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_isa::insn::{Insn, Op};
+    use cobra_isa::Assembler;
+
+    fn code_with(asm: impl FnOnce(&mut Assembler)) -> ProgramCode {
+        let mut a = Assembler::new();
+        asm(&mut a);
+        ProgramCode::new(a.finish())
+    }
+
+    /// A loop program: blocks must be cut exactly at the back edge.
+    fn loop_code() -> ProgramCode {
+        code_with(|a| {
+            a.movi(5, 10);
+            a.mov_to_lc(5);
+            let top = a.new_label();
+            a.bind(top);
+            a.addi(6, 6, 1);
+            a.addi(7, 7, 2);
+            a.br_cloop(top);
+            a.hlt();
+        })
+    }
+
+    #[test]
+    fn blocks_cut_at_branches_and_hlt() {
+        let code = loop_code();
+        let mut cache = BlockCache::new();
+        let head = cache.get_or_build(&code, 0);
+        // The entry block runs up to and including the br.cloop back edge.
+        let last = head.uops.last().unwrap();
+        assert!(last.ends_block());
+        assert!(matches!(last.insn.op, Op::BrCloop { .. }));
+        // Every uop matches the decoded shadow at its address.
+        for (k, u) in head.uops.iter().enumerate() {
+            assert_eq!(u.insn, code.insn(head.start + k as CodeAddr));
+        }
+        assert_eq!(cache.stats().builds, 1);
+        // A second lookup is a hit, not a rebuild.
+        let again = cache.get_or_build(&code, 0);
+        assert!(Arc::ptr_eq(&head, &again));
+        assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn long_straight_line_runs_split_at_the_cap() {
+        let code = code_with(|a| {
+            for _ in 0..(MAX_BLOCK_SLOTS + 10) {
+                a.addi(6, 6, 1);
+            }
+            a.hlt();
+        });
+        let mut cache = BlockCache::new();
+        let b = cache.get_or_build(&code, 0);
+        assert_eq!(b.uops.len(), MAX_BLOCK_SLOTS);
+        assert!(!b.uops.last().unwrap().ends_block());
+        let next = cache.get_or_build(&code, b.end());
+        assert_eq!(next.start, b.end());
+    }
+
+    /// Patch at the head, interior, and back edge of a cached block: each
+    /// must drop exactly the blocks covering the patched slot.
+    #[test]
+    fn patch_invalidates_precisely_at_head_interior_and_back_edge() {
+        for probe in ["head", "interior", "back_edge"] {
+            let mut code = loop_code();
+            let mut cache = BlockCache::new();
+            let head = cache.get_or_build(&code, 0);
+            // A second, disjoint block: the hlt after the loop.
+            let tail_entry = head.end();
+            let tail = cache.get_or_build(&code, tail_entry);
+            assert!(matches!(tail.uops.last().unwrap().insn.op, Op::Hlt));
+            assert_eq!(cache.len(), 2);
+            let gen = cache.generation();
+
+            let addr = match probe {
+                "head" => head.start,
+                "interior" => head.start + 1,
+                _ => head.end() - 1, // the br.cloop slot
+            };
+            code.patch(
+                addr,
+                &Insn::new(Op::Nop {
+                    unit: code.insn(addr).unit(),
+                }),
+            )
+            .unwrap();
+            cache.note_patch(addr, code.generation());
+
+            assert!(
+                !cache.contains_entry(0),
+                "{probe}: block covering the patch must drop"
+            );
+            assert!(
+                cache.contains_entry(tail_entry),
+                "{probe}: disjoint block must survive"
+            );
+            assert_eq!(cache.len(), 1);
+            assert!(cache.generation() > gen, "{probe}: cursors must revalidate");
+            assert_eq!(cache.stats().invalidations, 1);
+            assert!(cache.is_current(&code));
+
+            // The rebuilt block reflects the patched text.
+            let rebuilt = cache.get_or_build(&code, 0);
+            assert_eq!(
+                rebuilt.uop_at(addr).unwrap().insn,
+                code.insn(addr),
+                "{probe}: rebuild sees the patch"
+            );
+        }
+    }
+
+    #[test]
+    fn patch_outside_any_block_keeps_cache_and_cursors() {
+        let mut code = loop_code();
+        let mut cache = BlockCache::new();
+        let head = cache.get_or_build(&code, 0);
+        let gen = cache.generation();
+        // Patch the hlt *after* the cached block.
+        let addr = head.end();
+        let word_unit = code.insn(addr).unit();
+        code.patch(addr, &Insn::new(Op::Nop { unit: word_unit }))
+            .unwrap();
+        cache.note_patch(addr, code.generation());
+        assert!(cache.contains_entry(0));
+        assert_eq!(
+            cache.generation(),
+            gen,
+            "no invalidation, cursors stay valid"
+        );
+        assert_eq!(cache.stats().invalidations, 0);
+        assert!(cache.is_current(&code));
+    }
+
+    #[test]
+    fn append_invalidates_only_blocks_cut_by_the_old_image_end() {
+        let mut code = loop_code();
+        let mut cache = BlockCache::new();
+        let head = cache.get_or_build(&code, 0);
+        // The trailing hlt block ends with a terminator — append must keep
+        // it. Build one more block that is genuinely cut by the image end:
+        // none exists here (hlt terminates), so the head block stands in as
+        // the survivor check.
+        let tail = cache.get_or_build(&code, head.end());
+        assert!(tail.uops.last().unwrap().ends_block());
+        let old_len = code.len();
+        let entry =
+            code.append_trace(&[Insn::new(Op::MovI { dest: 4, imm: 7 }), Insn::new(Op::Hlt)]);
+        cache.note_append(old_len, code.generation());
+        assert_eq!(cache.len(), 2, "terminator-ended blocks survive appends");
+        assert!(cache.is_current(&code));
+        let t = cache.get_or_build(&code, entry);
+        assert!(matches!(t.uops[0].insn.op, Op::MovI { .. }));
+    }
+
+    /// A block genuinely cut by the image end (no trailing terminator) must
+    /// be dropped by an append so its new fall-through code is seen.
+    #[test]
+    fn append_drops_blocks_ending_at_the_old_image_end_without_terminator() {
+        // `Assembler::finish` pads to a bundle boundary with nops, so a
+        // trace entry built from raw appends gives us terminator-free text:
+        // append a first trace whose tail is straight-line.
+        let mut code = code_with(|a| {
+            a.hlt();
+        });
+        let entry = code.append_trace(&[Insn::new(Op::MovI { dest: 4, imm: 1 })]);
+        let mut cache = BlockCache::new();
+        let b = cache.get_or_build(&code, entry);
+        assert!(
+            !b.uops.last().unwrap().ends_block(),
+            "tail block is cut by the image end"
+        );
+        assert_eq!(b.end(), code.len());
+        let old_len = code.len();
+        let next = code.append_trace(&[Insn::new(Op::Hlt)]);
+        cache.note_append(old_len, code.generation());
+        assert!(
+            !cache.contains_entry(entry),
+            "image-end-cut block must rebuild to see the fall-through"
+        );
+        let rebuilt = cache.get_or_build(&code, entry);
+        assert!(rebuilt.end() > old_len || rebuilt.uops.last().unwrap().ends_block());
+        let _ = next;
+    }
+
+    #[test]
+    fn unhooked_code_mutation_is_caught_by_the_generation_safety_net() {
+        let mut code = loop_code();
+        let mut cache = BlockCache::new();
+        let _ = cache.get_or_build(&code, 0);
+        let gen = cache.generation();
+        // Mutate the text *without* calling a note_* hook.
+        let addr = 3;
+        code.patch(
+            addr,
+            &Insn::new(Op::Nop {
+                unit: code.insn(addr).unit(),
+            }),
+        )
+        .unwrap();
+        assert!(!cache.is_current(&code));
+        // The next lookup notices and rebuilds from scratch.
+        let b = cache.get_or_build(&code, 0);
+        assert!(cache.generation() > gen);
+        assert_eq!(b.uop_at(addr).map(|u| u.insn), Some(code.insn(addr)));
+        assert!(cache.is_current(&code));
+    }
+}

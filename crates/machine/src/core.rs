@@ -10,10 +10,14 @@
 //! not at issue — precisely the property software pipelining and prefetching
 //! exploit, and the reason removing useful prefetches hurts (Fig. 3a, 2 MB).
 
+use std::sync::Arc;
+
 use cobra_isa::insn::{Insn, Op};
 use cobra_isa::regs::Rrb;
+use cobra_isa::uop::{MicroOp, SrcReg};
 use cobra_isa::CodeAddr;
 
+use crate::blocks::Block;
 use crate::events::Event;
 use crate::machine::Shared;
 use crate::memsys::AccessKind;
@@ -68,6 +72,11 @@ pub struct Core {
     resume_at: u64,
     /// Details of the fault that terminated the bound thread, if any.
     pub fault: Option<FaultInfo>,
+    /// Block-dispatch cursor: the cached block the PC currently sits in
+    /// (shared, immutable) and the cache generation it was fetched under.
+    /// Valid only while the generations match — see `fetch_uop`.
+    cur_block: Option<Arc<Block>>,
+    cur_block_gen: u64,
 }
 
 impl Core {
@@ -89,6 +98,8 @@ impl Core {
             pr_ready: [0; 64],
             resume_at: 0,
             fault: None,
+            cur_block: None,
+            cur_block_gen: 0,
         }
     }
 
@@ -288,6 +299,13 @@ impl Core {
             shared.stats[self.cpu].add(Event::StallCycles, 1);
             return;
         }
+        self.issue_bundle_ref(shared, now);
+    }
+
+    /// Reference issue path: re-fetch the decoded instruction and re-derive
+    /// its source set from the opcode every slot. This is the semantic
+    /// ground truth the block dispatch engine is property-tested against.
+    fn issue_bundle_ref(&mut self, shared: &mut Shared, now: u64) {
         for _slot in 0..3 {
             let insn = shared.code.insn(self.pc);
             let ready = self.sources_ready(&insn);
@@ -302,6 +320,216 @@ impl Core {
                 break;
             }
         }
+    }
+
+    /// Fused solo-core stretch: execute consecutive non-stalled cycles
+    /// through the block engine without returning to the machine loop in
+    /// between. Bit-identity with the per-cycle protocol holds because (a)
+    /// nothing inside a stretch can mutate the program text or the block
+    /// cache except block *builds* (which never bump the generation), (b)
+    /// `CPU_CYCLES` is a pure counter nobody reads while `run` is on the
+    /// stack and sampling is off — the caller must only use this when no
+    /// HPM is sampling — so it can be added in bulk, and (c) the stretch
+    /// stops *after* any memory-capable issue cycle so the machine can
+    /// drain snoop-stall penalties before the next cycle issues, exactly
+    /// where the reference loop drains them.
+    ///
+    /// Returns `(cycles_executed, drain_snoop)`; `drain_snoop` means the
+    /// last executed cycle issued a memory-capable micro-op.
+    pub(crate) fn run_stretch_solo(&mut self, shared: &mut Shared, budget: u64) -> (u64, bool) {
+        let mut executed = 0u64;
+        let mut retired = 0u64;
+        let mut drain = false;
+        let mut b: Arc<Block> = match self.cursor_block(shared) {
+            Some(b) => b,
+            None => self.refetch_block(shared),
+        };
+        // The clock lives in a local for the stretch: `execute` and the
+        // memory system take `now` as a parameter, so nothing observes
+        // `shared.cycle` until the stretch flushes it back on exit.
+        let mut now = shared.cycle;
+        while executed < budget {
+            if self.status != CoreStatus::Running || now < self.resume_at {
+                break;
+            }
+            let mut mem_issue = false;
+            for _slot in 0..3 {
+                let mut idx = self.pc.wrapping_sub(b.start) as usize;
+                if idx >= b.uops.len() {
+                    b = self.refetch_block(shared);
+                    idx = 0;
+                }
+                let u = &b.uops[idx];
+                let Some(taken) = self.dispatch_class(shared, now, u) else {
+                    break;
+                };
+                mem_issue |= u.is_mem();
+                retired += 1;
+                if taken || self.status != CoreStatus::Running || now < self.resume_at {
+                    break;
+                }
+            }
+            now += 1;
+            executed += 1;
+            if mem_issue {
+                drain = true;
+                break;
+            }
+        }
+        shared.cycle = now;
+        let stats = &mut shared.stats[self.cpu];
+        stats.add(Event::CpuCycles, executed);
+        stats.add(Event::InstRetired, retired);
+        (executed, drain)
+    }
+
+    /// One dispatch site per opcode class: readiness *and* execution of the
+    /// specialized classes run through flat pre-extracted operands; anything
+    /// else falls through to the source-list walk plus the full interpreter
+    /// arm. Each specialized arm replicates its [`Self::execute`] arm (and
+    /// its slice of [`Self::uop_sources_ready`]) *exactly*, including the
+    /// predicated-off fall-through (`br.cloop` ignores qp by architecture) —
+    /// the `block_dispatch_equivalence` suite holds the two to bit-identity.
+    ///
+    /// Returns `None` when a source is not ready (the stall-on-use
+    /// `resume_at` has been set), otherwise whether a taken branch ended the
+    /// issue group.
+    #[inline]
+    fn dispatch_class(&mut self, shared: &mut Shared, now: u64, u: &MicroOp) -> Option<bool> {
+        use cobra_isa::uop::OpClass;
+        match u.class {
+            OpClass::Add => {
+                let ready = self
+                    .pr_ready_at(u.insn.qp)
+                    .max(self.gr_ready_at(u.a))
+                    .max(self.gr_ready_at(u.b));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = self.read_gr(u.a).wrapping_add(self.read_gr(u.b));
+                    self.write_gr(u.d, v, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::Sub => {
+                let ready = self
+                    .pr_ready_at(u.insn.qp)
+                    .max(self.gr_ready_at(u.a))
+                    .max(self.gr_ready_at(u.b));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = self.read_gr(u.a).wrapping_sub(self.read_gr(u.b));
+                    self.write_gr(u.d, v, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::AddI => {
+                let ready = self.pr_ready_at(u.insn.qp).max(self.gr_ready_at(u.a));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = self.read_gr(u.a).wrapping_add(u.imm);
+                    self.write_gr(u.d, v, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::MovI => {
+                let ready = self.pr_ready_at(u.insn.qp);
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    self.write_gr(u.d, u.imm, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::Nop => {
+                let ready = self.pr_ready_at(u.insn.qp);
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::BrCloop => {
+                let ready = self.pr_ready_at(u.insn.qp);
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.lc > 0 {
+                    self.lc -= 1;
+                    Some(self.take_branch(shared, self.pc, u.imm as CodeAddr))
+                } else {
+                    self.pc += 1;
+                    Some(false)
+                }
+            }
+            OpClass::Other => {
+                let ready = self.uop_sources_ready(u);
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                Some(self.execute(shared, now, u.insn))
+            }
+        }
+    }
+
+    /// The cursor block, when it is still valid and covers the current PC.
+    #[inline]
+    fn cursor_block(&self, shared: &Shared) -> Option<Arc<Block>> {
+        if self.cur_block_gen == shared.blocks.generation()
+            && shared.blocks.is_current(&shared.code)
+        {
+            if let Some(b) = &self.cur_block {
+                if b.uop_at(self.pc).is_some() {
+                    return Some(Arc::clone(b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Re-aim the cursor at the block covering the current PC, building it
+    /// on demand.
+    #[inline]
+    fn refetch_block(&mut self, shared: &mut Shared) -> Arc<Block> {
+        let b = shared.blocks.get_or_build(&shared.code, self.pc);
+        self.cur_block_gen = shared.blocks.generation();
+        self.cur_block = Some(Arc::clone(&b));
+        b
+    }
+
+    /// Readiness of a pre-lowered op: max over the qualifying predicate and
+    /// the pre-resolved source list. Must equal [`Self::sources_ready`] of
+    /// the same instruction for every scoreboard state.
+    #[inline]
+    fn uop_sources_ready(&self, u: &MicroOp) -> u64 {
+        let mut t = self.pr_ready_at(u.insn.qp);
+        for s in u.sources() {
+            let r = match *s {
+                SrcReg::Gr(r) => self.gr_ready_at(r),
+                SrcReg::Fr(r) => self.fr_ready_at(r),
+            };
+            if r > t {
+                t = r;
+            }
+        }
+        t
     }
 
     /// Terminate the bound thread on an out-of-bounds data access. The PC is
@@ -320,6 +548,7 @@ impl Core {
 
     /// Execute one instruction at `self.pc`; advances the PC. Returns true
     /// when a taken branch ended the issue group.
+    #[inline]
     fn execute(&mut self, shared: &mut Shared, now: u64, insn: Insn) -> bool {
         use Op::*;
         let pc = self.pc;
@@ -728,6 +957,7 @@ impl Core {
         }
     }
 
+    #[inline]
     fn take_branch(&mut self, shared: &mut Shared, src: CodeAddr, target: CodeAddr) -> bool {
         shared.stats[self.cpu].add(Event::BrTaken, 1);
         shared.hpm[self.cpu].btb_push(src, target);

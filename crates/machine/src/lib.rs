@@ -21,6 +21,7 @@
 //!
 //! See `DESIGN.md` at the workspace root for the full substitution argument.
 
+pub mod blocks;
 pub mod bus;
 pub mod cache;
 pub mod config;
@@ -30,9 +31,10 @@ pub mod hpm;
 pub mod machine;
 pub mod memsys;
 
+pub use blocks::{Block, BlockCache, BlockStats};
 pub use bus::Bus;
 pub use cache::{Cache, HitLevel, Mesi, PrivateHierarchy};
-pub use config::{CacheGeometry, MachineConfig, Topology};
+pub use config::{CacheGeometry, HostAccel, MachineConfig, Topology};
 pub use core::{Core, CoreStatus, FaultInfo};
 pub use events::{CpuStats, Event, ALL_EVENTS, NUM_EVENTS};
 pub use hpm::{BtbEntry, DearRecord, Hpm, OverflowCapture, SamplingConfig, BTB_PAIRS};

@@ -14,6 +14,7 @@ use cobra_isa::image::{CodeImage, PatchError};
 use cobra_isa::insn::Insn;
 use cobra_isa::CodeAddr;
 
+use crate::blocks::{BlockCache, BlockStats};
 use crate::config::MachineConfig;
 use crate::core::{Core, CoreStatus};
 use crate::events::{self, CpuStats, Event};
@@ -107,6 +108,11 @@ impl DataMem {
 pub struct ProgramCode {
     image: CodeImage,
     decoded: Vec<Insn>,
+    /// Mutation counter: incremented by every patch, append, or revert. The
+    /// block cache compares it against the generation its contents were
+    /// lowered from, so stale blocks can never execute even when a caller
+    /// mutates the code without going through the [`Machine`] hooks.
+    generation: u64,
 }
 
 impl ProgramCode {
@@ -114,13 +120,33 @@ impl ProgramCode {
         let decoded = image
             .decode_all()
             .expect("undecodable instruction in program image");
-        ProgramCode { image, decoded }
+        ProgramCode {
+            image,
+            decoded,
+            generation: 0,
+        }
     }
 
     /// Decoded instruction at `addr` (the core's fetch path).
     #[inline]
     pub fn insn(&self, addr: CodeAddr) -> Insn {
         self.decoded[addr as usize]
+    }
+
+    /// Total number of instruction slots (main image plus trace region).
+    #[inline]
+    pub fn len(&self) -> CodeAddr {
+        self.decoded.len() as CodeAddr
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.decoded.is_empty()
+    }
+
+    /// Current mutation generation (see the field doc).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The underlying binary image (read-only view).
@@ -132,6 +158,7 @@ impl ProgramCode {
     pub fn patch(&mut self, addr: CodeAddr, insn: &Insn) -> Result<u64, PatchError> {
         let old = self.image.patch(addr, insn)?;
         self.decoded[addr as usize] = *insn;
+        self.generation += 1;
         Ok(old)
     }
 
@@ -142,6 +169,7 @@ impl ProgramCode {
             .image
             .insn(addr)
             .expect("patch_word validated the word");
+        self.generation += 1;
         Ok(old)
     }
 
@@ -156,6 +184,7 @@ impl ProgramCode {
                     .expect("fresh trace decodes"),
             );
         }
+        self.generation += 1;
         start
     }
 
@@ -174,6 +203,7 @@ impl ProgramCode {
                 .insn(rec.addr)
                 .expect("reverted word decoded when first patched");
         }
+        self.generation += 1;
     }
 }
 
@@ -186,6 +216,9 @@ pub struct Shared {
     pub memsys: MemSystem,
     pub stats: Vec<CpuStats>,
     pub hpm: Vec<Hpm>,
+    /// Pre-decoded basic blocks of `code` (see [`crate::blocks`]); consulted
+    /// by the cores only when [`crate::HostAccel::block_dispatch`] is on.
+    pub blocks: BlockCache,
     pub cycle: u64,
 }
 
@@ -219,6 +252,7 @@ impl Machine {
             memsys: MemSystem::new(&cfg),
             stats: (0..n).map(|_| CpuStats::new()).collect(),
             hpm: (0..n).map(|_| Hpm::new(cfg.dear_min_latency)).collect(),
+            blocks: BlockCache::new(),
             cycle: 0,
             cfg,
         };
@@ -366,15 +400,81 @@ impl Machine {
         }
     }
 
+    /// The only CPU whose core is `Running`, when exactly one is. The solo
+    /// block loop is restricted to this case: with a single executing core
+    /// there is no cross-core interleaving to reproduce, so whole blocks can
+    /// run back-to-back without consulting the other pipelines.
+    fn solo_running_cpu(&self) -> Option<usize> {
+        let mut solo = None;
+        for (cpu, c) in self.cores.iter().enumerate() {
+            if c.status == CoreStatus::Running {
+                if solo.is_some() {
+                    return None;
+                }
+                solo = Some(cpu);
+            }
+        }
+        solo
+    }
+
+    /// Execute consecutive cycles of the solo running core through the block
+    /// dispatch engine. Only legal when no CPU has HPM sampling programmed
+    /// (the caller checks): the per-cycle overflow polls are then no-ops and
+    /// `CPU_CYCLES` is unobserved until `run` returns, so the core can
+    /// execute whole stretches back-to-back on a local clock, surfacing only
+    /// on memory-issue cycles for the snoop-stall drain. Returns whether any
+    /// cycle was executed; exits back to [`Self::run`] on stalls (so
+    /// stall-skip handles the window), on status changes (`hlt`, faults),
+    /// and at the cycle budget.
+    fn run_blocks_solo(&mut self, cpu: usize, budget: u64) -> bool {
+        let n_cpus = self.cores.len();
+        let mut total = 0u64;
+        while total < budget {
+            let (executed, drain_snoop) =
+                self.cores[cpu].run_stretch_solo(&mut self.shared, budget - total);
+            total += executed;
+            if executed == 0 {
+                break;
+            }
+            if drain_snoop {
+                // The drained penalties belong to the issue cycle just
+                // executed (the clock has already moved one past it).
+                let now = self.shared.cycle - 1;
+                for i in 0..n_cpus {
+                    let stall = self.shared.memsys.take_snoop_stall(i);
+                    self.cores[i].add_stall(now, stall);
+                }
+                continue;
+            }
+            break;
+        }
+        total > 0
+    }
+
     /// Run until every bound thread terminates or `max_cycles` elapse.
     ///
-    /// With [`MachineConfig::stall_skip`] on (the default), cycles where no
-    /// core can execute are skipped in bulk to the earliest wake-up point;
-    /// results are bit-identical to the per-cycle reference loop (enforced
-    /// by the `stall_skip_equivalence` test suite). Turning the flag off
+    /// With [`crate::HostAccel::stall_skip`] on (the default), cycles where
+    /// no core can execute are skipped in bulk to the earliest wake-up
+    /// point; with [`crate::HostAccel::block_dispatch`] on (the default) and
+    /// exactly one core running, execute cycles run back-to-back through the
+    /// pre-decoded block engine. Results are bit-identical to the per-cycle
+    /// reference loop either way (enforced by the `stall_skip_equivalence`
+    /// and `block_dispatch_equivalence` suites). Turning the flags off
     /// selects the reference loop.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         let start = self.shared.cycle;
+        // Sampling cannot be (re)programmed while `run` is on the stack, so
+        // hoist the block-mode legality check: the stretch loop batches
+        // `CPU_CYCLES` and skips the per-cycle overflow polls, which is only
+        // unobservable while nobody samples. With sampling programmed, every
+        // cycle runs through the per-cycle reference loop (an HPM overflow
+        // can fire on any cycle and must capture mid-block state exactly).
+        let block_mode = self.shared.cfg.host_accel.block_dispatch
+            && !self
+                .shared
+                .hpm
+                .iter()
+                .any(|h| h.sampling_config().is_some());
         while !self.all_halted() {
             let elapsed = self.shared.cycle - start;
             if elapsed >= max_cycles {
@@ -384,11 +484,21 @@ impl Machine {
                     faulted: self.any_faulted(),
                 };
             }
-            if self.shared.cfg.stall_skip {
+            if self.shared.cfg.host_accel.stall_skip {
                 if let Some(n) = self.stall_skip_window(max_cycles - elapsed) {
                     self.skip_stalled(n);
                     continue;
                 }
+            }
+            if block_mode {
+                if let Some(cpu) = self.solo_running_cpu() {
+                    if self.run_blocks_solo(cpu, max_cycles - elapsed) {
+                        continue;
+                    }
+                }
+            }
+            if self.shared.cfg.host_accel.block_dispatch {
+                self.shared.blocks.note_fallback();
             }
             self.step();
         }
@@ -435,19 +545,38 @@ impl Machine {
         self.shared.cycle
     }
 
-    /// Patch one instruction slot in the live image (COBRA deployment).
+    /// Patch one instruction slot in the live image (COBRA deployment),
+    /// precisely invalidating the pre-decoded blocks covering the slot.
     pub fn patch(&mut self, addr: CodeAddr, insn: &Insn) -> Result<u64, PatchError> {
-        self.shared.code.patch(addr, insn)
+        let old = self.shared.code.patch(addr, insn)?;
+        self.shared
+            .blocks
+            .note_patch(addr, self.shared.code.generation());
+        Ok(old)
     }
 
     /// Patch one slot from a raw word (COBRA ships encoded words).
     pub fn patch_word(&mut self, addr: CodeAddr, word: u64) -> Result<u64, PatchError> {
-        self.shared.code.patch_word(addr, word)
+        let old = self.shared.code.patch_word(addr, word)?;
+        self.shared
+            .blocks
+            .note_patch(addr, self.shared.code.generation());
+        Ok(old)
     }
 
     /// Append an optimized trace to the live image.
     pub fn append_trace(&mut self, insns: &[Insn]) -> CodeAddr {
-        self.shared.code.append_trace(insns)
+        let old_len = self.shared.code.len();
+        let entry = self.shared.code.append_trace(insns);
+        self.shared
+            .blocks
+            .note_append(old_len, self.shared.code.generation());
+        entry
+    }
+
+    /// Block dispatch telemetry (builds / invalidations / fallback cycles).
+    pub fn block_stats(&self) -> BlockStats {
+        self.shared.blocks.stats()
     }
 }
 

@@ -150,6 +150,18 @@ struct MruFilter {
 /// never a correctness one), so a small table suffices.
 const EPOCH_BUCKETS: usize = 1 << 12;
 
+/// Consecutive reference-path accesses a CPU tolerates before its MRU
+/// filter stops re-arming eagerly. Private streams re-hit the filter after
+/// a single arm (one miss per new line), so this stays tiny: a wider
+/// window only buys extra arm-time probes on traffic that keeps missing
+/// (measured as a net host-time loss on both the NPB fig5 grid and the
+/// DAXPY fig3 sweep).
+const REARM_EAGER: u32 = 2;
+
+/// Once backed off, how often (in reference-path accesses) arming is
+/// retried so a CPU whose access pattern turns private again recovers.
+const REARM_RETRY: u32 = 64;
+
 /// The machine-wide coherent memory system.
 #[derive(Debug)]
 pub struct MemSystem {
@@ -169,6 +181,12 @@ pub struct MemSystem {
     l1_line_bytes: u64,
     /// Per-CPU MRU filters (the private-hit fast path; `None` = disarmed).
     filters: Vec<Option<MruFilter>>,
+    /// Per-CPU count of consecutive accesses answered by the reference path
+    /// (reset by every fast hit). Past [`REARM_EAGER`], re-arming backs off
+    /// to once every [`REARM_RETRY`] accesses: on coherence-heavy sharing
+    /// the filter almost never fires, and paying the arm-time MESI/L1/L2
+    /// probes on every access is a net host-time loss.
+    rearm_miss: Vec<u32>,
     /// Hashed per-line epochs, bumped by every bus transaction.
     line_epochs: Vec<u64>,
     /// Per-line bitmask of hierarchies that *may* hold the line (a strict
@@ -204,6 +222,7 @@ impl MemSystem {
             line_bytes,
             l1_line_bytes: cfg.l1d.line as u64,
             filters: vec![None; cfg.num_cpus],
+            rearm_miss: vec![0; cfg.num_cpus],
             line_epochs: vec![0; EPOCH_BUCKETS],
             presence: vec![0; presence_lines],
             fast_hits: 0,
@@ -261,7 +280,7 @@ impl MemSystem {
     /// Perform one access; updates cache state, buses, MSHRs, store buffers,
     /// per-CPU stats and (for demand loads) the DEAR latch.
     ///
-    /// With [`MachineConfig::mem_fast_path`] on, repeated private hits are
+    /// With [`HostAccel::mem_fast_path`] on, repeated private hits are
     /// answered by the per-CPU MRU filter without running the probe/snoop
     /// machinery; every other access takes the reference path and re-arms
     /// (or clears) the filter. Outcomes, stats, HPM effects and cache state
@@ -277,13 +296,28 @@ impl MemSystem {
         kind: AccessKind,
         addr: u64,
     ) -> AccessOutcome {
-        if self.cfg.mem_fast_path {
+        if self.cfg.host_accel.mem_fast_path {
             if let Some(out) = self.access_fast(stats, cpu, now, kind, addr) {
                 self.fast_hits += 1;
+                self.rearm_miss[cpu] = 0;
                 return out;
             }
             let out = self.access_ref(stats, hpm, cpu, now, pc, kind, addr);
-            self.rearm_filter(cpu, now, kind, addr);
+            // Adaptive arming: eager while the filter earns fast hits, one
+            // periodic retry once it stops (host-side policy only — the
+            // filter never changes simulated state, so arming less often is
+            // unobservable).
+            let m = &mut self.rearm_miss[cpu];
+            *m = if *m >= REARM_EAGER + REARM_RETRY {
+                REARM_EAGER + 1
+            } else {
+                *m + 1
+            };
+            if *m <= REARM_EAGER || *m == REARM_EAGER + REARM_RETRY {
+                self.rearm_filter(cpu, now, kind, addr);
+            } else {
+                self.filters[cpu] = None;
+            }
             out
         } else {
             self.access_ref(stats, hpm, cpu, now, pc, kind, addr)
@@ -418,7 +452,7 @@ impl MemSystem {
     /// then walk every CPU, as the reference always did.
     #[inline]
     fn other_holders(&self, line: u64, cpu: usize) -> Option<u32> {
-        if !self.cfg.mem_fast_path {
+        if !self.cfg.host_accel.mem_fast_path {
             return None;
         }
         self.presence
@@ -919,6 +953,7 @@ impl MemSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::HostAccel;
 
     fn setup(cfg: &MachineConfig) -> (MemSystem, Vec<CpuStats>, Vec<Hpm>) {
         let ms = MemSystem::new(cfg);
@@ -1303,7 +1338,7 @@ mod tests {
     /// proves they are answered *cheaply*).
     #[test]
     fn mru_filter_answers_repeated_private_hits() {
-        let cfg = MachineConfig::smp4().with_mem_fast_path(true);
+        let cfg = MachineConfig::smp4().with_host_accel(HostAccel::fast());
         let (mut ms, mut st, mut hp) = setup(&cfg);
         // Warm the line: miss, then a first hit that arms the filter.
         ms.access(&mut st, &mut hp, 0, 0, 1, LOAD_FP, 0x1000);
@@ -1323,7 +1358,8 @@ mod tests {
     /// With the fast path disabled the filter must never fire.
     #[test]
     fn disabled_fast_path_never_fires() {
-        let cfg = MachineConfig::smp4().with_mem_fast_path(false);
+        let cfg =
+            MachineConfig::smp4().with_host_accel(HostAccel::fast().with_mem_fast_path(false));
         let (mut ms, mut st, mut hp) = setup(&cfg);
         ms.access(&mut st, &mut hp, 0, 0, 1, AccessKind::Store, 0x1000);
         for k in 0..50u64 {

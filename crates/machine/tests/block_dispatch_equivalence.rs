@@ -1,0 +1,408 @@
+//! Bit-identical equivalence of the pre-decoded block dispatch engine
+//! against the per-cycle reference loop.
+//!
+//! Block dispatch (`HostAccel::block_dispatch`, default on) executes whole
+//! basic blocks out of a per-generation micro-op cache, with per-opcode-class
+//! fused dispatch arms and a solo-core "stretch" loop. Like the other host
+//! accelerations it may only change how fast the simulator runs, never what
+//! it computes: for any program (including predicated forms of every
+//! specialized opcode class), thread placement, HPM sampling configuration,
+//! budget cutoff, and mid-run binary patching, the final cycle count, every
+//! per-CPU event counter, the exact overflow capture stream, data memory,
+//! and architectural register state must match the reference loop exactly.
+
+use cobra_isa::insn::{Insn, Op};
+use cobra_isa::{Assembler, CmpRel, CodeAddr, CodeImage, Unit};
+use cobra_machine::{
+    CoreStatus, CpuStats, Event, HostAccel, Machine, MachineConfig, OverflowCapture, RunResult,
+    SamplingConfig,
+};
+use proptest::prelude::*;
+
+/// One body instruction of a generated loop. Selectors cover every
+/// specialized dispatch class (`AddI`, `Add`, `Sub`, `MovI`, `Nop`,
+/// `BrCloop` via the loop back edge) in both unpredicated and predicated
+/// form, plus the `Other` arm's stall sources: loads/stores, load-use FP,
+/// long-latency FP, prefetches, and atomics.
+fn emit_body_op(a: &mut Assembler, sel: u8) {
+    match sel % 16 {
+        0 => {
+            a.addi(6, 6, 1);
+        }
+        1 => {
+            a.emit(Insn::new(Op::Add {
+                dest: 5,
+                r2: 5,
+                r3: 6,
+            }));
+        }
+        2 => {
+            a.emit(Insn::new(Op::Sub {
+                dest: 7,
+                r2: 7,
+                r3: 6,
+            }));
+        }
+        3 => {
+            a.movi(9, 0x5_0000_1234);
+        }
+        4 => {
+            a.nop(Unit::I);
+        }
+        5 => {
+            // Set a complementary predicate pair, then a predicated fast-class
+            // op on the "true" side. Both sides of every specialized class are
+            // exercised across the pair of selectors 5..=7.
+            a.cmp(1, 2, CmpRel::Lt, 6, 7);
+            a.emit(Insn::pred(
+                1,
+                Op::AddI {
+                    dest: 9,
+                    src: 9,
+                    imm: 2,
+                },
+            ));
+        }
+        6 => {
+            a.cmp(1, 2, CmpRel::Ge, 5, 7);
+            a.emit(Insn::pred(2, Op::MovI { dest: 10, imm: -7 }));
+        }
+        7 => {
+            a.cmp(1, 2, CmpRel::Ne, 6, 6);
+            a.emit(Insn::pred(
+                1,
+                Op::Sub {
+                    dest: 9,
+                    r2: 9,
+                    r3: 6,
+                },
+            ));
+            a.emit(Insn::pred(2, Op::Nop { unit: Unit::M }));
+        }
+        8 => {
+            a.ld8(0, 7, 4, 8);
+        }
+        9 => {
+            a.st8(0, 7, 4, 8);
+        }
+        10 => {
+            a.ldfd(0, 6, 4, 8);
+        }
+        11 => {
+            a.stfd(0, 6, 4, 8);
+        }
+        12 => {
+            // Immediate use of the last FP load: the classic load-use stall
+            // that must abort a block mid-flight and resume at the same slot.
+            a.fma_d(0, 8, 6, 1, 6);
+        }
+        13 => {
+            a.lfetch_nt1(0, 4, 64);
+        }
+        14 => {
+            a.emit(Insn::new(Op::FdivD {
+                dest: 9,
+                f1: 8,
+                f2: 1,
+            }));
+        }
+        _ => {
+            a.emit(Insn::new(Op::FetchAdd8 {
+                dest: 11,
+                base: 4,
+                inc: 8,
+            }));
+        }
+    }
+}
+
+/// Everything observable about a finished run. Two runs are "the same
+/// simulation" iff these snapshots are equal.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    result: RunResult,
+    final_cycle: u64,
+    stats: Vec<CpuStats>,
+    overflows: Vec<Vec<OverflowCapture>>,
+    mem_words: Vec<u64>,
+    regs: Vec<(u32, Vec<i64>, u64, u64)>, // (pc, r4..r11, f6 bits, f8 bits)
+}
+
+fn snapshot(m: &mut Machine, result: RunResult, threads: usize) -> Snapshot {
+    Snapshot {
+        result,
+        final_cycle: m.cycle(),
+        stats: m.stats().to_vec(),
+        overflows: (0..m.num_cpus())
+            .map(|cpu| m.shared.hpm[cpu].take_overflows())
+            .collect(),
+        mem_words: (0..0x12000u64)
+            .step_by(8)
+            .map(|a| m.shared.mem.read_u64(a))
+            .collect(),
+        regs: (0..threads)
+            .map(|cpu| {
+                let c = m.core(cpu);
+                (
+                    c.pc,
+                    (4..=11).map(|r| c.gr(r)).collect(),
+                    c.fr(6).to_bits(),
+                    c.fr(8).to_bits(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// A generated workload: a counted loop over a random op mix, with an
+/// optional HPM sampling configuration per CPU (`event_sel == 3` leaves
+/// sampling off, which is what admits the solo-core stretch loop).
+#[derive(Debug, Clone)]
+struct Params {
+    altix: bool,
+    threads: usize,
+    share_base: bool,
+    event_sel: u8,
+    period: u64,
+    body: Vec<u8>,
+    iters: u64,
+}
+
+fn params_strategy(max_threads: usize) -> impl Strategy<Value = Params> {
+    (
+        any::<bool>(),
+        1usize..=max_threads,
+        any::<bool>(),
+        0u8..4,
+        50u64..1500,
+        prop::collection::vec(0u8..16, 1..10),
+        1u64..48,
+    )
+        .prop_map(
+            |(altix, threads, share_base, event_sel, period, body, iters)| Params {
+                altix,
+                threads,
+                share_base,
+                event_sel,
+                period,
+                body,
+                iters,
+            },
+        )
+}
+
+/// Build the loop image for `p`, recording where the body starts and ends
+/// (for mid-run patching).
+fn build_image(p: &Params) -> (CodeImage, CodeAddr, CodeAddr) {
+    let mut a = Assembler::new();
+    // r8 = base address (thread argument), r4 = walking pointer.
+    a.emit(Insn::new(Op::Add {
+        dest: 4,
+        r2: 8,
+        r3: 0,
+    }));
+    a.movi(5, p.iters as i64);
+    a.mov_to_lc(5);
+    let top = a.new_label();
+    a.bind(top);
+    let body_start = a.here();
+    for &sel in &p.body {
+        emit_body_op(&mut a, sel);
+    }
+    let body_end = a.here();
+    a.br_cloop(top);
+    a.hlt();
+    (a.finish(), body_start, body_end)
+}
+
+fn make_machine(block_dispatch: bool, p: &Params) -> (Machine, CodeAddr, CodeAddr) {
+    let (image, body_start, body_end) = build_image(p);
+    let base_cfg = if p.altix {
+        MachineConfig::altix8()
+    } else {
+        MachineConfig::smp4()
+    };
+    let cfg = base_cfg.with_host_accel(HostAccel::fast().with_block_dispatch(block_dispatch));
+    let mut m = Machine::new(cfg, image);
+    let event = match p.event_sel % 4 {
+        0 => Some(Event::CpuCycles),
+        1 => Some(Event::StallCycles),
+        2 => Some(Event::InstRetired),
+        _ => None, // sampling off: the solo stretch loop is legal
+    };
+    for cpu in 0..p.threads {
+        if let Some(event) = event {
+            let baseline = m.stats()[cpu].get(event);
+            m.shared.hpm[cpu].program_sampling(
+                SamplingConfig {
+                    event,
+                    period: p.period,
+                },
+                baseline,
+            );
+        }
+        let base = if p.share_base {
+            0x1000u64
+        } else {
+            0x1000 + cpu as u64 * 0x4000
+        };
+        m.spawn_thread(cpu, 0, &[base as i64]);
+    }
+    (m, body_start, body_end)
+}
+
+fn run_one(block_dispatch: bool, p: &Params, budget: u64) -> Snapshot {
+    let (mut m, _, _) = make_machine(block_dispatch, p);
+    let result = m.run(budget);
+    snapshot(&mut m, result, p.threads)
+}
+
+/// Run in segments, patching one body slot between the first two segments
+/// and reverting it (via the returned old word) before the last — so the
+/// block cache sees builds, a patch invalidation possibly mid-block, and a
+/// revert, all mid-run. Returns a snapshot after every segment.
+fn run_patched(block_dispatch: bool, p: &Params, seg_budget: u64, patch_off: u32) -> Vec<Snapshot> {
+    let (mut m, body_start, body_end) = make_machine(block_dispatch, p);
+    let addr = body_start + patch_off % (body_end - body_start);
+    let mut snaps = Vec::new();
+    let r = m.run(seg_budget);
+    snaps.push(snapshot(&mut m, r, p.threads));
+    let old = m
+        .patch(
+            addr,
+            &Insn::new(Op::AddI {
+                dest: 6,
+                src: 6,
+                imm: 5,
+            }),
+        )
+        .expect("body slot is patchable");
+    let r = m.run(seg_budget);
+    snaps.push(snapshot(&mut m, r, p.threads));
+    m.patch_word(addr, old).expect("revert patch is valid");
+    let r = m.run(seg_budget);
+    snaps.push(snapshot(&mut m, r, p.threads));
+    snaps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Block dispatch and the per-cycle reference produce bit-identical
+    /// simulations: cycles, counters, overflow capture streams (including
+    /// overflows that fire mid-block), memory, and registers.
+    #[test]
+    fn block_dispatch_matches_reference(p in params_strategy(4)) {
+        let reference = run_one(false, &p, 150_000);
+        let block = run_one(true, &p, 150_000);
+        prop_assert_eq!(reference, block);
+    }
+
+    /// Same property when the budget cuts the run off mid-flight — possibly
+    /// mid-block, mid-stall, or both. The cutoff cycle and the resumable
+    /// core state must be identical.
+    #[test]
+    fn block_dispatch_matches_reference_at_cutoff(
+        p in params_strategy(2),
+        budget in 100u64..3000,
+    ) {
+        let reference = run_one(false, &p, budget);
+        let block = run_one(true, &p, budget);
+        prop_assert_eq!(reference, block);
+    }
+
+    /// Patching and reverting a body instruction *between run segments* —
+    /// while the cursor may sit mid-block — must invalidate exactly the
+    /// stale blocks: every segment's snapshot matches the reference loop,
+    /// which has no cache to invalidate.
+    #[test]
+    fn mid_run_patch_and_revert_match_reference(
+        p in params_strategy(2),
+        seg_budget in 50u64..2000,
+        patch_off in 0u32..16,
+    ) {
+        let reference = run_patched(false, &p, seg_budget, patch_off);
+        let block = run_patched(true, &p, seg_budget, patch_off);
+        prop_assert_eq!(reference, block);
+    }
+}
+
+/// A fault in the middle of a block must surface identically to the
+/// reference: same fault address, same PC, same retired-instruction counts,
+/// and nothing past the fault executes.
+#[test]
+fn fault_mid_block_matches_reference() {
+    let build = || {
+        let mut a = Assembler::new();
+        // A straight-line block: arithmetic, then a wild load, then a
+        // sentinel that must never execute.
+        a.movi(6, 10);
+        a.addi(6, 6, 1);
+        a.addi(6, 6, 2);
+        a.movi(4, -8);
+        a.ld8(0, 7, 4, 0);
+        a.movi(31, 1);
+        a.hlt();
+        a.finish()
+    };
+    let run = |block_dispatch: bool| {
+        let cfg = MachineConfig::smp4()
+            .with_host_accel(HostAccel::fast().with_block_dispatch(block_dispatch));
+        let mut m = Machine::new(cfg, build());
+        m.spawn_thread(0, 0, &[]);
+        let r = m.run(100_000);
+        assert!(r.halted && r.faulted);
+        assert_eq!(m.core(0).status, CoreStatus::Faulted);
+        assert_eq!(
+            m.core(0).fault.expect("fault recorded").addr,
+            (-8i64) as u64
+        );
+        assert_eq!(m.core(0).gr(31), 0, "nothing executes past the fault");
+        let result = m.run(100_000);
+        snapshot(&mut m, result, 1)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// An appended trace is executable under block dispatch: redirecting the
+/// loop back edge into freshly appended code must behave exactly like the
+/// reference loop.
+#[test]
+fn appended_trace_executes_identically() {
+    let run = |block_dispatch: bool| {
+        let mut a = Assembler::new();
+        a.movi(5, 40);
+        a.mov_to_lc(5);
+        let top = a.new_label();
+        a.bind(top);
+        let body = a.addi(6, 6, 1);
+        a.br_cloop(top);
+        a.hlt();
+        let cfg = MachineConfig::smp4()
+            .with_host_accel(HostAccel::fast().with_block_dispatch(block_dispatch));
+        let mut m = Machine::new(cfg, a.finish());
+        m.spawn_thread(0, 0, &[]);
+        // Run halfway, then append a trace and patch the old body to jump
+        // into it (simulating what cobra-rt's trace deployment does).
+        let r1 = m.run(30);
+        let trace = m.append_trace(&[
+            Insn::new(Op::AddI {
+                dest: 6,
+                src: 6,
+                imm: 1,
+            }),
+            Insn::new(Op::AddI {
+                dest: 7,
+                src: 7,
+                imm: 1,
+            }),
+            Insn::new(Op::BrCond { target: body + 1 }),
+        ]);
+        m.patch(body, &Insn::new(Op::BrCond { target: trace }))
+            .expect("branch patch is valid");
+        let r2 = m.run(100_000);
+        assert!(r2.halted && !r2.faulted, "trace run completes");
+        (r1, snapshot(&mut m, r2, 1))
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -19,8 +19,8 @@
 use cobra_isa::insn::{Insn, Op};
 use cobra_isa::{Assembler, LfetchHint};
 use cobra_machine::{
-    AccessKind, CpuStats, Event, Hpm, Machine, MachineConfig, MemSystem, Mesi, OverflowCapture,
-    RunResult, SamplingConfig,
+    AccessKind, CpuStats, Event, HostAccel, Hpm, Machine, MachineConfig, MemSystem, Mesi,
+    OverflowCapture, RunResult, SamplingConfig,
 };
 use proptest::prelude::*;
 
@@ -132,9 +132,11 @@ fn run_one(
     } else {
         MachineConfig::smp4()
     };
-    let cfg = cfg
-        .with_stall_skip(stall_skip)
-        .with_mem_fast_path(mem_fast_path);
+    let cfg = cfg.with_host_accel(
+        HostAccel::fast()
+            .with_stall_skip(stall_skip)
+            .with_mem_fast_path(mem_fast_path),
+    );
     let num_cpus = cfg.num_cpus;
     let mut m = Machine::new(cfg, image);
     for cpu in 0..threads.min(num_cpus) {
@@ -239,7 +241,9 @@ fn raw_kind(sel: u8) -> AccessKind {
 /// Drive the same access sequence through a fast and a reference
 /// `MemSystem`; every outcome and every piece of final state must agree.
 fn check_raw_sequence(cfg_fast: &MachineConfig, accesses: &[RawAccess]) {
-    let cfg_ref = cfg_fast.clone().with_mem_fast_path(false);
+    let cfg_ref = cfg_fast
+        .clone()
+        .with_host_accel(cfg_fast.host_accel.with_mem_fast_path(false));
     let n = cfg_fast.num_cpus;
     let mut fast = MemSystem::new(cfg_fast);
     let mut reference = MemSystem::new(&cfg_ref);
@@ -337,7 +341,8 @@ proptest! {
 #[test]
 fn repeated_private_store_is_identical_both_ways() {
     for fast_on in [false, true] {
-        let cfg = MachineConfig::smp4().with_mem_fast_path(fast_on);
+        let cfg =
+            MachineConfig::smp4().with_host_accel(HostAccel::fast().with_mem_fast_path(fast_on));
         let mut ms = MemSystem::new(&cfg);
         let mut st: Vec<CpuStats> = (0..4).map(|_| CpuStats::new()).collect();
         let mut hp: Vec<Hpm> = (0..4).map(|_| Hpm::new(cfg.dear_min_latency)).collect();

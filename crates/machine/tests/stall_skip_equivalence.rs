@@ -15,7 +15,8 @@
 use cobra_isa::insn::{Insn, Op};
 use cobra_isa::Assembler;
 use cobra_machine::{
-    CoreStatus, CpuStats, Event, Machine, MachineConfig, OverflowCapture, RunResult, SamplingConfig,
+    CoreStatus, CpuStats, Event, HostAccel, Machine, MachineConfig, OverflowCapture, RunResult,
+    SamplingConfig,
 };
 use proptest::prelude::*;
 
@@ -99,7 +100,7 @@ fn run_one(
         a.hlt();
         a.finish()
     };
-    let cfg = MachineConfig::smp4().with_stall_skip(stall_skip);
+    let cfg = MachineConfig::smp4().with_host_accel(HostAccel::fast().with_stall_skip(stall_skip));
     let mut m = Machine::new(cfg, image);
     let event = match event_sel % 3 {
         0 => Event::CpuCycles,
@@ -180,7 +181,10 @@ fn idle_machine_burns_budget_identically() {
         a.finish()
     };
     let budget = 5_000_000u64;
-    let mut slow = Machine::new(MachineConfig::smp4().with_stall_skip(false), image.clone());
+    let mut slow = Machine::new(
+        MachineConfig::smp4().with_host_accel(HostAccel::fast().with_stall_skip(false)),
+        image.clone(),
+    );
     let mut fast = Machine::new(MachineConfig::smp4(), image);
     let rs = slow.run(budget);
     let rf = fast.run(budget);

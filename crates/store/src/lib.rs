@@ -110,14 +110,16 @@ pub fn image_hash(image: &CodeImage) -> u64 {
 }
 
 /// Fingerprint of everything about a [`MachineConfig`] that changes guest
-/// behaviour. `stall_skip` and `mem_fast_path` select host fast paths that
-/// are bit-identical to the reference implementations (enforced by the
-/// equivalence suites), so they are masked out: toggling them must not
-/// orphan a warm-start snapshot.
+/// behaviour. The whole `host_accel` group (stall skip, memory fast path,
+/// block dispatch) selects host fast paths that are bit-identical to the
+/// reference implementations (enforced by the equivalence suites), so it is
+/// masked out: toggling any of them must not orphan a warm-start snapshot.
+/// The legacy flat `stall_skip`/`mem_fast_path` keys are masked too so that
+/// fingerprints of configs round-tripped through old serialized forms agree.
 pub fn machine_fingerprint(cfg: &MachineConfig) -> u64 {
     let mut v = Serialize::to_value(cfg);
     if let Value::Object(fields) = &mut v {
-        fields.retain(|(k, _)| k != "stall_skip" && k != "mem_fast_path");
+        fields.retain(|(k, _)| k != "host_accel" && k != "stall_skip" && k != "mem_fast_path");
     }
     let canon = serde_json::to_string(&v).expect("config serializes");
     fnv1a(canon.as_bytes())
@@ -565,6 +567,7 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cobra_machine::HostAccel;
 
     fn tmp_root(tag: &str) -> PathBuf {
         static N: AtomicU64 = AtomicU64::new(0);
@@ -791,11 +794,21 @@ mod tests {
     #[test]
     fn machine_fingerprint_ignores_fast_path_toggles() {
         let base = MachineConfig::smp4();
-        let skip_off = base.clone().with_stall_skip(false);
-        let mut fast_off = base.clone();
-        fast_off.mem_fast_path = false;
-        assert_eq!(machine_fingerprint(&base), machine_fingerprint(&skip_off));
-        assert_eq!(machine_fingerprint(&base), machine_fingerprint(&fast_off));
+        // Every host-accel combination (2^3) must fingerprint identically:
+        // none of them may change guest-visible behaviour, so none may
+        // orphan a warm-start snapshot.
+        for bits in 0..8u8 {
+            let accel = HostAccel::fast()
+                .with_stall_skip(bits & 1 != 0)
+                .with_mem_fast_path(bits & 2 != 0)
+                .with_block_dispatch(bits & 4 != 0);
+            let toggled = base.clone().with_host_accel(accel);
+            assert_eq!(
+                machine_fingerprint(&base),
+                machine_fingerprint(&toggled),
+                "host-accel combo {bits:03b} changed the fingerprint"
+            );
+        }
         assert_ne!(
             machine_fingerprint(&base),
             machine_fingerprint(&MachineConfig::altix8())
