@@ -139,6 +139,14 @@ impl CobraBuilder {
         self
     }
 
+    /// Run the multi-version candidate tournament (generate, trial, and
+    /// promote per-site rewrite candidates) instead of the one-shot
+    /// classifier deployment.
+    pub fn candidates(mut self, enabled: bool) -> Self {
+        self.cfg.optimizer.candidates = enabled;
+        self
+    }
+
     /// Phase-detector configuration.
     pub fn phase(mut self, phase: PhaseConfig) -> Self {
         self.cfg.phase = phase;
@@ -252,6 +260,8 @@ impl CobraBuilder {
             .spawn(move || {
                 optimization_thread(optimizer, bands, phases, opt_rx, reply_tx, opt_emitter)
             })
+            // Invariant: spawn only fails on host resource exhaustion —
+            // nothing the guest program can trigger.
             .expect("spawn optimization thread");
 
         Cobra {
@@ -316,6 +326,7 @@ impl Cobra {
         let join = std::thread::Builder::new()
             .name(format!("cobra-monitor-{cpu}"))
             .spawn(move || monitoring_thread(cpu as u32, period, capacity, rx, to_opt, telemetry))
+            // Invariant: spawn only fails on host resource exhaustion.
             .expect("spawn monitoring thread");
         self.monitors[cpu] = Some(MonitorHandle { tx, join });
         self.report.monitors_spawned += 1;
@@ -325,6 +336,10 @@ impl Cobra {
         match action {
             PlanAction::Apply(plan) => {
                 let trace_entry = plan.trace.as_ref().map(|t| {
+                    // Invariant: both sides compute expected_start as
+                    // bundle_align(len) over identical image copies kept in
+                    // lock-step; divergence is an optimizer bug, not a
+                    // guest-reachable state.
                     let start = machine.append_trace(&t.insns);
                     assert_eq!(
                         start, t.expected_start,
@@ -332,10 +347,37 @@ impl Cobra {
                     );
                     start
                 });
+                // Patch word by word, remembering the overwritten words so
+                // a mid-plan failure can roll back what already landed — a
+                // half-applied plan must never stay live.
+                let mut applied: Vec<(cobra_isa::CodeAddr, u64)> = Vec::new();
                 for &(addr, word) in &plan.writes {
-                    machine
-                        .patch_word(addr, word)
-                        .unwrap_or_else(|e| panic!("deploying plan {}: {e}", plan.id));
+                    match machine.patch_word(addr, word) {
+                        Ok(old) => applied.push((addr, old)),
+                        Err(e) => {
+                            for &(a, old) in applied.iter().rev() {
+                                // Restoring a word we just wrote cannot
+                                // fail; ignore rather than cascade.
+                                let _ = machine.patch_word(a, old);
+                            }
+                            // The appended trace (if any) stays as dead
+                            // text: the head redirect was rolled back, so
+                            // nothing can reach it, and removing it would
+                            // desync the optimizer's layout.
+                            self.report.deploy_failures += 1;
+                            self.emit(TelemetryEvent::DeployFailed {
+                                tick: self.tick,
+                                cycle: machine.shared.cycle,
+                                plan_id: plan.id,
+                                loop_head: plan.loop_head,
+                                detail: format!("patching {addr}: {e}"),
+                            });
+                            let _ = self.to_opt.send(ToOpt::LoopPoisoned {
+                                loop_head: plan.loop_head,
+                            });
+                            return;
+                        }
+                    }
                 }
                 self.emit(TelemetryEvent::Deploy {
                     tick: self.tick,
@@ -354,17 +396,45 @@ impl Cobra {
                     tick: self.tick,
                     words_patched: plan.writes.len(),
                     trace_entry,
+                    candidate: plan.candidate,
                 });
             }
             PlanAction::Revert {
                 plan_id,
+                loop_head,
                 writes,
                 reason,
             } => {
-                for (addr, old_word) in writes {
-                    machine
-                        .patch_word(addr, old_word)
-                        .unwrap_or_else(|e| panic!("reverting plan {plan_id}: {e}"));
+                // A failed restore write must degrade, never panic: stop
+                // the revert where it failed, poison the loop so the
+                // optimizer blacklists it, and keep the run alive.
+                let mut restored = 0usize;
+                for &(addr, old_word) in &writes {
+                    match machine.patch_word(addr, old_word) {
+                        Ok(_) => restored += 1,
+                        Err(e) => {
+                            self.report.revert_failures += 1;
+                            self.emit(TelemetryEvent::RevertFailed {
+                                tick: self.tick,
+                                cycle: machine.shared.cycle,
+                                plan_id,
+                                loop_head,
+                                addr,
+                                words_restored: restored,
+                                detail: e.to_string(),
+                            });
+                            let _ = self.to_opt.send(ToOpt::LoopPoisoned { loop_head });
+                            self.report.reverted.push(RevertedPlan {
+                                plan_id,
+                                reason: format!(
+                                    "{reason} [revert failed at {addr} after {restored}/{} words: {e}]",
+                                    writes.len()
+                                ),
+                                tick: self.tick,
+                            });
+                            return;
+                        }
+                    }
                 }
                 self.emit(TelemetryEvent::Revert {
                     tick: self.tick,
@@ -471,6 +541,9 @@ impl QuantumHook for Cobra {
                 samples: batch.len(),
                 dropped_total: self.driver.dropped(cpu),
             });
+            // Invariant: monitor threads only exit on the Shutdown we send
+            // at detach; a closed channel mid-run means a monitor panicked,
+            // which is a runtime bug worth surfacing loudly.
             handle
                 .tx
                 .send(ToMonitor::Samples(batch))
@@ -487,6 +560,9 @@ impl QuantumHook for Cobra {
         self.report.overhead_cycles += overhead;
 
         if active > 0 {
+            // Invariant: the optimization thread runs until the Shutdown we
+            // send at detach; losing it mid-run is a runtime bug (thread
+            // panic), not a guest-reachable state.
             self.to_opt
                 .send(ToOpt::BeginTick {
                     tick: self.tick,
@@ -502,6 +578,8 @@ impl QuantumHook for Cobra {
             self.report.warm_mismatches = reply.warm_mismatches;
             self.report.undecodable_loops = reply.undecodable_loops;
             self.report.verify_rejects = reply.verify_rejects;
+            self.report.candidates_trialed = reply.candidates_trialed;
+            self.report.tournaments_promoted = reply.tournaments_promoted;
             for action in reply.actions {
                 self.apply_action(machine, action);
             }
@@ -670,5 +748,112 @@ mod tests {
         let reference = run(false);
         let fast = run(true);
         assert_eq!(reference, fast);
+    }
+
+    /// A revert whose restore write lands out of range must degrade — count
+    /// the failure, annotate the reverted plan, emit telemetry — and never
+    /// panic or leave the run wedged.
+    #[test]
+    fn failed_revert_degrades_without_panicking() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.addi(5, 5, 1);
+            a.hlt();
+            a.finish()
+        };
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        let (sink, log) = TelemetrySink::memory();
+        let mut cobra = Cobra::builder().telemetry(sink).attach(&mut m);
+        cobra.apply_action(
+            &mut m,
+            PlanAction::Revert {
+                plan_id: 7,
+                loop_head: 3,
+                writes: vec![(9_999, 0)],
+                reason: "cpi regression".into(),
+            },
+        );
+        assert_eq!(cobra.report.revert_failures, 1);
+        assert_eq!(cobra.report.reverted.len(), 1);
+        assert!(
+            cobra.report.reverted[0]
+                .reason
+                .contains("revert failed at 9999 after 0/1 words"),
+            "reason: {}",
+            cobra.report.reverted[0].reason
+        );
+        let report = cobra.detach(&mut m);
+        assert_eq!(report.revert_failures, 1);
+        let log = log.lock().unwrap();
+        assert_eq!(log.count("revert_failed"), 1);
+    }
+
+    /// A revert that fails mid-way keeps the words it already restored and
+    /// records how far it got.
+    #[test]
+    fn partial_revert_failure_reports_restored_count() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.addi(5, 5, 1);
+            a.addi(6, 6, 1);
+            a.hlt();
+            a.finish()
+        };
+        let word0 = image.word(0);
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        let mut cobra = Cobra::builder().attach(&mut m);
+        cobra.apply_action(
+            &mut m,
+            PlanAction::Revert {
+                plan_id: 8,
+                loop_head: 0,
+                writes: vec![(0, word0), (9_999, 0)],
+                reason: "trial complete".into(),
+            },
+        );
+        assert_eq!(cobra.report.revert_failures, 1);
+        assert!(cobra.report.reverted[0].reason.contains("after 1/2 words"));
+        cobra.detach(&mut m);
+    }
+
+    /// A deployment that fails mid-plan rolls back every word it already
+    /// wrote, counts the failure, and records no applied plan.
+    #[test]
+    fn failed_deploy_rolls_back_applied_words() {
+        let image = {
+            let mut a = cobra_isa::Assembler::new();
+            a.addi(5, 5, 1);
+            a.hlt();
+            a.finish()
+        };
+        let word0 = image.word(0);
+        let nop = cobra_isa::encode(&cobra_isa::NOP_SLOT_M);
+        let mut m = Machine::new(MachineConfig::smp4(), image);
+        let (sink, log) = TelemetrySink::memory();
+        let mut cobra = Cobra::builder().telemetry(sink).attach(&mut m);
+        cobra.apply_action(
+            &mut m,
+            PlanAction::Apply(crate::optimizer::PatchPlan {
+                id: 11,
+                kind: crate::optimizer::OptKind::NoPrefetch,
+                loop_head: 0,
+                back_edge: 1,
+                description: "injected half-applying plan".into(),
+                candidate: None,
+                writes: vec![(0, nop), (9_999, nop)],
+                trace: None,
+            }),
+        );
+        assert_eq!(cobra.report.deploy_failures, 1);
+        assert!(
+            cobra.report.applied.is_empty(),
+            "half-applied plan recorded"
+        );
+        // The word that landed before the failure was rolled back.
+        assert_eq!(m.patch_word(0, nop).unwrap(), word0);
+        let report = cobra.detach(&mut m);
+        assert_eq!(report.deploy_failures, 1);
+        let log = log.lock().unwrap();
+        assert_eq!(log.count("deploy_failed"), 1);
     }
 }

@@ -60,6 +60,12 @@ pub enum ToOpt {
         cycle: u64,
         expected: usize,
     },
+    /// A guest-side patch write for this loop failed (apply rollback or a
+    /// stopped revert): the optimizer must blacklist it and abandon any
+    /// deployment or tournament touching it.
+    LoopPoisoned {
+        loop_head: cobra_isa::CodeAddr,
+    },
     Shutdown,
 }
 
@@ -82,6 +88,10 @@ pub struct TickReply {
     pub undecodable_loops: u64,
     /// Plans or warm seeds rejected so far by the `cobra-verify` gate.
     pub verify_rejects: u64,
+    /// Tournament candidate trials completed so far.
+    pub candidates_trialed: u64,
+    /// Tournaments that promoted a winner so far.
+    pub tournaments_promoted: u64,
 }
 
 /// Everything the optimization thread hands back when it exits — the
@@ -238,6 +248,9 @@ pub fn optimization_thread(
             } => {
                 expected = Some((tick, cycle, n));
             }
+            ToOpt::LoopPoisoned { loop_head } => {
+                optimizer.poison(loop_head);
+            }
             ToOpt::Shutdown => return finish(&optimizer, cumulative),
         }
 
@@ -302,6 +315,7 @@ pub fn optimization_thread(
                 }
 
                 optimizer.begin_tick(tick, cycle);
+                optimizer.observe_tick_window(&tick_window);
                 let actions = optimizer.consider(&profile);
                 let reply = TickReply {
                     actions,
@@ -312,6 +326,8 @@ pub fn optimization_thread(
                     warm_mismatches: optimizer.warm_mismatches(),
                     undecodable_loops: optimizer.undecodable_loops(),
                     verify_rejects: optimizer.verify_rejects(),
+                    candidates_trialed: optimizer.candidates_trialed(),
+                    tournaments_promoted: optimizer.tournaments_promoted(),
                 };
                 if reply_tx.send(reply).is_err() {
                     return finish(&optimizer, cumulative);

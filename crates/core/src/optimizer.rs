@@ -23,7 +23,7 @@ use cobra_isa::insn::{Insn, Op};
 use cobra_isa::{encode, CodeAddr, CodeImage, NOP_SLOT_M};
 use serde::{Deserialize, Serialize};
 
-use crate::profile::SystemProfile;
+use crate::profile::{CounterWindow, SystemProfile};
 use crate::telemetry::{TelemetryEmitter, TelemetryEvent};
 use crate::trace::{
     loop_lfetch_sites, loops_with_delinquent_loads, select_loops, HotLoop, TraceConfig,
@@ -34,15 +34,19 @@ use crate::trace::{
 pub enum OptKind {
     NoPrefetch,
     ExclHint,
+    /// Per-site mix of the two (tournament candidates only: the classic
+    /// one-shot classifier never emits this).
+    Combined,
 }
 
 impl OptKind {
-    pub const ALL: [OptKind; 2] = [OptKind::NoPrefetch, OptKind::ExclHint];
+    pub const ALL: [OptKind; 3] = [OptKind::NoPrefetch, OptKind::ExclHint, OptKind::Combined];
 
     pub fn name(self) -> &'static str {
         match self {
             OptKind::NoPrefetch => "noprefetch",
             OptKind::ExclHint => "prefetch.excl",
+            OptKind::Combined => "combined",
         }
     }
 
@@ -141,6 +145,20 @@ pub struct OptimizerConfig {
     /// same final deployment set as a cold one, just earlier.
     #[serde(default = "default_warm_warmup_ticks")]
     pub warm_warmup_ticks: u64,
+    /// Run the multi-version candidate tournament instead of the one-shot
+    /// classifier deployment: generate per-`lfetch` subset/mix candidates
+    /// for each eligible hot loop, trial each for `trial_ticks`, revert,
+    /// and promote the lowest-CPI candidate. Off by default — the classic
+    /// two-rewrite pipeline stays byte-identical with it off.
+    #[serde(default)]
+    pub candidates: bool,
+    /// Quantum ticks each tournament candidate stays deployed before its
+    /// trial CPI is read. Trials measure against exact per-tick counter
+    /// sums (see [`Optimizer::observe_tick_window`]), so short windows stay
+    /// accurate; longer windows average out scheduling noise at the cost of
+    /// a longer tournament.
+    #[serde(default = "default_trial_ticks")]
+    pub trial_ticks: u64,
 }
 
 fn default_warm_warmup_ticks() -> u64 {
@@ -149,6 +167,10 @@ fn default_warm_warmup_ticks() -> u64 {
 
 fn default_verify() -> bool {
     true
+}
+
+fn default_trial_ticks() -> u64 {
+    4
 }
 
 impl Default for OptimizerConfig {
@@ -175,6 +197,8 @@ impl Default for OptimizerConfig {
             warmup_ticks: 18,
             warm_warmup_ticks: default_warm_warmup_ticks(),
             verify: default_verify(),
+            candidates: false,
+            trial_ticks: default_trial_ticks(),
         }
     }
 }
@@ -187,6 +211,10 @@ pub enum PlanAction {
     /// Undo a previous deployment by restoring the overwritten words.
     Revert {
         plan_id: u64,
+        /// Head of the loop being restored — lets the framework blacklist
+        /// it (via `ToOpt::LoopPoisoned`) if a restore write fails.
+        #[serde(default)]
+        loop_head: CodeAddr,
         writes: Vec<(CodeAddr, u64)>,
         reason: String,
     },
@@ -203,6 +231,11 @@ pub struct PatchPlan {
     #[serde(default)]
     pub back_edge: CodeAddr,
     pub description: String,
+    /// Tournament candidate spec name when this plan is a candidate trial
+    /// or a promoted/warm-resumed winner (`None` for classic one-shot
+    /// deployments).
+    #[serde(default)]
+    pub candidate: Option<String>,
     /// Words to write into the existing image, `(addr, new_word)`.
     pub writes: Vec<(CodeAddr, u64)>,
     /// Optimized trace to append first (TraceCache mode).
@@ -223,6 +256,7 @@ impl From<OptKind> for cobra_verify::RewriteKind {
         match kind {
             OptKind::NoPrefetch => cobra_verify::RewriteKind::NoPrefetch,
             OptKind::ExclHint => cobra_verify::RewriteKind::ExclHint,
+            OptKind::Combined => cobra_verify::RewriteKind::Combined,
         }
     }
 }
@@ -259,11 +293,18 @@ struct Deployment {
     plan_id: u64,
     loop_head: CodeAddr,
     kind: OptKind,
+    /// Tournament candidate spec that produced this deployment (`None`
+    /// for classic one-shot deployments).
+    candidate: Option<String>,
+    /// `(candidate, trial CPI)` pairs from the tournament that promoted
+    /// this deployment (empty for classic or warm-resumed deployments).
+    trials: Vec<(String, f64)>,
     /// `(addr, old_word)` for revert.
     undo: Vec<(CodeAddr, u64)>,
     baseline_cpi: f64,
-    /// CPI of the most recent completed trial window (0 until one closes).
-    last_post_cpi: f64,
+    /// CPI of the most recent completed trial window (`None` until one
+    /// closes — never a `0.0` sentinel).
+    last_post_cpi: Option<f64>,
     post_ticks: u64,
     reverted: bool,
 }
@@ -277,6 +318,10 @@ pub struct WarmSeed {
     pub decisions: Vec<(CodeAddr, OptKind)>,
     /// Loops whose deployments regressed in a prior run: skipped outright.
     pub blacklist: Vec<CodeAddr>,
+    /// Tournament winners from a prior run: with candidates enabled, a
+    /// warm run deploys the named candidate directly instead of
+    /// re-running the tournament.
+    pub winners: Vec<(CodeAddr, String)>,
 }
 
 /// One loop's final decision, exported at detach for persistence.
@@ -286,7 +331,160 @@ pub struct DecisionExport {
     pub kind: OptKind,
     pub reverted: bool,
     pub baseline_cpi: f64,
-    pub post_cpi: f64,
+    /// Last completed trial-window CPI (`None` when no window closed).
+    pub post_cpi: Option<f64>,
+    /// Winning tournament candidate, when this decision came from one.
+    pub candidate: Option<String>,
+    /// Per-candidate trial CPIs of the tournament that picked this
+    /// decision, in trial order.
+    pub trials: Vec<(String, f64)>,
+}
+
+/// Per-`lfetch`-site action in a tournament candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteAction {
+    /// Leave the site as compiled.
+    Keep,
+    /// Rewrite to `nop.m` (remove the prefetch).
+    Nop,
+    /// Flip to `lfetch.excl`.
+    Excl,
+}
+
+/// One tournament candidate: a named per-site action vector over the
+/// loop's `lfetch` sites (in `sites` order — burst sites first).
+#[derive(Debug, Clone, PartialEq)]
+struct CandidateSpec {
+    name: &'static str,
+    actions: Vec<SiteAction>,
+}
+
+impl CandidateSpec {
+    /// The plan kind the action mix maps to (drives the verifier rules).
+    fn kind(&self) -> OptKind {
+        let any_nop = self.actions.contains(&SiteAction::Nop);
+        let any_excl = self.actions.contains(&SiteAction::Excl);
+        match (any_nop, any_excl) {
+            (true, true) => OptKind::Combined,
+            (false, true) => OptKind::ExclHint,
+            // All-Keep specs are filtered out at generation.
+            _ => OptKind::NoPrefetch,
+        }
+    }
+}
+
+/// Deterministic candidate list for a loop whose `lfetch` sites are
+/// `sites` (sorted; burst sites — addresses below `head` — first). Specs
+/// that collapse to the same action vector (e.g. the body-only variants of
+/// a loop with no burst) are deduplicated keeping the first name; all-Keep
+/// specs are dropped.
+fn candidate_specs(sites: &[CodeAddr], head: CodeAddr) -> Vec<CandidateSpec> {
+    let n = sites.len();
+    let body = |a: &CodeAddr| *a >= head;
+    let uniform = |act: SiteAction| vec![act; n];
+    let split_at = n.div_ceil(2);
+    let raw = [
+        ("noprefetch", uniform(SiteAction::Nop)),
+        ("prefetch.excl", uniform(SiteAction::Excl)),
+        (
+            "noprefetch.body",
+            sites
+                .iter()
+                .map(|a| {
+                    if body(a) {
+                        SiteAction::Nop
+                    } else {
+                        SiteAction::Keep
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "prefetch.excl.body",
+            sites
+                .iter()
+                .map(|a| {
+                    if body(a) {
+                        SiteAction::Excl
+                    } else {
+                        SiteAction::Keep
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "combined.burst-nop",
+            sites
+                .iter()
+                .map(|a| {
+                    if body(a) {
+                        SiteAction::Excl
+                    } else {
+                        SiteAction::Nop
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "combined.split",
+            (0..n)
+                .map(|i| {
+                    if i < split_at {
+                        SiteAction::Nop
+                    } else {
+                        SiteAction::Excl
+                    }
+                })
+                .collect(),
+        ),
+    ];
+    let mut out: Vec<CandidateSpec> = Vec::with_capacity(raw.len());
+    for (name, actions) in raw {
+        if actions.iter().all(|&a| a == SiteAction::Keep) {
+            continue;
+        }
+        if out.iter().any(|s| s.actions == actions) {
+            continue;
+        }
+        out.push(CandidateSpec { name, actions });
+    }
+    out
+}
+
+/// A live candidate trial: which spec is deployed and how to take it back.
+#[derive(Debug)]
+struct LiveTrial {
+    spec_idx: usize,
+    plan_id: u64,
+    /// `(addr, old_word)` restoring the pre-candidate image.
+    undo: Vec<(CodeAddr, u64)>,
+    /// Trial ticks observed so far.
+    ticks: u64,
+    /// Instructions retired across the trial's own ticks (exact per-tick
+    /// sums, not the rolling window — short trials stay uncontaminated by
+    /// pre-trial history).
+    insns: u64,
+    /// Cycles across the trial's own ticks.
+    cycles: u64,
+}
+
+/// One loop's candidate tournament: trial each spec for `trial_ticks`,
+/// revert, then promote the lowest-CPI candidate.
+#[derive(Debug)]
+struct Tournament {
+    lp: HotLoop,
+    sites: Vec<CodeAddr>,
+    specs: Vec<CandidateSpec>,
+    /// Next spec index to trial.
+    next: usize,
+    /// `(candidate, trial CPI)` in trial order (verify-rejected specs are
+    /// skipped and never appear).
+    results: Vec<(String, f64)>,
+    /// Pre-tournament CPI the winner must not regress past.
+    baseline_cpi: f64,
+    live: Option<LiveTrial>,
+    /// Aborted (poisoned) — dropped at the next pump without promotion.
+    poisoned: bool,
 }
 
 /// The optimization-thread state: decisions, plan construction, and its own
@@ -304,6 +502,13 @@ pub struct Optimizer {
     ticks_seen: u64,
     /// Seeded decisions from a warm start, pending live validation.
     seeded: HashMap<CodeAddr, OptKind>,
+    /// Seeded tournament winners from a warm start (candidate name per
+    /// loop head): deployed directly, skipping the tournament.
+    seeded_winners: HashMap<CodeAddr, String>,
+    /// In-flight candidate tournaments.
+    tournaments: Vec<Tournament>,
+    candidates_trialed: u64,
+    tournaments_promoted: u64,
     /// Whether [`Optimizer::warm_start`] ran (enables the shortened
     /// learning window even after every seed is consumed).
     warm: bool,
@@ -316,6 +521,11 @@ pub struct Optimizer {
     /// [`Optimizer::begin_tick`]), used to stamp telemetry events.
     cur_tick: u64,
     cur_cycle: u64,
+    /// This tick's merged counter deltas (set by
+    /// [`Optimizer::observe_tick_window`]; cleared after each
+    /// [`Optimizer::consider`]). Candidate trials sum these for exact
+    /// per-trial CPI; `None` falls back to the rolling window.
+    tick_window: Option<CounterWindow>,
 }
 
 impl Optimizer {
@@ -331,6 +541,10 @@ impl Optimizer {
             next_plan_id: 0,
             ticks_seen: 0,
             seeded: HashMap::new(),
+            seeded_winners: HashMap::new(),
+            tournaments: Vec::new(),
+            candidates_trialed: 0,
+            tournaments_promoted: 0,
             warm: false,
             warm_hits: 0,
             warm_mismatches: 0,
@@ -339,6 +553,7 @@ impl Optimizer {
             telemetry: None,
             cur_tick: 0,
             cur_cycle: 0,
+            tick_window: None,
         }
     }
 
@@ -356,6 +571,14 @@ impl Optimizer {
     pub fn begin_tick(&mut self, tick: u64, cycle: u64) {
         self.cur_tick = tick;
         self.cur_cycle = cycle;
+    }
+
+    /// Hand this tick's merged counter deltas to the optimizer (exactly the
+    /// window the phase detector sees). Candidate trials accumulate these
+    /// so a trial's CPI covers precisely its own ticks, independent of the
+    /// rolling-window length. Consumed by the next [`Optimizer::consider`].
+    pub fn observe_tick_window(&mut self, window: &CounterWindow) {
+        self.tick_window = Some(*window);
     }
 
     /// Seed the optimizer with prior-run knowledge (call before the first
@@ -391,6 +614,23 @@ impl Optimizer {
             // needs no verification.
             self.blacklisted_heads.insert(head);
         }
+        for (head, candidate) in seed.winners {
+            // Same live-image gate as decision seeds: a stale winner must
+            // not skip the tournament *and* the safety check.
+            if self.cfg.verify {
+                if let Err(err) = cobra_verify::check_seed(&self.image, head) {
+                    self.verify_rejects += 1;
+                    self.emit(TelemetryEvent::VerifyReject {
+                        tick: self.cur_tick,
+                        cycle: self.cur_cycle,
+                        loop_head: head,
+                        reason: format!("warm seed: {err}"),
+                    });
+                    continue;
+                }
+            }
+            self.seeded_winners.insert(head, candidate);
+        }
     }
 
     /// Whether [`Optimizer::warm_start`] ran.
@@ -418,6 +658,16 @@ impl Optimizer {
         self.verify_rejects
     }
 
+    /// Tournament candidate trials completed (each one deploy + revert).
+    pub fn candidates_trialed(&self) -> u64 {
+        self.candidates_trialed
+    }
+
+    /// Tournaments that ended by promoting a winner.
+    pub fn tournaments_promoted(&self) -> u64 {
+        self.tournaments_promoted
+    }
+
     /// Final per-loop decisions and the blacklist, for persistence. Both
     /// lists are sorted by loop head so snapshots serialize
     /// deterministically.
@@ -431,6 +681,8 @@ impl Optimizer {
                 reverted: d.reverted,
                 baseline_cpi: d.baseline_cpi,
                 post_cpi: d.last_post_cpi,
+                candidate: d.candidate.clone(),
+                trials: d.trials.clone(),
             })
             .collect();
         decisions.sort_by_key(|d| d.loop_head);
@@ -451,7 +703,11 @@ impl Optimizer {
     pub fn consider(&mut self, profile: &SystemProfile) -> Vec<PlanAction> {
         let mut actions = Vec::new();
         self.ticks_seen += 1;
+        // This tick's exact deltas when the driver provided them (rolling
+        // window otherwise, e.g. when driven directly in tests).
+        let tick_window = self.tick_window.take().unwrap_or(profile.window);
         self.track_regressions(profile, &mut actions);
+        self.pump_tournaments(profile, &tick_window, &mut actions);
 
         // A warm-started run may act after the shortened learning window —
         // but only on seeded loops (see below); everything else still waits
@@ -500,9 +756,10 @@ impl Optimizer {
         }
         // Seeded loops are candidates on prior-run evidence alone: this
         // early in a warm run the DEAR may not have re-pinpointed them yet.
-        if !self.seeded.is_empty() {
+        if !self.seeded.is_empty() || !self.seeded_winners.is_empty() {
             for lp in &loops {
-                if self.seeded.contains_key(&lp.head)
+                if (self.seeded.contains_key(&lp.head)
+                    || self.seeded_winners.contains_key(&lp.head))
                     && !candidates.iter().any(|c| c.head == lp.head)
                 {
                     candidates.push(lp.clone());
@@ -525,7 +782,10 @@ impl Optimizer {
             // (previously validated) decision may deploy; unseeded loops
             // wait out the full cold warmup so a warm run converges to the
             // same deployment set as a cold one.
-            if in_warm_window && !self.seeded.contains_key(&lp.head) {
+            if in_warm_window
+                && !self.seeded.contains_key(&lp.head)
+                && !self.seeded_winners.contains_key(&lp.head)
+            {
                 continue;
             }
             // Never optimize our own optimized traces (their back edges are
@@ -558,6 +818,43 @@ impl Optimizer {
                 }
                 continue;
             };
+            if self.cfg.candidates {
+                let specs = candidate_specs(&sites, lp.head);
+                if specs.len() >= 3 {
+                    // Tournament path. Classic decision seeds carry no
+                    // candidate name; consume them without hit/miss
+                    // accounting — the tournament (or the warm winner
+                    // below) re-decides from scratch.
+                    self.seeded.remove(&lp.head);
+                    if let Some(name) = self.seeded_winners.remove(&lp.head) {
+                        if let Some(spec) = specs.iter().find(|s| s.name == name).cloned() {
+                            if self.deploy_winner(&lp, &sites, &spec, &[], profile, &mut actions) {
+                                self.warm_hits += 1;
+                                deployed_this_tick += 1;
+                            }
+                            continue;
+                        }
+                        // A winner name this build no longer generates:
+                        // fall through and re-run the tournament.
+                        self.warm_mismatches += 1;
+                    }
+                    self.optimized_heads.insert(lp.head);
+                    self.tournaments.push(Tournament {
+                        lp: lp.clone(),
+                        sites: sites.clone(),
+                        specs,
+                        next: 0,
+                        results: Vec::new(),
+                        baseline_cpi: profile.window.cpi(),
+                        live: None,
+                        poisoned: false,
+                    });
+                    deployed_this_tick += 1;
+                    continue;
+                }
+                // Fewer than 3 distinct candidates (e.g. a single-site
+                // loop): the tournament adds nothing — classic path below.
+            }
             if let Some(seed) = seeded_kind {
                 self.seeded.remove(&lp.head);
                 if seed == kind {
@@ -608,13 +905,15 @@ impl Optimizer {
                 plan_id: plan.id,
                 loop_head: lp.head,
                 kind,
+                candidate: None,
+                trials: Vec::new(),
                 undo: plan
                     .writes
                     .iter()
                     .map(|&(addr, _)| (addr, self.undo_word(addr, &plan)))
                     .collect(),
                 baseline_cpi: profile.window.cpi(),
-                last_post_cpi: 0.0,
+                last_post_cpi: None,
                 post_ticks: 0,
                 reverted: false,
             });
@@ -714,9 +1013,19 @@ impl Optimizer {
         }
     }
 
-    /// Build the rewrite plan for one loop, or `None` when any word the
-    /// plan must read fails to decode — the caller skips (and counts) the
-    /// loop instead of panicking the optimizer thread.
+    /// Apply one tournament site action to an instruction.
+    fn rewrite_site(&self, insn: &Insn, action: SiteAction) -> Insn {
+        match action {
+            SiteAction::Keep => *insn,
+            SiteAction::Nop => self.rewrite_lfetch(insn, OptKind::NoPrefetch),
+            SiteAction::Excl => self.rewrite_lfetch(insn, OptKind::ExclHint),
+        }
+    }
+
+    /// Build the rewrite plan for one loop (classic one-shot path: every
+    /// site gets the same rewrite), or `None` when any word the plan must
+    /// read fails to decode — the caller skips (and counts) the loop
+    /// instead of panicking the optimizer thread.
     fn build_plan(
         &mut self,
         lp: &HotLoop,
@@ -724,23 +1033,53 @@ impl Optimizer {
         kind: OptKind,
         profile: &SystemProfile,
     ) -> Option<PatchPlan> {
+        let action = match kind {
+            OptKind::NoPrefetch => SiteAction::Nop,
+            OptKind::ExclHint => SiteAction::Excl,
+            // The classic classifier never emits Combined (tournaments
+            // build those through build_plan_actions directly).
+            OptKind::Combined => return None,
+        };
+        let actions = vec![action; sites.len()];
+        self.build_plan_actions(lp, sites, &actions, kind, None, profile)
+    }
+
+    /// Build a rewrite plan from a per-site action vector (`actions[i]`
+    /// applies to `sites[i]`). Returns `None` when any word the plan must
+    /// read fails to decode.
+    fn build_plan_actions(
+        &mut self,
+        lp: &HotLoop,
+        sites: &[CodeAddr],
+        actions: &[SiteAction],
+        kind: OptKind,
+        candidate: Option<&str>,
+        profile: &SystemProfile,
+    ) -> Option<PatchPlan> {
         let id = self.next_plan_id;
         self.next_plan_id += 1;
+        let action_at: HashMap<CodeAddr, SiteAction> =
+            sites.iter().copied().zip(actions.iter().copied()).collect();
         let description = format!(
-            "{} on loop [{},{}] ({} lfetch sites; coherent ratio {:.3}, L3/kinst {:.2})",
+            "{}{} on loop [{},{}] ({} lfetch sites; coherent ratio {:.3}, L3/kinst {:.2})",
             kind.name(),
+            candidate.map(|c| format!(" [{c}]")).unwrap_or_default(),
             lp.head,
             lp.back_edge,
             sites.len(),
             profile.window.coherent_ratio(),
             profile.window.l3_per_kinst(),
         );
+        let candidate = candidate.map(str::to_string);
         match self.cfg.deploy {
             DeployMode::InPlace => {
                 let mut writes = Vec::with_capacity(sites.len());
-                for &addr in sites {
+                for (&addr, &action) in sites.iter().zip(actions) {
+                    if action == SiteAction::Keep {
+                        continue;
+                    }
                     let insn = self.image.insn(addr).ok()?;
-                    writes.push((addr, encode(&self.rewrite_lfetch(&insn, kind))));
+                    writes.push((addr, encode(&self.rewrite_site(&insn, action))));
                 }
                 Some(PatchPlan {
                     id,
@@ -748,6 +1087,7 @@ impl Optimizer {
                     loop_head: lp.head,
                     back_edge: lp.back_edge,
                     description,
+                    candidate,
                     writes,
                     trace: None,
                 })
@@ -759,7 +1099,9 @@ impl Optimizer {
                 let mut insns = Vec::with_capacity(lp.len() as usize + 1);
                 for addr in lp.head..=lp.back_edge {
                     let mut insn = self.image.insn(addr).ok()?;
-                    insn = self.rewrite_lfetch(&insn, kind);
+                    if let Some(&action) = action_at.get(&addr) {
+                        insn = self.rewrite_site(&insn, action);
+                    }
                     if insn.op.branch_target() == Some(lp.head) {
                         insn.op = insn.op.with_branch_target(expected_start)?;
                     }
@@ -774,9 +1116,12 @@ impl Optimizer {
                 // body; rewrite those in place. The original head becomes a
                 // redirect into the trace.
                 let mut writes: Vec<(CodeAddr, u64)> = Vec::with_capacity(sites.len() + 1);
-                for &addr in sites.iter().filter(|&&a| a < lp.head) {
+                for (&addr, &action) in sites.iter().zip(actions).filter(|&(&a, _)| a < lp.head) {
+                    if action == SiteAction::Keep {
+                        continue;
+                    }
                     let insn = self.image.insn(addr).ok()?;
-                    writes.push((addr, encode(&self.rewrite_lfetch(&insn, kind))));
+                    writes.push((addr, encode(&self.rewrite_site(&insn, action))));
                 }
                 writes.push((
                     lp.head,
@@ -790,6 +1135,7 @@ impl Optimizer {
                     loop_head: lp.head,
                     back_edge: lp.back_edge,
                     description,
+                    candidate,
                     writes,
                     trace: Some(TracePlan {
                         expected_start,
@@ -804,12 +1150,338 @@ impl Optimizer {
     /// trace-cache layout identical).
     fn apply_to_own_image(&mut self, plan: &PatchPlan) {
         if let Some(trace) = &plan.trace {
+            // Invariant: expected_start was computed as bundle_align(len) of
+            // this same image just before this call — appending cannot land
+            // anywhere else unless the plan was built against a stale image,
+            // which the single-threaded build→apply sequence rules out.
             let start = self.image.append_trace(&trace.insns);
             assert_eq!(start, trace.expected_start, "trace layout divergence");
         }
         for &(addr, word) in &plan.writes {
+            // Invariant: plan writes only target addresses read from this
+            // image moments ago (and already decoded), so they are in range.
             self.image.patch_word(addr, word).expect("own-image patch");
         }
+    }
+
+    /// Advance every in-flight tournament by one tick: close a finished
+    /// trial window (record its CPI, revert the candidate), start the next
+    /// candidate, and promote the winner once all candidates have run.
+    fn pump_tournaments(
+        &mut self,
+        profile: &SystemProfile,
+        tick_window: &CounterWindow,
+        actions: &mut Vec<PlanAction>,
+    ) {
+        if self.tournaments.is_empty() {
+            return;
+        }
+        // Take the list so candidate plan building (which borrows `self`
+        // mutably) can run per tournament; unfinished ones go back after.
+        let mut tournaments = std::mem::take(&mut self.tournaments);
+        tournaments.retain_mut(|t| !self.pump_one(t, profile, tick_window, actions));
+        // consider() pumps before it creates new tournaments, so the slot
+        // is still empty here; append keeps any future ordering safe.
+        self.tournaments.extend(tournaments);
+    }
+
+    /// Advance one tournament; returns `true` when it is finished (promoted,
+    /// abandoned, or poisoned) and should be dropped.
+    fn pump_one(
+        &mut self,
+        t: &mut Tournament,
+        profile: &SystemProfile,
+        tick_window: &CounterWindow,
+        actions: &mut Vec<PlanAction>,
+    ) -> bool {
+        if t.poisoned {
+            // poison() already blacklisted the loop; the live trial (if
+            // any) is unrecoverable on the guest side — drop everything.
+            return true;
+        }
+        if let Some(live) = &mut t.live {
+            live.ticks += 1;
+            live.insns += tick_window.instructions;
+            live.cycles += tick_window.cycles;
+            if live.ticks >= self.cfg.trial_ticks && live.insns > 0 {
+                let cpi = live.cycles as f64 / live.insns as f64;
+                let name = t.specs[live.spec_idx].name;
+                t.results.push((name.to_string(), cpi));
+                self.candidates_trialed += 1;
+                self.emit(TelemetryEvent::CandidateTrial {
+                    tick: self.cur_tick,
+                    cycle: self.cur_cycle,
+                    loop_head: t.lp.head,
+                    candidate: name.to_string(),
+                    plan_id: live.plan_id,
+                    trial_ticks: live.ticks,
+                    baseline_cpi: t.baseline_cpi,
+                    cpi,
+                });
+                for &(addr, old) in &live.undo {
+                    // Invariant: trial undo words restore addresses this
+                    // optimizer patched moments ago — always in range.
+                    self.image
+                        .patch_word(addr, old)
+                        .expect("own-image trial revert");
+                }
+                actions.push(PlanAction::Revert {
+                    plan_id: live.plan_id,
+                    loop_head: t.lp.head,
+                    writes: live.undo.clone(),
+                    reason: format!("candidate '{name}' trial complete (cpi {cpi:.3})"),
+                });
+                t.live = None;
+                t.next += 1;
+            }
+            return false;
+        }
+        // Arm the baseline from the first usable window before any
+        // candidate deploys (tournaments created on a sample-starved tick
+        // would otherwise compare against 0).
+        if t.next == 0 && t.baseline_cpi <= 0.0 && profile.window.instructions > 0 {
+            t.baseline_cpi = profile.window.cpi();
+        }
+        // Start the next candidate, skipping any the verifier rejects.
+        while t.next < t.specs.len() {
+            let spec = t.specs[t.next].clone();
+            let Some(plan) = self.build_plan_actions(
+                &t.lp,
+                &t.sites,
+                &spec.actions,
+                spec.kind(),
+                Some(spec.name),
+                profile,
+            ) else {
+                // A word in the loop stopped decoding mid-tournament:
+                // abandon the whole tournament, never retry the loop.
+                self.undecodable_loops += 1;
+                self.blacklisted_heads.insert(t.lp.head);
+                self.emit(TelemetryEvent::UndecodableLoop {
+                    tick: self.cur_tick,
+                    cycle: self.cur_cycle,
+                    loop_head: t.lp.head,
+                });
+                return true;
+            };
+            if self.cfg.verify {
+                if let Err(err) = verify_plan(&self.image, &plan, self.cfg.trace.entry_window_slots)
+                {
+                    // Reject only this candidate; the rest still compete.
+                    self.verify_rejects += 1;
+                    self.emit(TelemetryEvent::VerifyReject {
+                        tick: self.cur_tick,
+                        cycle: self.cur_cycle,
+                        loop_head: t.lp.head,
+                        reason: format!("candidate '{}': {err}", spec.name),
+                    });
+                    t.next += 1;
+                    continue;
+                }
+            }
+            let plan_id = plan.id;
+            // Apply first: undo_word reads the patch log's most recent
+            // entry at each address, which is this plan's only once the
+            // plan is in the log (earlier candidates' apply/revert pairs
+            // would otherwise shadow the true pre-plan words).
+            self.apply_to_own_image(&plan);
+            let undo: Vec<(CodeAddr, u64)> = plan
+                .writes
+                .iter()
+                .map(|&(addr, _)| (addr, self.undo_word(addr, &plan)))
+                .collect();
+            actions.push(PlanAction::Apply(plan));
+            t.live = Some(LiveTrial {
+                spec_idx: t.next,
+                plan_id,
+                undo,
+                ticks: 0,
+                insns: 0,
+                cycles: 0,
+            });
+            return false;
+        }
+        // Every candidate has been trialed (or rejected): settle.
+        self.finish_tournament(t, profile, actions);
+        true
+    }
+
+    /// Pick and deploy the tournament winner, or blacklist the loop when no
+    /// candidate survived / even the best one regresses.
+    fn finish_tournament(
+        &mut self,
+        t: &Tournament,
+        profile: &SystemProfile,
+        actions: &mut Vec<PlanAction>,
+    ) {
+        // Lowest trial CPI wins; strict `<` keeps the earliest candidate on
+        // ties, so outcomes are deterministic across runs.
+        let mut winner: Option<(usize, f64)> = None;
+        for (i, &(_, cpi)) in t.results.iter().enumerate() {
+            if winner.is_none_or(|(_, best)| cpi < best) {
+                winner = Some((i, cpi));
+            }
+        }
+        let Some((widx, wcpi)) = winner else {
+            // Every candidate was verifier-rejected or no window ever
+            // closed: nothing to promote.
+            self.blacklisted_heads.insert(t.lp.head);
+            self.emit(TelemetryEvent::Blacklist {
+                tick: self.cur_tick,
+                cycle: self.cur_cycle,
+                loop_head: t.lp.head,
+            });
+            self.emit(TelemetryEvent::TournamentOutcome {
+                tick: self.cur_tick,
+                cycle: self.cur_cycle,
+                loop_head: t.lp.head,
+                candidates: t.specs.len(),
+                winner: None,
+                winner_cpi: None,
+                promoted: false,
+            });
+            return;
+        };
+        let name = t.results[widx].0.clone();
+        if t.baseline_cpi > 0.0
+            && self.cfg.regression_factor > 0.0
+            && wcpi > t.baseline_cpi * self.cfg.regression_factor
+        {
+            // Even the best candidate regresses past the revert threshold:
+            // leave the loop alone for good.
+            self.blacklisted_heads.insert(t.lp.head);
+            self.emit(TelemetryEvent::Blacklist {
+                tick: self.cur_tick,
+                cycle: self.cur_cycle,
+                loop_head: t.lp.head,
+            });
+            self.emit(TelemetryEvent::TournamentOutcome {
+                tick: self.cur_tick,
+                cycle: self.cur_cycle,
+                loop_head: t.lp.head,
+                candidates: t.specs.len(),
+                winner: Some(name),
+                winner_cpi: Some(wcpi),
+                promoted: false,
+            });
+            return;
+        }
+        // Spec names are unique within a tournament (dedupe keeps the
+        // first), so the winner's spec is always found.
+        let Some(spec) = t.specs.iter().find(|s| s.name == name).cloned() else {
+            return;
+        };
+        let promoted = self.deploy_winner(&t.lp, &t.sites, &spec, &t.results, profile, actions);
+        if promoted {
+            self.tournaments_promoted += 1;
+        }
+        self.emit(TelemetryEvent::TournamentOutcome {
+            tick: self.cur_tick,
+            cycle: self.cur_cycle,
+            loop_head: t.lp.head,
+            candidates: t.specs.len(),
+            winner: Some(name),
+            winner_cpi: Some(wcpi),
+            promoted,
+        });
+    }
+
+    /// Build, verify, and deploy `spec` as the lasting rewrite for `lp`
+    /// (tournament promotion and warm-started winners). Returns whether the
+    /// deployment landed; failures blacklist the loop.
+    fn deploy_winner(
+        &mut self,
+        lp: &HotLoop,
+        sites: &[CodeAddr],
+        spec: &CandidateSpec,
+        trials: &[(String, f64)],
+        profile: &SystemProfile,
+        actions: &mut Vec<PlanAction>,
+    ) -> bool {
+        let Some(plan) = self.build_plan_actions(
+            lp,
+            sites,
+            &spec.actions,
+            spec.kind(),
+            Some(spec.name),
+            profile,
+        ) else {
+            self.undecodable_loops += 1;
+            self.blacklisted_heads.insert(lp.head);
+            self.emit(TelemetryEvent::UndecodableLoop {
+                tick: self.cur_tick,
+                cycle: self.cur_cycle,
+                loop_head: lp.head,
+            });
+            return false;
+        };
+        if self.cfg.verify {
+            if let Err(err) = verify_plan(&self.image, &plan, self.cfg.trace.entry_window_slots) {
+                self.verify_rejects += 1;
+                self.blacklisted_heads.insert(lp.head);
+                self.emit(TelemetryEvent::VerifyReject {
+                    tick: self.cur_tick,
+                    cycle: self.cur_cycle,
+                    loop_head: lp.head,
+                    reason: format!("winner '{}': {err}", spec.name),
+                });
+                return false;
+            }
+        }
+        // Apply before computing undo words (see pump_one: the patch log's
+        // top entry per address is only the pre-plan word post-apply).
+        self.apply_to_own_image(&plan);
+        let undo: Vec<(CodeAddr, u64)> = plan
+            .writes
+            .iter()
+            .map(|&(addr, _)| (addr, self.undo_word(addr, &plan)))
+            .collect();
+        self.optimized_heads.insert(lp.head);
+        self.deployments.push(Deployment {
+            plan_id: plan.id,
+            loop_head: lp.head,
+            kind: spec.kind(),
+            candidate: Some(spec.name.to_string()),
+            trials: trials.to_vec(),
+            undo,
+            baseline_cpi: profile.window.cpi(),
+            last_post_cpi: None,
+            post_ticks: 0,
+            reverted: false,
+        });
+        actions.push(PlanAction::Apply(plan));
+        true
+    }
+
+    /// Abandon all optimization of `loop_head` after a guest-side patch
+    /// failure (the framework's `ToOpt::LoopPoisoned`): blacklist it, mark
+    /// its deployments reverted, and abort any tournament on it. The
+    /// optimizer's own image copy is deliberately left as-is — blacklisted
+    /// heads are never re-read for planning, and rewinding trace appendices
+    /// would desync the two sides' layouts.
+    pub fn poison(&mut self, loop_head: CodeAddr) {
+        self.blacklisted_heads.insert(loop_head);
+        self.seeded.remove(&loop_head);
+        self.seeded_winners.remove(&loop_head);
+        for d in self
+            .deployments
+            .iter_mut()
+            .filter(|d| d.loop_head == loop_head)
+        {
+            d.reverted = true;
+        }
+        for t in self
+            .tournaments
+            .iter_mut()
+            .filter(|t| t.lp.head == loop_head)
+        {
+            t.poisoned = true;
+        }
+        self.emit(TelemetryEvent::Blacklist {
+            tick: self.cur_tick,
+            cycle: self.cur_cycle,
+            loop_head,
+        });
     }
 
     /// Accumulate post-deployment CPI and emit reverts on regression.
@@ -838,7 +1510,7 @@ impl Optimizer {
             if d.post_ticks >= cfg.regression_ticks && profile.window.instructions > 0 {
                 // The rolling window is fully post-deployment by now.
                 let post_cpi = profile.window.cpi();
-                d.last_post_cpi = post_cpi;
+                d.last_post_cpi = Some(post_cpi);
                 if std::env::var("COBRA_DEBUG_REGRESSION").is_ok() {
                     eprintln!(
                         "[regress?] plan {} post_ticks {} cpi {:.3} baseline {:.3}",
@@ -876,6 +1548,8 @@ impl Optimizer {
         for (plan_id, loop_head, writes, reason) in reverts {
             // Restore our own copy, and never touch this loop again.
             for &(addr, old) in &writes {
+                // Invariant: undo words restore addresses this optimizer
+                // patched when it deployed — always in range on our copy.
                 self.image.patch_word(addr, old).expect("own-image revert");
             }
             self.blacklisted_heads.insert(loop_head);
@@ -886,6 +1560,7 @@ impl Optimizer {
             });
             actions.push(PlanAction::Revert {
                 plan_id,
+                loop_head,
                 writes,
                 reason,
             });
@@ -1213,6 +1888,7 @@ mod tests {
         warm.warm_start(WarmSeed {
             decisions: vec![(head, cold_kind)],
             blacklist: vec![],
+            winners: vec![],
         });
         assert!(warm.is_warm());
         let (warm_tick, warm_kind) = first_deploy(&mut warm).expect("warm run deploys");
@@ -1243,6 +1919,7 @@ mod tests {
         opt.warm_start(WarmSeed {
             decisions: vec![(head, OptKind::ExclHint)],
             blacklist: vec![],
+            winners: vec![],
         });
         let mut deploys = Vec::new();
         for tick in 1..=12u64 {
@@ -1278,6 +1955,7 @@ mod tests {
         opt.warm_start(WarmSeed {
             decisions: vec![],
             blacklist: vec![head],
+            winners: vec![],
         });
         let profile = hot_profile(load_pc, head, back, 1.0);
         for _ in 0..8 {
@@ -1383,6 +2061,7 @@ mod tests {
         opt.warm_start(WarmSeed {
             decisions: vec![(9999, OptKind::NoPrefetch), (head, OptKind::NoPrefetch)],
             blacklist: vec![],
+            winners: vec![],
         });
         assert_eq!(opt.verify_rejects(), 1);
         // The valid seed still deploys through the normal path.
@@ -1418,5 +2097,238 @@ mod tests {
         }));
         let err = verify_plan(&image, &plan, window).unwrap_err();
         assert!(err.to_string().contains("violation"));
+    }
+
+    /// The candidate generator is deterministic, names are unique, and a
+    /// burst+body loop yields enough distinct candidates for a tournament.
+    #[test]
+    fn candidate_specs_are_distinct_and_deterministic() {
+        // 2 burst sites (below head) + 1 body site, like loop_image().
+        let sites = vec![0u32, 1, 5];
+        let specs = candidate_specs(&sites, 3);
+        assert!(specs.len() >= 4, "burst+body loop: {specs:?}");
+        for s in &specs {
+            assert!(
+                s.actions.iter().any(|&a| a != SiteAction::Keep),
+                "all-Keep spec survived: {s:?}"
+            );
+        }
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate names");
+        assert_eq!(specs, candidate_specs(&sites, 3), "deterministic");
+        // Kinds map from the action mix.
+        let by_name = |n: &str| specs.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("noprefetch").kind(), OptKind::NoPrefetch);
+        assert_eq!(by_name("prefetch.excl").kind(), OptKind::ExclHint);
+        assert_eq!(by_name("combined.burst-nop").kind(), OptKind::Combined);
+        // A single-site loop collapses to the two uniform rewrites.
+        let solo = candidate_specs(&[7], 3);
+        assert_eq!(solo.len(), 2, "{solo:?}");
+    }
+
+    /// Drive a full tournament: every candidate is deployed for one trial
+    /// tick and reverted; the candidate given the lowest trial CPI is
+    /// promoted, and the promoted deployment carries its name and trials.
+    #[test]
+    fn tournament_promotes_lowest_cpi_candidate() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                candidates: true,
+                trial_ticks: 1,
+                ..Default::default()
+            },
+            image,
+        );
+        let favourite = "prefetch.excl.body";
+        let mut live: Option<String> = None;
+        let mut trial_applies: Vec<String> = Vec::new();
+        let mut promoted: Option<PatchPlan> = None;
+        for _ in 0..40 {
+            // The favourite candidate's trial window shows a low CPI;
+            // everything else (including the baseline) runs at 1.5.
+            let mut profile = hot_profile(load_pc, head, back, 1.0);
+            if live.as_deref() == Some(favourite) {
+                profile.window.cycles = 100_000; // CPI 1.0
+            }
+            for action in opt.consider(&profile) {
+                match action {
+                    PlanAction::Apply(plan) => {
+                        let name = plan.candidate.clone().expect("tournament plan is named");
+                        if opt.tournaments.is_empty() {
+                            promoted = Some(plan);
+                        } else {
+                            trial_applies.push(name.clone());
+                            live = Some(name);
+                        }
+                    }
+                    PlanAction::Revert { loop_head, .. } => {
+                        assert_eq!(loop_head, head, "revert names its loop");
+                        live = None;
+                    }
+                }
+            }
+        }
+        let promoted = promoted.expect("tournament promotes a winner");
+        assert_eq!(promoted.candidate.as_deref(), Some(favourite));
+        assert_eq!(promoted.kind, OptKind::ExclHint);
+        assert!(
+            trial_applies.len() >= 3,
+            "at least 3 distinct candidates trialed: {trial_applies:?}"
+        );
+        assert_eq!(opt.candidates_trialed(), trial_applies.len() as u64);
+        assert_eq!(opt.tournaments_promoted(), 1);
+        assert_eq!(opt.active_deployments(), 1);
+        let (decisions, _) = opt.export_state();
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].candidate.as_deref(), Some(favourite));
+        assert_eq!(
+            decisions[0].trials.len(),
+            trial_applies.len(),
+            "every closed trial is exported"
+        );
+    }
+
+    /// When even the best candidate regresses past the revert threshold the
+    /// tournament blacklists the loop instead of promoting.
+    #[test]
+    fn tournament_blacklists_when_every_candidate_regresses() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                candidates: true,
+                trial_ticks: 1,
+                regression_factor: 1.4,
+                ..Default::default()
+            },
+            image,
+        );
+        let mut in_trial = false;
+        for _ in 0..40 {
+            let mut profile = hot_profile(load_pc, head, back, 1.0);
+            if in_trial {
+                profile.window.cycles = 1_000_000; // CPI 10.0: hopeless
+            }
+            for action in opt.consider(&profile) {
+                match action {
+                    PlanAction::Apply(_) => in_trial = true,
+                    PlanAction::Revert { .. } => in_trial = false,
+                }
+            }
+        }
+        assert!(opt.candidates_trialed() >= 3);
+        assert_eq!(opt.tournaments_promoted(), 0);
+        assert_eq!(opt.active_deployments(), 0, "nothing stays deployed");
+        // Blacklisted: no new tournament, no deployment, ever.
+        assert!(opt
+            .consider(&hot_profile(load_pc, head, back, 1.0))
+            .is_empty());
+        assert!(opt.tournaments.is_empty());
+    }
+
+    /// A loop that only yields two distinct candidates skips the tournament
+    /// and deploys through the classic one-shot path.
+    #[test]
+    fn single_site_loop_falls_back_to_classic_path() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        let load_pc = a.ldfd(16, 32, 2, 8);
+        a.lfetch_nt1(16, 27, 8);
+        a.stfd(23, 46, 4, 8);
+        let back = a.br_ctop(top);
+        a.hlt();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                candidates: true,
+                trial_ticks: 1,
+                ..Default::default()
+            },
+            a.finish(),
+        );
+        let actions = opt.consider(&hot_profile(load_pc, head, back, 1.0));
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            PlanAction::Apply(plan) => {
+                assert_eq!(plan.candidate, None, "classic path: unnamed plan");
+                assert_eq!(plan.kind, OptKind::NoPrefetch);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(opt.candidates_trialed(), 0);
+        assert!(opt.tournaments.is_empty());
+    }
+
+    /// poison() aborts an in-flight tournament and permanently blacklists
+    /// the loop (the framework sends it when a guest-side patch fails).
+    #[test]
+    fn poison_aborts_tournament_and_blacklists_loop() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                candidates: true,
+                trial_ticks: 4,
+                ..Default::default()
+            },
+            image,
+        );
+        let profile = hot_profile(load_pc, head, back, 1.0);
+        opt.consider(&profile); // creates the tournament
+        opt.consider(&profile); // deploys the first candidate
+        assert_eq!(opt.tournaments.len(), 1);
+        opt.poison(head);
+        for _ in 0..20 {
+            assert!(
+                opt.consider(&profile).is_empty(),
+                "poisoned loop must stay untouched"
+            );
+        }
+        assert!(opt.tournaments.is_empty(), "tournament dropped");
+        assert_eq!(opt.tournaments_promoted(), 0);
+        assert_eq!(opt.active_deployments(), 0);
+    }
+
+    /// A warm-started winner deploys directly — no trials, no tournament.
+    #[test]
+    fn warm_winner_resumes_without_retrialing() {
+        let (image, head, back, load_pc) = loop_image();
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                deploy: DeployMode::InPlace,
+                warmup_ticks: 0,
+                candidates: true,
+                trial_ticks: 1,
+                ..Default::default()
+            },
+            image,
+        );
+        opt.warm_start(WarmSeed {
+            decisions: vec![],
+            blacklist: vec![],
+            winners: vec![(head, "combined.burst-nop".into())],
+        });
+        let actions = opt.consider(&hot_profile(load_pc, head, back, 1.0));
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            PlanAction::Apply(plan) => {
+                assert_eq!(plan.candidate.as_deref(), Some("combined.burst-nop"));
+                assert_eq!(plan.kind, OptKind::Combined);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(opt.candidates_trialed(), 0, "no re-trialing");
+        assert!(opt.tournaments.is_empty());
+        assert_eq!(opt.warm_hits(), 1);
+        assert_eq!(opt.active_deployments(), 1);
     }
 }

@@ -14,6 +14,7 @@
 
 use cobra_store::{
     BranchPairRecord, DecisionRecord, DelinquentRecord, ProfileRecord, Snapshot, StoreKey,
+    WinnerRecord,
 };
 
 use crate::monitor::OptFinal;
@@ -71,6 +72,22 @@ pub fn snapshot_from_final(key: StoreKey, fin: &OptFinal) -> Snapshot {
             post_cpi: d.post_cpi,
         })
         .collect();
+    // Tournament winners still standing at detach: a warm run resumes these
+    // directly instead of re-running the tournament. Decisions are already
+    // sorted by loop head, so winners are too.
+    snap.winners = fin
+        .decisions
+        .iter()
+        .filter(|d| !d.reverted)
+        .filter_map(|d| {
+            d.candidate.as_ref().map(|candidate| WinnerRecord {
+                loop_head: d.loop_head,
+                candidate: candidate.clone(),
+                kind: d.kind.name().to_string(),
+                trials: d.trials.clone(),
+            })
+        })
+        .collect();
     snap.blacklist = fin.blacklist.clone();
     snap
 }
@@ -94,6 +111,11 @@ pub fn seed_from_snapshot(snap: &Snapshot) -> WarmSeed {
     seed.blacklist.extend(snap.blacklist.iter().copied());
     seed.blacklist.sort_unstable();
     seed.blacklist.dedup();
+    for w in &snap.winners {
+        if !seed.blacklist.contains(&w.loop_head) {
+            seed.winners.push((w.loop_head, w.candidate.clone()));
+        }
+    }
     seed
 }
 
@@ -164,19 +186,69 @@ mod tests {
                 kind: "noprefetch".into(),
                 reverted: false,
                 baseline_cpi: 1.0,
-                post_cpi: 0.9,
+                post_cpi: Some(0.9),
             },
             DecisionRecord {
                 loop_head: 20,
                 kind: "prefetch.excl".into(),
                 reverted: true,
                 baseline_cpi: 1.0,
-                post_cpi: 2.0,
+                post_cpi: Some(2.0),
             },
         ];
         snap.blacklist = vec![30, 20];
         let seed = seed_from_snapshot(&snap);
         assert_eq!(seed.decisions, vec![(10, OptKind::NoPrefetch)]);
         assert_eq!(seed.blacklist, vec![20, 30]);
+        assert!(seed.winners.is_empty());
+    }
+
+    #[test]
+    fn winners_round_trip_and_blacklisted_winners_are_dropped() {
+        let key = StoreKey {
+            image_hash: 1,
+            machine_fp: 2,
+        };
+        let fin = OptFinal {
+            decisions: vec![
+                crate::optimizer::DecisionExport {
+                    loop_head: 10,
+                    kind: OptKind::Combined,
+                    reverted: false,
+                    baseline_cpi: 1.4,
+                    post_cpi: Some(1.1),
+                    candidate: Some("combined.split".into()),
+                    trials: vec![("noprefetch".into(), 1.3), ("combined.split".into(), 1.1)],
+                },
+                // A reverted tournament winner must not become a seed.
+                crate::optimizer::DecisionExport {
+                    loop_head: 20,
+                    kind: OptKind::NoPrefetch,
+                    reverted: true,
+                    baseline_cpi: 1.0,
+                    post_cpi: Some(2.0),
+                    candidate: Some("noprefetch".into()),
+                    trials: vec![],
+                },
+                // Classic deployments export no candidate, hence no winner.
+                crate::optimizer::DecisionExport {
+                    loop_head: 30,
+                    kind: OptKind::ExclHint,
+                    reverted: false,
+                    baseline_cpi: 1.2,
+                    post_cpi: None,
+                    candidate: None,
+                    trials: vec![],
+                },
+            ],
+            blacklist: vec![20],
+            cumulative: SystemProfile::new(LatencyBands { coherent_min: 165 }),
+        };
+        let snap = snapshot_from_final(key, &fin);
+        assert_eq!(snap.winners.len(), 1);
+        assert_eq!(snap.winners[0].loop_head, 10);
+        assert_eq!(snap.winners[0].kind, "combined");
+        let seed = seed_from_snapshot(&snap);
+        assert_eq!(seed.winners, vec![(10, "combined.split".to_string())]);
     }
 }

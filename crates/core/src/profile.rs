@@ -256,6 +256,9 @@ impl SystemProfile {
 
     /// Merge one thread's delta.
     pub fn absorb(&mut self, delta: &ProfileDelta) {
+        // Invariant: every live profile comes from `new(bands)`; `bands` is
+        // only `None` on deserialized historical snapshots, which are
+        // read-only and never absorb deltas.
         let bands = self.bands.expect("profile constructed with bands");
         self.window.merge(&delta.window);
         self.samples += delta.samples;

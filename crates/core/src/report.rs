@@ -19,6 +19,10 @@ pub struct AppliedPlan {
     pub words_patched: usize,
     /// Trace-cache entry, if trace-deployed.
     pub trace_entry: Option<CodeAddr>,
+    /// Tournament candidate name (trial, promoted winner, or warm-resumed
+    /// winner); `None` for classic one-shot deployments.
+    #[serde(default)]
+    pub candidate: Option<String>,
 }
 
 /// One reverted deployment.
@@ -92,6 +96,19 @@ pub struct CobraReport {
     /// Records in the snapshot saved at detach (0 when no store configured).
     #[serde(default)]
     pub store_saved_records: u64,
+    /// Reverts that failed mid-restore on the live image (each one stops
+    /// the revert and poisons its loop — never panics).
+    #[serde(default)]
+    pub revert_failures: u64,
+    /// Deployments that failed mid-apply and were rolled back.
+    #[serde(default)]
+    pub deploy_failures: u64,
+    /// Tournament candidate trials completed (deploy + revert pairs).
+    #[serde(default)]
+    pub candidates_trialed: u64,
+    /// Tournaments that ended by promoting a winner.
+    #[serde(default)]
+    pub tournaments_promoted: u64,
     /// Pre-decoded basic blocks lowered by the dispatch engine.
     #[serde(default)]
     pub block_builds: u64,
@@ -117,9 +134,11 @@ impl CobraReport {
         self.applied.iter().filter(|a| a.kind == kind).count()
     }
 
-    /// One-line summary for experiment tables.
+    /// One-line summary for experiment tables. Tournament and failure
+    /// counters only appear when non-zero, so classic runs keep their
+    /// PR 6-era summary byte-identical.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} deployments ({} noprefetch, {} excl), {} reverts, {} phase changes, {} samples",
             self.applied.len(),
             self.applied_of_kind(OptKind::NoPrefetch),
@@ -127,7 +146,20 @@ impl CobraReport {
             self.reverted.len(),
             self.phase_changes,
             self.samples_merged,
-        )
+        );
+        if self.candidates_trialed > 0 || self.tournaments_promoted > 0 {
+            s.push_str(&format!(
+                ", {} candidate trials, {} tournaments won",
+                self.candidates_trialed, self.tournaments_promoted,
+            ));
+        }
+        if self.revert_failures > 0 || self.deploy_failures > 0 {
+            s.push_str(&format!(
+                ", {} revert failures, {} deploy failures",
+                self.revert_failures, self.deploy_failures,
+            ));
+        }
+        s
     }
 }
 
@@ -146,6 +178,7 @@ mod tests {
             tick: 1,
             words_patched: 3,
             trace_entry: None,
+            candidate: None,
         });
         r.applied.push(AppliedPlan {
             plan_id: 1,
@@ -155,6 +188,7 @@ mod tests {
             tick: 2,
             words_patched: 2,
             trace_entry: Some(300),
+            candidate: None,
         });
         r.reverted.push(RevertedPlan {
             plan_id: 1,
@@ -185,6 +219,10 @@ mod tests {
                     && k != "undecodable_loops"
                     && k != "verify_rejects"
                     && !k.starts_with("block_")
+                    && k != "revert_failures"
+                    && k != "deploy_failures"
+                    && k != "candidates_trialed"
+                    && k != "tournaments_promoted"
             });
         } else {
             panic!("report serializes to an object");

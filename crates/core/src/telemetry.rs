@@ -160,6 +160,52 @@ pub enum TelemetryEvent {
         cycle: u64,
         loop_head: CodeAddr,
     },
+    /// A revert failed mid-restore on the live image: the framework stopped
+    /// writing, poisoned the loop, and kept running (never panics).
+    RevertFailed {
+        tick: u64,
+        cycle: u64,
+        plan_id: u64,
+        loop_head: CodeAddr,
+        /// Address whose restore write failed.
+        addr: CodeAddr,
+        /// Words successfully restored before the failure.
+        words_restored: usize,
+        detail: String,
+    },
+    /// A deployment failed mid-apply on the live image: the framework
+    /// rolled back the words already written and poisoned the loop.
+    DeployFailed {
+        tick: u64,
+        cycle: u64,
+        plan_id: u64,
+        loop_head: CodeAddr,
+        detail: String,
+    },
+    /// One tournament candidate finished its trial window (and was
+    /// reverted pending the tournament outcome).
+    CandidateTrial {
+        tick: u64,
+        cycle: u64,
+        loop_head: CodeAddr,
+        candidate: String,
+        plan_id: u64,
+        trial_ticks: u64,
+        baseline_cpi: f64,
+        cpi: f64,
+    },
+    /// A candidate tournament settled: either the lowest-CPI candidate was
+    /// promoted or the loop was blacklisted.
+    TournamentOutcome {
+        tick: u64,
+        cycle: u64,
+        loop_head: CodeAddr,
+        /// Candidates the tournament started with.
+        candidates: usize,
+        winner: Option<String>,
+        winner_cpi: Option<f64>,
+        promoted: bool,
+    },
     /// A candidate loop contained a word the decoder rejects; the loop was
     /// skipped (and blacklisted) instead of aborting the optimizer thread.
     UndecodableLoop {
@@ -223,6 +269,10 @@ impl TelemetryEvent {
             TelemetryEvent::CpiTrial { .. } => "cpi_trial",
             TelemetryEvent::Revert { .. } => "revert",
             TelemetryEvent::Blacklist { .. } => "blacklist",
+            TelemetryEvent::RevertFailed { .. } => "revert_failed",
+            TelemetryEvent::DeployFailed { .. } => "deploy_failed",
+            TelemetryEvent::CandidateTrial { .. } => "candidate_trial",
+            TelemetryEvent::TournamentOutcome { .. } => "tournament",
             TelemetryEvent::UndecodableLoop { .. } => "undecodable_loop",
             TelemetryEvent::VerifyReject { .. } => "verify_reject",
             TelemetryEvent::WarmStart { .. } => "warm_start",
@@ -332,10 +382,17 @@ impl TelemetrySink {
     fn write(&self, record: TelemetryRecord) {
         match self {
             TelemetrySink::Memory(log) => {
-                log.lock().expect("telemetry log lock").records.push(record)
+                // A panicked holder leaves the log intact (records is just
+                // a Vec); keep draining rather than poisoning telemetry.
+                log.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .records
+                    .push(record)
             }
             TelemetrySink::Jsonl(w) => {
-                let mut w = w.lock().expect("telemetry writer lock");
+                let mut w = w.lock().unwrap_or_else(|p| p.into_inner());
+                // Invariant: every TelemetryEvent field is serde-derived
+                // plain data; serialization cannot fail.
                 let line = serde_json::to_string(&record).expect("telemetry record serializes");
                 let _ = writeln!(w, "{line}");
             }
@@ -345,7 +402,7 @@ impl TelemetrySink {
     /// Flush buffered output (JSONL sinks; no-op for memory).
     pub fn flush(&self) {
         if let TelemetrySink::Jsonl(w) = self {
-            let _ = w.lock().expect("telemetry writer lock").flush();
+            let _ = w.lock().unwrap_or_else(|p| p.into_inner()).flush();
         }
     }
 }

@@ -160,6 +160,69 @@ fn capture_real_plans() -> &'static Vec<Captured> {
     })
 }
 
+/// Run tournament-enabled optimizers over NPB loops and capture the
+/// candidate plans they emit (per-site subset/mix rewrites, including
+/// `combined` kinds — the shapes the classic capture above never builds).
+/// TraceCache keeps only candidates built against the pristine image
+/// (later ones expect their trace after earlier appendices, so verifying
+/// them against the pristine image would be vacuous).
+fn capture_candidate_plans() -> &'static Vec<Captured> {
+    static PLANS: OnceLock<Vec<Captured>> = OnceLock::new();
+    PLANS.get_or_init(|| {
+        let mut captured = Vec::new();
+        let mcfg = MachineConfig::smp4();
+        for bench in Benchmark::ALL {
+            let workload = npb::build(bench, &PrefetchPolicy::aggressive(), mcfg.mem_bytes);
+            let image = workload.image().clone();
+            let Some(&(head, back, load_pc)) = find_loops(&image).first() else {
+                continue;
+            };
+            for deploy in [DeployMode::InPlace, DeployMode::TraceCache] {
+                let cfg = OptimizerConfig {
+                    strategy: Strategy::Adaptive,
+                    deploy,
+                    warmup_ticks: 0,
+                    candidates: true,
+                    trial_ticks: 1,
+                    ..Default::default()
+                };
+                let window = cfg.trace.entry_window_slots;
+                let mut opt = Optimizer::new(cfg, image.clone());
+                let profile = hot_profile(load_pc, head, back);
+                let pristine_start = cobra_isa::bundle_align(image.len());
+                for _ in 0..40 {
+                    for action in opt.consider(&profile) {
+                        if let PlanAction::Apply(plan) = action {
+                            if plan.candidate.is_none() {
+                                continue;
+                            }
+                            let against_pristine = plan
+                                .trace
+                                .as_ref()
+                                .is_none_or(|t| t.expected_start == pristine_start);
+                            if against_pristine {
+                                captured.push(Captured {
+                                    bench: bench.name(),
+                                    machine: "smp4",
+                                    image: image.clone(),
+                                    plan,
+                                    window,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            captured.len() >= 8,
+            "expected a candidate-plan corpus, got {}",
+            captured.len()
+        );
+        captured
+    })
+}
+
 #[test]
 fn real_plans_pass_across_npb_and_machines() {
     let plans = capture_real_plans();
@@ -279,6 +342,65 @@ fn every_corruption_class_is_rejected_on_every_plan() {
     }
     for (class, &n) in applied.iter().enumerate() {
         assert!(n > 0, "corruption class {class} never applied to any plan");
+    }
+}
+
+/// Genuine tournament candidate plans — partial subsets and combined
+/// per-site mixes — must pass the gate, and the corpus must actually
+/// contain the shapes the classic capture cannot produce.
+#[test]
+fn candidate_plans_pass_the_gate() {
+    let plans = capture_candidate_plans();
+    let mut combined = 0;
+    let mut partial = 0;
+    for c in plans {
+        verify_plan(&c.image, &c.plan, c.window).unwrap_or_else(|e| {
+            panic!(
+                "{}/{} candidate {:?} at head {} falsely rejected: {e}",
+                c.machine, c.bench, c.plan.candidate, c.plan.loop_head
+            )
+        });
+        let name = c.plan.candidate.as_deref().unwrap_or("");
+        if name.starts_with("combined") {
+            combined += 1;
+        }
+        if name.contains(".body") {
+            partial += 1;
+        }
+    }
+    assert!(combined > 0, "corpus must include combined candidates");
+    assert!(partial > 0, "corpus must include partial-subset candidates");
+}
+
+/// Every corruption class that fits a candidate plan must be rejected —
+/// partial-subset and combined plans get the same gate as classic ones.
+#[test]
+fn corrupted_candidate_plans_are_rejected() {
+    let plans = capture_candidate_plans();
+    let mut applied = [0usize; CLASSES];
+    for c in plans {
+        for (class, count) in applied.iter_mut().enumerate() {
+            let Some(bad) = corrupt(&c.plan, &c.image, class, 0) else {
+                continue;
+            };
+            *count += 1;
+            assert!(
+                verify_plan(&c.image, &bad, c.window).is_err(),
+                "{}/{} class {class} corruption accepted on candidate {:?} at head {}",
+                c.machine,
+                c.bench,
+                c.plan.candidate,
+                c.plan.loop_head
+            );
+        }
+    }
+    // Trace-only classes need a trace candidate in the corpus; the in-place
+    // classes must always land.
+    for &class in &[0usize, 1, 4] {
+        assert!(
+            applied[class] > 0,
+            "corruption class {class} never applied to any candidate plan"
+        );
     }
 }
 

@@ -132,6 +132,88 @@ fn warm_start_round_trip_converges_earlier_to_same_deployments() {
     assert_eq!(lr.snapshot.expect("snapshot after two runs").runs, 2);
 }
 
+/// Tournament winners persist across runs: the cold run trials candidates
+/// and promotes a winner; the warm run resumes the stored winner directly
+/// without re-running a single trial.
+#[test]
+fn warm_run_resumes_tournament_winner_without_retrialing() {
+    let store = tmp_store();
+    let wl = workload();
+    let cfg = MachineConfig::smp4();
+    let run_candidates = |store: &std::path::Path| -> CobraReport {
+        let mut m = cobra_machine::Machine::new(cfg.clone(), wl.image().clone());
+        wl.init(&mut m.shared.mem);
+        let opt = cobra_rt::OptimizerConfig {
+            strategy: Strategy::Adaptive,
+            deploy: DeployMode::TraceCache,
+            candidates: true,
+            // Short trials so the full tournament fits well inside the run.
+            trial_ticks: 3,
+            ..cobra_rt::OptimizerConfig::default()
+        };
+        let mut cobra = Cobra::builder().optimizer(opt).store(store).attach(&mut m);
+        let rt = OmpRuntime {
+            quantum: 20_000,
+            ..OmpRuntime::default()
+        };
+        wl.run(&mut m, Team::new(4), &rt, &mut cobra);
+        let report = cobra.detach(&mut m);
+        wl.verify(&m.shared.mem).expect("verification under COBRA");
+        report
+    };
+    // Active (non-reverted) deployments that carry a candidate name.
+    let winners = |r: &CobraReport| -> Vec<(u32, String)> {
+        let mut v: Vec<_> = r
+            .applied
+            .iter()
+            .filter(|a| !r.reverted.iter().any(|rv| rv.plan_id == a.plan_id))
+            .filter_map(|a| a.candidate.clone().map(|c| (a.loop_head, c)))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+
+    let cold = run_candidates(&store);
+    assert!(
+        cold.candidates_trialed >= 3,
+        "cold run must trial at least 3 candidates: {}",
+        cold.summary()
+    );
+    assert!(
+        cold.tournaments_promoted >= 1,
+        "cold run must promote a winner: {}",
+        cold.summary()
+    );
+    let cold_winners = winners(&cold);
+    assert!(
+        !cold_winners.is_empty(),
+        "a promoted winner must stay active: {}",
+        cold.summary()
+    );
+
+    let warm = run_candidates(&store);
+    assert!(warm.warm_started, "second run must find the snapshot");
+    assert_eq!(
+        warm.candidates_trialed,
+        0,
+        "warm run must not re-trial: {}",
+        warm.summary()
+    );
+    assert!(
+        warm.warm_hits >= 1,
+        "stored winner must be confirmed and resumed: {}",
+        warm.summary()
+    );
+    assert_eq!(
+        cold_winners,
+        winners(&warm),
+        "warm run resumes the same winner\ncold: {}\nwarm: {}",
+        cold.summary(),
+        warm.summary()
+    );
+}
+
 #[test]
 fn host_fast_path_toggles_do_not_orphan_snapshots() {
     // The host_accel group changes host simulation speed, not guest

@@ -56,6 +56,7 @@ struct Opts {
     machine: String,
     trace_out: Option<PathBuf>,
     store: Option<PathBuf>,
+    candidates: bool,
 }
 
 /// Next flag value, or a one-line usage error and exit 2 (never a panic).
@@ -84,6 +85,7 @@ fn parse(args: &[String]) -> (Command, Opts) {
         machine: "smp4".into(),
         trace_out: None,
         store: None,
+        candidates: false,
     };
     let mut it = args.iter();
     let name = it.next().cloned().unwrap_or_else(|| "all".into());
@@ -107,6 +109,7 @@ fn parse(args: &[String]) -> (Command, Opts) {
             "--store" => {
                 opts.store = Some(PathBuf::from(flag_value(&mut it, "--store DIR")));
             }
+            "--candidates" => opts.candidates = true,
             other => {
                 // `trace` takes one positional FILE; everything else is an error.
                 if name == "trace" && !other.starts_with('-') && trace_file.is_none() {
@@ -157,6 +160,10 @@ fn validate(cmd: &Command, opts: &Opts) {
         eprintln!("--store is only supported with fig5|fig6|fig7 (see also `profile save`)");
         std::process::exit(2);
     }
+    if opts.candidates && !cmd.accepts_trace_out() {
+        eprintln!("--candidates is only supported with fig5|fig6|fig7");
+        std::process::exit(2);
+    }
     if matches!(cmd, Command::Trace(_)) && (opts.json || opts.markdown) {
         eprintln!("trace does not take --json/--md; it prints a plain summary");
         std::process::exit(2);
@@ -196,6 +203,7 @@ fn run_npb_figure(cmd: &Command, opts: &Opts) {
         opts.workers,
         sink.as_ref(),
         opts.store.as_deref(),
+        opts.candidates,
     );
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&data).unwrap());
@@ -448,10 +456,10 @@ fn main() {
             let (smp_cfg, smp_t) = machine_by_name("smp4");
             let (alt_cfg, alt_t) = machine_by_name("altix8");
             println!("## Figures 5-7 (smp4, {smp_t} threads)\n");
-            let smp = npbsuite::measure(&smp_cfg, smp_t, opts.workers, None, None);
+            let smp = npbsuite::measure(&smp_cfg, smp_t, opts.workers, None, None, false);
             println!("{}", npbsuite::render(&smp, md));
             println!("## Figures 5-7 (altix8, {alt_t} threads)\n");
-            let alt = npbsuite::measure(&alt_cfg, alt_t, opts.workers, None, None);
+            let alt = npbsuite::measure(&alt_cfg, alt_t, opts.workers, None, None, false);
             println!("{}", npbsuite::render(&alt, md));
             println!("## Cross-machine shape checks\n");
             for (desc, ok) in npbsuite::shape_checks(&smp, &alt) {

@@ -110,7 +110,9 @@ pub struct SuiteData {
 /// Run one (benchmark, arm) measurement. When `store` is given, every
 /// COBRA-attached arm persists its profile under a per-arm subdirectory
 /// (arms must not warm-start from each other's decisions) and warm-starts
-/// from any snapshot a previous invocation left there.
+/// from any snapshot a previous invocation left there. `candidates` turns
+/// on tournament candidate selection — only for the adaptive arm, since
+/// the fixed-strategy arms exist to reproduce the paper's two rewrites.
 pub fn run_arm(
     bench: npb::Benchmark,
     arm: Arm,
@@ -118,6 +120,7 @@ pub fn run_arm(
     threads: usize,
     trace: Option<&TelemetrySink>,
     store: Option<&Path>,
+    candidates: bool,
 ) -> ArmResult {
     let wl = npb::build(bench, &PrefetchPolicy::aggressive(), machine_cfg.mem_bytes);
     let team = Team::new(threads);
@@ -134,7 +137,9 @@ pub fn run_arm(
             };
             let mut m = Machine::new(machine_cfg.clone(), wl.image().clone());
             wl.init(&mut m.shared.mem);
-            let mut builder = Cobra::builder().strategy(strategy);
+            let mut builder = Cobra::builder()
+                .strategy(strategy)
+                .candidates(candidates && arm == Arm::Adaptive);
             if let Some(sink) = trace {
                 builder = builder.telemetry(sink.clone());
             }
@@ -177,6 +182,7 @@ pub fn measure(
     workers: usize,
     trace: Option<&TelemetrySink>,
     store: Option<&Path>,
+    candidates: bool,
 ) -> SuiteData {
     let mut jobs = Vec::new();
     for &bench in &npb::Benchmark::COHERENT {
@@ -187,7 +193,7 @@ pub fn measure(
     let results_flat = parallel_map(jobs, workers, |&(bench, arm)| {
         (
             bench,
-            run_arm(bench, arm, machine_cfg, threads, trace, store),
+            run_arm(bench, arm, machine_cfg, threads, trace, store, candidates),
         )
     });
     let results = npb::Benchmark::COHERENT

@@ -42,7 +42,15 @@ pub fn save(
 ) -> Result<String, String> {
     let bench = bench_by_name(bench)?;
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    let result = npbsuite::run_arm(bench, Arm::Adaptive, machine_cfg, threads, None, Some(dir));
+    let result = npbsuite::run_arm(
+        bench,
+        Arm::Adaptive,
+        machine_cfg,
+        threads,
+        None,
+        Some(dir),
+        false,
+    );
     let report = result.cobra.as_ref().expect("adaptive arm runs COBRA");
     if report.store_errors > 0 && report.store_saved_records == 0 {
         return Err(format!(
@@ -184,7 +192,7 @@ mod tests {
             kind: "noprefetch".into(),
             reverted: false,
             baseline_cpi: 1.4,
-            post_cpi: 1.1,
+            post_cpi: Some(1.1),
         });
         s
     }

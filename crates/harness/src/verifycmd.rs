@@ -90,9 +90,11 @@ pub fn snapshot(path: &Path) -> Result<VerifyOutcome, String> {
         if let Some(snap) = &lr.snapshot {
             for d in &snap.decisions {
                 let bad_cpi = |c: f64| !c.is_finite() || c < 0.0;
-                if bad_cpi(d.baseline_cpi) || bad_cpi(d.post_cpi) {
+                // post_cpi is optional (None before the first post-deploy
+                // window closes); only a present value can be invalid.
+                if bad_cpi(d.baseline_cpi) || d.post_cpi.is_some_and(bad_cpi) {
                     defects.push(format!(
-                        "decision at loop {} has invalid CPI ({}, {})",
+                        "decision at loop {} has invalid CPI ({}, {:?})",
                         d.loop_head, d.baseline_cpi, d.post_cpi
                     ));
                 }
@@ -146,7 +148,7 @@ mod tests {
             kind: "noprefetch".into(),
             reverted: false,
             baseline_cpi: 1.4,
-            post_cpi: 1.1,
+            post_cpi: Some(1.1),
         });
         s
     }
@@ -191,7 +193,9 @@ mod tests {
         let dir = tmp_dir();
         let file = dir.join("a.jsonl");
         let mut s = snap();
-        s.decisions[0].post_cpi = f64::NAN;
+        // Negative is the invalid value that survives JSON (NaN serializes
+        // as null, which loads back as a legitimate None).
+        s.decisions[0].post_cpi = Some(-1.0);
         write_snapshot_file(&file, &s).unwrap();
         let out = snapshot(&file).unwrap();
         assert!(out.violations > 0, "{}", out.text);

@@ -37,7 +37,7 @@ fn snap() -> Snapshot {
         kind: "noprefetch".into(),
         reverted: false,
         baseline_cpi: 1.4,
-        post_cpi: 1.1,
+        post_cpi: Some(1.1),
     });
     s
 }

@@ -49,7 +49,7 @@ pub const FORMAT_VERSION: u32 = 1;
 /// `cobra_rt::OptKind::name()` (this crate sits below `cobra-rt` and cannot
 /// reference the enum; `cobra-rt` has a test pinning the two lists
 /// together).
-pub const KNOWN_KINDS: [&str; 2] = ["noprefetch", "prefetch.excl"];
+pub const KNOWN_KINDS: [&str; 3] = ["noprefetch", "prefetch.excl", "combined"];
 
 /// 64-bit FNV-1a over a byte stream.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -209,8 +209,25 @@ pub struct DecisionRecord {
     /// Whether the CPI trial regressed and the deployment was reverted.
     pub reverted: bool,
     pub baseline_cpi: f64,
-    /// Last trial-window CPI (0 when no trial window completed).
-    pub post_cpi: f64,
+    /// Last trial-window CPI; `None` when no trial window completed.
+    /// Legacy snapshots wrote the sentinel `0.0` for "no window" — that is
+    /// normalized to `None` at assembly (after the CRC check, so old lines
+    /// still checksum byte-identically).
+    #[serde(default)]
+    pub post_cpi: Option<f64>,
+}
+
+/// Tournament outcome for one loop: the candidate that won its CPI trial
+/// tournament, with every candidate's trial CPI for the record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WinnerRecord {
+    pub loop_head: u32,
+    /// Winning candidate spec name (e.g. `"combined.split"`).
+    pub candidate: String,
+    /// One of [`KNOWN_KINDS`] — the winning plan's rewrite kind.
+    pub kind: String,
+    /// `(candidate, trial CPI)` pairs, in trial order.
+    pub trials: Vec<(String, f64)>,
 }
 
 /// One line of a snapshot file.
@@ -230,6 +247,10 @@ pub enum Record {
     Blacklist {
         loop_head: u32,
     },
+    /// A tournament winner for one loop (absent in pre-tournament
+    /// snapshots; unknown variants in *future* files fail to parse and are
+    /// skipped+counted like any damaged line).
+    Winner(WinnerRecord),
 }
 
 /// A fully-loaded (or about-to-be-saved) repository entry for one key.
@@ -241,6 +262,10 @@ pub struct Snapshot {
     pub profile: ProfileRecord,
     pub decisions: Vec<DecisionRecord>,
     pub blacklist: Vec<u32>,
+    /// Tournament winners, sorted by loop head (empty for pre-tournament
+    /// snapshots).
+    #[serde(default)]
+    pub winners: Vec<WinnerRecord>,
 }
 
 impl Snapshot {
@@ -252,12 +277,13 @@ impl Snapshot {
             profile: ProfileRecord::default(),
             decisions: Vec::new(),
             blacklist: Vec::new(),
+            winners: Vec::new(),
         }
     }
 
     /// Records this snapshot serializes to (header first).
     fn records(&self) -> Vec<Record> {
-        let mut out = Vec::with_capacity(2 + self.decisions.len() + self.blacklist.len());
+        let mut out = Vec::with_capacity(self.record_count());
         out.push(Record::Header {
             version: FORMAT_VERSION,
             image_hash: self.key.image_hash,
@@ -271,19 +297,22 @@ impl Snapshot {
         for &loop_head in &self.blacklist {
             out.push(Record::Blacklist { loop_head });
         }
+        for w in &self.winners {
+            out.push(Record::Winner(w.clone()));
+        }
         out
     }
 
     /// Total records this snapshot writes (header included).
     pub fn record_count(&self) -> usize {
-        2 + self.decisions.len() + self.blacklist.len()
+        2 + self.decisions.len() + self.blacklist.len() + self.winners.len()
     }
 
     /// One-line human summary for `profile inspect`.
     pub fn summary(&self) -> String {
         let reverted = self.decisions.iter().filter(|d| d.reverted).count();
         format!(
-            "key {} v{} — {} run(s), {} samples, {} delinquent pcs, {} decisions ({} reverted), {} blacklisted",
+            "key {} v{} — {} run(s), {} samples, {} delinquent pcs, {} decisions ({} reverted), {} blacklisted, {} tournament winner(s)",
             self.key,
             FORMAT_VERSION,
             self.runs,
@@ -292,16 +321,19 @@ impl Snapshot {
             self.decisions.len(),
             reverted,
             self.blacklist.len(),
+            self.winners.len(),
         )
     }
 }
 
-/// Merge snapshots of the same key: profiles summed, decisions merged with
-/// later inputs overriding earlier ones per loop head, blacklists unioned.
+/// Merge snapshots of the same key: profiles summed, decisions and winners
+/// merged with later inputs overriding earlier ones per loop head,
+/// blacklists unioned.
 pub fn merge(snapshots: &[Snapshot]) -> Result<Snapshot, String> {
     let first = snapshots.first().ok_or("nothing to merge")?;
     let mut out = Snapshot::empty(first.key);
     let mut decisions: BTreeMap<u32, DecisionRecord> = BTreeMap::new();
+    let mut winners: BTreeMap<u32, WinnerRecord> = BTreeMap::new();
     let mut blacklist: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for s in snapshots {
         if s.key != first.key {
@@ -313,12 +345,26 @@ pub fn merge(snapshots: &[Snapshot]) -> Result<Snapshot, String> {
         out.runs += s.runs;
         out.profile.merge(&s.profile);
         for d in &s.decisions {
-            decisions.insert(d.loop_head, d.clone());
+            let mut d = d.clone();
+            // A later run of the same decision that never closed a trial
+            // window must not erase a measured post-CPI.
+            if d.post_cpi.is_none() {
+                if let Some(prev) = decisions.get(&d.loop_head) {
+                    if prev.kind == d.kind {
+                        d.post_cpi = prev.post_cpi;
+                    }
+                }
+            }
+            decisions.insert(d.loop_head, d);
+        }
+        for w in &s.winners {
+            winners.insert(w.loop_head, w.clone());
         }
         blacklist.extend(s.blacklist.iter().copied());
     }
     out.decisions = decisions.into_values().collect();
     out.blacklist = blacklist.into_iter().collect();
+    out.winners = winners.into_values().collect();
     Ok(out)
 }
 
@@ -357,10 +403,10 @@ fn decode_record(line: &str) -> Option<Record> {
     if fnv1a(canon.as_bytes()) != env.crc {
         return None;
     }
-    if let Record::Decision(d) = &env.body {
-        if !KNOWN_KINDS.contains(&d.kind.as_str()) {
-            return None;
-        }
+    match &env.body {
+        Record::Decision(d) if !KNOWN_KINDS.contains(&d.kind.as_str()) => return None,
+        Record::Winner(w) if !KNOWN_KINDS.contains(&w.kind.as_str()) => return None,
+        _ => {}
     }
     Some(env.body)
 }
@@ -404,21 +450,33 @@ fn assemble(records: Vec<Record>, expected: Option<&StoreKey>) -> LoadReport {
     let mut snap = Snapshot::empty(key);
     snap.runs = runs;
     let mut decisions: BTreeMap<u32, DecisionRecord> = BTreeMap::new();
+    let mut winners: BTreeMap<u32, WinnerRecord> = BTreeMap::new();
     let mut blacklist: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for r in records {
         match r {
             Record::Header { .. } => {}
             Record::Profile(p) => snap.profile.merge(&p),
-            Record::Decision(d) => {
+            Record::Decision(mut d) => {
+                // Legacy "no trial window closed" sentinel. Normalized here,
+                // after the CRC check, so old lines still checksum. Only the
+                // exact 0.0 sentinel maps to None — NaN/negative values stay
+                // visible so `verify snapshot` can flag them.
+                if d.post_cpi == Some(0.0) {
+                    d.post_cpi = None;
+                }
                 decisions.insert(d.loop_head, d);
             }
             Record::Blacklist { loop_head } => {
                 blacklist.insert(loop_head);
             }
+            Record::Winner(w) => {
+                winners.insert(w.loop_head, w);
+            }
         }
     }
     snap.decisions = decisions.into_values().collect();
     snap.blacklist = blacklist.into_iter().collect();
+    snap.winners = winners.into_values().collect();
     report.snapshot = Some(snap);
     report
 }
@@ -608,9 +666,15 @@ mod tests {
             kind: "noprefetch".into(),
             reverted: false,
             baseline_cpi: 1.5,
-            post_cpi: 1.2,
+            post_cpi: Some(1.2),
         }];
         s.blacklist = vec![40];
+        s.winners = vec![WinnerRecord {
+            loop_head: 11,
+            candidate: "combined.split".into(),
+            kind: "combined".into(),
+            trials: vec![("noprefetch".into(), 1.3), ("combined.split".into(), 1.2)],
+        }];
         s
     }
 
@@ -679,7 +743,7 @@ mod tests {
             kind: "prefetch.excl".into(),
             reverted: true,
             baseline_cpi: 1.0,
-            post_cpi: 2.0,
+            post_cpi: Some(2.0),
         });
         let path = store.save(&snap).unwrap();
         // Flip one byte inside the second decision's line.
@@ -744,7 +808,7 @@ mod tests {
             kind: "superluminal".into(),
             reverted: false,
             baseline_cpi: 1.0,
-            post_cpi: 1.0,
+            post_cpi: Some(1.0),
         })));
         text.push('\n');
         std::fs::write(&path, text).unwrap();
@@ -768,7 +832,7 @@ mod tests {
             kind: "noprefetch".into(),
             reverted: false,
             baseline_cpi: 2.0,
-            post_cpi: 1.9,
+            post_cpi: Some(1.9),
         });
         b.blacklist = vec![40, 41];
         a.profile.branch_pairs.push(BranchPairRecord {
@@ -789,6 +853,81 @@ mod tests {
             machine_fp: 6,
         });
         assert!(merge(&[a, other]).is_err());
+    }
+
+    /// A PR 4/5-era decision line — bare `f64` `post_cpi` with the `0.0`
+    /// "no trial window closed" sentinel — must still checksum (the CRC
+    /// covers the canonical re-serialization, and `Some(0.0)` re-serializes
+    /// byte-identically to the old `0.0`) and normalize to `None`.
+    #[test]
+    fn legacy_zero_post_cpi_line_loads_as_none() {
+        let store = Store::new(tmp_root("legacy"));
+        let snap = sample_snapshot(key());
+        let path = store.save(&snap).unwrap();
+        let body = r#"{"Decision":{"loop_head":55,"kind":"prefetch.excl","reverted":false,"baseline_cpi":1.4,"post_cpi":0.0}}"#;
+        let line = format!("{{\"crc\":{},\"body\":{}}}", fnv1a(body.as_bytes()), body);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&line);
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 0, "legacy line must still checksum");
+        let got = lr.snapshot.unwrap();
+        let d = got.decisions.iter().find(|d| d.loop_head == 55).unwrap();
+        assert_eq!(d.post_cpi, None, "0.0 sentinel normalizes to None");
+    }
+
+    #[test]
+    fn none_post_cpi_round_trips_and_absent_field_defaults() {
+        let store = Store::new(tmp_root("nonecpi"));
+        let mut snap = sample_snapshot(key());
+        snap.decisions[0].post_cpi = None;
+        store.save(&snap).unwrap();
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 0);
+        assert_eq!(lr.snapshot.unwrap().decisions[0].post_cpi, None);
+        // Writers that never emitted the field at all: serde default → None.
+        let d: DecisionRecord = serde_json::from_str(
+            r#"{"loop_head":3,"kind":"noprefetch","reverted":false,"baseline_cpi":1.1}"#,
+        )
+        .unwrap();
+        assert_eq!(d.post_cpi, None);
+    }
+
+    #[test]
+    fn winner_with_unknown_kind_is_dropped() {
+        let store = Store::new(tmp_root("winnerkind"));
+        let snap = sample_snapshot(key());
+        let path = store.save(&snap).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&encode_record(&Record::Winner(WinnerRecord {
+            loop_head: 88,
+            candidate: "warp".into(),
+            kind: "superluminal".into(),
+            trials: vec![],
+        })));
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 1);
+        let got = lr.snapshot.unwrap();
+        assert!(got.winners.iter().all(|w| w.loop_head != 88));
+        assert_eq!(got.winners.len(), 1, "valid winner survives");
+    }
+
+    #[test]
+    fn merge_prefers_later_winner_and_keeps_measured_post_cpi() {
+        let a = sample_snapshot(key());
+        let mut b = sample_snapshot(key());
+        b.winners[0].candidate = "prefetch.excl".into();
+        b.winners[0].kind = "prefetch.excl".into();
+        // Later run of the same decision that never closed a trial window
+        // must not erase the measured post-CPI.
+        b.decisions[0].post_cpi = None;
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(m.winners.len(), 1);
+        assert_eq!(m.winners[0].candidate, "prefetch.excl");
+        assert_eq!(m.decisions[0].post_cpi, Some(1.2));
     }
 
     #[test]

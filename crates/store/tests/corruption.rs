@@ -68,7 +68,7 @@ fn snapshot() -> Snapshot {
             },
             reverted: i == 3,
             baseline_cpi: 1.5 + i as f64 * 0.1,
-            post_cpi: 1.4 + i as f64 * 0.2,
+            post_cpi: Some(1.4 + i as f64 * 0.2),
         })
         .collect();
     s.blacklist = vec![33, 70, 71];

@@ -17,6 +17,10 @@
 //! * **prefetch.excl** may only flip the exclusive-ownership hint of an
 //!   existing `lfetch` — base, post-increment, locality hint and predicate
 //!   must all survive the rewrite verbatim.
+//! * **combined** plans mix the two: every written site must be *either* a
+//!   valid `noprefetch` removal or a valid `.excl` flip, judged per site.
+//!   Any single-kind plan may also touch a subset of a loop's `lfetch`
+//!   sites — unwritten sites simply stay as compiled.
 //! * A **trace clone** must land bundle-aligned at the next append point, be
 //!   instruction-identical to the source loop modulo the allowed prefetch
 //!   rewrites, keep its back edges inside the trace, exit to the instruction
@@ -50,16 +54,24 @@ pub enum RewriteKind {
     NoPrefetch,
     /// Flip selected `lfetch` slots to `lfetch.excl`.
     ExclHint,
+    /// Mix both per site: each written `lfetch` slot is either removed
+    /// (`nop.m`) or hint-flipped (`.excl`), judged independently.
+    Combined,
 }
 
 impl RewriteKind {
-    pub const ALL: [RewriteKind; 2] = [RewriteKind::NoPrefetch, RewriteKind::ExclHint];
+    pub const ALL: [RewriteKind; 3] = [
+        RewriteKind::NoPrefetch,
+        RewriteKind::ExclHint,
+        RewriteKind::Combined,
+    ];
 
     /// Stable name (matches `cobra-rt`'s `OptKind::name`).
     pub fn name(self) -> &'static str {
         match self {
             RewriteKind::NoPrefetch => "noprefetch",
             RewriteKind::ExclHint => "prefetch.excl",
+            RewriteKind::Combined => "combined",
         }
     }
 }
@@ -120,6 +132,9 @@ pub enum Violation {
     WrongSlotType { addr: CodeAddr },
     /// An `.excl` rewrite changed more than the exclusive hint.
     NotAHintFlip { addr: CodeAddr },
+    /// A combined-plan rewrite is neither a `nop.m` removal nor a pure
+    /// `.excl` hint flip.
+    CombinedRewriteInvalid { addr: CodeAddr },
     /// Removing the `lfetch` at `site` kills a base-register update that a
     /// binding instruction at `user` still reads.
     BaseRegisterLive {
@@ -194,6 +209,10 @@ impl std::fmt::Display for Violation {
             Violation::NotAHintFlip { addr } => write!(
                 f,
                 ".excl rewrite at {addr} changes more than the exclusive hint"
+            ),
+            Violation::CombinedRewriteInvalid { addr } => write!(
+                f,
+                "combined rewrite at {addr} is neither a nop.m removal nor a pure .excl flip"
             ),
             Violation::BaseRegisterLive { site, base, user } => write!(
                 f,
@@ -295,25 +314,49 @@ fn allowed_rewrite(old: &Insn, kind: RewriteKind) -> Option<Insn> {
     }
 }
 
+/// Classify `old` → `new` under `kind`'s per-site rules. `Some(true)` is a
+/// valid `lfetch` removal (`nop.m`), `Some(false)` a valid `.excl` hint
+/// flip; `None` means the pair matches no rule of `kind` (or `old` is not
+/// an `lfetch` at all).
+fn match_rewrite(old: &Insn, new: &Insn, kind: RewriteKind) -> Option<bool> {
+    if !old.is_lfetch() {
+        return None;
+    }
+    let nop_ok = matches!(kind, RewriteKind::NoPrefetch | RewriteKind::Combined);
+    let excl_ok = matches!(kind, RewriteKind::ExclHint | RewriteKind::Combined);
+    if nop_ok && allowed_rewrite(old, RewriteKind::NoPrefetch).is_some_and(|r| r == *new) {
+        return Some(true);
+    }
+    if excl_ok && allowed_rewrite(old, RewriteKind::ExclHint).is_some_and(|r| r == *new) {
+        return Some(false);
+    }
+    None
+}
+
 /// Check one `lfetch`-site rewrite (`old` → `new`) against the rules for
-/// `kind`, pushing violations for `addr`.
+/// `kind`, pushing violations for `addr`. Returns whether the rewrite
+/// removes the `lfetch` (feeds the reaching-use removed set).
 fn check_site_rewrite(
     addr: CodeAddr,
     old: &Insn,
     new: &Insn,
     kind: RewriteKind,
     out: &mut Vec<Violation>,
-) {
+) -> bool {
     if !old.is_lfetch() {
         out.push(Violation::NotALfetchSite { addr });
-        return;
+        return false;
     }
-    let allowed = allowed_rewrite(old, kind).expect("lfetch always has an allowed rewrite");
-    if *new != allowed {
-        out.push(match kind {
-            RewriteKind::NoPrefetch => Violation::WrongSlotType { addr },
-            RewriteKind::ExclHint => Violation::NotAHintFlip { addr },
-        });
+    match match_rewrite(old, new, kind) {
+        Some(is_removal) => is_removal,
+        None => {
+            out.push(match kind {
+                RewriteKind::NoPrefetch => Violation::WrongSlotType { addr },
+                RewriteKind::ExclHint => Violation::NotAHintFlip { addr },
+                RewriteKind::Combined => Violation::CombinedRewriteInvalid { addr },
+            });
+            false
+        }
     }
 }
 
@@ -415,8 +458,7 @@ pub fn check_plan(image: &CodeImage, plan: &PlanCheck<'_>) -> Result<(), VerifyE
                 ) else {
                     continue; // already reported above
                 };
-                check_site_rewrite(addr, &old, &new, plan.kind, &mut v);
-                if plan.kind == RewriteKind::NoPrefetch && old.is_lfetch() {
+                if check_site_rewrite(addr, &old, &new, plan.kind, &mut v) {
                     removed.insert(addr);
                 }
             }
@@ -485,7 +527,7 @@ fn check_trace_clone(
                 continue;
             }
         };
-        let as_rewrite = allowed_rewrite(&orig, plan.kind);
+        let as_rewrite = match_rewrite(&orig, cloned, plan.kind);
         let as_retarget = if orig.op.branch_target() == Some(plan.loop_head) {
             orig.op
                 .with_branch_target(trace.expected_start)
@@ -495,8 +537,8 @@ fn check_trace_clone(
         };
         if *cloned == orig {
             // identical — fine
-        } else if as_rewrite.is_some_and(|r| r == *cloned) {
-            if plan.kind == RewriteKind::NoPrefetch {
+        } else if let Some(is_removal) = as_rewrite {
+            if is_removal {
                 removed.insert(addr);
             }
         } else if as_retarget.is_some_and(|r| r == *cloned) {
@@ -564,8 +606,7 @@ fn check_trace_writes(
                 v.push(Violation::NotALfetchSite { addr });
                 continue;
             };
-            check_site_rewrite(addr, &old, &new, plan.kind, v);
-            if plan.kind == RewriteKind::NoPrefetch && old.is_lfetch() {
+            if check_site_rewrite(addr, &old, &new, plan.kind, v) {
                 removed.insert(addr);
             }
         }
@@ -989,6 +1030,140 @@ mod tests {
             err.violations[0],
             Violation::SeedNotALoopHead { .. }
         ));
+    }
+
+    /// A single-kind plan touching only a subset of the loop's lfetch
+    /// sites is first-class: unwritten sites simply stay as compiled.
+    #[test]
+    fn accepts_partial_subset_single_kind() {
+        let (image, head, back) = loop_image();
+        let sites = lfetch_sites(&image);
+        assert!(sites.len() >= 3, "test image needs a burst and a body site");
+        let writes = [(sites[0], encode(&NOP_SLOT_M))];
+        check_plan(
+            &image,
+            &plan(head, back, RewriteKind::NoPrefetch, &writes, None),
+        )
+        .expect("subset noprefetch must verify");
+    }
+
+    #[test]
+    fn accepts_combined_mixed_plan_in_place() {
+        let (image, head, back) = loop_image();
+        let sites = lfetch_sites(&image);
+        // Site 0 removed, site 2 hint-flipped, site 1 left as compiled.
+        let flip = allowed_rewrite(&image.insn(sites[2]).unwrap(), RewriteKind::ExclHint).unwrap();
+        let writes = [(sites[0], encode(&NOP_SLOT_M)), (sites[2], encode(&flip))];
+        check_plan(
+            &image,
+            &plan(head, back, RewriteKind::Combined, &writes, None),
+        )
+        .expect("mixed per-site combined plan must verify");
+    }
+
+    #[test]
+    fn accepts_combined_trace_plan() {
+        let (image, head, back) = loop_image();
+        let expected_start = bundle_align(image.len());
+        // Clone: body lfetch removed; burst writes: excl flips.
+        let mut insns = Vec::new();
+        for addr in head..=back {
+            let mut insn = image.insn(addr).unwrap();
+            if insn.is_lfetch() {
+                insn = NOP_SLOT_M;
+            }
+            if insn.op.branch_target() == Some(head) {
+                insn.op = insn.op.with_branch_target(expected_start).unwrap();
+            }
+            insns.push(insn);
+        }
+        insns.push(Insn::new(Op::BrCond { target: back + 1 }));
+        let mut writes: Vec<(CodeAddr, u64)> = lfetch_sites(&image)
+            .into_iter()
+            .filter(|&a| a < head)
+            .map(|a| {
+                let old = image.insn(a).unwrap();
+                (
+                    a,
+                    encode(&allowed_rewrite(&old, RewriteKind::ExclHint).unwrap()),
+                )
+            })
+            .collect();
+        writes.push((
+            head,
+            encode(&Insn::new(Op::BrCond {
+                target: expected_start,
+            })),
+        ));
+        check_plan(
+            &image,
+            &plan(
+                head,
+                back,
+                RewriteKind::Combined,
+                &writes,
+                Some(TraceCheck {
+                    expected_start,
+                    insns: &insns,
+                }),
+            ),
+        )
+        .expect("mixed trace-cache combined plan must verify");
+    }
+
+    #[test]
+    fn rejects_combined_non_rewrite() {
+        let (image, head, back) = loop_image();
+        let site = lfetch_sites(&image)[0];
+        // Neither a nop.m nor a pure hint flip: base changed *and* excl set.
+        let writes = [(
+            site,
+            encode(&Insn::new(Op::Lfetch {
+                base: 9,
+                post_inc: 128,
+                hint: LfetchHint::Nt1,
+                excl: true,
+            })),
+        )];
+        let err = check_plan(
+            &image,
+            &plan(head, back, RewriteKind::Combined, &writes, None),
+        )
+        .unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::CombinedRewriteInvalid { .. })),
+            "{err}"
+        );
+    }
+
+    /// Combined-plan removals must feed the reaching-use walk exactly like
+    /// noprefetch removals do.
+    #[test]
+    fn rejects_combined_nop_of_live_base() {
+        let mut a = Assembler::new();
+        a.lfetch_nt1(0, 20, 64); // r20 += 64 — removed by the plan
+        a.mov_to_lc(20); // binding read of r20, no redefinition
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        a.ldfd(16, 32, 2, 8);
+        let back = a.br_cloop(top);
+        a.hlt();
+        let image = a.finish();
+        let writes = [(0, encode(&NOP_SLOT_M))];
+        let err = check_plan(
+            &image,
+            &plan(head, back, RewriteKind::Combined, &writes, None),
+        )
+        .unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::BaseRegisterLive { base: 20, .. })),
+            "{err}"
+        );
     }
 
     #[test]
