@@ -457,7 +457,13 @@ impl Cobra {
         let blocks = machine.block_stats();
         self.report.block_builds = blocks.builds;
         self.report.block_invalidations = blocks.invalidations;
-        self.report.block_fallback_cycles = blocks.fallback_cycles;
+        self.report.block_fallback_cycles = blocks.fallback_cycles();
+        self.report.block_fallback_mem_boundary = blocks.fallback_mem_boundary;
+        self.report.block_fallback_sampling = blocks.fallback_sampling;
+        self.report.block_fallback_no_running = blocks.fallback_no_running;
+        self.report.block_fallback_other = blocks.fallback_other;
+        self.report.block_horizon_stretches = blocks.horizon_stretches;
+        self.report.block_horizon_cycles = blocks.horizon_cycles;
         self.driver.detach(machine);
         for m in self.monitors.iter_mut().flatten() {
             let _ = m.tx.send(ToMonitor::Shutdown);
@@ -500,6 +506,12 @@ impl Cobra {
                 tick: self.tick,
                 cycle: machine.shared.cycle,
                 records_dropped: hub.dropped(),
+                block_fallback_mem_boundary: blocks.fallback_mem_boundary,
+                block_fallback_sampling: blocks.fallback_sampling,
+                block_fallback_no_running: blocks.fallback_no_running,
+                block_fallback_other: blocks.fallback_other,
+                block_horizon_stretches: blocks.horizon_stretches,
+                block_horizon_cycles: blocks.horizon_cycles,
             });
             let (records, dropped) = hub.finish();
             self.report.telemetry_records = records;

@@ -77,7 +77,11 @@ impl Rrb {
 
 #[inline]
 fn map_rotating(vreg: u8, base: u8, size: u8, rrb: u8) -> u8 {
-    if vreg < base {
+    // With no rotation in flight the rotating region maps to itself
+    // (`v - base < size` for every architectural register number), so the
+    // whole map is the identity — one predictable compare on the hot path
+    // of every register access instead of a modulo.
+    if rrb == 0 || vreg < base {
         vreg
     } else {
         base + (vreg - base + rrb) % size

@@ -55,6 +55,23 @@ pub enum OpClass {
     Nop,
     /// `br.cloop target` (target pre-widened into `imm`; ignores qp).
     BrCloop,
+    /// `cmp.rel pA,pB = a, b` (predicate pair write; `rel`/`p2` read from
+    /// the embedded [`Insn`] at dispatch).
+    Cmp,
+    /// `cmp.rel pA,pB = imm, a` (immediate pre-widened into `imm`).
+    CmpI,
+    /// `(qp) br.cond target` (target pre-widened into `imm`).
+    BrCond,
+    /// `shl d = a, count` (count pre-extracted into `b`).
+    ShlI,
+    /// `shr.u d = a, count` (logical right shift, count in `b`).
+    ShrI,
+    /// `shr d = a, count` (arithmetic right shift, count in `b`).
+    SarI,
+    /// `fadd.d d = a, b` (FP register numbers in `a`/`b`).
+    FaddD,
+    /// `fmul.d d = a, b` (FP register numbers in `a`/`b`).
+    FmulD,
     /// Full interpreter dispatch.
     Other,
 }
@@ -194,6 +211,14 @@ impl MicroOp {
             MovI { dest, imm } => (OpClass::MovI, dest, 0, 0, imm),
             Nop { .. } => (OpClass::Nop, 0, 0, 0, 0),
             BrCloop { target } => (OpClass::BrCloop, 0, 0, 0, target as i64),
+            Cmp { p1, r2, r3, .. } => (OpClass::Cmp, p1, r2, r3, 0),
+            CmpI { p1, imm, r3, .. } => (OpClass::CmpI, p1, r3, 0, imm as i64),
+            BrCond { target } => (OpClass::BrCond, 0, 0, 0, target as i64),
+            ShlI { dest, src, count } => (OpClass::ShlI, dest, src, count, 0),
+            ShrI { dest, src, count } => (OpClass::ShrI, dest, src, count, 0),
+            SarI { dest, src, count } => (OpClass::SarI, dest, src, count, 0),
+            FaddD { dest, f1, f2 } => (OpClass::FaddD, dest, f1, f2, 0),
+            FmulD { dest, f1, f2 } => (OpClass::FmulD, dest, f1, f2, 0),
             _ => (OpClass::Other, 0, 0, 0, 0),
         };
         MicroOp {
@@ -334,5 +359,78 @@ mod tests {
             r3: 5,
         }));
         assert_eq!(u.class, OpClass::Other);
+    }
+
+    /// The widened classes (compare, conditional branch, shifts, FP
+    /// add/multiply) pre-extract their operands like `Add`/`AddI` do.
+    #[test]
+    fn widened_classes_pre_extract_their_operands() {
+        let u = MicroOp::lower(Insn::new(Op::Cmp {
+            p1: 6,
+            p2: 7,
+            rel: CmpRel::Lt,
+            r2: 4,
+            r3: 5,
+        }));
+        assert_eq!((u.class, u.d, u.a, u.b), (OpClass::Cmp, 6, 4, 5));
+
+        let u = MicroOp::lower(Insn::new(Op::CmpI {
+            p1: 8,
+            p2: 9,
+            rel: CmpRel::Ge,
+            imm: -12,
+            r3: 3,
+        }));
+        assert_eq!((u.class, u.d, u.a, u.imm), (OpClass::CmpI, 8, 3, -12));
+
+        let u = MicroOp::lower(Insn::new(Op::BrCond { target: 77 }));
+        assert_eq!((u.class, u.imm), (OpClass::BrCond, 77));
+        assert!(u.ends_block());
+
+        for (op, class) in [
+            (
+                Op::ShlI {
+                    dest: 4,
+                    src: 5,
+                    count: 3,
+                },
+                OpClass::ShlI,
+            ),
+            (
+                Op::ShrI {
+                    dest: 4,
+                    src: 5,
+                    count: 3,
+                },
+                OpClass::ShrI,
+            ),
+            (
+                Op::SarI {
+                    dest: 4,
+                    src: 5,
+                    count: 3,
+                },
+                OpClass::SarI,
+            ),
+        ] {
+            let u = MicroOp::lower(Insn::new(op));
+            assert_eq!((u.class, u.d, u.a, u.b), (class, 4, 5, 3));
+            assert_eq!(u.sources(), &[SrcReg::Gr(5)]);
+        }
+
+        let u = MicroOp::lower(Insn::new(Op::FaddD {
+            dest: 9,
+            f1: 6,
+            f2: 7,
+        }));
+        assert_eq!((u.class, u.d, u.a, u.b), (OpClass::FaddD, 9, 6, 7));
+        assert_eq!(u.sources(), &[SrcReg::Fr(6), SrcReg::Fr(7)]);
+
+        let u = MicroOp::lower(Insn::new(Op::FmulD {
+            dest: 10,
+            f1: 7,
+            f2: 8,
+        }));
+        assert_eq!((u.class, u.d, u.a, u.b), (OpClass::FmulD, 10, 7, 8));
     }
 }

@@ -34,6 +34,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use cobra_isa::insn::Op;
 use cobra_isa::uop::MicroOp;
 use cobra_isa::CodeAddr;
 
@@ -44,6 +45,16 @@ use crate::machine::ProgramCode;
 /// a patch's invalidation footprint small.
 pub const MAX_BLOCK_SLOTS: usize = 64;
 
+/// Distance value meaning "no memory-capable uop is reachable on this path"
+/// (a mem-free cycle, or a path that ends in `hlt`). Far below `u64::MAX` so
+/// saturating sums of block lengths never wrap.
+const DIST_INF: u64 = u64::MAX / 4;
+
+/// Exploration bound for the cross-block distance fixpoint: at most this
+/// many blocks are discovered per query; successors beyond the frontier
+/// conservatively count as memory-capable at distance 0.
+const DIST_EXPLORE_BLOCKS: usize = 64;
+
 /// One lowered basic block: `uops[k]` is the micro-op at `start + k`.
 #[derive(Debug)]
 pub struct Block {
@@ -53,6 +64,13 @@ pub struct Block {
     /// block terminator unless the block was cut by [`MAX_BLOCK_SLOTS`] or
     /// the image end.
     pub uops: Box<[MicroOp]>,
+    /// `dist_mem[k]` is the straight-line uop distance from slot `start + k`
+    /// to the nearest memory-capable uop at or after it, where the position
+    /// one past the block end counts as memory-capable (the successor block
+    /// is unknown, so it must be assumed to touch memory immediately). A
+    /// memory-capable uop itself has distance 0; with no in-block memory op,
+    /// `dist_mem[k] == uops.len() - k`.
+    pub dist_mem: Box<[u8]>,
 }
 
 impl Block {
@@ -71,6 +89,89 @@ impl Block {
             None
         }
     }
+
+    /// Straight-line uop distance from in-block index `idx` to the nearest
+    /// memory-capable position (see [`Block::dist_mem`]). The lockstep
+    /// scheduler turns this into a cycle bound: at most 3 uops issue per
+    /// cycle, so a uop `d` slots ahead cannot issue before `d / 3` cycles
+    /// from now. [`BlockCache::mem_free_path_uops`] extends this distance
+    /// across block boundaries through statically known branch targets.
+    #[inline]
+    pub fn mem_free_uops(&self, idx: usize) -> u64 {
+        self.dist_mem[idx] as u64
+    }
+
+    /// Where control can continue one past the last uop of this block.
+    fn past_end(&self, code_len: CodeAddr) -> PastEnd {
+        let last = self.uops.last().expect("blocks are non-empty");
+        if !last.ends_block() {
+            // Cut by the slot cap or the image end: pure fall-through.
+            return if self.end() < code_len {
+                PastEnd::Static([Some(self.end()), None])
+            } else {
+                PastEnd::Unknown
+            };
+        }
+        match last.insn.op {
+            // A halting path issues nothing further (the halting core's own
+            // store-buffer drain is core-local).
+            Op::Hlt => PastEnd::Halt,
+            // Indirect return target: unknowable statically.
+            Op::BrRet => PastEnd::Unknown,
+            // Every direct branch flavour: the taken target plus (all these
+            // forms can fall through, via qp or loop exhaustion) the next
+            // slot. Out-of-image successors count as unknown.
+            Op::BrCond { target }
+            | Op::BrCtop { target }
+            | Op::BrCloop { target }
+            | Op::BrWtop { target }
+            | Op::BrCall { target } => {
+                let fall = (self.end() < code_len).then_some(self.end());
+                if target < code_len {
+                    PastEnd::Static([Some(target), fall])
+                } else if fall.is_some() {
+                    PastEnd::Static([fall, None])
+                } else {
+                    PastEnd::Unknown
+                }
+            }
+            _ => PastEnd::Unknown,
+        }
+    }
+}
+
+/// Static control-flow successors one past a block's end.
+enum PastEnd {
+    /// Direct successors (one or two block entry addresses).
+    Static([Option<CodeAddr>; 2]),
+    /// The block ends in `hlt`: the path issues nothing further.
+    Halt,
+    /// Indirect or out-of-image: must be assumed memory-capable immediately.
+    Unknown,
+}
+
+/// Why one machine cycle fell back to the per-cycle reference loop while
+/// block dispatch was enabled. The breakdown makes the residual per-cycle
+/// time attributable: a hot `MemBoundary` count means the lockstep engine is
+/// engaging but the code is memory-dense; a hot `Sampling` count means HPM
+/// overflow sampling is pinning the machine to the reference loop; `Other`
+/// covers solo-core cycles the solo engine could not stretch (stalled core
+/// with stall-skip off, block-mode-off multicore cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Lockstep multicore dispatch engaged but the safe horizon was zero: at
+    /// least one running core sits on (or within the same issue cycle as) a
+    /// memory-capable uop, so the cycle must run interleaved.
+    MultiCoreMemBoundary,
+    /// HPM overflow sampling is programmed; block mode is disabled outright
+    /// so overflow polls land on exact reference cycles.
+    Sampling,
+    /// No core is `Running` (all stalled/idle with stall-skip off): nothing
+    /// to stretch.
+    NoRunningCore,
+    /// Any other per-cycle residue (solo stretch declined, multicore with
+    /// the lockstep switch off, ...).
+    Other,
 }
 
 /// Telemetry counters of one [`BlockCache`] (surfaced in `CobraReport`).
@@ -80,16 +181,43 @@ pub struct BlockStats {
     pub builds: u64,
     /// Cached blocks dropped by patches/appends/reverts.
     pub invalidations: u64,
-    /// Machine cycles executed via the per-cycle fallback while block
-    /// dispatch was enabled (HPM sampling programmed, more than one core
-    /// running, or a stalled core burning a cycle with stall-skip off).
-    pub fallback_cycles: u64,
+    /// Fallback cycles at a multicore memory boundary
+    /// ([`FallbackReason::MultiCoreMemBoundary`]).
+    pub fallback_mem_boundary: u64,
+    /// Fallback cycles while HPM sampling was programmed
+    /// ([`FallbackReason::Sampling`]).
+    pub fallback_sampling: u64,
+    /// Fallback cycles with no running core ([`FallbackReason::NoRunningCore`]).
+    pub fallback_no_running: u64,
+    /// Remaining fallback cycles ([`FallbackReason::Other`]).
+    pub fallback_other: u64,
+    /// Lockstep multicore stretches executed (each covers ≥1 cycle on every
+    /// running core).
+    pub horizon_stretches: u64,
+    /// Machine cycles covered by lockstep multicore stretches.
+    pub horizon_cycles: u64,
+}
+
+impl BlockStats {
+    /// Total machine cycles executed via the per-cycle fallback while block
+    /// dispatch was enabled (the sum of the per-reason counters).
+    pub fn fallback_cycles(&self) -> u64 {
+        self.fallback_mem_boundary
+            + self.fallback_sampling
+            + self.fallback_no_running
+            + self.fallback_other
+    }
 }
 
 /// The block cache shared by all cores of a machine.
 #[derive(Debug)]
 pub struct BlockCache {
     map: HashMap<CodeAddr, Arc<Block>>,
+    /// Memoized cross-block mem-free distances, keyed by block entry (see
+    /// [`Self::mem_free_path_uops`]). Every entry was computed from blocks
+    /// that are in `map`, so clearing it whenever blocks drop keeps it from
+    /// ever going stale.
+    dist_memo: HashMap<CodeAddr, u64>,
     generation: u64,
     code_generation: u64,
     stats: BlockStats,
@@ -105,6 +233,7 @@ impl BlockCache {
     pub fn new() -> Self {
         BlockCache {
             map: HashMap::new(),
+            dist_memo: HashMap::new(),
             generation: 0,
             code_generation: 0,
             stats: BlockStats::default(),
@@ -147,8 +276,27 @@ impl BlockCache {
 
     /// Count one machine cycle executed via the per-cycle fallback.
     #[inline]
-    pub fn note_fallback(&mut self) {
-        self.stats.fallback_cycles += 1;
+    pub fn note_fallback(&mut self, reason: FallbackReason) {
+        self.note_fallback_cycles(reason, 1);
+    }
+
+    /// Count `cycles` per-cycle fallback cycles attributed to `reason` at
+    /// once (batched boundary interleaving).
+    #[inline]
+    pub fn note_fallback_cycles(&mut self, reason: FallbackReason, cycles: u64) {
+        match reason {
+            FallbackReason::MultiCoreMemBoundary => self.stats.fallback_mem_boundary += cycles,
+            FallbackReason::Sampling => self.stats.fallback_sampling += cycles,
+            FallbackReason::NoRunningCore => self.stats.fallback_no_running += cycles,
+            FallbackReason::Other => self.stats.fallback_other += cycles,
+        }
+    }
+
+    /// Count one lockstep multicore stretch covering `cycles` machine cycles.
+    #[inline]
+    pub fn note_horizon(&mut self, cycles: u64) {
+        self.stats.horizon_stretches += 1;
+        self.stats.horizon_cycles += cycles;
     }
 
     /// The block starting at `entry`, building and caching it on a miss.
@@ -184,9 +332,22 @@ impl BlockCache {
                 break;
             }
         }
+        // Backward pass: distance to the nearest memory-capable position,
+        // with the slot one past the block end counting as memory-capable
+        // (unknown successor). Fits in u8 because blocks hold ≤ 64 uops.
+        let mut dist_mem = vec![0u8; uops.len()];
+        let mut d = 1u8; // distance of the last slot to the position past the end
+        for (k, u) in uops.iter().enumerate().rev() {
+            if u.is_mem() {
+                d = 0;
+            }
+            dist_mem[k] = d;
+            d += 1;
+        }
         Block {
             start: entry,
             uops: uops.into_boxed_slice(),
+            dist_mem: dist_mem.into_boxed_slice(),
         }
     }
 
@@ -212,6 +373,7 @@ impl BlockCache {
         let dropped = self.map.len();
         if dropped > 0 {
             self.map.clear();
+            self.dist_memo.clear();
             self.stats.invalidations += dropped as u64;
             self.generation += 1;
         }
@@ -222,9 +384,150 @@ impl BlockCache {
         self.map.retain(|_, b| keep(b));
         let dropped = before - self.map.len();
         if dropped > 0 {
+            self.dist_memo.clear();
             self.stats.invalidations += dropped as u64;
             self.generation += 1;
         }
+    }
+
+    /// Lower bound on the number of uops any execution path starting at
+    /// in-block index `idx` of the block at `entry` can issue before a
+    /// memory-capable uop issues. Unlike [`Block::mem_free_uops`] this
+    /// follows statically known control flow *across* block boundaries —
+    /// every direct branch contributes both its target and its fall-through
+    /// path, a `hlt` terminates its path (the halting core issues nothing
+    /// further), and anything unknowable (indirect `br.ret`, out-of-image
+    /// successors, the exploration bound) counts as memory-capable at
+    /// distance 0. Mem-free cycles reachable from `idx` make the distance
+    /// effectively infinite ([`DIST_INF`]); the caller caps by budget.
+    ///
+    /// The per-entry fixpoint is memoized until any block is invalidated, so
+    /// steady-state queries past the block end are one hash lookup — and
+    /// queries that resolve to an in-block memory uop (`b` is the caller's
+    /// cursor block, passed in so the hot path never touches the cache map)
+    /// are a pure array read.
+    pub fn mem_free_path_uops(&mut self, code: &ProgramCode, b: &Block, idx: usize) -> u64 {
+        let d = b.dist_mem[idx] as u64;
+        if idx as u64 + d < b.uops.len() as u64 {
+            return d; // a real in-block memory uop
+        }
+        let tail = (b.uops.len() - idx) as u64;
+        tail.saturating_add(self.dist_from_exit(code, b))
+    }
+
+    /// Distance past the end of `b`: min over its successors' entry
+    /// distances, via a bounded Bellman-Ford fixpoint over the discovered
+    /// block graph. Distances only shrink during relaxation, so the settled
+    /// values are true path minima — never overestimates, which is what the
+    /// lockstep horizon's soundness rests on.
+    fn dist_from_exit(&mut self, code: &ProgramCode, b: &Block) -> u64 {
+        enum SuccRef {
+            Known(usize),
+            Open, // unknown / out of image / past the exploration bound: 0
+        }
+        let code_len = code.len();
+        // Discover the successor closure, reusing memoized roots wherever
+        // the frontier touches one.
+        let mut entries: Vec<CodeAddr> = Vec::new();
+        let mut index: HashMap<CodeAddr, usize> = HashMap::new();
+        // (in-block mem distance or INF, length, successors, memoized?)
+        let mut nodes: Vec<(u64, u64, Vec<SuccRef>, Option<u64>)> = Vec::new();
+        let mut roots: Vec<SuccRef> = Vec::new();
+        let mut frontier: Vec<(Option<usize>, CodeAddr)> = match b.past_end(code_len) {
+            PastEnd::Halt => return DIST_INF,
+            PastEnd::Unknown => return 0,
+            PastEnd::Static(succs) => succs.iter().flatten().map(|&s| (None, s)).collect(),
+        };
+        let mut cursor = 0usize;
+        while cursor < frontier.len() {
+            let (from, entry) = frontier[cursor];
+            cursor += 1;
+            let slot = if let Some(&j) = index.get(&entry) {
+                SuccRef::Known(j)
+            } else if entries.len() < DIST_EXPLORE_BLOCKS {
+                let j = entries.len();
+                entries.push(entry);
+                index.insert(entry, j);
+                let memo = self.dist_memo.get(&entry).copied();
+                let (base, len, succs) = if memo.is_some() {
+                    (DIST_INF, 0, Vec::new()) // settled: relaxation skips it
+                } else {
+                    let nb = self.get_or_build(code, entry);
+                    let len = nb.uops.len() as u64;
+                    let d0 = nb.dist_mem[0] as u64;
+                    let base = if d0 < len { d0 } else { DIST_INF };
+                    let succs = match nb.past_end(code_len) {
+                        PastEnd::Halt => Vec::new(), // min over nothing: INF
+                        PastEnd::Unknown => vec![SuccRef::Open],
+                        PastEnd::Static(list) => {
+                            let mut v = Vec::new();
+                            for &s in list.iter().flatten() {
+                                frontier.push((Some(j), s));
+                                v.push(SuccRef::Open); // patched below
+                            }
+                            v
+                        }
+                    };
+                    (base, len, succs)
+                };
+                nodes.push((base, len, succs, memo));
+                SuccRef::Known(j)
+            } else {
+                SuccRef::Open
+            };
+            match from {
+                None => roots.push(slot),
+                Some(parent) => {
+                    // Patch the parent's placeholder for this successor.
+                    let succs = &mut nodes[parent].2;
+                    let open = succs
+                        .iter_mut()
+                        .find(|s| matches!(s, SuccRef::Open))
+                        .expect("one placeholder per discovered successor");
+                    *open = slot;
+                }
+            }
+        }
+        // Relax to fixpoint: dist(X) = min(in-block mem, len + min succ).
+        let mut dist: Vec<u64> = nodes
+            .iter()
+            .map(|(_, _, _, memo)| memo.unwrap_or(DIST_INF))
+            .collect();
+        loop {
+            let mut changed = false;
+            for (k, (base, len, succs, memo)) in nodes.iter().enumerate() {
+                if memo.is_some() {
+                    continue;
+                }
+                let past = succs
+                    .iter()
+                    .map(|s| match s {
+                        SuccRef::Known(j) => dist[*j],
+                        SuccRef::Open => 0,
+                    })
+                    .min()
+                    .unwrap_or(DIST_INF);
+                let v = (*base).min(len.saturating_add(past)).min(DIST_INF);
+                if v < dist[k] {
+                    dist[k] = v;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (k, e) in entries.iter().enumerate() {
+            self.dist_memo.entry(*e).or_insert(dist[k]);
+        }
+        roots
+            .iter()
+            .map(|s| match s {
+                SuccRef::Known(j) => dist[*j],
+                SuccRef::Open => 0,
+            })
+            .min()
+            .unwrap_or(DIST_INF)
     }
 }
 
@@ -272,6 +575,53 @@ mod tests {
         let again = cache.get_or_build(&code, 0);
         assert!(Arc::ptr_eq(&head, &again));
         assert_eq!(cache.stats().builds, 1);
+    }
+
+    /// `dist_mem` counts uops to the nearest memory-capable position, with
+    /// the slot past the block end treated as memory-capable.
+    #[test]
+    fn dist_mem_annotation_counts_to_nearest_memory_uop() {
+        // addi, addi, ld8, addi, br.cloop — one mem op mid-block.
+        let code = code_with(|a| {
+            a.movi(5, 4);
+            a.mov_to_lc(5);
+            let top = a.new_label();
+            a.bind(top);
+            a.addi(6, 6, 1);
+            a.addi(7, 7, 2);
+            a.ld8(0, 8, 9, 0);
+            a.addi(6, 6, 3);
+            a.br_cloop(top);
+            a.hlt();
+        });
+        let mut cache = BlockCache::new();
+        let head = cache.get_or_build(&code, 0);
+        assert!(
+            head.uops.last().unwrap().ends_block(),
+            "movi..br.cloop in one block"
+        );
+        let mem_idx = head
+            .uops
+            .iter()
+            .position(|u| u.is_mem())
+            .expect("ld8 present");
+        assert_eq!(head.mem_free_uops(mem_idx), 0, "mem uop is distance 0");
+        // Walking backwards from the mem op: distance rises by one per slot.
+        for k in 0..mem_idx {
+            assert_eq!(head.mem_free_uops(k) as usize, mem_idx - k);
+        }
+        // Past the mem op there is no further in-block memory: distance runs
+        // out to one past the block end.
+        for k in (mem_idx + 1)..head.uops.len() {
+            assert_eq!(head.mem_free_uops(k) as usize, head.uops.len() - k);
+        }
+
+        // A mem-free block: every distance is the remaining block length.
+        let tail = cache.get_or_build(&code, head.end());
+        assert!(tail.uops.iter().all(|u| !u.is_mem()));
+        for k in 0..tail.uops.len() {
+            assert_eq!(tail.mem_free_uops(k) as usize, tail.uops.len() - k);
+        }
     }
 
     #[test]

@@ -139,6 +139,15 @@ pub struct HostAccel {
     /// (`block_dispatch_equivalence` suite).
     #[serde(default = "default_on")]
     pub block_dispatch: bool,
+    /// Lockstep multicore block dispatch: with two or more cores running,
+    /// [`crate::Machine::run`] computes a safe horizon (min cycles until any
+    /// running core can issue a memory-capable micro-op) and runs each
+    /// core's stretch back-to-back on a local clock within it, dropping to
+    /// per-cycle stepping only for the memory cycles themselves. Requires
+    /// [`Self::block_dispatch`]; covered by the same
+    /// `block_dispatch_equivalence` suite.
+    #[serde(default = "default_on")]
+    pub block_dispatch_multicore: bool,
 }
 
 fn default_on() -> bool {
@@ -158,6 +167,7 @@ impl HostAccel {
             stall_skip: true,
             mem_fast_path: true,
             block_dispatch: true,
+            block_dispatch_multicore: true,
         }
     }
 
@@ -167,6 +177,7 @@ impl HostAccel {
             stall_skip: false,
             mem_fast_path: false,
             block_dispatch: false,
+            block_dispatch_multicore: false,
         }
     }
 
@@ -186,6 +197,11 @@ impl HostAccel {
         self
     }
 
+    pub fn with_block_dispatch_multicore(mut self, on: bool) -> Self {
+        self.block_dispatch_multicore = on;
+        self
+    }
+
     /// Apply a `COBRA_HOST_ACCEL` specification string: a comma-separated
     /// list of `reference`, `fast`, or `<flag>=<value>` tokens applied left
     /// to right (`value`: `1`/`true`/`on` enables, anything else disables;
@@ -202,6 +218,7 @@ impl HostAccel {
                             "stall_skip" => self.stall_skip = on,
                             "mem_fast_path" => self.mem_fast_path = on,
                             "block_dispatch" => self.block_dispatch = on,
+                            "block_dispatch_multicore" => self.block_dispatch_multicore = on,
                             _ => {}
                         }
                     }
@@ -383,8 +400,9 @@ impl Deserialize for MachineConfig {
             None => HostAccel {
                 stall_skip: serde::de::field_opt(fields, "stall_skip", TY)?.unwrap_or(true),
                 mem_fast_path: serde::de::field_opt(fields, "mem_fast_path", TY)?.unwrap_or(true),
-                // Pre-dates every legacy config: always defaults on.
+                // Pre-date every legacy config: always default on.
                 block_dispatch: true,
+                block_dispatch_multicore: true,
             },
         };
         Ok(MachineConfig {
@@ -543,11 +561,12 @@ mod tests {
     /// The nested shape round-trips every switch combination.
     #[test]
     fn host_accel_round_trips() {
-        for bits in 0u8..8 {
+        for bits in 0u8..16 {
             let accel = HostAccel {
                 stall_skip: bits & 1 != 0,
                 mem_fast_path: bits & 2 != 0,
                 block_dispatch: bits & 4 != 0,
+                block_dispatch_multicore: bits & 8 != 0,
             };
             let cfg = MachineConfig::altix8().with_host_accel(accel);
             let v = serde::Serialize::to_value(&cfg);
@@ -555,6 +574,31 @@ mod tests {
             assert_eq!(back.host_accel, accel);
             assert_eq!(back.num_cpus, cfg.num_cpus);
         }
+    }
+
+    /// Configs serialized before `block_dispatch_multicore` existed (a
+    /// `host_accel` object without the key) must still load with the
+    /// lockstep engine on.
+    #[test]
+    fn config_without_block_dispatch_multicore_field_defaults_on() {
+        let mut v = serde::Serialize::to_value(
+            &MachineConfig::smp4().with_host_accel(HostAccel::reference()),
+        );
+        let serde::Value::Object(fields) = &mut v else {
+            panic!("config serializes to an object");
+        };
+        let accel = fields
+            .iter_mut()
+            .find(|(k, _)| k == "host_accel")
+            .map(|(_, v)| v)
+            .expect("host_accel serialized");
+        let serde::Value::Object(accel_fields) = accel else {
+            panic!("host_accel serializes to an object");
+        };
+        accel_fields.retain(|(k, _)| k != "block_dispatch_multicore");
+        let cfg: MachineConfig = serde::Deserialize::from_value(&v).expect("tolerant deserialize");
+        assert!(cfg.host_accel.block_dispatch_multicore);
+        assert!(!cfg.host_accel.block_dispatch, "present keys are honored");
     }
 
     /// The deprecated flat setters remain functional during the deprecation
@@ -584,8 +628,16 @@ mod tests {
         assert_eq!(HostAccel::reference().apply_spec("fast"), HostAccel::fast());
         let a = HostAccel::fast().apply_spec("block_dispatch=0");
         assert!(a.stall_skip && a.mem_fast_path && !a.block_dispatch);
+        assert!(
+            a.block_dispatch_multicore,
+            "lockstep flag is independent on the wire (run() gates it on block_dispatch)"
+        );
+        let a = HostAccel::fast().apply_spec("block_dispatch_multicore=0");
+        assert!(a.stall_skip && a.mem_fast_path && a.block_dispatch);
+        assert!(!a.block_dispatch_multicore);
         let a = HostAccel::fast().apply_spec("reference, stall_skip=1");
         assert!(a.stall_skip && !a.mem_fast_path && !a.block_dispatch);
+        assert!(!a.block_dispatch_multicore);
         let a = HostAccel::fast().apply_spec("mem_fast_path=off, bogus_flag=1, ");
         assert!(a.stall_skip && !a.mem_fast_path && a.block_dispatch);
     }

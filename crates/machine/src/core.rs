@@ -22,6 +22,18 @@ use crate::events::Event;
 use crate::machine::Shared;
 use crate::memsys::AccessKind;
 
+/// What one [`Core::step_block`] cycle did. The boundary batch reads this
+/// instead of re-scanning core state each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// The core is not Running (idle, halted, or faulted).
+    Parked,
+    /// The core began the cycle stalled and accrued stall accounting only.
+    Stalled,
+    /// The core attempted issue this cycle.
+    Issued,
+}
+
 /// Scheduling state of a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreStatus {
@@ -302,6 +314,63 @@ impl Core {
         self.issue_bundle_ref(shared, now);
     }
 
+    /// One reference-schedule cycle through the pre-decoded dispatch path:
+    /// the block-engine twin of [`Self::step`], used for the interleaved
+    /// memory-boundary cycles between lockstep horizons. Identical stall
+    /// and issue semantics — `dispatch_class` returning `None` is exactly
+    /// `issue_bundle_ref`'s stall-on-use (it sets `resume_at`) and its
+    /// `Other` arm is the same `execute` the reference calls — only the
+    /// per-slot instruction fetch/decode is replaced by the cached uops.
+    /// Only legal while no sampled counter can cross its threshold this
+    /// cycle (the caller's sampling gate guarantees it).
+    ///
+    /// The cursor block is moved out of `self` for the cycle and moved back
+    /// at the end rather than cloned, keeping the boundary-cycle hot path
+    /// free of refcount traffic.
+    pub(crate) fn step_block(&mut self, shared: &mut Shared) -> StepOutcome {
+        if self.status != CoreStatus::Running {
+            return StepOutcome::Parked;
+        }
+        let now = shared.cycle;
+        shared.stats[self.cpu].add(Event::CpuCycles, 1);
+        if now < self.resume_at {
+            shared.stats[self.cpu].add(Event::StallCycles, 1);
+            return StepOutcome::Stalled;
+        }
+        // Move the cursor block out instead of cloning the `Arc` every
+        // cycle; it is put back below before returning.
+        let mut b: Arc<Block> = match self.cur_block.take() {
+            Some(b)
+                if self.cur_block_gen == shared.blocks.generation()
+                    && shared.blocks.is_current(&shared.code)
+                    && b.uop_at(self.pc).is_some() =>
+            {
+                b
+            }
+            _ => self.refetch_block(shared),
+        };
+        let mut idx = self.pc.wrapping_sub(b.start) as usize;
+        let mut retired = 0u64;
+        for _slot in 0..3 {
+            if idx >= b.uops.len() {
+                b = self.refetch_block(shared);
+                idx = 0;
+            }
+            let u = &b.uops[idx];
+            let Some(taken) = self.dispatch_class(shared, now, u) else {
+                break;
+            };
+            retired += 1;
+            if taken || self.status != CoreStatus::Running || now < self.resume_at {
+                break;
+            }
+            idx += 1;
+        }
+        shared.stats[self.cpu].add(Event::InstRetired, retired);
+        self.cur_block = Some(b);
+        StepOutcome::Issued
+    }
+
     /// Reference issue path: re-fetch the decoded instruction and re-derive
     /// its source set from the opcode every slot. This is the semantic
     /// ground truth the block dispatch engine is property-tested against.
@@ -348,13 +417,13 @@ impl Core {
         // memory system take `now` as a parameter, so nothing observes
         // `shared.cycle` until the stretch flushes it back on exit.
         let mut now = shared.cycle;
+        let mut idx = self.pc.wrapping_sub(b.start) as usize;
         while executed < budget {
             if self.status != CoreStatus::Running || now < self.resume_at {
                 break;
             }
             let mut mem_issue = false;
             for _slot in 0..3 {
-                let mut idx = self.pc.wrapping_sub(b.start) as usize;
                 if idx >= b.uops.len() {
                     b = self.refetch_block(shared);
                     idx = 0;
@@ -365,7 +434,12 @@ impl Core {
                 };
                 mem_issue |= u.is_mem();
                 retired += 1;
-                if taken || self.status != CoreStatus::Running || now < self.resume_at {
+                if taken {
+                    idx = self.pc.wrapping_sub(b.start) as usize;
+                    break;
+                }
+                idx += 1;
+                if self.status != CoreStatus::Running || now < self.resume_at {
                     break;
                 }
             }
@@ -381,6 +455,102 @@ impl Core {
         stats.add(Event::CpuCycles, executed);
         stats.add(Event::InstRetired, retired);
         (executed, drain)
+    }
+
+    /// Lower bound on the number of cycles, starting at `now`, during which
+    /// this core *cannot* issue a memory-capable micro-op: the remaining
+    /// stall window plus the issue-rate bound on the path distance to the
+    /// nearest memory-capable uop. At most 3 uops issue per cycle (taken
+    /// branches only shorten issue groups), so a uop `d` slots ahead on
+    /// *every* path issues no earlier than `d / 3` cycles after the core
+    /// resumes. The distance follows statically known branch targets across
+    /// block boundaries ([`crate::BlockCache::mem_free_path_uops`]), so a
+    /// mem-free loop yields an effectively unbounded horizon (the budget
+    /// caps it); indirect targets count as memory-capable at distance 0.
+    ///
+    /// The lockstep scheduler takes the min over all running cores; within
+    /// that horizon no core can touch cross-core-observable state.
+    pub(crate) fn mem_free_cycles(&mut self, shared: &mut Shared, now: u64) -> u64 {
+        let b = match self.cursor_block(shared) {
+            Some(b) => b,
+            None => self.refetch_block(shared),
+        };
+        let idx = (self.pc - b.start) as usize;
+        let d = shared.blocks.mem_free_path_uops(&shared.code, &b, idx);
+        self.resume_at.saturating_sub(now) + d / 3
+    }
+
+    /// Lockstep multicore stretch: execute exactly `horizon` cycles
+    /// (starting at machine cycle `start`) on a local clock, knowing no
+    /// memory-capable uop can issue within the horizon (guaranteed by
+    /// [`Self::mem_free_cycles`] across all running cores). Everything this
+    /// touches is core-local — registers, scoreboards, own stats/HPM/BTB,
+    /// the shared-but-commutative block cache — so running each core's
+    /// stretch back-to-back is bit-identical to interleaving them per cycle.
+    ///
+    /// Replicates the reference accounting exactly: a Running core earns
+    /// `CPU_CYCLES` every cycle, `STALL_CYCLES` on cycles that *begin*
+    /// stalled (not the stall-discovery cycle), and stops earning on the
+    /// cycle after `hlt` retires or a fault is taken. Returns the number of
+    /// cycles consumed (== `horizon` unless the core left `Running`).
+    pub(crate) fn run_stretch_horizon(
+        &mut self,
+        shared: &mut Shared,
+        start: u64,
+        horizon: u64,
+    ) -> u64 {
+        let end = start + horizon;
+        let mut now = start;
+        let mut executed = 0u64;
+        let mut stalled = 0u64;
+        let mut retired = 0u64;
+        let mut b: Arc<Block> = match self.cursor_block(shared) {
+            Some(b) => b,
+            None => self.refetch_block(shared),
+        };
+        let mut idx = self.pc.wrapping_sub(b.start) as usize;
+        while now < end && self.status == CoreStatus::Running {
+            if now < self.resume_at {
+                // Bulk the stall window: each such cycle earns CpuCycles and
+                // StallCycles in the reference loop.
+                let until = self.resume_at.min(end);
+                let w = until - now;
+                executed += w;
+                stalled += w;
+                now = until;
+                continue;
+            }
+            for _slot in 0..3 {
+                if idx >= b.uops.len() {
+                    b = self.refetch_block(shared);
+                    idx = 0;
+                }
+                let u = &b.uops[idx];
+                debug_assert!(
+                    !u.is_mem(),
+                    "memory-capable uop issued inside a safe horizon"
+                );
+                let Some(taken) = self.dispatch_class(shared, now, u) else {
+                    break;
+                };
+                retired += 1;
+                if taken {
+                    idx = self.pc.wrapping_sub(b.start) as usize;
+                    break;
+                }
+                idx += 1;
+                if self.status != CoreStatus::Running || now < self.resume_at {
+                    break;
+                }
+            }
+            now += 1;
+            executed += 1;
+        }
+        let stats = &mut shared.stats[self.cpu];
+        stats.add(Event::CpuCycles, executed);
+        stats.add(Event::StallCycles, stalled);
+        stats.add(Event::InstRetired, retired);
+        executed
     }
 
     /// One dispatch site per opcode class: readiness *and* execution of the
@@ -477,6 +647,127 @@ impl Core {
                     self.pc += 1;
                     Some(false)
                 }
+            }
+            OpClass::Cmp => {
+                let ready = self
+                    .pr_ready_at(u.insn.qp)
+                    .max(self.gr_ready_at(u.a))
+                    .max(self.gr_ready_at(u.b));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let Op::Cmp { p2, rel, .. } = u.insn.op else {
+                        unreachable!("OpClass::Cmp lowers from Op::Cmp only")
+                    };
+                    let r = rel.eval_i64(self.read_gr(u.a), self.read_gr(u.b));
+                    self.write_pr(u.d, r, now + 1);
+                    self.write_pr(p2, !r, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::CmpI => {
+                let ready = self.pr_ready_at(u.insn.qp).max(self.gr_ready_at(u.a));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let Op::CmpI { p2, rel, .. } = u.insn.op else {
+                        unreachable!("OpClass::CmpI lowers from Op::CmpI only")
+                    };
+                    let r = rel.eval_i64(u.imm, self.read_gr(u.a));
+                    self.write_pr(u.d, r, now + 1);
+                    self.write_pr(p2, !r, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::BrCond => {
+                let ready = self.pr_ready_at(u.insn.qp);
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    Some(self.take_branch(shared, self.pc, u.imm as CodeAddr))
+                } else {
+                    self.pc += 1;
+                    Some(false)
+                }
+            }
+            OpClass::ShlI => {
+                let ready = self.pr_ready_at(u.insn.qp).max(self.gr_ready_at(u.a));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = ((self.read_gr(u.a) as u64) << u.b) as i64;
+                    self.write_gr(u.d, v, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::ShrI => {
+                let ready = self.pr_ready_at(u.insn.qp).max(self.gr_ready_at(u.a));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = ((self.read_gr(u.a) as u64) >> u.b) as i64;
+                    self.write_gr(u.d, v, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::SarI => {
+                let ready = self.pr_ready_at(u.insn.qp).max(self.gr_ready_at(u.a));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = self.read_gr(u.a) >> u.b;
+                    self.write_gr(u.d, v, now + 1);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::FaddD => {
+                let ready = self
+                    .pr_ready_at(u.insn.qp)
+                    .max(self.fr_ready_at(u.a))
+                    .max(self.fr_ready_at(u.b));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = self.read_fr(u.a) + self.read_fr(u.b);
+                    self.write_fr(u.d, v, now + shared.cfg.fp_latency);
+                }
+                self.pc += 1;
+                Some(false)
+            }
+            OpClass::FmulD => {
+                let ready = self
+                    .pr_ready_at(u.insn.qp)
+                    .max(self.fr_ready_at(u.a))
+                    .max(self.fr_ready_at(u.b));
+                if ready > now {
+                    self.resume_at = ready;
+                    return None;
+                }
+                if self.read_pr(u.insn.qp) {
+                    let v = self.read_fr(u.a) * self.read_fr(u.b);
+                    self.write_fr(u.d, v, now + shared.cfg.fp_latency);
+                }
+                self.pc += 1;
+                Some(false)
             }
             OpClass::Other => {
                 let ready = self.uop_sources_ready(u);

@@ -31,7 +31,7 @@ pub mod hpm;
 pub mod machine;
 pub mod memsys;
 
-pub use blocks::{Block, BlockCache, BlockStats};
+pub use blocks::{Block, BlockCache, BlockStats, FallbackReason};
 pub use bus::Bus;
 pub use cache::{Cache, HitLevel, Mesi, PrivateHierarchy};
 pub use config::{CacheGeometry, HostAccel, MachineConfig, Topology};

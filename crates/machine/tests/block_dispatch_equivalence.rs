@@ -14,18 +14,19 @@
 use cobra_isa::insn::{Insn, Op};
 use cobra_isa::{Assembler, CmpRel, CodeAddr, CodeImage, Unit};
 use cobra_machine::{
-    CoreStatus, CpuStats, Event, HostAccel, Machine, MachineConfig, OverflowCapture, RunResult,
-    SamplingConfig,
+    CoreStatus, CpuStats, Event, HostAccel, Machine, MachineConfig, Mesi, OverflowCapture,
+    RunResult, SamplingConfig,
 };
 use proptest::prelude::*;
 
 /// One body instruction of a generated loop. Selectors cover every
-/// specialized dispatch class (`AddI`, `Add`, `Sub`, `MovI`, `Nop`,
-/// `BrCloop` via the loop back edge) in both unpredicated and predicated
-/// form, plus the `Other` arm's stall sources: loads/stores, load-use FP,
-/// long-latency FP, prefetches, and atomics.
+/// specialized dispatch class (`AddI`, `Add`, `Sub`, `MovI`, `Nop`, `Cmp`,
+/// `CmpI`, `BrCond`, `ShlI`/`ShrI`/`SarI`, `FaddD`/`FmulD`, `BrCloop` via
+/// the loop back edge) in both unpredicated and predicated form, plus the
+/// `Other` arm's stall sources: loads/stores, load-use FP, long-latency FP,
+/// prefetches, and atomics.
 fn emit_body_op(a: &mut Assembler, sel: u8) {
-    match sel % 16 {
+    match sel % 22 {
         0 => {
             a.addi(6, 6, 1);
         }
@@ -106,18 +107,90 @@ fn emit_body_op(a: &mut Assembler, sel: u8) {
                 f2: 1,
             }));
         }
-        _ => {
+        15 => {
             a.emit(Insn::new(Op::FetchAdd8 {
                 dest: 11,
                 base: 4,
                 inc: 8,
             }));
         }
+        16 => {
+            a.emit(Insn::new(Op::ShlI {
+                dest: 9,
+                src: 6,
+                count: 3,
+            }));
+        }
+        17 => {
+            // Logical vs arithmetic right shift over a value the loop can
+            // drive negative, one of them predicated.
+            a.emit(Insn::new(Op::ShrI {
+                dest: 10,
+                src: 7,
+                count: 2,
+            }));
+            a.cmp(1, 2, CmpRel::Lt, 7, 0);
+            a.emit(Insn::pred(
+                1,
+                Op::SarI {
+                    dest: 11,
+                    src: 7,
+                    count: 2,
+                },
+            ));
+        }
+        18 => {
+            // Immediate compare feeding predicated consumers on both sides.
+            a.emit(Insn::new(Op::CmpI {
+                p1: 3,
+                p2: 4,
+                rel: CmpRel::Lt,
+                imm: 20,
+                r3: 6,
+            }));
+            a.emit(Insn::pred(
+                3,
+                Op::AddI {
+                    dest: 10,
+                    src: 10,
+                    imm: 3,
+                },
+            ));
+            a.emit(Insn::pred(4, Op::MovI { dest: 11, imm: 40 }));
+        }
+        19 => {
+            a.emit(Insn::new(Op::FaddD {
+                dest: 6,
+                f1: 6,
+                f2: 8,
+            }));
+        }
+        20 => {
+            a.cmp(1, 2, CmpRel::Ge, 6, 7);
+            a.emit(Insn::pred(
+                2,
+                Op::FmulD {
+                    dest: 8,
+                    f1: 8,
+                    f2: 6,
+                },
+            ));
+        }
+        _ => {
+            // Forward conditional skip inside the loop body: `br.cond` both
+            // taken and not taken, with a block boundary at the join point.
+            a.cmp(1, 2, CmpRel::Lt, 6, 7);
+            let skip = a.new_label();
+            a.br_cond(1, skip);
+            a.addi(10, 10, 1);
+            a.bind(skip);
+        }
     }
 }
 
-/// Everything observable about a finished run. Two runs are "the same
-/// simulation" iff these snapshots are equal.
+/// Everything observable about a finished run, including the MESI state of
+/// every line either path could have touched, in every CPU's hierarchy. Two
+/// runs are "the same simulation" iff these snapshots are equal.
 #[derive(Debug, PartialEq)]
 struct Snapshot {
     result: RunResult,
@@ -126,6 +199,7 @@ struct Snapshot {
     overflows: Vec<Vec<OverflowCapture>>,
     mem_words: Vec<u64>,
     regs: Vec<(u32, Vec<i64>, u64, u64)>, // (pc, r4..r11, f6 bits, f8 bits)
+    mesi: Vec<Vec<Option<Mesi>>>,         // [cpu][line] over the touched range
 }
 
 fn snapshot(m: &mut Machine, result: RunResult, threads: usize) -> Snapshot {
@@ -136,7 +210,7 @@ fn snapshot(m: &mut Machine, result: RunResult, threads: usize) -> Snapshot {
         overflows: (0..m.num_cpus())
             .map(|cpu| m.shared.hpm[cpu].take_overflows())
             .collect(),
-        mem_words: (0..0x12000u64)
+        mem_words: (0..0x22000u64)
             .step_by(8)
             .map(|a| m.shared.mem.read_u64(a))
             .collect(),
@@ -149,6 +223,14 @@ fn snapshot(m: &mut Machine, result: RunResult, threads: usize) -> Snapshot {
                     c.fr(6).to_bits(),
                     c.fr(8).to_bits(),
                 )
+            })
+            .collect(),
+        mesi: (0..m.num_cpus())
+            .map(|cpu| {
+                (0..0x22000u64)
+                    .step_by(128)
+                    .map(|a| m.shared.memsys.peek_state(cpu, a))
+                    .collect()
             })
             .collect(),
     }
@@ -175,7 +257,7 @@ fn params_strategy(max_threads: usize) -> impl Strategy<Value = Params> {
         any::<bool>(),
         0u8..4,
         50u64..1500,
-        prop::collection::vec(0u8..16, 1..10),
+        prop::collection::vec(0u8..22, 1..10),
         1u64..48,
     )
         .prop_map(
@@ -189,6 +271,22 @@ fn params_strategy(max_threads: usize) -> impl Strategy<Value = Params> {
                 iters,
             },
         )
+}
+
+/// Workloads that keep two to eight cores *running together* — the regime
+/// where the lockstep multicore horizon engine engages. Sampling stays in
+/// the mix: stretches are then capped by the sampling gate rather than
+/// disabled, and must still be bit-identical.
+fn lockstep_params_strategy() -> impl Strategy<Value = Params> {
+    params_strategy(8).prop_map(|mut p| {
+        p.threads = p.threads.max(2);
+        p
+    })
+}
+
+/// Threads actually spawned: `Params::threads` capped at the machine size.
+fn effective_threads(p: &Params) -> usize {
+    p.threads.min(if p.altix { 8 } else { 4 })
 }
 
 /// Build the loop image for `p`, recording where the body starts and ends
@@ -215,22 +313,22 @@ fn build_image(p: &Params) -> (CodeImage, CodeAddr, CodeAddr) {
     (a.finish(), body_start, body_end)
 }
 
-fn make_machine(block_dispatch: bool, p: &Params) -> (Machine, CodeAddr, CodeAddr) {
+fn make_machine(accel: HostAccel, p: &Params) -> (Machine, CodeAddr, CodeAddr) {
     let (image, body_start, body_end) = build_image(p);
     let base_cfg = if p.altix {
         MachineConfig::altix8()
     } else {
         MachineConfig::smp4()
     };
-    let cfg = base_cfg.with_host_accel(HostAccel::fast().with_block_dispatch(block_dispatch));
+    let cfg = base_cfg.with_host_accel(accel);
     let mut m = Machine::new(cfg, image);
     let event = match p.event_sel % 4 {
         0 => Some(Event::CpuCycles),
         1 => Some(Event::StallCycles),
         2 => Some(Event::InstRetired),
-        _ => None, // sampling off: the solo stretch loop is legal
+        _ => None, // sampling off: the stretch engines are legal
     };
-    for cpu in 0..p.threads {
+    for cpu in 0..effective_threads(p) {
         if let Some(event) = event {
             let baseline = m.stats()[cpu].get(event);
             m.shared.hpm[cpu].program_sampling(
@@ -252,21 +350,30 @@ fn make_machine(block_dispatch: bool, p: &Params) -> (Machine, CodeAddr, CodeAdd
 }
 
 fn run_one(block_dispatch: bool, p: &Params, budget: u64) -> Snapshot {
-    let (mut m, _, _) = make_machine(block_dispatch, p);
+    run_one_accel(
+        HostAccel::fast().with_block_dispatch(block_dispatch),
+        p,
+        budget,
+    )
+}
+
+fn run_one_accel(accel: HostAccel, p: &Params, budget: u64) -> Snapshot {
+    let (mut m, _, _) = make_machine(accel, p);
     let result = m.run(budget);
-    snapshot(&mut m, result, p.threads)
+    snapshot(&mut m, result, effective_threads(p))
 }
 
 /// Run in segments, patching one body slot between the first two segments
 /// and reverting it (via the returned old word) before the last — so the
 /// block cache sees builds, a patch invalidation possibly mid-block, and a
 /// revert, all mid-run. Returns a snapshot after every segment.
-fn run_patched(block_dispatch: bool, p: &Params, seg_budget: u64, patch_off: u32) -> Vec<Snapshot> {
-    let (mut m, body_start, body_end) = make_machine(block_dispatch, p);
+fn run_patched(accel: HostAccel, p: &Params, seg_budget: u64, patch_off: u32) -> Vec<Snapshot> {
+    let threads = effective_threads(p);
+    let (mut m, body_start, body_end) = make_machine(accel, p);
     let addr = body_start + patch_off % (body_end - body_start);
     let mut snaps = Vec::new();
     let r = m.run(seg_budget);
-    snaps.push(snapshot(&mut m, r, p.threads));
+    snaps.push(snapshot(&mut m, r, threads));
     let old = m
         .patch(
             addr,
@@ -278,10 +385,10 @@ fn run_patched(block_dispatch: bool, p: &Params, seg_budget: u64, patch_off: u32
         )
         .expect("body slot is patchable");
     let r = m.run(seg_budget);
-    snaps.push(snapshot(&mut m, r, p.threads));
+    snaps.push(snapshot(&mut m, r, threads));
     m.patch_word(addr, old).expect("revert patch is valid");
     let r = m.run(seg_budget);
-    snaps.push(snapshot(&mut m, r, p.threads));
+    snaps.push(snapshot(&mut m, r, threads));
     snaps
 }
 
@@ -321,9 +428,51 @@ proptest! {
         seg_budget in 50u64..2000,
         patch_off in 0u32..16,
     ) {
-        let reference = run_patched(false, &p, seg_budget, patch_off);
-        let block = run_patched(true, &p, seg_budget, patch_off);
+        let reference = run_patched(
+            HostAccel::fast().with_block_dispatch(false), &p, seg_budget, patch_off);
+        let block = run_patched(HostAccel::fast(), &p, seg_budget, patch_off);
         prop_assert_eq!(reference, block);
+    }
+
+    /// Lockstep multicore stretches: with 2-8 cores running and sampling
+    /// off, the horizon engine, the solo/per-cycle engine with the lockstep
+    /// switch off, and the per-cycle reference must all produce bit-identical
+    /// simulations — down to the MESI state of every touched line in every
+    /// CPU's cache hierarchy.
+    #[test]
+    fn lockstep_multicore_matches_reference(p in lockstep_params_strategy()) {
+        let reference = run_one(false, &p, 150_000);
+        let lockstep = run_one(true, &p, 150_000);
+        prop_assert_eq!(&reference, &lockstep);
+        let no_lockstep = run_one_accel(
+            HostAccel::fast().with_block_dispatch_multicore(false), &p, 150_000);
+        prop_assert_eq!(&reference, &no_lockstep);
+    }
+
+    /// The budget expiring mid-horizon must cut the run at exactly the
+    /// reference cycle, with every core left in a resumable state.
+    #[test]
+    fn lockstep_multicore_matches_reference_at_cutoff(
+        p in lockstep_params_strategy(),
+        budget in 100u64..3000,
+    ) {
+        let reference = run_one(false, &p, budget);
+        let lockstep = run_one(true, &p, budget);
+        prop_assert_eq!(reference, lockstep);
+    }
+
+    /// Patch/revert between run segments while multiple cores sit mid-block:
+    /// the cache invalidations must leave every core's cursor coherent.
+    #[test]
+    fn lockstep_mid_run_patch_and_revert_match_reference(
+        p in lockstep_params_strategy(),
+        seg_budget in 50u64..2000,
+        patch_off in 0u32..16,
+    ) {
+        let reference = run_patched(
+            HostAccel::fast().with_block_dispatch(false), &p, seg_budget, patch_off);
+        let lockstep = run_patched(HostAccel::fast(), &p, seg_budget, patch_off);
+        prop_assert_eq!(reference, lockstep);
     }
 }
 
@@ -405,4 +554,138 @@ fn appended_trace_executes_identically() {
         (r1, snapshot(&mut m, r2, 1))
     };
     assert_eq!(run(false), run(true));
+}
+
+/// Pinned semantics for every dispatch class widened in this round: shifts,
+/// immediate compares, conditional forward branches (taken and fall-through)
+/// and double-precision add/multiply. The block engine must agree with the
+/// reference *and* with the architecturally expected values.
+#[test]
+fn widened_dispatch_classes_execute_identically() {
+    let build = || {
+        let mut a = Assembler::new();
+        a.movi(6, 5); // r6 = 5
+        a.movi(7, -16); // r7 = -16
+        a.emit(Insn::new(Op::ShlI {
+            dest: 9,
+            src: 6,
+            count: 3,
+        })); // r9 = 40
+        a.emit(Insn::new(Op::ShrI {
+            dest: 10,
+            src: 7,
+            count: 2,
+        })); // r10 = -16 logically shifted: huge positive
+        a.emit(Insn::new(Op::SarI {
+            dest: 11,
+            src: 7,
+            count: 2,
+        })); // r11 = -4
+        a.emit(Insn::new(Op::CmpI {
+            p1: 3,
+            p2: 4,
+            rel: CmpRel::Lt,
+            imm: 20,
+            r3: 6,
+        })); // 20 < 5 is false: p3 = 0, p4 = 1
+        a.emit(Insn::pred(4, Op::MovI { dest: 8, imm: 77 }));
+        a.emit(Insn::pred(3, Op::MovI { dest: 8, imm: -1 }));
+        a.emit(Insn::new(Op::FaddD {
+            dest: 6,
+            f1: 6,
+            f2: 8,
+        }));
+        a.emit(Insn::new(Op::FmulD {
+            dest: 8,
+            f1: 8,
+            f2: 6,
+        }));
+        a.cmp(1, 2, CmpRel::Lt, 6, 9); // 5 < 40: p1 = 1, p2 = 0
+        let skip = a.new_label();
+        a.br_cond(1, skip); // taken
+        a.movi(4, 999); // skipped
+        a.bind(skip);
+        let join = a.new_label();
+        a.br_cond(2, join); // fall-through
+        a.addi(5, 5, 7); // executes: r5 = 7
+        a.bind(join);
+        a.hlt();
+        a.finish()
+    };
+    let run = |block_dispatch: bool| {
+        let cfg = MachineConfig::smp4()
+            .with_host_accel(HostAccel::fast().with_block_dispatch(block_dispatch));
+        let mut m = Machine::new(cfg, build());
+        m.spawn_thread(0, 0, &[]);
+        let r = m.run(100_000);
+        assert!(r.halted && !r.faulted);
+        let c = m.core(0);
+        assert_eq!(c.gr(9), 40, "shl");
+        assert_eq!(c.gr(10), (((-16i64) as u64) >> 2) as i64, "shr is logical");
+        assert_eq!(c.gr(11), -4, "sar is arithmetic");
+        assert_eq!(c.gr(8), 77, "cmpi picked the false side");
+        assert_eq!(c.gr(4), 0, "taken br.cond skipped the movi");
+        assert_eq!(c.gr(5), 7, "fall-through br.cond executed the addi");
+        snapshot(&mut m, r, 1)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// A fault inside a lockstep stretch: two cores run arithmetic together in
+/// the horizon engine until one of them dereferences a wild pointer. The
+/// fault must surface at the identical cycle and leave the other core
+/// unperturbed, exactly as in the per-cycle reference.
+#[test]
+fn fault_in_lockstep_stretch_matches_reference() {
+    let build = || {
+        let mut a = Assembler::new();
+        // r4 = thread-argument pointer; a pure-arithmetic counted loop keeps
+        // both cores inside lockstep horizons, then each core loads through
+        // its own pointer.
+        a.emit(Insn::new(Op::Add {
+            dest: 4,
+            r2: 8,
+            r3: 0,
+        }));
+        a.movi(5, 64);
+        a.mov_to_lc(5);
+        let top = a.new_label();
+        a.bind(top);
+        // A body long enough that the loop-head horizon clears the engine's
+        // minimum stretch length even though the loop exit leads straight to
+        // a load.
+        for k in 0..8 {
+            a.addi(6, 6, 1);
+            a.addi(7, 7, 2 + k);
+        }
+        a.br_cloop(top);
+        a.ld8(0, 9, 4, 0);
+        a.movi(31, 1);
+        a.hlt();
+        a.finish()
+    };
+    let run = |accel: HostAccel| {
+        let cfg = MachineConfig::smp4().with_host_accel(accel);
+        let mut m = Machine::new(cfg, build());
+        m.spawn_thread(0, 0, &[-8]); // wild pointer: faults at the load
+        m.spawn_thread(1, 0, &[0x2000]); // valid pointer: halts cleanly
+        let r = m.run(100_000);
+        assert!(r.halted && r.faulted);
+        assert_eq!(m.core(0).status, CoreStatus::Faulted);
+        assert_eq!(
+            m.core(0).fault.expect("fault recorded").addr,
+            (-8i64) as u64
+        );
+        assert_eq!(m.core(0).gr(31), 0, "nothing executes past the fault");
+        assert_eq!(m.core(1).status, CoreStatus::Halted);
+        assert_eq!(m.core(1).gr(31), 1, "the healthy core finished");
+        let stretches = m.shared.blocks.stats().horizon_stretches;
+        (snapshot(&mut m, r, 2), stretches)
+    };
+    let (reference, _) = run(HostAccel::fast().with_block_dispatch(false));
+    let (lockstep, stretches) = run(HostAccel::fast());
+    assert_eq!(reference, lockstep);
+    assert!(stretches > 0, "the lockstep engine actually engaged");
+    let (no_lockstep, _) = run(HostAccel::fast().with_block_dispatch_multicore(false));
+    assert_eq!(reference, no_lockstep);
 }

@@ -933,19 +933,20 @@ mod tests {
     #[test]
     fn machine_fingerprint_ignores_fast_path_toggles() {
         let base = MachineConfig::smp4();
-        // Every host-accel combination (2^3) must fingerprint identically:
+        // Every host-accel combination (2^4) must fingerprint identically:
         // none of them may change guest-visible behaviour, so none may
         // orphan a warm-start snapshot.
-        for bits in 0..8u8 {
+        for bits in 0..16u8 {
             let accel = HostAccel::fast()
                 .with_stall_skip(bits & 1 != 0)
                 .with_mem_fast_path(bits & 2 != 0)
-                .with_block_dispatch(bits & 4 != 0);
+                .with_block_dispatch(bits & 4 != 0)
+                .with_block_dispatch_multicore(bits & 8 != 0);
             let toggled = base.clone().with_host_accel(accel);
             assert_eq!(
                 machine_fingerprint(&base),
                 machine_fingerprint(&toggled),
-                "host-accel combo {bits:03b} changed the fingerprint"
+                "host-accel combo {bits:04b} changed the fingerprint"
             );
         }
         assert_ne!(
