@@ -33,6 +33,7 @@ use std::path::PathBuf;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use cobra_fleet::FleetClient;
 use cobra_machine::Machine;
 use cobra_omp::{QuantumHook, Team};
 use cobra_perfmon::{PerfmonConfig, PerfmonDriver};
@@ -88,6 +89,7 @@ pub struct CobraBuilder {
     sink: Option<TelemetrySink>,
     ring_capacity: usize,
     store: Option<PathBuf>,
+    fleet: Option<String>,
 }
 
 impl Default for CobraBuilder {
@@ -97,6 +99,7 @@ impl Default for CobraBuilder {
             sink: None,
             ring_capacity: DEFAULT_RING_CAPACITY,
             store: None,
+            fleet: None,
         }
     }
 }
@@ -189,6 +192,16 @@ impl CobraBuilder {
         self
     }
 
+    /// Pool learning through a `cobra-fleet` aggregation server at `addr`
+    /// (e.g. `"127.0.0.1:7070"`): fetch a fleet-aggregated warm seed at
+    /// attach (it outranks the local store) and upload the detach snapshot.
+    /// Every fleet failure degrades to the local store, then cold —
+    /// counted in the report and telemetered, never fatal.
+    pub fn fleet(mut self, addr: impl Into<String>) -> Self {
+        self.fleet = Some(addr.into());
+        self
+    }
+
     /// Attach to a machine: program the HPMs, start the optimization
     /// thread. Monitoring threads are created lazily at thread fork.
     pub fn attach(self, machine: &mut Machine) -> Cobra {
@@ -197,6 +210,7 @@ impl CobraBuilder {
             sink,
             ring_capacity,
             store,
+            fleet,
         } = self;
         let mut driver = PerfmonDriver::new(machine.num_cpus(), cfg.perfmon);
         driver.attach(machine);
@@ -212,6 +226,35 @@ impl CobraBuilder {
         let phases = PhaseDetector::new(cfg.phase);
 
         let mut report = CobraReport::default();
+        // Fleet seed first: the aggregation server folds every peer's
+        // history, so it outranks this process's local store. The pristine
+        // main words are captured now — before any deployment patches the
+        // image in place — for the detach upload.
+        let fleet_ctx = fleet.map(|addr| {
+            let image = machine.shared.code.image();
+            FleetCtx {
+                key: StoreKey::for_run(image, &machine.shared.cfg),
+                image_words: image.words()[..image.main_len() as usize].to_vec(),
+                addr,
+            }
+        });
+        let mut fleet_seed: Option<Snapshot> = None;
+        if let Some(ctx) = &fleet_ctx {
+            match FleetClient::connect(&ctx.addr).and_then(|mut c| c.fetch_seed(&ctx.key)) {
+                Ok(found) => fleet_seed = found,
+                Err(detail) => {
+                    report.fleet_errors += 1;
+                    if let Some(e) = &emitter {
+                        e.emit(TelemetryEvent::FleetError {
+                            tick: 0,
+                            cycle: machine.shared.cycle,
+                            stage: "fetch".into(),
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
         // Warm start: load a matching snapshot before the optimization
         // thread spawns, so seeds are in place for the very first tick.
         let store_ctx = store.map(|dir| {
@@ -229,24 +272,47 @@ impl CobraBuilder {
                     });
                 }
             }
-            if let Some(snap) = &lr.snapshot {
-                let seed = seed_from_snapshot(snap);
-                report.warm_started = true;
-                report.warm_seeded_decisions = seed.decisions.len();
-                report.warm_seeded_blacklist = seed.blacklist.len();
-                if let Some(e) = &emitter {
-                    e.emit(TelemetryEvent::WarmStart {
-                        tick: 0,
-                        cycle: machine.shared.cycle,
-                        seeded_decisions: seed.decisions.len(),
-                        seeded_blacklist: seed.blacklist.len(),
-                        skipped_records: lr.skipped_records,
-                    });
+            // A fleet seed outranks the local snapshot (it already folds
+            // this process's own uploads); the local snapshot still merges
+            // into the save at detach.
+            if fleet_seed.is_none() {
+                if let Some(snap) = &lr.snapshot {
+                    let seed = seed_from_snapshot(snap);
+                    report.warm_started = true;
+                    report.warm_seeded_decisions = seed.decisions.len();
+                    report.warm_seeded_blacklist = seed.blacklist.len();
+                    if let Some(e) = &emitter {
+                        e.emit(TelemetryEvent::WarmStart {
+                            tick: 0,
+                            cycle: machine.shared.cycle,
+                            seeded_decisions: seed.decisions.len(),
+                            seeded_blacklist: seed.blacklist.len(),
+                            skipped_records: lr.skipped_records,
+                        });
+                    }
+                    optimizer.warm_start(seed);
                 }
-                optimizer.warm_start(seed);
             }
             (store, key, lr.snapshot)
         });
+        if let Some(snap) = &fleet_seed {
+            let seed = seed_from_snapshot(snap);
+            report.fleet_seeds += 1;
+            report.warm_started = true;
+            report.warm_seeded_decisions = seed.decisions.len();
+            report.warm_seeded_blacklist = seed.blacklist.len();
+            if let Some(e) = &emitter {
+                e.emit(TelemetryEvent::FleetSeed {
+                    tick: 0,
+                    cycle: machine.shared.cycle,
+                    seeded_decisions: seed.decisions.len(),
+                    seeded_winners: seed.winners.len(),
+                    seeded_blacklist: seed.blacklist.len(),
+                    runs: snap.runs,
+                });
+            }
+            optimizer.warm_start(seed);
+        }
         // Warm seeds are re-verified against the live image inside
         // `warm_start`; surface any attach-time rejections even if the run
         // never reaches a tick (ticks overwrite this with the running total).
@@ -276,6 +342,7 @@ impl CobraBuilder {
             hub,
             emitter,
             store_ctx,
+            fleet_ctx,
         }
     }
 }
@@ -283,6 +350,15 @@ impl CobraBuilder {
 struct MonitorHandle {
     tx: Sender<ToMonitor>,
     join: std::thread::JoinHandle<crate::monitor::MonitorStats>,
+}
+
+/// Fleet-server coordinates captured at attach: the snapshot key, the
+/// pristine main image words (for server-side seed verification), and the
+/// server address for the detach upload.
+struct FleetCtx {
+    addr: String,
+    key: StoreKey,
+    image_words: Vec<u64>,
 }
 
 /// An attached COBRA instance.
@@ -300,6 +376,8 @@ pub struct Cobra {
     /// Store handle, snapshot key, and the prior snapshot (merged into the
     /// one saved at detach) when persistence is configured.
     store_ctx: Option<(Store, StoreKey, Option<Snapshot>)>,
+    /// Fleet-server coordinates when pooled learning is configured.
+    fleet_ctx: Option<FleetCtx>,
 }
 
 impl Cobra {
@@ -475,29 +553,61 @@ impl Cobra {
         }
         let _ = self.to_opt.send(ToOpt::Shutdown);
         let fin = self.opt_join.take().and_then(|j| j.join().ok());
-        if let (Some(fin), Some((store, key, prior))) = (&fin, self.store_ctx.take()) {
-            let fresh = snapshot_from_final(key, fin);
-            let merged = match &prior {
-                Some(p) => cobra_store::merge(&[p.clone(), fresh.clone()]).unwrap_or(fresh),
-                None => fresh,
-            };
-            match store.save(&merged) {
-                Ok(path) => {
-                    self.report.store_saved_records = merged.record_count() as u64;
-                    self.emit(TelemetryEvent::StoreSave {
-                        tick: self.tick,
-                        cycle: machine.shared.cycle,
-                        records: merged.record_count(),
-                        path: path.display().to_string(),
-                    });
+        if let Some(fin) = &fin {
+            let store_ctx = self.store_ctx.take();
+            let fleet_ctx = self.fleet_ctx.take();
+            if let Some((store, key, prior)) = store_ctx {
+                let fresh = snapshot_from_final(key, fin);
+                let merged = match &prior {
+                    Some(p) => cobra_store::merge(&[p.clone(), fresh.clone()]).unwrap_or(fresh),
+                    None => fresh,
+                };
+                match store.save(&merged) {
+                    Ok(path) => {
+                        self.report.store_saved_records = merged.record_count() as u64;
+                        self.emit(TelemetryEvent::StoreSave {
+                            tick: self.tick,
+                            cycle: machine.shared.cycle,
+                            records: merged.record_count(),
+                            path: path.display().to_string(),
+                        });
+                    }
+                    Err(err) => {
+                        self.report.store_errors += 1;
+                        self.emit(TelemetryEvent::StoreError {
+                            tick: self.tick,
+                            cycle: machine.shared.cycle,
+                            detail: err,
+                        });
+                    }
                 }
-                Err(err) => {
-                    self.report.store_errors += 1;
-                    self.emit(TelemetryEvent::StoreError {
-                        tick: self.tick,
-                        cycle: machine.shared.cycle,
-                        detail: err,
-                    });
+            }
+            if let Some(ctx) = fleet_ctx {
+                // Upload only this run's own history (runs = 1); the server
+                // folds it into the fleet accumulator. Uploading a locally
+                // merged snapshot would double-count prior runs.
+                let fresh = snapshot_from_final(ctx.key, fin);
+                match FleetClient::connect(&ctx.addr)
+                    .and_then(|mut c| c.upload(&fresh, Some(&ctx.image_words)))
+                {
+                    Ok((runs_total, _)) => {
+                        self.report.fleet_uploads += 1;
+                        self.emit(TelemetryEvent::FleetUpload {
+                            tick: self.tick,
+                            cycle: machine.shared.cycle,
+                            records: fresh.record_count(),
+                            runs_total,
+                        });
+                    }
+                    Err(detail) => {
+                        self.report.fleet_errors += 1;
+                        self.emit(TelemetryEvent::FleetError {
+                            tick: self.tick,
+                            cycle: machine.shared.cycle,
+                            stage: "upload".into(),
+                            detail,
+                        });
+                    }
                 }
             }
         }

@@ -139,6 +139,16 @@ pub struct CobraReport {
     /// Machine cycles covered by lockstep multicore stretches.
     #[serde(default)]
     pub block_horizon_cycles: u64,
+    /// Detach snapshots uploaded to the fleet aggregation server.
+    #[serde(default)]
+    pub fleet_uploads: u64,
+    /// Warm seeds obtained from the fleet server at attach.
+    #[serde(default)]
+    pub fleet_seeds: u64,
+    /// Fleet requests that failed (each degraded to local store, then
+    /// cold — counted, telemetered, never fatal).
+    #[serde(default)]
+    pub fleet_errors: u64,
 }
 
 impl CobraReport {
@@ -240,6 +250,7 @@ mod tests {
                     && k != "undecodable_loops"
                     && k != "verify_rejects"
                     && !k.starts_with("block_")
+                    && !k.starts_with("fleet_")
                     && k != "revert_failures"
                     && k != "deploy_failures"
                     && k != "candidates_trialed"
@@ -255,6 +266,9 @@ mod tests {
         assert!(!r.warm_started);
         assert_eq!(r.warm_hits, 0);
         assert_eq!(r.store_skipped_records, 0);
+        assert_eq!(r.fleet_uploads, 0);
+        assert_eq!(r.fleet_seeds, 0);
+        assert_eq!(r.fleet_errors, 0);
         assert_eq!(r.block_builds, 0);
         assert_eq!(r.block_fallback_cycles, 0);
         assert_eq!(r.block_fallback_mem_boundary, 0);

@@ -247,6 +247,35 @@ pub enum TelemetryEvent {
         records: usize,
         path: String,
     },
+    /// A fleet aggregation server supplied the warm seed at attach (it
+    /// outranks the local store; the store snapshot still merges into the
+    /// detach save).
+    FleetSeed {
+        tick: u64,
+        cycle: u64,
+        seeded_decisions: usize,
+        seeded_winners: usize,
+        seeded_blacklist: usize,
+        /// Runs the fleet had folded into the served seed.
+        runs: u64,
+    },
+    /// The detach snapshot was uploaded to the fleet server.
+    FleetUpload {
+        tick: u64,
+        cycle: u64,
+        /// Records in the uploaded snapshot.
+        records: usize,
+        /// The server's folded run total for the key after this upload.
+        runs_total: u64,
+    },
+    /// A fleet request failed; the run degraded to the local store (then
+    /// cold) and continued. `stage` is `"fetch"` or `"upload"`.
+    FleetError {
+        tick: u64,
+        cycle: u64,
+        stage: String,
+        detail: String,
+    },
     /// The framework detached; final counters. The `block_*` fields carry
     /// the block-dispatch fallback breakdown (why cycles left the block
     /// engine for the per-cycle reference loop) and the lockstep horizon
@@ -293,6 +322,9 @@ impl TelemetryEvent {
             TelemetryEvent::WarmStart { .. } => "warm_start",
             TelemetryEvent::StoreError { .. } => "store_error",
             TelemetryEvent::StoreSave { .. } => "store_save",
+            TelemetryEvent::FleetSeed { .. } => "fleet_seed",
+            TelemetryEvent::FleetUpload { .. } => "fleet_upload",
+            TelemetryEvent::FleetError { .. } => "fleet_error",
             TelemetryEvent::Detach { .. } => "detach",
         }
     }
@@ -558,6 +590,10 @@ pub struct TraceSummary {
     /// record.
     #[serde(default)]
     pub block_horizons: (u64, u64),
+    /// Fleet traffic: `(uploads, seeds, errors)`. Zero for traces recorded
+    /// without `builder().fleet(addr)`.
+    #[serde(default)]
+    pub fleet: (u64, u64, u64),
 }
 
 impl TraceSummary {
@@ -616,6 +652,11 @@ impl TraceSummary {
                 _ => {}
             }
         }
+        let fleet = (
+            per_category.get("fleet_upload").copied().unwrap_or(0),
+            per_category.get("fleet_seed").copied().unwrap_or(0),
+            per_category.get("fleet_error").copied().unwrap_or(0),
+        );
         TraceSummary {
             total_records: records.len() as u64,
             per_category: per_category
@@ -628,6 +669,7 @@ impl TraceSummary {
             records_dropped,
             block_fallbacks,
             block_horizons,
+            fleet,
         }
     }
 }
@@ -661,6 +703,13 @@ impl fmt::Display for TraceSummary {
                 f,
                 "lockstep horizons: {} stretches covering {} cycles",
                 self.block_horizons.0, self.block_horizons.1
+            )?;
+        }
+        if self.fleet != (0, 0, 0) {
+            writeln!(
+                f,
+                "fleet: {} upload(s), {} seed(s), {} error(s)",
+                self.fleet.0, self.fleet.1, self.fleet.2
             )?;
         }
         Ok(())

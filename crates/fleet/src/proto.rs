@@ -1,0 +1,164 @@
+//! Wire protocol: length-prefixed JSON frames over a plain TCP stream.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by exactly
+//! that many bytes of JSON — one [`Request`] (client → server) or one
+//! [`Response`] (server → client). A connection carries any number of
+//! request/response pairs in lockstep; there is no pipelining. Anything
+//! the server cannot parse — oversized length, truncated payload, JSON
+//! that is not a `Request` — is counted in [`FleetStats::frames_rejected`]
+//! and drops only that connection, never the server.
+//!
+//! [`FleetStats::frames_rejected`]: crate::FleetStats
+
+use std::io::{Read, Write};
+
+use cobra_store::{Snapshot, StoreKey};
+use serde::{Deserialize, Serialize};
+
+use crate::FleetStats;
+
+/// Bumped on incompatible frame changes; echoed nowhere yet (a key-content
+/// mismatch is already a hard reject), reserved for future handshakes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on a single frame's payload. A class-S NPB image is a few
+/// thousand words and a merged snapshot a few hundred records, so real
+/// frames sit far below this; the cap exists so a hostile or corrupt
+/// length prefix cannot make the server allocate unbounded memory.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// One client request. The size skew between `Upload` (a whole
+/// snapshot) and `Stats` (a unit) is fine: exactly one request is alive
+/// per connection at a time.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Fold one run's snapshot into the shard owning its key. The
+    /// optional pristine main-image words let the server verify served
+    /// seeds with `cobra-verify::check_seed`; they are validated against
+    /// `snapshot.key.image_hash` and cached per key.
+    Upload {
+        snapshot: Snapshot,
+        image_words: Option<Vec<u64>>,
+    },
+    /// Fetch the aggregated, age-filtered, verify-filtered seed snapshot
+    /// for one key.
+    FetchSeed { key: StoreKey },
+    /// Server-wide counters.
+    Stats,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Upload folded. `runs_total` is the folded run count for the key
+    /// after this upload; `records` the record count of the shard state.
+    UploadOk {
+        runs_total: u64,
+        records: u64,
+    },
+    /// `snapshot: None` means the server holds nothing for the key — the
+    /// client degrades to its local store, then cold.
+    Seed {
+        snapshot: Option<Snapshot>,
+    },
+    Stats(FleetStats),
+    /// The request was understood but could not be served (key mismatch,
+    /// image-hash mismatch, persistence failure, ...).
+    Err {
+        detail: String,
+    },
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), String> {
+    let body = serde_json::to_string(msg).map_err(|e| format!("frame serialize failed: {e}"))?;
+    let len = body.len() as u64;
+    if len > MAX_FRAME_BYTES as u64 {
+        return Err(format!("frame of {len} bytes exceeds {MAX_FRAME_BYTES}"));
+    }
+    w.write_all(&(len as u32).to_be_bytes())
+        .and_then(|()| w.write_all(body.as_bytes()))
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("frame write failed: {e}"))
+}
+
+/// Read one length-prefixed frame and parse it. `Ok(None)` is a clean EOF
+/// at a frame boundary (the peer finished); any torn, oversized or
+/// unparseable frame is an `Err`.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, String> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None), // clean EOF at a boundary
+            Ok(0) => return Err(format!("torn frame: EOF after {filled} length byte(s)")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("frame length read failed: {e}")),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(format!("frame length {len} exceeds {MAX_FRAME_BYTES}"));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| format!("frame body read failed: {e}"))?;
+    let text = std::str::from_utf8(&body).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| format!("frame does not parse: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let key = StoreKey {
+            image_hash: 1,
+            machine_fp: 2,
+        };
+        let reqs = vec![
+            Request::Upload {
+                snapshot: Snapshot::empty(key),
+                image_words: Some(vec![7, 8, 9]),
+            },
+            Request::FetchSeed { key },
+            Request::Stats,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for want in &reqs {
+            let got: Request = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+        assert_eq!(read_frame::<Request>(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_errors_not_panics() {
+        // Hostile length prefix.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        let err = read_frame::<Request>(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert!(err.contains("exceeds"));
+        // Length promises more bytes than the stream has.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"short");
+        assert!(read_frame::<Request>(&mut std::io::Cursor::new(buf)).is_err());
+        // Valid length, payload is not a Request.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &"not a request".to_string()).unwrap();
+        assert!(read_frame::<Request>(&mut std::io::Cursor::new(buf)).is_err());
+        // EOF mid-length-prefix (2 of 4 bytes) is torn, not clean.
+        let buf = vec![0u8, 0u8];
+        assert!(read_frame::<Request>(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

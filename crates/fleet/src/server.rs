@@ -1,0 +1,455 @@
+//! The aggregation server: acceptor → per-connection readers → sharded
+//! fold workers, with flat atomic persistence and warm restart.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cobra_isa::CodeImage;
+use cobra_store::{image_hash, merge_unordered, read_snapshot_file, Snapshot, Store, StoreKey};
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::{shard_for, FleetStats};
+
+/// How long a connection may sit idle between requests before the server
+/// reclaims it, and how long a reader waits for its shard's reply.
+const CONN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fold workers; keys are split across them by [`shard_for`].
+    pub shards: usize,
+    /// Persistence root (one `<key>.jsonl` per key plus `<key>.image`
+    /// sidecars). `None` keeps all state in memory.
+    pub dir: Option<PathBuf>,
+    /// Serving-time aging policy: decisions/winners whose
+    /// re-confirmation debt reaches this many runs are withheld from
+    /// seeds (the fold state keeps them, so the debt survives restarts).
+    pub max_age_runs: Option<u64>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            dir: None,
+            max_age_runs: None,
+        }
+    }
+}
+
+/// Shared atomic counters behind [`FleetStats`].
+#[derive(Default)]
+struct Counters {
+    uploads: AtomicU64,
+    upload_rejects: AtomicU64,
+    seed_requests: AtomicU64,
+    seed_hits: AtomicU64,
+    frames_rejected: AtomicU64,
+    aged_decisions: AtomicU64,
+    aged_winners: AtomicU64,
+    verify_dropped: AtomicU64,
+    served_unverified: AtomicU64,
+    persist_errors: AtomicU64,
+    keys: AtomicU64,
+    runs_total: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self, shards: usize) -> FleetStats {
+        FleetStats {
+            uploads: self.uploads.load(Ordering::Relaxed),
+            upload_rejects: self.upload_rejects.load(Ordering::Relaxed),
+            seed_requests: self.seed_requests.load(Ordering::Relaxed),
+            seed_hits: self.seed_hits.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            aged_decisions: self.aged_decisions.load(Ordering::Relaxed),
+            aged_winners: self.aged_winners.load(Ordering::Relaxed),
+            verify_dropped: self.verify_dropped.load(Ordering::Relaxed),
+            served_unverified: self.served_unverified.load(Ordering::Relaxed),
+            persist_errors: self.persist_errors.load(Ordering::Relaxed),
+            keys: self.keys.load(Ordering::Relaxed),
+            runs_total: self.runs_total.load(Ordering::Relaxed),
+            shards: shards as u64,
+        }
+    }
+}
+
+/// One routed shard request. Size skew between variants is fine: these
+/// live only on the channel between a connection and its shard worker.
+#[allow(clippy::large_enum_variant)]
+enum ShardMsg {
+    Upload {
+        snapshot: Snapshot,
+        image_words: Option<Vec<u64>>,
+        reply: Sender<Response>,
+    },
+    Fetch {
+        key: StoreKey,
+        reply: Sender<Response>,
+    },
+    Shutdown,
+}
+
+/// Per-key state a shard worker owns.
+struct KeyState {
+    /// Unfiltered commutative fold of every upload (plus warm-restart
+    /// state). Aging and verification apply at serve time only, so the
+    /// accumulator stays a pure function of the upload multiset.
+    acc: Snapshot,
+    image: Option<CodeImage>,
+}
+
+/// A running aggregation server. Dropping without [`FleetServer::shutdown`]
+/// leaks the listener thread for the rest of the process (fine for a CLI
+/// that serves until killed; tests shut down).
+pub struct FleetServer {
+    addr: SocketAddr,
+    cfg: FleetConfig,
+    counters: Arc<Counters>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FleetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), load any
+    /// persisted shard state, and start serving.
+    pub fn start(addr: impl ToSocketAddrs, cfg: FleetConfig) -> Result<FleetServer, String> {
+        let shards = cfg.shards.max(1);
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind failed: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr failed: {e}"))?;
+        let counters = Arc::new(Counters::default());
+
+        // Warm restart: every persisted key goes to its owning shard.
+        let mut shard_state: Vec<HashMap<StoreKey, KeyState>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        if let Some(dir) = &cfg.dir {
+            let store = Store::new(dir);
+            for path in store.snapshot_paths() {
+                let report = read_snapshot_file(&path, None);
+                let Some(acc) = report.snapshot else { continue };
+                let image = load_image_sidecar(&image_path(dir, &acc.key), acc.key.image_hash);
+                counters.keys.fetch_add(1, Ordering::Relaxed);
+                counters.runs_total.fetch_add(acc.runs, Ordering::Relaxed);
+                let shard = shard_for(&acc.key, shards);
+                shard_state[shard].insert(acc.key, KeyState { acc, image });
+            }
+        }
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for state in shard_state {
+            let (tx, rx) = unbounded::<ShardMsg>();
+            shard_txs.push(tx);
+            let cfg = cfg.clone();
+            let counters = Arc::clone(&counters);
+            workers.push(std::thread::spawn(move || {
+                let mut state = state;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ShardMsg::Upload {
+                            snapshot,
+                            image_words,
+                            reply,
+                        } => {
+                            let resp =
+                                fold_upload(&mut state, snapshot, image_words, &cfg, &counters);
+                            let _ = reply.send(resp);
+                        }
+                        ShardMsg::Fetch { key, reply } => {
+                            let resp = serve_seed(&state, &key, &cfg, &counters);
+                            let _ = reply.send(resp);
+                        }
+                        ShardMsg::Shutdown => break,
+                    }
+                }
+            }));
+        }
+
+        let stopping = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stopping = Arc::clone(&stopping);
+            let counters = Arc::clone(&counters);
+            let shard_txs = shard_txs.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let counters = Arc::clone(&counters);
+                    let shard_txs = shard_txs.clone();
+                    std::thread::spawn(move || serve_connection(stream, &shard_txs, &counters));
+                }
+            })
+        };
+
+        Ok(FleetServer {
+            addr,
+            cfg,
+            counters,
+            shard_txs,
+            stopping,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters, as a `Stats` request would see them.
+    pub fn stats(&self) -> FleetStats {
+        self.counters.snapshot(self.cfg.shards.max(1))
+    }
+
+    /// Stop accepting, drain in-flight folds, and join the workers. All
+    /// replied-to uploads are folded and persisted when this returns.
+    pub fn shutdown(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Queued requests drain ahead of the shutdown marker.
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One connection's request/response loop. Any frame error counts and
+/// closes the connection; the server lives on.
+fn serve_connection(stream: TcpStream, shard_txs: &[Sender<ShardMsg>], counters: &Counters) {
+    let _ = stream.set_read_timeout(Some(CONN_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let req: Request = match read_frame(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean EOF
+            Err(_) => {
+                counters.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let resp = match req {
+            Request::Stats => Response::Stats(counters.snapshot(shard_txs.len())),
+            Request::Upload {
+                snapshot,
+                image_words,
+            } => route(
+                shard_txs,
+                shard_for(&snapshot.key, shard_txs.len()),
+                |reply| ShardMsg::Upload {
+                    snapshot,
+                    image_words,
+                    reply,
+                },
+            ),
+            Request::FetchSeed { key } => {
+                route(shard_txs, shard_for(&key, shard_txs.len()), |reply| {
+                    ShardMsg::Fetch { key, reply }
+                })
+            }
+        };
+        if write_frame(&mut writer, &resp).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Send one request to its shard and wait for the reply.
+fn route(
+    shard_txs: &[Sender<ShardMsg>],
+    shard: usize,
+    make: impl FnOnce(Sender<Response>) -> ShardMsg,
+) -> Response {
+    let (reply_tx, reply_rx) = unbounded();
+    if shard_txs[shard].send(make(reply_tx)).is_err() {
+        return Response::Err {
+            detail: "shard worker stopped".into(),
+        };
+    }
+    match reply_rx.recv_timeout(CONN_TIMEOUT) {
+        Ok(r) => r,
+        Err(_) => Response::Err {
+            detail: "shard reply timed out".into(),
+        },
+    }
+}
+
+/// Fold one upload into its key's accumulator and persist the new state.
+fn fold_upload(
+    state: &mut HashMap<StoreKey, KeyState>,
+    snapshot: Snapshot,
+    image_words: Option<Vec<u64>>,
+    cfg: &FleetConfig,
+    counters: &Counters,
+) -> Response {
+    let key = snapshot.key;
+    let image = match image_words {
+        Some(words) => {
+            let img = CodeImage::from_words(words, Default::default());
+            if image_hash(&img) != key.image_hash {
+                counters.upload_rejects.fetch_add(1, Ordering::Relaxed);
+                return Response::Err {
+                    detail: format!(
+                        "uploaded image words hash {:016x}, key says {:016x}",
+                        image_hash(&img),
+                        key.image_hash
+                    ),
+                };
+            }
+            Some(img)
+        }
+        None => None,
+    };
+    let runs = snapshot.runs;
+    let entry = state.entry(key);
+    let is_new = matches!(entry, std::collections::hash_map::Entry::Vacant(_));
+    let ks = entry.or_insert_with(|| KeyState {
+        acc: Snapshot::empty(key),
+        image: None,
+    });
+    let folded = match merge_unordered(&[ks.acc.clone(), snapshot]) {
+        Ok(f) => f,
+        Err(e) => {
+            counters.upload_rejects.fetch_add(1, Ordering::Relaxed);
+            return Response::Err { detail: e };
+        }
+    };
+    ks.acc = folded;
+    let image_is_new = ks.image.is_none() && image.is_some();
+    if image_is_new {
+        ks.image = image;
+    }
+    if is_new {
+        counters.keys.fetch_add(1, Ordering::Relaxed);
+    }
+    counters.uploads.fetch_add(1, Ordering::Relaxed);
+    counters.runs_total.fetch_add(runs, Ordering::Relaxed);
+    if let Some(dir) = &cfg.dir {
+        let store = Store::new(dir);
+        if let Err(e) = store.save(&ks.acc) {
+            counters.persist_errors.fetch_add(1, Ordering::Relaxed);
+            return Response::Err {
+                detail: format!("state folded but not persisted: {e}"),
+            };
+        }
+        if image_is_new {
+            if let Some(img) = &ks.image {
+                if write_image_sidecar(&image_path(dir, &key), img).is_err() {
+                    counters.persist_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    Response::UploadOk {
+        runs_total: ks.acc.runs,
+        records: ks.acc.record_count() as u64,
+    }
+}
+
+/// Build the served seed for one key: age-filter, then drop every
+/// decision/winner head `check_seed` rejects.
+fn serve_seed(
+    state: &HashMap<StoreKey, KeyState>,
+    key: &StoreKey,
+    cfg: &FleetConfig,
+    counters: &Counters,
+) -> Response {
+    counters.seed_requests.fetch_add(1, Ordering::Relaxed);
+    let Some(ks) = state.get(key) else {
+        return Response::Seed { snapshot: None };
+    };
+    let (mut seed, aged_d, aged_w) = match cfg.max_age_runs {
+        Some(n) => ks.acc.age_filtered(n),
+        None => (ks.acc.clone(), 0, 0),
+    };
+    counters.aged_decisions.fetch_add(aged_d, Ordering::Relaxed);
+    counters.aged_winners.fetch_add(aged_w, Ordering::Relaxed);
+    match &ks.image {
+        Some(img) => {
+            let before = seed.decisions.len() + seed.winners.len();
+            seed.decisions
+                .retain(|d| cobra_verify::check_seed(img, d.loop_head).is_ok());
+            seed.winners
+                .retain(|w| cobra_verify::check_seed(img, w.loop_head).is_ok());
+            let dropped = before - seed.decisions.len() - seed.winners.len();
+            counters
+                .verify_dropped
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        None => {
+            counters.served_unverified.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    counters.seed_hits.fetch_add(1, Ordering::Relaxed);
+    Response::Seed {
+        snapshot: Some(seed),
+    }
+}
+
+/// Image sidecar path for a key.
+fn image_path(dir: &Path, key: &StoreKey) -> PathBuf {
+    dir.join(format!("{}.image", key.file_stem()))
+}
+
+/// Persist image words (hex, one per line) via temp-file + rename, like
+/// snapshot files.
+fn write_image_sidecar(path: &Path, image: &CodeImage) -> Result<(), String> {
+    let main = &image.words()[..image.main_len() as usize];
+    let mut text = String::with_capacity(main.len() * 17);
+    for w in main {
+        text.push_str(&format!("{w:016x}\n"));
+    }
+    let tmp = path.with_extension("image.tmp");
+    (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.flush()
+    })()
+    .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot commit {}: {e}", path.display())
+    })
+}
+
+/// Load an image sidecar; `None` on any damage or hash mismatch (the key
+/// just serves unverified until a client re-uploads the words).
+fn load_image_sidecar(path: &Path, want_hash: u64) -> Option<CodeImage> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut words = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        words.push(u64::from_str_radix(line, 16).ok()?);
+    }
+    let img = CodeImage::from_words(words, Default::default());
+    (image_hash(&img) == want_hash).then_some(img)
+}

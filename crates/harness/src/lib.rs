@@ -17,6 +17,7 @@
 pub mod ablate;
 pub mod fig2;
 pub mod fig3;
+pub mod fleetcmd;
 pub mod npbsuite;
 pub mod profilecmd;
 pub mod runner;

@@ -8,9 +8,14 @@
 //! cobra-repro trace FILE               # summarize a --trace-out JSONL
 //! cobra-repro profile save --store DIR [--bench B] [--machine M]
 //! cobra-repro profile inspect PATH     # summarize snapshot file or dir
-//! cobra-repro profile merge --out FILE IN...
+//! cobra-repro profile merge --out FILE [--max-age-runs N] IN...
 //! cobra-repro verify image [--bench B] [--machine M]   # lint kernel images
 //! cobra-repro verify snapshot PATH     # lint a store snapshot file or dir
+//! cobra-repro fleet serve --addr A [--dir D] [--shards N] [--max-age-runs N]
+//! cobra-repro fleet upload --addr A PATH   # push snapshot file or dir
+//! cobra-repro fleet fetch --addr A --key K [--out FILE]
+//! cobra-repro fleet stats --addr A
+//! cobra-repro fleet bench [--clients N] [--uploads N]
 //! cobra-repro all   [--md] [--json]    # everything (EXPERIMENTS.md source)
 //! ```
 //!
@@ -22,7 +27,9 @@
 
 use std::path::PathBuf;
 
-use cobra_harness::{default_workers, fig2, fig3, npbsuite, profilecmd, table1, verifycmd};
+use cobra_harness::{
+    default_workers, fig2, fig3, fleetcmd, npbsuite, profilecmd, table1, verifycmd,
+};
 use cobra_machine::MachineConfig;
 use cobra_rt::{read_jsonl, TelemetrySink, TraceSummary};
 
@@ -140,7 +147,7 @@ fn parse(args: &[String]) -> (Command, Opts) {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|profile|verify|all"
+                "unknown command {other}; try fig2|fig3|table1|fig5|fig6|fig7|static|ablate|profile|verify|fleet|all"
             );
             std::process::exit(2);
         }
@@ -246,7 +253,8 @@ fn run_profile(args: &[String]) -> ! {
     let usage = || -> ! {
         eprintln!(
             "usage:\n  profile save --store DIR [--bench B] [--machine M] [--workers N]\n  \
-             profile inspect PATH\n  profile merge --out FILE IN..."
+             profile inspect PATH\n  profile merge --out FILE [--max-age-runs N] IN...\n  \
+             (merge inputs may be files or directories of *.jsonl)"
         );
         std::process::exit(2);
     };
@@ -303,9 +311,13 @@ fn run_profile(args: &[String]) -> ! {
         "merge" => {
             let mut out: Option<PathBuf> = None;
             let mut inputs: Vec<PathBuf> = Vec::new();
+            let mut max_age_runs: Option<u64> = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--out" => out = Some(PathBuf::from(flag_value(&mut it, "--out FILE"))),
+                    "--max-age-runs" => {
+                        max_age_runs = Some(numeric_flag(&mut it, "--max-age-runs N") as u64)
+                    }
                     other if !other.starts_with('-') => inputs.push(PathBuf::from(other)),
                     _ => usage(),
                 }
@@ -314,7 +326,7 @@ fn run_profile(args: &[String]) -> ! {
                 eprintln!("profile merge requires --out FILE");
                 std::process::exit(2);
             };
-            match profilecmd::merge(&inputs, &out) {
+            match profilecmd::merge(&inputs, &out, max_age_runs) {
                 Ok(msg) => {
                     print!("{msg}");
                     std::process::exit(0);
@@ -326,6 +338,105 @@ fn run_profile(args: &[String]) -> ! {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `cobra-repro fleet serve|upload|fetch|stats|bench` — its own tiny arg
+/// grammar. Exit 2 on bad arguments, exit 1 on a failed operation or a
+/// failed bench check, exit 0 on success.
+fn run_fleet(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!(
+            "usage:\n  fleet serve --addr A [--dir D] [--shards N] [--max-age-runs N]\n  \
+             fleet upload --addr A PATH\n  \
+             fleet fetch --addr A --key IMAGEHEX-MACHINEHEX [--out FILE]\n  \
+             fleet stats --addr A\n  \
+             fleet bench [--clients N] [--uploads N]"
+        );
+        std::process::exit(2);
+    };
+    let Some(action) = args.first() else { usage() };
+    let mut it = args[1..].iter();
+    let mut addr: Option<String> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut key: Option<String> = None;
+    let mut shards = 4usize;
+    let mut max_age_runs: Option<u64> = None;
+    let mut clients = 64usize;
+    let mut uploads = 16usize;
+    let mut path: Option<PathBuf> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(flag_value(&mut it, "--addr HOST:PORT").clone()),
+            "--dir" => dir = Some(PathBuf::from(flag_value(&mut it, "--dir DIR"))),
+            "--out" => out = Some(PathBuf::from(flag_value(&mut it, "--out FILE"))),
+            "--key" => key = Some(flag_value(&mut it, "--key IMAGEHEX-MACHINEHEX").clone()),
+            "--shards" => shards = numeric_flag(&mut it, "--shards N"),
+            "--max-age-runs" => {
+                max_age_runs = Some(numeric_flag(&mut it, "--max-age-runs N") as u64)
+            }
+            "--clients" => clients = numeric_flag(&mut it, "--clients N"),
+            "--uploads" => uploads = numeric_flag(&mut it, "--uploads N"),
+            other if !other.starts_with('-') && path.is_none() => path = Some(PathBuf::from(other)),
+            _ => usage(),
+        }
+    }
+    let need_addr = || -> String {
+        addr.clone().unwrap_or_else(|| {
+            eprintln!("fleet {action} requires --addr HOST:PORT");
+            std::process::exit(2);
+        })
+    };
+    let outcome = match action.as_str() {
+        "serve" => {
+            if max_age_runs == Some(0) {
+                eprintln!("--max-age-runs must be at least 1");
+                std::process::exit(2);
+            }
+            match fleetcmd::serve(&need_addr(), dir.as_deref(), shards, max_age_runs) {
+                Err(e) => Err(e),
+                Ok(never) => match never {},
+            }
+        }
+        "upload" => {
+            let Some(path) = path else {
+                eprintln!("fleet upload requires a snapshot PATH");
+                std::process::exit(2);
+            };
+            fleetcmd::upload(&need_addr(), &path)
+        }
+        "fetch" => {
+            let Some(key) = key else {
+                eprintln!("fleet fetch requires --key IMAGEHEX-MACHINEHEX");
+                std::process::exit(2);
+            };
+            fleetcmd::parse_key(&key)
+                .and_then(|k| fleetcmd::fetch(&need_addr(), &k, out.as_deref()))
+        }
+        "stats" => fleetcmd::stats(&need_addr()),
+        "bench" => {
+            let tmp =
+                std::env::temp_dir().join(format!("cobra-fleet-bench-{}", std::process::id()));
+            match fleetcmd::bench(clients, uploads, &tmp) {
+                Ok(b) => {
+                    print!("{}", b.text);
+                    std::process::exit(if b.failures == 0 { 0 } else { 1 });
+                }
+                Err(e) => Err(e),
+            }
+        }
+        _ => usage(),
+    };
+    match outcome {
+        Ok(text) => {
+            print!("{text}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("fleet {action}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -404,6 +515,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("verify") {
         run_verify(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fleet") {
+        run_fleet(&args[1..]);
     }
     let (cmd, opts) = parse(&args);
     match &cmd {

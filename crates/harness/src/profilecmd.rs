@@ -126,13 +126,27 @@ pub fn inspect(path: &Path) -> Result<String, String> {
     Ok(out)
 }
 
-/// `profile merge`: fold same-key snapshot files into `out`.
-pub fn merge(inputs: &[PathBuf], out: &Path) -> Result<String, String> {
-    if inputs.len() < 2 {
+/// `profile merge`: fold same-key snapshot files into `out`. Each input
+/// may be a file or a directory (expanded to every `*.jsonl` directly
+/// inside, path-sorted, so directory merges are deterministic). With
+/// `max_age_runs`, decisions/winners the fleet stopped re-confirming for
+/// that many runs are aged out of the result.
+pub fn merge(inputs: &[PathBuf], out: &Path, max_age_runs: Option<u64>) -> Result<String, String> {
+    if max_age_runs == Some(0) {
+        return Err("--max-age-runs must be at least 1".into());
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        files.extend(snapshot_files(input)?);
+    }
+    if files.len() < 2 && max_age_runs.is_none() {
         return Err("merge needs at least two input snapshot files".into());
     }
-    let mut snaps: Vec<Snapshot> = Vec::with_capacity(inputs.len());
-    for file in inputs {
+    if files.is_empty() {
+        return Err("merge needs at least one input snapshot file".into());
+    }
+    let mut snaps: Vec<Snapshot> = Vec::with_capacity(files.len());
+    for file in &files {
         let lr = read_snapshot_file(file, None);
         match lr.snapshot {
             Some(s) => {
@@ -154,14 +168,22 @@ pub fn merge(inputs: &[PathBuf], out: &Path) -> Result<String, String> {
             }
         }
     }
-    let merged = cobra_store::merge(&snaps)?;
-    write_snapshot_file(out, &merged)?;
-    Ok(format!(
+    let outcome =
+        cobra_store::merge_with_policy(&snaps, &cobra_store::MergePolicy { max_age_runs })?;
+    write_snapshot_file(out, &outcome.snapshot)?;
+    let mut msg = format!(
         "merged {} snapshot(s) into {}\n  {}\n",
         snaps.len(),
         out.display(),
-        merged.summary()
-    ))
+        outcome.snapshot.summary()
+    );
+    if max_age_runs.is_some() {
+        msg.push_str(&format!(
+            "  aged out {} decision(s), {} winner(s)\n",
+            outcome.aged_decisions, outcome.aged_winners
+        ));
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -233,16 +255,66 @@ mod tests {
         write_snapshot_file(&a, &snap(1)).unwrap();
         write_snapshot_file(&b, &snap(3)).unwrap();
         let out = dir.join("merged.jsonl");
-        let msg = merge(&[a.clone(), b.clone()], &out).unwrap();
+        let msg = merge(&[a.clone(), b.clone()], &out, None).unwrap();
         assert!(msg.contains("4 run(s)"), "{msg}");
         let lr = read_snapshot_file(&out, None);
         assert_eq!(lr.snapshot.unwrap().runs, 4);
 
         std::fs::write(&b, "not a snapshot").unwrap();
-        assert!(merge(&[a, b], &out).is_err());
+        assert!(merge(&[a, b], &out, None).is_err());
         assert!(
-            merge(std::slice::from_ref(&out), &dir.join("x.jsonl")).is_err(),
+            merge(std::slice::from_ref(&out), &dir.join("x.jsonl"), None).is_err(),
             "single input rejected"
         );
+    }
+
+    #[test]
+    fn merge_accepts_directories_deterministically() {
+        let dir = tmp_dir();
+        write_snapshot_file(&dir.join("b.jsonl"), &snap(3)).unwrap();
+        write_snapshot_file(&dir.join("a.jsonl"), &snap(1)).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let out =
+            std::env::temp_dir().join(format!("cobra-merge-dir-{}.jsonl", std::process::id()));
+        let msg = merge(std::slice::from_ref(&dir), &out, None).unwrap();
+        assert!(msg.contains("merged 2 snapshot(s)"), "{msg}");
+        let first = std::fs::read(&out).unwrap();
+        merge(std::slice::from_ref(&dir), &out, None).unwrap();
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            first,
+            "directory expansion is path-sorted, so re-merging is byte-identical"
+        );
+    }
+
+    #[test]
+    fn merge_aging_policy_drops_stale_records_and_rejects_zero() {
+        let dir = tmp_dir();
+        // One old run confirmed head 40; five later runs did not.
+        let a = dir.join("a.jsonl");
+        write_snapshot_file(&a, &snap(1)).unwrap();
+        let mut quiet = Snapshot::empty(StoreKey {
+            image_hash: 0xaaaa,
+            machine_fp: 0xbbbb,
+        });
+        quiet.runs = 5;
+        let b = dir.join("b.jsonl");
+        write_snapshot_file(&b, &quiet).unwrap();
+
+        let out = dir.join("aged.jsonl");
+        let msg = merge(&[a.clone(), b.clone()], &out, Some(3)).unwrap();
+        assert!(msg.contains("aged out 1 decision(s)"), "{msg}");
+        let merged = read_snapshot_file(&out, None).snapshot.unwrap();
+        assert!(merged.decisions.is_empty(), "stale decision dropped");
+        assert_eq!(merged.runs, 6);
+
+        // A generous horizon keeps it; zero is rejected outright.
+        let msg = merge(&[a.clone(), b], &out, Some(100)).unwrap();
+        assert!(msg.contains("aged out 0 decision(s)"), "{msg}");
+        let err = merge(std::slice::from_ref(&a), &out, Some(0)).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+
+        // With a policy, even a single input is meaningful (pure aging).
+        assert!(merge(std::slice::from_ref(&a), &out, Some(2)).is_ok());
     }
 }

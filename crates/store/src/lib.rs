@@ -230,6 +230,20 @@ pub struct WinnerRecord {
     pub trials: Vec<(String, f64)>,
 }
 
+/// Re-confirmation watermark for one loop head: how many of the merged runs
+/// carried a decision or winner for it. Staleness is the debt
+/// `snapshot.runs - seen_runs` — the number of merged runs that did *not*
+/// re-confirm the head. Because `seen_runs` is a sum over confirming
+/// uploads, the watermark is order-free: any interleaving of the same
+/// upload multiset produces the same ages (the fleet server depends on
+/// this for byte-identical shard state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgeRecord {
+    pub loop_head: u32,
+    /// Runs (of `snapshot.runs`) whose upload confirmed this head.
+    pub seen_runs: u64,
+}
+
 /// One line of a snapshot file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Record {
@@ -251,6 +265,10 @@ pub enum Record {
     /// snapshots; unknown variants in *future* files fail to parse and are
     /// skipped+counted like any damaged line).
     Winner(WinnerRecord),
+    /// Re-confirmation watermark for one loop head (absent in pre-fleet
+    /// snapshots; written only by age-tracking folds, so classic detach
+    /// snapshots stay byte-identical to their PR 4-era form).
+    Age(AgeRecord),
 }
 
 /// A fully-loaded (or about-to-be-saved) repository entry for one key.
@@ -266,6 +284,10 @@ pub struct Snapshot {
     /// snapshots).
     #[serde(default)]
     pub winners: Vec<WinnerRecord>,
+    /// Re-confirmation watermarks, sorted by loop head (empty for
+    /// snapshots that never went through an age-tracking fold).
+    #[serde(default)]
+    pub ages: Vec<AgeRecord>,
 }
 
 impl Snapshot {
@@ -278,6 +300,7 @@ impl Snapshot {
             decisions: Vec::new(),
             blacklist: Vec::new(),
             winners: Vec::new(),
+            ages: Vec::new(),
         }
     }
 
@@ -300,18 +323,22 @@ impl Snapshot {
         for w in &self.winners {
             out.push(Record::Winner(w.clone()));
         }
+        for &a in &self.ages {
+            out.push(Record::Age(a));
+        }
         out
     }
 
     /// Total records this snapshot writes (header included).
     pub fn record_count(&self) -> usize {
-        2 + self.decisions.len() + self.blacklist.len() + self.winners.len()
+        2 + self.decisions.len() + self.blacklist.len() + self.winners.len() + self.ages.len()
     }
 
-    /// One-line human summary for `profile inspect`.
+    /// One-line human summary for `profile inspect`. Age watermarks only
+    /// appear when present, so classic snapshots keep their old summary.
     pub fn summary(&self) -> String {
         let reverted = self.decisions.iter().filter(|d| d.reverted).count();
-        format!(
+        let mut s = format!(
             "key {} v{} — {} run(s), {} samples, {} delinquent pcs, {} decisions ({} reverted), {} blacklisted, {} tournament winner(s)",
             self.key,
             FORMAT_VERSION,
@@ -322,19 +349,105 @@ impl Snapshot {
             reverted,
             self.blacklist.len(),
             self.winners.len(),
-        )
+        );
+        if !self.ages.is_empty() {
+            s.push_str(&format!(", {} age watermark(s)", self.ages.len()));
+        }
+        s
     }
+
+    /// How many of this snapshot's runs confirmed each loop head. Explicit
+    /// [`AgeRecord`]s take precedence; a content head without one (every
+    /// snapshot written before age tracking, and every single-run detach
+    /// snapshot) counts as confirmed by all of the snapshot's runs.
+    pub fn confirmations(&self) -> BTreeMap<u32, u64> {
+        let mut m: BTreeMap<u32, u64> = self
+            .ages
+            .iter()
+            .map(|a| (a.loop_head, a.seen_runs))
+            .collect();
+        for d in &self.decisions {
+            m.entry(d.loop_head).or_insert(self.runs);
+        }
+        for w in &self.winners {
+            m.entry(w.loop_head).or_insert(self.runs);
+        }
+        m
+    }
+
+    /// Runs of this snapshot that confirmed `loop_head` (see
+    /// [`Snapshot::confirmations`]).
+    pub fn seen_runs_for(&self, loop_head: u32) -> u64 {
+        if let Some(a) = self.ages.iter().find(|a| a.loop_head == loop_head) {
+            return a.seen_runs;
+        }
+        let in_content = self.decisions.iter().any(|d| d.loop_head == loop_head)
+            || self.winners.iter().any(|w| w.loop_head == loop_head);
+        if in_content {
+            self.runs
+        } else {
+            0
+        }
+    }
+
+    /// Copy of this snapshot with decisions and winners whose
+    /// re-confirmation debt (`runs - seen_runs`) has reached `max_age_runs`
+    /// dropped. Ages and blacklist are kept (the debt is remembered across
+    /// further folds). Returns `(filtered, aged_decisions, aged_winners)`.
+    pub fn age_filtered(&self, max_age_runs: u64) -> (Snapshot, u64, u64) {
+        let stale = |head: u32| self.runs.saturating_sub(self.seen_runs_for(head)) >= max_age_runs;
+        let mut out = self.clone();
+        let before_d = out.decisions.len();
+        out.decisions.retain(|d| !stale(d.loop_head));
+        let before_w = out.winners.len();
+        out.winners.retain(|w| !stale(w.loop_head));
+        let aged_d = (before_d - out.decisions.len()) as u64;
+        let aged_w = (before_w - out.winners.len()) as u64;
+        (out, aged_d, aged_w)
+    }
+}
+
+/// Aging policy for [`merge_with_policy`] and the fleet server's serving
+/// path. `max_age_runs: Some(n)` drops a decision/winner once `n` merged
+/// runs have gone by without re-confirming it (`runs - seen_runs >= n`);
+/// `n = 0` is degenerate (drops everything) and rejected by the CLIs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergePolicy {
+    pub max_age_runs: Option<u64>,
+}
+
+/// Result of a policy-aware merge: the folded snapshot plus how many
+/// records the aging policy dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOutcome {
+    pub snapshot: Snapshot,
+    pub aged_decisions: u64,
+    pub aged_winners: u64,
 }
 
 /// Merge snapshots of the same key: profiles summed, decisions and winners
 /// merged with later inputs overriding earlier ones per loop head,
-/// blacklists unioned.
+/// blacklists unioned. Equivalent to [`merge_with_policy`] with the default
+/// (no-aging) policy.
 pub fn merge(snapshots: &[Snapshot]) -> Result<Snapshot, String> {
+    merge_with_policy(snapshots, &MergePolicy::default()).map(|o| o.snapshot)
+}
+
+/// [`merge`] with an aging policy. Re-confirmation watermarks are summed
+/// across inputs; the output carries explicit [`AgeRecord`]s only when an
+/// input had them or the policy is active, so plain merges of classic
+/// snapshots stay byte-identical to their pre-aging output.
+pub fn merge_with_policy(
+    snapshots: &[Snapshot],
+    policy: &MergePolicy,
+) -> Result<MergeOutcome, String> {
     let first = snapshots.first().ok_or("nothing to merge")?;
     let mut out = Snapshot::empty(first.key);
     let mut decisions: BTreeMap<u32, DecisionRecord> = BTreeMap::new();
     let mut winners: BTreeMap<u32, WinnerRecord> = BTreeMap::new();
     let mut blacklist: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+    let track_ages = policy.max_age_runs.is_some() || snapshots.iter().any(|s| !s.ages.is_empty());
     for s in snapshots {
         if s.key != first.key {
             return Err(format!(
@@ -361,10 +474,97 @@ pub fn merge(snapshots: &[Snapshot]) -> Result<Snapshot, String> {
             winners.insert(w.loop_head, w.clone());
         }
         blacklist.extend(s.blacklist.iter().copied());
+        for (head, seen_runs) in s.confirmations() {
+            *seen.entry(head).or_insert(0) += seen_runs;
+        }
     }
     out.decisions = decisions.into_values().collect();
     out.blacklist = blacklist.into_iter().collect();
     out.winners = winners.into_values().collect();
+    if track_ages {
+        out.ages = seen
+            .into_iter()
+            .map(|(loop_head, seen_runs)| AgeRecord {
+                loop_head,
+                seen_runs,
+            })
+            .collect();
+    }
+    let (snapshot, aged_decisions, aged_winners) = match policy.max_age_runs {
+        Some(n) => out.age_filtered(n),
+        None => (out, 0, 0),
+    };
+    Ok(MergeOutcome {
+        snapshot,
+        aged_decisions,
+        aged_winners,
+    })
+}
+
+/// Canonical serialization of a record, used as the tie-break order for
+/// the commutative fold below.
+fn canon<T: Serialize>(r: &T) -> String {
+    serde_json::to_string(&Serialize::to_value(r)).expect("record serializes")
+}
+
+/// Order-free merge for the fleet server: a commutative, associative fold
+/// whose output is a pure function of the input *multiset*. Profiles sum,
+/// runs sum, blacklists union and ages sum exactly as in [`merge`]; where
+/// two inputs disagree on a decision or winner for the same loop head, the
+/// winner is picked by a total order (measured `post_cpi` beats none, then
+/// the lexicographically greatest canonical serialization) instead of
+/// input position — "later input wins" has no meaning when uploads from
+/// concurrent clients race. The output always carries explicit ages: it is
+/// server state, and the watermark must survive the next fold.
+pub fn merge_unordered(snapshots: &[Snapshot]) -> Result<Snapshot, String> {
+    let first = snapshots.first().ok_or("nothing to merge")?;
+    let mut out = Snapshot::empty(first.key);
+    let mut decisions: BTreeMap<u32, (bool, String, DecisionRecord)> = BTreeMap::new();
+    let mut winners: BTreeMap<u32, (String, WinnerRecord)> = BTreeMap::new();
+    let mut blacklist: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+    for s in snapshots {
+        if s.key != first.key {
+            return Err(format!(
+                "key mismatch: cannot merge {} into {}",
+                s.key, first.key
+            ));
+        }
+        out.runs += s.runs;
+        out.profile.merge(&s.profile);
+        for d in &s.decisions {
+            let rank = (d.post_cpi.is_some(), canon(d));
+            match decisions.get(&d.loop_head) {
+                Some((has_cpi, c, _)) if (*has_cpi, c.as_str()) >= (rank.0, rank.1.as_str()) => {}
+                _ => {
+                    decisions.insert(d.loop_head, (rank.0, rank.1, d.clone()));
+                }
+            }
+        }
+        for w in &s.winners {
+            let c = canon(w);
+            match winners.get(&w.loop_head) {
+                Some((prev, _)) if prev.as_str() >= c.as_str() => {}
+                _ => {
+                    winners.insert(w.loop_head, (c, w.clone()));
+                }
+            }
+        }
+        blacklist.extend(s.blacklist.iter().copied());
+        for (head, seen_runs) in s.confirmations() {
+            *seen.entry(head).or_insert(0) += seen_runs;
+        }
+    }
+    out.decisions = decisions.into_values().map(|(_, _, d)| d).collect();
+    out.blacklist = blacklist.into_iter().collect();
+    out.winners = winners.into_values().map(|(_, w)| w).collect();
+    out.ages = seen
+        .into_iter()
+        .map(|(loop_head, seen_runs)| AgeRecord {
+            loop_head,
+            seen_runs,
+        })
+        .collect();
     Ok(out)
 }
 
@@ -452,6 +652,7 @@ fn assemble(records: Vec<Record>, expected: Option<&StoreKey>) -> LoadReport {
     let mut decisions: BTreeMap<u32, DecisionRecord> = BTreeMap::new();
     let mut winners: BTreeMap<u32, WinnerRecord> = BTreeMap::new();
     let mut blacklist: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut ages: BTreeMap<u32, u64> = BTreeMap::new();
     for r in records {
         match r {
             Record::Header { .. } => {}
@@ -472,11 +673,21 @@ fn assemble(records: Vec<Record>, expected: Option<&StoreKey>) -> LoadReport {
             Record::Winner(w) => {
                 winners.insert(w.loop_head, w);
             }
+            Record::Age(a) => {
+                ages.insert(a.loop_head, a.seen_runs);
+            }
         }
     }
     snap.decisions = decisions.into_values().collect();
     snap.blacklist = blacklist.into_iter().collect();
     snap.winners = winners.into_values().collect();
+    snap.ages = ages
+        .into_iter()
+        .map(|(loop_head, seen_runs)| AgeRecord {
+            loop_head,
+            seen_runs,
+        })
+        .collect();
     report.snapshot = Some(snap);
     report
 }
@@ -928,6 +1139,113 @@ mod tests {
         assert_eq!(m.winners.len(), 1);
         assert_eq!(m.winners[0].candidate, "prefetch.excl");
         assert_eq!(m.decisions[0].post_cpi, Some(1.2));
+    }
+
+    /// Decisions/winners not re-confirmed within `max_age_runs` merged runs
+    /// are dropped and counted; re-confirmed ones survive.
+    #[test]
+    fn aging_policy_drops_unconfirmed_decisions() {
+        let a = sample_snapshot(key()); // head 11 decision + winner
+        let mut b = sample_snapshot(key());
+        b.decisions = vec![DecisionRecord {
+            loop_head: 99,
+            kind: "noprefetch".into(),
+            reverted: false,
+            baseline_cpi: 2.0,
+            post_cpi: Some(1.9),
+        }];
+        b.winners = Vec::new();
+        // Three more runs that only re-confirm head 99.
+        let mut c = b.clone();
+        c.runs = 3;
+        let policy = MergePolicy {
+            max_age_runs: Some(3),
+        };
+        let out = merge_with_policy(&[a.clone(), b.clone(), c], &policy).unwrap();
+        // head 11: seen 1 of 5 runs → debt 4 ≥ 3 → aged out (decision and
+        // winner); head 99: seen 4 of 5 → debt 1 → kept.
+        assert_eq!(out.aged_decisions, 1);
+        assert_eq!(out.aged_winners, 1);
+        let heads: Vec<u32> = out.snapshot.decisions.iter().map(|d| d.loop_head).collect();
+        assert_eq!(heads, vec![99]);
+        assert!(out.snapshot.winners.is_empty());
+        // The debt is remembered: head 11 keeps its age watermark.
+        assert_eq!(out.snapshot.seen_runs_for(11), 1);
+        // Without a policy the same merge keeps everything and (classic
+        // inputs) emits no ages.
+        let plain = merge(&[a, b]).unwrap();
+        assert_eq!(plain.decisions.len(), 2);
+        assert!(plain.ages.is_empty());
+    }
+
+    /// Ages survive a save/load round trip, and the summed watermark is
+    /// what a re-merge sees.
+    #[test]
+    fn age_records_round_trip() {
+        let store = Store::new(tmp_root("ages"));
+        let mut snap = sample_snapshot(key());
+        snap.ages = vec![AgeRecord {
+            loop_head: 11,
+            seen_runs: 1,
+        }];
+        store.save(&snap).unwrap();
+        let lr = store.load(&key());
+        assert_eq!(lr.skipped_records, 0);
+        let got = lr.snapshot.unwrap();
+        assert_eq!(got, snap);
+        assert!(got.summary().contains("1 age watermark(s)"));
+    }
+
+    /// The fleet fold is order-free: any permutation of the same snapshot
+    /// multiset produces byte-identical records, and folding incrementally
+    /// (as the server does, one upload at a time) matches folding all at
+    /// once.
+    #[test]
+    fn merge_unordered_is_commutative_and_associative() {
+        let a = sample_snapshot(key());
+        let mut b = sample_snapshot(key());
+        b.decisions[0].kind = "prefetch.excl".into();
+        b.decisions[0].post_cpi = None;
+        b.blacklist = vec![41];
+        let mut c = sample_snapshot(key());
+        c.decisions = vec![DecisionRecord {
+            loop_head: 99,
+            kind: "noprefetch".into(),
+            reverted: false,
+            baseline_cpi: 2.0,
+            post_cpi: Some(1.9),
+        }];
+        c.winners = Vec::new();
+        let bytes = |s: &Snapshot| {
+            s.records()
+                .iter()
+                .map(encode_record)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let all = merge_unordered(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        for perm in [
+            vec![a.clone(), c.clone(), b.clone()],
+            vec![b.clone(), a.clone(), c.clone()],
+            vec![c.clone(), b.clone(), a.clone()],
+        ] {
+            assert_eq!(bytes(&merge_unordered(&perm).unwrap()), bytes(&all));
+        }
+        // Incremental left fold and right-leaning fold both match.
+        let inc = merge_unordered(&[merge_unordered(&[a.clone(), b.clone()]).unwrap(), c.clone()])
+            .unwrap();
+        assert_eq!(bytes(&inc), bytes(&all));
+        let rl = merge_unordered(&[a.clone(), merge_unordered(&[c.clone(), b.clone()]).unwrap()])
+            .unwrap();
+        assert_eq!(bytes(&rl), bytes(&all));
+        // A measured post-CPI beats an unmeasured record at the same head,
+        // whatever the order.
+        let kept = all.decisions.iter().find(|d| d.loop_head == 11).unwrap();
+        assert!(kept.post_cpi.is_some());
+        // Ages: head 11 confirmed by a and b (1 run each), head 99 by c.
+        assert_eq!(all.seen_runs_for(11), 2);
+        assert_eq!(all.seen_runs_for(99), 1);
+        assert_eq!(all.runs, 3);
     }
 
     #[test]
