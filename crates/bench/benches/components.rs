@@ -14,11 +14,13 @@ use cobra_machine::{
     AccessKind, CpuStats, Event, HostAccel, Hpm, Machine, MachineConfig, MemSystem, SamplingConfig,
 };
 use cobra_omp::{OmpRuntime, Team};
+use cobra_osr::OsrMap;
 use cobra_rt::{
     select_loops, verify_plan, Cobra, DeployMode, LatencyBands, Optimizer, OptimizerConfig,
     PatchPlan, PlanAction, ProfileDelta, Strategy, SystemProfile, TelemetryEvent, TelemetryHub,
     TelemetrySink, TraceConfig,
 };
+use cobra_verify::check_osr_map;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 fn bench_isa(c: &mut Criterion) {
@@ -662,6 +664,141 @@ fn bench_verify_overhead(c: &mut Criterion) {
     });
 }
 
+fn bench_osr_overhead(c: &mut Criterion) {
+    // OSR's control plane runs once per trace deployment: build the state
+    // mapping, verify it, arm the redirect table (and disarm it once the
+    // watch converges). Its data plane is one redirect-table lookup per
+    // taken branch while a watch is armed. Prove the whole mechanism —
+    // control plane over every plan the fixture tick emits, plus the armed
+    // quantum's lookup delta — adds <5% to a deployment tick (quantum +
+    // optimizer pass, as in the verify-overhead budget).
+    let (image, profile) = decision_inputs();
+    let mut opt = Optimizer::new(
+        OptimizerConfig {
+            warmup_ticks: 0,
+            deploy: DeployMode::TraceCache,
+            ..Default::default()
+        },
+        image.clone(),
+    );
+    let plans: Vec<PatchPlan> = opt
+        .consider(&profile)
+        .into_iter()
+        .filter_map(|a| match a {
+            PlanAction::Apply(p) if p.trace.is_some() => Some(p),
+            _ => None,
+        })
+        .collect();
+    assert!(!plans.is_empty(), "fixture tick must emit trace plans");
+
+    fn min_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+        (0..reps)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap()
+            .max(1)
+    }
+    let consider_ns = min_ns(30, || {
+        let mut opt = Optimizer::new(
+            OptimizerConfig {
+                warmup_ticks: 0,
+                deploy: DeployMode::TraceCache,
+                verify: false,
+                ..Default::default()
+            },
+            image.clone(),
+        );
+        criterion::black_box(opt.consider(criterion::black_box(&profile)));
+    });
+    let mut m = Machine::new(MachineConfig::smp4(), arith_loop_image());
+    for cpu in 0..4 {
+        m.spawn_thread(cpu, 0, &[]);
+    }
+    let quantum_ns = min_ns(5, || {
+        criterion::black_box(m.run_quantum(20_000));
+    });
+    let tick_ns = quantum_ns + consider_ns;
+
+    // Control plane: map + verification + arm/disarm for every plan.
+    let mut arm_machine = Machine::new(MachineConfig::smp4(), image.clone());
+    let control_ns = min_ns(100, || {
+        for p in &plans {
+            let t = p.trace.as_ref().unwrap();
+            let map = OsrMap::for_trace(p.id, p.loop_head, p.back_edge, t.expected_start);
+            check_osr_map(
+                criterion::black_box(&image),
+                criterion::black_box(&map),
+                p.kind.into(),
+                &t.insns,
+            )
+            .expect("captured plan's map verifies");
+            arm_machine.arm_redirect(p.id, &map.redirect_pairs());
+            criterion::black_box(arm_machine.disarm_redirect(p.id));
+        }
+    });
+
+    // Data plane: per-branch lookup cost while armed, as the delta between
+    // an armed and an unarmed solo quantum on the same block-dispatch
+    // engine (the armed edges point outside the loop, so control flow —
+    // and thus the work simulated — is identical).
+    let mut solo = Machine::new(MachineConfig::smp4(), arith_loop_image());
+    solo.spawn_thread(0, 0, &[]);
+    let solo_ns = min_ns(5, || {
+        criterion::black_box(solo.run_quantum(20_000));
+    });
+    solo.arm_redirect(u64::MAX, &[(0x00f0_0000, 0x00f0_0010)]);
+    let armed_ns = min_ns(5, || {
+        criterion::black_box(solo.run_quantum(20_000));
+    });
+    assert_eq!(solo.disarm_redirect(u64::MAX), 0, "sentinel edge never hit");
+    let lookup_delta_ns = armed_ns.saturating_sub(solo_ns);
+
+    let osr_ns = control_ns + lookup_delta_ns;
+    assert!(
+        osr_ns as f64 <= tick_ns as f64 * 0.05,
+        "OSR migration must add <5% to a deployment tick: \
+         tick {tick_ns} ns (quantum {quantum_ns} + optimizer {consider_ns}), \
+         osr {osr_ns} ns (control {control_ns} + armed lookup delta \
+         {lookup_delta_ns}, {} plans)",
+        plans.len()
+    );
+    bench_metric(
+        c,
+        "components/osr",
+        BenchmarkId::new("overhead_ns", "deploy_tick"),
+        tick_ns,
+    );
+    bench_metric(
+        c,
+        "components/osr",
+        BenchmarkId::new("overhead_ns", "control_plane"),
+        control_ns,
+    );
+    bench_metric(
+        c,
+        "components/osr",
+        BenchmarkId::new("overhead_ns", "armed_lookup_delta"),
+        lookup_delta_ns,
+    );
+
+    c.bench_function("components/osr/map_build_and_check", |b| {
+        b.iter(|| {
+            for p in &plans {
+                let t = p.trace.as_ref().unwrap();
+                let map = OsrMap::for_trace(p.id, p.loop_head, p.back_edge, t.expected_start);
+                criterion::black_box(
+                    check_osr_map(criterion::black_box(&image), &map, p.kind.into(), &t.insns)
+                        .is_ok(),
+                );
+            }
+        })
+    });
+}
+
 fn bench_telemetry(c: &mut Criterion) {
     // Hot-path cost of one emit (+ its share of the periodic drain into a
     // JSONL sink that discards the bytes). This is what monitoring threads
@@ -743,6 +880,7 @@ criterion_group!(
     bench_multicore_dispatch,
     bench_cobra_decision,
     bench_verify_overhead,
+    bench_osr_overhead,
     bench_telemetry
 );
 criterion_main!(benches);

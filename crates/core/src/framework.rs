@@ -34,6 +34,7 @@ use std::path::PathBuf;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use cobra_fleet::FleetClient;
+use cobra_isa::CodeAddr;
 use cobra_machine::Machine;
 use cobra_omp::{QuantumHook, Team};
 use cobra_perfmon::{PerfmonConfig, PerfmonDriver};
@@ -147,6 +148,14 @@ impl CobraBuilder {
     /// classifier deployment.
     pub fn candidates(mut self, enabled: bool) -> Self {
         self.cfg.optimizer.candidates = enabled;
+        self
+    }
+
+    /// On-stack replacement: arm verified mid-loop redirects when a trace
+    /// version deploys (and the reverse map when it reverts), so in-flight
+    /// threads migrate at their next back edge (`OptimizerConfig::osr`).
+    pub fn osr(mut self, enabled: bool) -> Self {
+        self.cfg.optimizer.osr = enabled;
         self
     }
 
@@ -343,6 +352,8 @@ impl CobraBuilder {
             emitter,
             store_ctx,
             fleet_ctx,
+            osr_watches: Vec::new(),
+            osr_maps: Vec::new(),
         }
     }
 }
@@ -359,6 +370,23 @@ struct FleetCtx {
     addr: String,
     key: StoreKey,
     image_words: Vec<u64>,
+}
+
+/// One in-flight version transfer tracked to convergence: armed at a trace
+/// deployment (forward) or a revert (reverse), retired at the first quantum
+/// boundary where no running thread's PC is still inside `[lo, hi]` — the
+/// body being migrated *away from*. The watch is kept even when OSR is off
+/// (`COBRA_OSR=0`), so `ticks_to_all_optimized` measures the entry-only
+/// convergence time the redirects are being compared against.
+struct OsrWatch {
+    plan_id: u64,
+    /// Source body (inclusive) threads must vacate.
+    lo: CodeAddr,
+    hi: CodeAddr,
+    /// Tick the transfer started.
+    armed_tick: u64,
+    /// True for revert drains (trace clone → original body).
+    reverse: bool,
 }
 
 /// An attached COBRA instance.
@@ -378,6 +406,12 @@ pub struct Cobra {
     store_ctx: Option<(Store, StoreKey, Option<Snapshot>)>,
     /// Fleet-server coordinates when pooled learning is configured.
     fleet_ctx: Option<FleetCtx>,
+    /// Version transfers still draining (threads not yet all on the
+    /// intended version).
+    osr_watches: Vec<OsrWatch>,
+    /// Verified forward state mapping per live trace deployment, kept so a
+    /// revert can arm the reverse map.
+    osr_maps: Vec<(u64, cobra_osr::OsrMap)>,
 }
 
 impl Cobra {
@@ -413,6 +447,40 @@ impl Cobra {
     fn apply_action(&mut self, machine: &mut Machine, action: PlanAction) {
         match action {
             PlanAction::Apply(plan) => {
+                // OSR: prove the state mapping between the original body
+                // and the trace clone against the *pre-deployment* image.
+                // An unprovable map degrades to entry-only transfer (the
+                // deployment still proceeds, unarmed); in-place plans have
+                // an identity mapping and nothing to migrate.
+                let mut osr_map = None;
+                if let Some(t) = &plan.trace {
+                    if plan.back_edge >= plan.loop_head {
+                        let map = cobra_osr::OsrMap::for_trace(
+                            plan.id,
+                            plan.loop_head,
+                            plan.back_edge,
+                            t.expected_start,
+                        );
+                        match cobra_verify::check_osr_map(
+                            machine.shared.code.image(),
+                            &map,
+                            plan.kind.into(),
+                            &t.insns,
+                        ) {
+                            Ok(()) => osr_map = Some(map),
+                            Err(e) => {
+                                self.report.osr_rejects += 1;
+                                self.emit(TelemetryEvent::OsrRejected {
+                                    tick: self.tick,
+                                    cycle: machine.shared.cycle,
+                                    plan_id: plan.id,
+                                    loop_head: plan.loop_head,
+                                    reason: e.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
                 let trace_entry = plan.trace.as_ref().map(|t| {
                     // Invariant: both sides compute expected_start as
                     // bundle_align(len) over identical image copies kept in
@@ -476,6 +544,23 @@ impl Cobra {
                     trace_entry,
                     candidate: plan.candidate,
                 });
+                // The deployment landed whole: watch the original body
+                // drain, and (when OSR is on) arm the verified redirects so
+                // in-flight threads migrate at their next back edge.
+                if let Some(map) = osr_map {
+                    let (lo, hi) = map.source_range();
+                    if self.cfg.optimizer.osr {
+                        machine.arm_redirect(plan.id, &map.redirect_pairs());
+                    }
+                    self.osr_watches.push(OsrWatch {
+                        plan_id: plan.id,
+                        lo,
+                        hi,
+                        armed_tick: self.tick,
+                        reverse: false,
+                    });
+                    self.osr_maps.push((plan.id, map));
+                }
             }
             PlanAction::Revert {
                 plan_id,
@@ -525,12 +610,88 @@ impl Cobra {
                     reason,
                     tick: self.tick,
                 });
+                // The original words are back, but threads inside the trace
+                // clone would run the stale version until natural loop
+                // completion — the unbounded half of the transfer problem.
+                // Swap the plan's forward map for its reverse: redirect the
+                // clone's back edge to the original body and watch the
+                // clone drain.
+                if let Some(pos) = self.osr_maps.iter().position(|(id, _)| *id == plan_id) {
+                    let (_, map) = self.osr_maps.remove(pos);
+                    if let Some(pos) = self.osr_watches.iter().position(|w| w.plan_id == plan_id) {
+                        // The forward drain never finished; close it now —
+                        // its elapsed ticks were spent un-migrated, and the
+                        // version it migrated into is gone.
+                        let w = self.osr_watches.remove(pos);
+                        self.finish_osr_watch(machine, w);
+                    }
+                    let rev = map.reversed();
+                    let (lo, hi) = rev.source_range();
+                    if self.cfg.optimizer.osr {
+                        machine.arm_redirect(plan_id, &rev.redirect_pairs());
+                    }
+                    self.osr_watches.push(OsrWatch {
+                        plan_id,
+                        lo,
+                        hi,
+                        armed_tick: self.tick,
+                        reverse: true,
+                    });
+                }
             }
+        }
+    }
+
+    /// Retire one version transfer: disarm its redirects, credit the
+    /// migrations it served, and add its drain time to the
+    /// time-to-optimized total.
+    fn finish_osr_watch(&mut self, machine: &mut Machine, w: OsrWatch) {
+        let migrations = machine.disarm_redirect(w.plan_id);
+        let elapsed = self.tick.saturating_sub(w.armed_tick);
+        self.report.ticks_to_all_optimized += elapsed;
+        if w.reverse {
+            self.report.osr_reverse_migrations += migrations;
+            self.emit(TelemetryEvent::OsrRevert {
+                tick: self.tick,
+                cycle: machine.shared.cycle,
+                plan_id: w.plan_id,
+                migrations,
+                ticks_since_revert: elapsed,
+            });
+        } else {
+            self.report.osr_migrations += migrations;
+            self.emit(TelemetryEvent::OsrMigrate {
+                tick: self.tick,
+                cycle: machine.shared.cycle,
+                plan_id: w.plan_id,
+                migrations,
+                ticks_since_deploy: elapsed,
+            });
+        }
+    }
+
+    /// Retire every watch whose source body no running thread occupies.
+    fn check_osr_watches(&mut self, machine: &mut Machine) {
+        let mut i = 0;
+        while i < self.osr_watches.len() {
+            let w = &self.osr_watches[i];
+            if machine.any_pc_in(w.lo, w.hi) {
+                i += 1;
+                continue;
+            }
+            let w = self.osr_watches.remove(i);
+            self.finish_osr_watch(machine, w);
         }
     }
 
     /// Detach: stop sampling, shut down helper threads, return the report.
     pub fn detach(mut self, machine: &mut Machine) -> CobraReport {
+        // Transfers still draining when the run ends: close them at the
+        // final tick so their un-migrated time is still accounted.
+        let leftover: Vec<OsrWatch> = self.osr_watches.drain(..).collect();
+        for w in leftover {
+            self.finish_osr_watch(machine, w);
+        }
         self.report.guest_faults = machine.total_stats().get(cobra_machine::Event::GuestFaults);
         let blocks = machine.block_stats();
         self.report.block_builds = blocks.builds;
@@ -706,6 +867,7 @@ impl QuantumHook for Cobra {
                 self.apply_action(machine, action);
             }
         }
+        self.check_osr_watches(machine);
 
         if self.emitter.is_some() {
             self.emit(TelemetryEvent::Quantum {

@@ -159,6 +159,16 @@ pub struct OptimizerConfig {
     /// a longer tournament.
     #[serde(default = "default_trial_ticks")]
     pub trial_ticks: u64,
+    /// On-stack replacement: arm verified per-branch redirects when a trace
+    /// version deploys (and the reverse map when it reverts), so threads
+    /// already inside the loop migrate at their next back edge instead of
+    /// running the stale version to natural completion. Maps are proven
+    /// total and type-correct by `cobra-verify::check_osr_map` before
+    /// arming; an unprovable map degrades to entry-only transfer (counted
+    /// in `osr_rejects`), never blocks the deployment. On by default; the
+    /// `COBRA_OSR=0` environment variable forces it off for A/B runs.
+    #[serde(default = "default_osr")]
+    pub osr: bool,
 }
 
 fn default_warm_warmup_ticks() -> u64 {
@@ -171,6 +181,19 @@ fn default_verify() -> bool {
 
 fn default_trial_ticks() -> u64 {
     4
+}
+
+/// OSR defaults on; `COBRA_OSR=0` in the environment turns it off (the
+/// A/B switch the time-to-optimized experiments flip without touching
+/// config files).
+fn default_osr() -> bool {
+    osr_env(std::env::var("COBRA_OSR").ok().as_deref())
+}
+
+/// `COBRA_OSR` semantics: only the literal `"0"` disables OSR; unset or
+/// any other value leaves it on.
+fn osr_env(value: Option<&str>) -> bool {
+    value != Some("0")
 }
 
 impl Default for OptimizerConfig {
@@ -199,6 +222,7 @@ impl Default for OptimizerConfig {
             verify: default_verify(),
             candidates: false,
             trial_ticks: default_trial_ticks(),
+            osr: default_osr(),
         }
     }
 }
@@ -1638,6 +1662,33 @@ mod tests {
         l3_kinst: f64,
     ) -> SystemProfile {
         hot_profile_lat(load_pc, head, back, l3_kinst, 200)
+    }
+
+    /// Configs serialized before the `osr` toggle existed must still load:
+    /// the missing field falls back to the `COBRA_OSR`-aware default.
+    #[test]
+    fn old_configs_without_osr_field_still_load() {
+        let mut v = serde::Serialize::to_value(&OptimizerConfig::default());
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "osr");
+        } else {
+            panic!("config serializes to an object");
+        }
+        let cfg: OptimizerConfig =
+            serde::Deserialize::from_value(&v).expect("tolerant deserialize");
+        assert_eq!(cfg.osr, default_osr());
+    }
+
+    /// `COBRA_OSR` parsing: only the literal `"0"` disables; unset, empty,
+    /// or anything else keeps OSR on. (The workspace-under-`COBRA_OSR=0`
+    /// CI job covers the real environment path end to end.)
+    #[test]
+    fn cobra_osr_env_only_zero_disables() {
+        assert!(osr_env(None));
+        assert!(!osr_env(Some("0")));
+        assert!(osr_env(Some("1")));
+        assert!(osr_env(Some("")));
+        assert!(osr_env(Some("off")));
     }
 
     #[test]

@@ -149,6 +149,24 @@ pub struct CobraReport {
     /// cold — counted, telemetered, never fatal).
     #[serde(default)]
     pub fleet_errors: u64,
+    /// Back edges diverted into a freshly deployed trace version by armed
+    /// OSR redirects (mid-loop forward migrations).
+    #[serde(default)]
+    pub osr_migrations: u64,
+    /// Back edges diverted out of a reverted trace clone back to the
+    /// original body (mid-loop reverse migrations).
+    #[serde(default)]
+    pub osr_reverse_migrations: u64,
+    /// Deployments whose OSR state mapping `cobra-verify::check_osr_map`
+    /// could not prove; each degraded to entry-only transfer.
+    #[serde(default)]
+    pub osr_rejects: u64,
+    /// Summed ticks from each version transfer (deploy or revert) until
+    /// every thread ran the intended version — the time-to-optimized
+    /// metric. Tracked whether or not OSR is armed, so `COBRA_OSR=0` runs
+    /// report the entry-only convergence time for comparison.
+    #[serde(default)]
+    pub ticks_to_all_optimized: u64,
 }
 
 impl CobraReport {
@@ -188,6 +206,18 @@ impl CobraReport {
             s.push_str(&format!(
                 ", {} revert failures, {} deploy failures",
                 self.revert_failures, self.deploy_failures,
+            ));
+        }
+        if self.osr_migrations > 0 || self.osr_reverse_migrations > 0 || self.osr_rejects > 0 {
+            s.push_str(&format!(
+                ", {} osr migrations ({} reverse, {} rejects)",
+                self.osr_migrations, self.osr_reverse_migrations, self.osr_rejects,
+            ));
+        }
+        if self.ticks_to_all_optimized > 0 {
+            s.push_str(&format!(
+                ", {} ticks to all-optimized",
+                self.ticks_to_all_optimized,
             ));
         }
         s
@@ -255,6 +285,8 @@ mod tests {
                     && k != "deploy_failures"
                     && k != "candidates_trialed"
                     && k != "tournaments_promoted"
+                    && !k.starts_with("osr_")
+                    && k != "ticks_to_all_optimized"
             });
         } else {
             panic!("report serializes to an object");
@@ -273,5 +305,9 @@ mod tests {
         assert_eq!(r.block_fallback_cycles, 0);
         assert_eq!(r.block_fallback_mem_boundary, 0);
         assert_eq!(r.block_horizon_stretches, 0);
+        assert_eq!(r.osr_migrations, 0);
+        assert_eq!(r.osr_reverse_migrations, 0);
+        assert_eq!(r.osr_rejects, 0);
+        assert_eq!(r.ticks_to_all_optimized, 0);
     }
 }

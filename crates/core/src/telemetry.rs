@@ -276,6 +276,41 @@ pub enum TelemetryEvent {
         stage: String,
         detail: String,
     },
+    /// Every thread left the original loop body after a trace deployment:
+    /// the forward OSR redirects were disarmed. `migrations` counts the
+    /// back edges actually diverted into the new version (0 under
+    /// `COBRA_OSR=0`, where the watch still measures convergence).
+    OsrMigrate {
+        tick: u64,
+        cycle: u64,
+        plan_id: u64,
+        migrations: u64,
+        /// Ticks from arming (deployment) to convergence — this plan's
+        /// contribution to `ticks_to_all_optimized`.
+        ticks_since_deploy: u64,
+    },
+    /// Every thread left a reverted trace clone: the reverse OSR redirects
+    /// were disarmed. `migrations` counts back edges diverted back to the
+    /// original body (without OSR, threads drain only at natural loop
+    /// completion).
+    OsrRevert {
+        tick: u64,
+        cycle: u64,
+        plan_id: u64,
+        migrations: u64,
+        /// Ticks from the revert to convergence.
+        ticks_since_revert: u64,
+    },
+    /// `cobra-verify::check_osr_map` could not prove a deployment's state
+    /// mapping total and type-correct; the deployment proceeded with
+    /// entry-only transfer (no redirects armed).
+    OsrRejected {
+        tick: u64,
+        cycle: u64,
+        plan_id: u64,
+        loop_head: CodeAddr,
+        reason: String,
+    },
     /// The framework detached; final counters. The `block_*` fields carry
     /// the block-dispatch fallback breakdown (why cycles left the block
     /// engine for the per-cycle reference loop) and the lockstep horizon
@@ -325,6 +360,9 @@ impl TelemetryEvent {
             TelemetryEvent::FleetSeed { .. } => "fleet_seed",
             TelemetryEvent::FleetUpload { .. } => "fleet_upload",
             TelemetryEvent::FleetError { .. } => "fleet_error",
+            TelemetryEvent::OsrMigrate { .. } => "osr_migrate",
+            TelemetryEvent::OsrRevert { .. } => "osr_revert",
+            TelemetryEvent::OsrRejected { .. } => "osr_rejected",
             TelemetryEvent::Detach { .. } => "detach",
         }
     }
@@ -594,6 +632,11 @@ pub struct TraceSummary {
     /// without `builder().fleet(addr)`.
     #[serde(default)]
     pub fleet: (u64, u64, u64),
+    /// On-stack replacement totals: `(migrations, reverse_migrations,
+    /// rejects)` summed over the `osr_*` records. Zero for traces recorded
+    /// before OSR existed or with it off.
+    #[serde(default)]
+    pub osr: (u64, u64, u64),
 }
 
 impl TraceSummary {
@@ -605,6 +648,7 @@ impl TraceSummary {
         let mut records_dropped = 0u64;
         let mut block_fallbacks = Vec::new();
         let mut block_horizons = (0u64, 0u64);
+        let mut osr = (0u64, 0u64, 0u64);
         for r in records {
             *per_category.entry(r.event.category()).or_insert(0) += 1;
             match &r.event {
@@ -626,6 +670,9 @@ impl TraceSummary {
                     reverts.push((*tick, *plan_id, reason.clone()));
                 }
                 TelemetryEvent::PhaseChange { .. } => phase_changes += 1,
+                TelemetryEvent::OsrMigrate { migrations, .. } => osr.0 += migrations,
+                TelemetryEvent::OsrRevert { migrations, .. } => osr.1 += migrations,
+                TelemetryEvent::OsrRejected { .. } => osr.2 += 1,
                 TelemetryEvent::Detach {
                     records_dropped: d,
                     block_fallback_mem_boundary,
@@ -670,6 +717,7 @@ impl TraceSummary {
             block_fallbacks,
             block_horizons,
             fleet,
+            osr,
         }
     }
 }
@@ -710,6 +758,13 @@ impl fmt::Display for TraceSummary {
                 f,
                 "fleet: {} upload(s), {} seed(s), {} error(s)",
                 self.fleet.0, self.fleet.1, self.fleet.2
+            )?;
+        }
+        if self.osr != (0, 0, 0) {
+            writeln!(
+                f,
+                "osr: {} migration(s), {} reverse migration(s), {} rejected map(s)",
+                self.osr.0, self.osr.1, self.osr.2
             )?;
         }
         Ok(())
@@ -900,6 +955,66 @@ mod tests {
         assert!(text.contains("plan 0 noprefetch @ loop 40"));
         assert!(text.contains("multi_core_mem_boundary"));
         assert!(text.contains("5 stretches covering 480 cycles"));
+    }
+
+    /// OSR records roll up into the summary's `(migrations, reverse,
+    /// rejects)` triple and render one line; summaries serialized before
+    /// the field existed still load with zeros.
+    #[test]
+    fn summary_aggregates_osr_records() {
+        let records = vec![
+            TelemetryRecord {
+                seq: 0,
+                event: TelemetryEvent::OsrMigrate {
+                    tick: 4,
+                    cycle: 4000,
+                    plan_id: 0,
+                    migrations: 3,
+                    ticks_since_deploy: 1,
+                },
+            },
+            TelemetryRecord {
+                seq: 1,
+                event: TelemetryEvent::OsrRevert {
+                    tick: 9,
+                    cycle: 9000,
+                    plan_id: 0,
+                    migrations: 4,
+                    ticks_since_revert: 2,
+                },
+            },
+            TelemetryRecord {
+                seq: 2,
+                event: TelemetryEvent::OsrRejected {
+                    tick: 2,
+                    cycle: 2000,
+                    plan_id: 1,
+                    loop_head: 40,
+                    reason: "map not total".into(),
+                },
+            },
+        ];
+        let s = TraceSummary::from_records(&records);
+        assert_eq!(s.osr, (3, 4, 1));
+        let text = format!("{s}");
+        assert!(
+            text.contains("osr: 3 migration(s), 4 reverse migration(s), 1 rejected map(s)"),
+            "{text}"
+        );
+
+        // Legacy wire shape: a summary without the `osr` field.
+        let mut v = serde::Serialize::to_value(&s);
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "osr");
+        } else {
+            panic!("summary serializes to an object");
+        }
+        let back: TraceSummary = serde::Deserialize::from_value(&v).expect("tolerant deserialize");
+        assert_eq!(back.osr, (0, 0, 0));
+        assert!(
+            !format!("{back}").contains("osr:"),
+            "zero triple is omitted"
+        );
     }
 
     /// Detach records written before the fallback breakdown existed must

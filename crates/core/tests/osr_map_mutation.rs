@@ -1,0 +1,291 @@
+//! Mutation testing of the `cobra-verify::check_osr_map` OSR gate.
+//!
+//! Mirrors the deploy-gate suite (`verify_mutation.rs`):
+//!
+//! * **No false rejects** — the layout-true state mapping of every trace
+//!   plan the real optimizer emits for real NPB kernel loops must verify
+//!   (the exact map the framework arms).
+//! * **No false accepts** — every class of map corruption (wrong offset,
+//!   non-total, out-of-body entries, shifted version base, truncated or
+//!   diverging version body, clobbered scratch register) must be rejected
+//!   on every captured map it applies to.
+
+use std::sync::OnceLock;
+
+use cobra_isa::insn::Op;
+use cobra_isa::{Assembler, CodeAddr, CodeImage, Insn, NOP_SLOT_I};
+use cobra_kernels::minicc::PrefetchPolicy;
+use cobra_kernels::npb::{self, Benchmark};
+use cobra_machine::MachineConfig;
+use cobra_osr::OsrMap;
+use cobra_rt::{
+    CounterWindow, DeployMode, LatencyBands, Optimizer, OptimizerConfig, PlanAction, ProfileDelta,
+    Strategy, SystemProfile,
+};
+use cobra_verify::{check_osr_map, RewriteKind};
+use proptest::prelude::*;
+
+/// One optimizer-emitted trace plan reduced to its OSR ingredients: the
+/// pristine image, the layout-true map, the rewrite kind, and the clone
+/// body the map transfers into.
+struct CapturedMap {
+    bench: &'static str,
+    machine: &'static str,
+    image: CodeImage,
+    map: OsrMap,
+    kind: RewriteKind,
+    version: Vec<Insn>,
+}
+
+/// `(head, back_edge, load_pc)` for loops with both an `lfetch` and a load
+/// (same selector as the deploy-gate suite).
+fn find_loops(image: &CodeImage) -> Vec<(CodeAddr, CodeAddr, CodeAddr)> {
+    let mut loops = Vec::new();
+    for addr in 0..image.main_len() {
+        let Ok(insn) = image.insn(addr) else { continue };
+        let Some(target) = insn.op.branch_target() else {
+            continue;
+        };
+        if target > addr || addr - target > 256 {
+            continue;
+        }
+        let mut lfetch = None;
+        let mut load = None;
+        for a in target..=addr {
+            match image.insn(a).map(|i| i.op) {
+                Ok(Op::Lfetch { .. }) => lfetch = lfetch.or(Some(a)),
+                Ok(Op::Ldfd { .. }) | Ok(Op::Ld8 { .. }) => load = load.or(Some(a)),
+                _ => {}
+            }
+        }
+        if let (Some(_), Some(load_pc)) = (lfetch, load) {
+            loops.push((target, addr, load_pc));
+        }
+    }
+    loops
+}
+
+fn hot_profile(load_pc: CodeAddr, head: CodeAddr, back: CodeAddr) -> SystemProfile {
+    let mut sp = SystemProfile::new(LatencyBands { coherent_min: 165 });
+    let mut delta = ProfileDelta {
+        samples: 100,
+        window: CounterWindow {
+            instructions: 100_000,
+            cycles: 150_000,
+            bus_memory: 1000,
+            bus_coherent: 300,
+            l2_miss: 100,
+            l3_miss: 100,
+        },
+        ..ProfileDelta::default()
+    };
+    for _ in 0..20 {
+        delta.dear_events.push((load_pc, 0x1000, 200));
+        delta.branch_pairs.push((back, head));
+    }
+    sp.absorb(&delta);
+    sp
+}
+
+/// Capture the layout-true OSR map of every trace plan the real optimizer
+/// emits across NPB kernels, machines, and fixed strategies — exactly what
+/// `Cobra::apply_action` builds before arming.
+fn capture_real_maps() -> &'static Vec<CapturedMap> {
+    static MAPS: OnceLock<Vec<CapturedMap>> = OnceLock::new();
+    MAPS.get_or_init(|| {
+        let mut captured = Vec::new();
+        let machines = [
+            ("smp4", MachineConfig::smp4()),
+            ("altix8", MachineConfig::altix8()),
+        ];
+        for (mname, mcfg) in machines {
+            for bench in Benchmark::ALL {
+                let workload = npb::build(bench, &PrefetchPolicy::aggressive(), mcfg.mem_bytes);
+                let image = workload.image().clone();
+                for &(head, back, load_pc) in find_loops(&image).iter().take(3) {
+                    for strategy in [Strategy::NoPrefetch, Strategy::ExclHint] {
+                        let cfg = OptimizerConfig {
+                            strategy,
+                            deploy: DeployMode::TraceCache,
+                            warmup_ticks: 0,
+                            ..Default::default()
+                        };
+                        let mut opt = Optimizer::new(cfg, image.clone());
+                        for action in opt.consider(&hot_profile(load_pc, head, back)) {
+                            let PlanAction::Apply(plan) = action else {
+                                continue;
+                            };
+                            let Some(trace) = &plan.trace else { continue };
+                            if plan.back_edge < plan.loop_head {
+                                continue;
+                            }
+                            captured.push(CapturedMap {
+                                bench: bench.name(),
+                                machine: mname,
+                                image: image.clone(),
+                                map: OsrMap::for_trace(
+                                    plan.id,
+                                    plan.loop_head,
+                                    plan.back_edge,
+                                    trace.expected_start,
+                                ),
+                                kind: plan.kind.into(),
+                                version: trace.insns.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            captured.len() >= 16,
+            "expected a broad map corpus, got {}",
+            captured.len()
+        );
+        captured
+    })
+}
+
+/// Zero false rejects: every optimizer-emitted map verifies, forward and
+/// (for the revert path) reversed-then-reversed back to itself.
+#[test]
+fn optimizer_emitted_maps_always_verify() {
+    for c in capture_real_maps() {
+        check_osr_map(&c.image, &c.map, c.kind, &c.version).unwrap_or_else(|e| {
+            panic!(
+                "{}/{} map at head {} falsely rejected: {e}",
+                c.machine, c.bench, c.map.loop_head
+            )
+        });
+        assert_eq!(
+            c.map.reversed().reversed().redirect_pairs(),
+            c.map.redirect_pairs(),
+            "reversal must be an involution"
+        );
+    }
+}
+
+/// The corruption classes. Each returns the damaged `(map, version)` pair,
+/// or `None` when the class cannot apply to this map's shape.
+fn corrupt(c: &CapturedMap, class: usize, pick: usize) -> Option<(OsrMap, Vec<Insn>)> {
+    let mut map = c.map.clone();
+    let mut version = c.version.clone();
+    let n = map.entries.len();
+    match class {
+        // Wrong offset: one entry points at the wrong clone slot.
+        0 => map.entries[pick % n].to += 1,
+        // Non-total: one body instruction has no mapping.
+        1 => {
+            map.entries.remove(pick % n);
+        }
+        // Duplicate-covering: two entries map the same source, another
+        // source is uncovered.
+        2 => {
+            if n < 2 {
+                return None;
+            }
+            let dup = map.entries[pick % n];
+            map.entries[(pick + 1) % n] = dup;
+        }
+        // Entries escape the claimed body.
+        3 => {
+            let e = &mut map.entries[pick % n];
+            e.from = map.loop_head.checked_sub(1)?;
+        }
+        // Shifted version base: every offset lands one slot late.
+        4 => map.version_start += 1,
+        // Truncated version body: shorter than the mapped range (trace
+        // plans carry body + exit branch, so cut below the body length).
+        5 => version.truncate(map.body_len().checked_sub(1)?),
+        // Diverging version body: a slot is neither the original
+        // instruction, the retargeted back edge, nor an allowed rewrite.
+        6 => {
+            let i = (0..map.body_len().min(version.len()))
+                .map(|k| (k + pick) % map.body_len().min(version.len()))
+                .find(|&k| version[k] != NOP_SLOT_I)?;
+            version[i] = NOP_SLOT_I;
+        }
+        _ => unreachable!("unknown corruption class"),
+    }
+    Some((map, version))
+}
+
+const CLASSES: usize = 7;
+
+/// 100% of corruption classes rejected on 100% of the maps they fit.
+#[test]
+fn every_map_corruption_class_is_rejected() {
+    let maps = capture_real_maps();
+    let mut applied = [0usize; CLASSES];
+    for c in maps {
+        for (class, count) in applied.iter_mut().enumerate() {
+            let Some((bad_map, bad_version)) = corrupt(c, class, 0) else {
+                continue;
+            };
+            *count += 1;
+            assert!(
+                check_osr_map(&c.image, &bad_map, c.kind, &bad_version).is_err(),
+                "{}/{} class {class} map corruption accepted at head {}",
+                c.machine,
+                c.bench,
+                c.map.loop_head
+            );
+        }
+    }
+    for (class, &n) in applied.iter().enumerate() {
+        assert!(n > 0, "map corruption class {class} never applied");
+    }
+}
+
+/// Clobbered scratch register: a loop that *uses* a removed prefetch's
+/// post-incremented base downstream must be rejected — the register is no
+/// longer version-invariant, so migrating mid-loop would observe a stale
+/// address. (Synthetic: real kernels never reuse prefetch cursors, which
+/// is exactly why the obligation discharges on the whole NPB corpus.)
+#[test]
+fn clobbered_scratch_register_is_rejected() {
+    let mut a = Assembler::new();
+    let top = a.new_label();
+    a.bind(top);
+    let head = a.here();
+    a.ldfd(0, 6, 4, 8);
+    a.lfetch_nt1(0, 20, 64); // post-inc base r20 ...
+    a.mov_to_ec(20); // ... still read inside the loop
+    let back = a.br_cloop(top);
+    a.hlt();
+    let image = a.finish();
+
+    let start = cobra_isa::bundle_align(image.len());
+    let map = OsrMap::for_trace(1, head, back, start);
+    let mut version: Vec<Insn> = (head..=back).map(|pc| image.insn(pc).unwrap()).collect();
+    // The deployed version drops the lfetch (noprefetch rewrite) and
+    // retargets the back edge into the clone.
+    version[1] = cobra_isa::NOP_SLOT_M;
+    let idx = (back - head) as usize;
+    version[idx].op = version[idx].op.with_branch_target(start).unwrap();
+
+    let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &version).unwrap_err();
+    assert!(
+        err.to_string().contains("register"),
+        "expected a register-clobber violation, got: {err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized class × map × site pick — the sampled counterpart of the
+    /// exhaustive sweep.
+    #[test]
+    fn injected_map_corruption_never_verifies(seed in any::<u64>(), class in 0usize..CLASSES) {
+        let maps = capture_real_maps();
+        let c = &maps[(seed as usize) % maps.len()];
+        if let Some((bad_map, bad_version)) = corrupt(c, class, (seed >> 32) as usize) {
+            prop_assert!(
+                check_osr_map(&c.image, &bad_map, c.kind, &bad_version).is_err(),
+                "class {} map corruption accepted on {}/{}",
+                class, c.machine, c.bench
+            );
+        }
+    }
+}

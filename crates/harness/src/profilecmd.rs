@@ -110,7 +110,21 @@ pub fn inspect(path: &Path) -> Result<String, String> {
         let lr = read_snapshot_file(&file, None);
         out.push_str(&format!("{}:\n", file.display()));
         match &lr.snapshot {
-            Some(snap) => out.push_str(&format!("  {}\n", snap.summary())),
+            Some(snap) => {
+                out.push_str(&format!("  {}\n", snap.summary()));
+                // The summary only counts tournament winners; list what was
+                // actually promoted per loop head so a warm-start seed can
+                // be audited without a JSON tool.
+                for w in &snap.winners {
+                    out.push_str(&format!(
+                        "  winner @ loop {}: {} ({}), {} trial(s)\n",
+                        w.loop_head,
+                        w.candidate,
+                        w.kind,
+                        w.trials.len()
+                    ));
+                }
+            }
             None => out.push_str(&format!(
                 "  rejected: {}\n",
                 lr.error.as_deref().unwrap_or("no valid records")
@@ -245,6 +259,39 @@ mod tests {
         assert!(by_file.contains("2 run(s)"), "{by_file}");
         let by_dir = inspect(&dir).unwrap();
         assert!(by_dir.contains("a.jsonl"), "{by_dir}");
+    }
+
+    #[test]
+    fn inspect_lists_stored_tournament_winners_per_loop_head() {
+        let dir = tmp_dir();
+        let mut s = snap(1);
+        s.winners.push(cobra_store::WinnerRecord {
+            loop_head: 40,
+            candidate: "combined.split".into(),
+            kind: "combined".into(),
+            trials: vec![
+                ("noprefetch.all".into(), 1.3),
+                ("combined.split".into(), 1.1),
+            ],
+        });
+        s.winners.push(cobra_store::WinnerRecord {
+            loop_head: 96,
+            candidate: "excl.all".into(),
+            kind: "prefetch.excl".into(),
+            trials: vec![],
+        });
+        let file = dir.join("winners.jsonl");
+        write_snapshot_file(&file, &s).unwrap();
+        let out = inspect(&file).unwrap();
+        assert!(out.contains("2 tournament winner(s)"), "{out}");
+        assert!(
+            out.contains("winner @ loop 40: combined.split (combined), 2 trial(s)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("winner @ loop 96: excl.all (prefetch.excl), 0 trial(s)"),
+            "{out}"
+        );
     }
 
     #[test]

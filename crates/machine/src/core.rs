@@ -1251,6 +1251,23 @@ impl Core {
     #[inline]
     fn take_branch(&mut self, shared: &mut Shared, src: CodeAddr, target: CodeAddr) -> bool {
         shared.stats[self.cpu].add(Event::BrTaken, 1);
+        // On-stack replacement: while a verified map is armed, a taken
+        // branch into the old loop version commits to the corresponding
+        // instruction of the deployed version instead. The empty-table
+        // check is the entire cost when no migration is in flight. The BTB
+        // records the redirected target — the profile sees the control
+        // transfer that actually happened.
+        let target = if shared.redirects.is_empty() {
+            target
+        } else if let Some(to) = shared.redirects.redirect(target) {
+            // Drop the decoded-block cursor so the next fetch re-resolves
+            // in the new version (the per-cycle revalidation would catch it
+            // too; this keeps the cursor honest immediately).
+            self.cur_block = None;
+            to
+        } else {
+            target
+        };
         shared.hpm[self.cpu].btb_push(src, target);
         self.pc = target;
         true

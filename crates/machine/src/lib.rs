@@ -30,6 +30,7 @@ pub mod events;
 pub mod hpm;
 pub mod machine;
 pub mod memsys;
+pub mod redirect;
 
 pub use blocks::{Block, BlockCache, BlockStats, FallbackReason};
 pub use bus::Bus;
@@ -40,3 +41,4 @@ pub use events::{CpuStats, Event, ALL_EVENTS, NUM_EVENTS};
 pub use hpm::{BtbEntry, DearRecord, Hpm, OverflowCapture, SamplingConfig, BTB_PAIRS};
 pub use machine::{DataMem, Machine, ProgramCode, RunResult, Shared};
 pub use memsys::{AccessKind, AccessOutcome, MemSystem, PageMap};
+pub use redirect::RedirectTable;

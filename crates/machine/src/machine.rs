@@ -20,6 +20,7 @@ use crate::core::{Core, CoreStatus, StepOutcome};
 use crate::events::{self, CpuStats, Event};
 use crate::hpm::Hpm;
 use crate::memsys::MemSystem;
+use crate::redirect::RedirectTable;
 
 /// Flat byte-addressed functional data memory.
 #[derive(Debug, Clone)]
@@ -219,6 +220,9 @@ pub struct Shared {
     /// Pre-decoded basic blocks of `code` (see [`crate::blocks`]); consulted
     /// by the cores only when [`crate::HostAccel::block_dispatch`] is on.
     pub blocks: BlockCache,
+    /// Armed on-stack-replacement edges (see [`crate::redirect`]); consulted
+    /// by `Core::take_branch` on every taken branch while non-empty.
+    pub redirects: RedirectTable,
     pub cycle: u64,
 }
 
@@ -282,6 +286,7 @@ impl Machine {
             stats: (0..n).map(|_| CpuStats::new()).collect(),
             hpm: (0..n).map(|_| Hpm::new(cfg.dear_min_latency)).collect(),
             blocks: BlockCache::new(),
+            redirects: RedirectTable::default(),
             cycle: 0,
             cfg,
         };
@@ -688,7 +693,13 @@ impl Machine {
                             FallbackReason::Other
                         }
                         Some(_) if self.shared.cfg.host_accel.block_dispatch_multicore => {
-                            if self.run_lockstep_horizon(budget) {
+                            // OSR redirects divert taken branches away from
+                            // their static targets, so the static memory
+                            // distance behind the safe horizon is no longer
+                            // a lower bound — interleave (reference-faithful
+                            // per-cycle block stepping) while any are armed.
+                            if self.shared.redirects.is_empty() && self.run_lockstep_horizon(budget)
+                            {
                                 continue;
                             }
                             // Memory-boundary regime: horizons are collapsing
@@ -784,6 +795,36 @@ impl Machine {
     /// Block dispatch telemetry (builds / invalidations / fallback cycles).
     pub fn block_stats(&self) -> BlockStats {
         self.shared.blocks.stats()
+    }
+
+    /// Arm on-stack-replacement edges for `plan_id`: taken branches to each
+    /// `from` commit to the paired `to` instead, migrating threads between
+    /// loop versions at their next back edge. Callers must only arm
+    /// mappings proven by `cobra-verify::check_osr_map`. Re-arming a plan
+    /// replaces its edges (forward → reverse on revert) and keeps its hit
+    /// count.
+    pub fn arm_redirect(&mut self, plan_id: u64, pairs: &[(CodeAddr, CodeAddr)]) {
+        self.shared.redirects.arm(plan_id, pairs);
+    }
+
+    /// Disarm `plan_id`'s redirect edges, returning the migrations served.
+    pub fn disarm_redirect(&mut self, plan_id: u64) -> u64 {
+        self.shared.redirects.disarm(plan_id)
+    }
+
+    /// Migrations served so far by `plan_id`'s armed edges.
+    pub fn redirect_hits(&self, plan_id: u64) -> u64 {
+        self.shared.redirects.hits(plan_id)
+    }
+
+    /// True when some core bound to a live thread has its PC inside
+    /// `[lo, hi]` — the convergence probe for disarming an OSR map: once no
+    /// running thread remains in the source version's range, every thread
+    /// has migrated (or left the loop) and the map can stand down.
+    pub fn any_pc_in(&self, lo: CodeAddr, hi: CodeAddr) -> bool {
+        self.cores
+            .iter()
+            .any(|c| c.status == CoreStatus::Running && (lo..=hi).contains(&c.pc))
     }
 }
 

@@ -162,6 +162,30 @@ pub enum Violation {
     /// A write would clobber the original loop body, which must stay intact
     /// for revert.
     OriginalBodyClobbered { addr: CodeAddr },
+    /// An OSR map misses (or doubly covers) a source body address: the
+    /// mapping is not total, so some mid-loop thread would have no
+    /// migration destination.
+    OsrMapNotTotal { addr: CodeAddr },
+    /// An OSR entry maps a source address to the wrong version offset.
+    OsrMapWrongOffset {
+        addr: CodeAddr,
+        got: CodeAddr,
+        want: CodeAddr,
+    },
+    /// An OSR entry's source or destination lies outside the two version
+    /// bodies.
+    OsrMapOutOfRange { addr: CodeAddr },
+    /// A mapped instruction pair diverges beyond the allowed rewrites, so
+    /// the two versions do not agree on architected state at that point.
+    OsrBodyMismatch { addr: CodeAddr },
+    /// A register the OSR map treats as scratch (a removed prefetch base)
+    /// is still read by a binding instruction: migrating would transfer a
+    /// clobbered value.
+    OsrRegisterClobbered {
+        site: CodeAddr,
+        base: u8,
+        user: CodeAddr,
+    },
     /// A warm seed names a loop head outside the live main text.
     SeedHeadOutOfRange { head: CodeAddr, main_len: CodeAddr },
     /// A warm seed names a loop head whose word no longer decodes.
@@ -244,6 +268,24 @@ impl std::fmt::Display for Violation {
             Violation::OriginalBodyClobbered { addr } => write!(
                 f,
                 "write at {addr} clobbers the original loop body needed for revert"
+            ),
+            Violation::OsrMapNotTotal { addr } => {
+                write!(f, "OSR map does not cover body address {addr} exactly once")
+            }
+            Violation::OsrMapWrongOffset { addr, got, want } => write!(
+                f,
+                "OSR map sends {addr} to {got}, version layout puts it at {want}"
+            ),
+            Violation::OsrMapOutOfRange { addr } => {
+                write!(f, "OSR entry at {addr} leaves the version bodies")
+            }
+            Violation::OsrBodyMismatch { addr } => write!(
+                f,
+                "versions diverge beyond the allowed rewrites at mapped address {addr}"
+            ),
+            Violation::OsrRegisterClobbered { site, base, user } => write!(
+                f,
+                "OSR scratch register r{base} from removed lfetch at {site} is still read at {user}"
             ),
             Violation::SeedHeadOutOfRange { head, main_len } => write!(
                 f,
@@ -640,6 +682,132 @@ pub fn check_seed(image: &CodeImage, head: CodeAddr) -> Result<(), VerifyError> 
     if !has_back_edge {
         v.push(Violation::SeedNotALoopHead { head });
     }
+    VerifyError::from_violations(v)
+}
+
+/// Verify an on-stack replacement map against the pre-deployment image and
+/// the version it migrates into, proving it safe to arm:
+///
+/// * **total** — the entries cover every address of the source body
+///   `[loop_head, back_edge]` exactly once, each at the version offset the
+///   trace layout fixes (`version_start + (addr - loop_head)`), so any
+///   mid-loop control transfer has a defined destination;
+/// * **type-correct** — at every mapped pair the two versions hold the same
+///   instruction modulo the allowed rewrites (identical, a valid removal or
+///   hint flip under `kind`, or the back edge retargeted into the version),
+///   so all architected state transfers verbatim;
+/// * **obligations discharged** — every scratch register the map's
+///   [`cobra_osr::Obligations`] allow to diverge (removed post-incrementing
+///   prefetch bases) is proven dead by the same flow-sensitive reaching-use
+///   walk that gates the deployment itself.
+///
+/// `version` is the deployed body in mapped order (for trace-cache clones,
+/// the `TracePlan` instructions; trailing instructions past the body, such
+/// as the trace exit branch, are ignored here — `check_plan` already pins
+/// them). Maps are checked in their *forward* orientation; the reverse
+/// migration armed on revert is `map.reversed()`, sound by the same
+/// pairwise argument (the correspondence and obligations are symmetric).
+pub fn check_osr_map(
+    image: &CodeImage,
+    map: &cobra_osr::OsrMap,
+    kind: RewriteKind,
+    version: &[Insn],
+) -> Result<(), VerifyError> {
+    let mut v: Vec<Violation> = Vec::new();
+    if map.back_edge < map.loop_head || map.back_edge >= image.len() {
+        v.push(Violation::OsrMapOutOfRange {
+            addr: map.back_edge,
+        });
+        return VerifyError::from_violations(v);
+    }
+    let body_len = map.body_len();
+    if version.len() < body_len {
+        v.push(Violation::OsrMapOutOfRange {
+            addr: map.version_start + version.len() as CodeAddr,
+        });
+        return VerifyError::from_violations(v);
+    }
+
+    // Totality: each source address covered exactly once, at the layout
+    // offset. Entries outside the body are their own violation.
+    let mut cover = vec![0u32; body_len];
+    for e in &map.entries {
+        if e.from < map.loop_head || e.from > map.back_edge {
+            v.push(Violation::OsrMapOutOfRange { addr: e.from });
+            continue;
+        }
+        cover[(e.from - map.loop_head) as usize] += 1;
+        let want = map.version_start + (e.from - map.loop_head);
+        if e.to != want {
+            v.push(Violation::OsrMapWrongOffset {
+                addr: e.from,
+                got: e.to,
+                want,
+            });
+        }
+    }
+    for (i, &n) in cover.iter().enumerate() {
+        if n != 1 {
+            v.push(Violation::OsrMapNotTotal {
+                addr: map.loop_head + i as CodeAddr,
+            });
+        }
+    }
+
+    // Type-correctness: the versions must agree modulo the allowed rewrites
+    // at every mapped pair, collecting removal sites for the obligation
+    // check below.
+    let mut removed: std::collections::HashSet<CodeAddr> = std::collections::HashSet::new();
+    let mut original: Vec<Insn> = Vec::with_capacity(body_len);
+    for (i, ver) in version.iter().enumerate().take(body_len) {
+        let addr = map.loop_head + i as CodeAddr;
+        let orig = match image.insn(addr) {
+            Ok(orig) => orig,
+            Err(_) => {
+                v.push(Violation::UndecodableWord { addr });
+                continue;
+            }
+        };
+        original.push(orig);
+        let as_retarget = if orig.op.branch_target() == Some(map.loop_head) {
+            orig.op
+                .with_branch_target(map.version_start)
+                .map(|op| Insn::pred(orig.qp, op))
+        } else {
+            None
+        };
+        let matches = *ver == orig
+            || as_retarget.is_some_and(|r| r == *ver)
+            || match match_rewrite(&orig, ver, kind) {
+                Some(is_removal) => {
+                    if is_removal {
+                        removed.insert(addr);
+                    }
+                    true
+                }
+                None => false,
+            };
+        if !matches {
+            v.push(Violation::OsrBodyMismatch { addr });
+        }
+    }
+
+    // Obligations: the syntactic scratch set must match the removal sites
+    // found above, and each scratch register must be dead past its removal
+    // site (no binding read before an unpredicated redefinition).
+    let ob = cobra_osr::obligations(&original, version);
+    for &site in &removed {
+        let Ok(insn) = image.insn(site) else { continue };
+        if let Op::Lfetch { base, post_inc, .. } = insn.op {
+            if post_inc != 0 {
+                debug_assert!(ob.scratch_grs.contains(&base));
+                if let Some(user) = base_use_after_removal(image, &removed, site, base) {
+                    v.push(Violation::OsrRegisterClobbered { site, base, user });
+                }
+            }
+        }
+    }
+
     VerifyError::from_violations(v)
 }
 
@@ -1177,5 +1345,137 @@ mod tests {
         let text = err.to_string();
         assert!(text.starts_with("2 violation(s):"), "{text}");
         assert!(!text.contains('\n'));
+    }
+
+    /// Map + clone body exactly as the optimizer lays them out.
+    fn osr_parts(
+        image: &CodeImage,
+        head: CodeAddr,
+        back: CodeAddr,
+        kind: RewriteKind,
+    ) -> (cobra_osr::OsrMap, Vec<Insn>) {
+        let (insns, _writes, start) = trace_plan_parts(image, head, back, kind);
+        (cobra_osr::OsrMap::for_trace(1, head, back, start), insns)
+    }
+
+    #[test]
+    fn accepts_layout_true_osr_map() {
+        for kind in [RewriteKind::NoPrefetch, RewriteKind::ExclHint] {
+            let (image, head, back) = loop_image();
+            let (map, insns) = osr_parts(&image, head, back, kind);
+            check_osr_map(&image, &map, kind, &insns).unwrap();
+            // A combined plan accepts either per-site rewrite.
+            check_osr_map(&image, &map, RewriteKind::Combined, &insns).unwrap();
+        }
+    }
+
+    #[test]
+    fn accepts_identity_map_for_in_place_deploys() {
+        let (image, head, back) = loop_image();
+        let map = cobra_osr::OsrMap::identity(1, head, back);
+        let body: Vec<Insn> = (head..=back).map(|a| image.insn(a).unwrap()).collect();
+        check_osr_map(&image, &map, RewriteKind::NoPrefetch, &body).unwrap();
+        assert!(map.is_identity());
+    }
+
+    #[test]
+    fn rejects_non_total_map() {
+        let (image, head, back) = loop_image();
+        let (mut map, insns) = osr_parts(&image, head, back, RewriteKind::NoPrefetch);
+        map.entries.remove(1);
+        let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &insns).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OsrMapNotTotal { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_offset_and_duplicate_entries() {
+        let (image, head, back) = loop_image();
+        let (mut map, insns) = osr_parts(&image, head, back, RewriteKind::NoPrefetch);
+        map.entries[2].to += 1;
+        let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &insns).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OsrMapWrongOffset { .. })),
+            "{err}"
+        );
+
+        let (mut map, insns) = osr_parts(&image, head, back, RewriteKind::NoPrefetch);
+        let dup = map.entries[0];
+        map.entries[1] = dup; // address 0 covered twice, address 1 never
+        let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &insns).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OsrMapNotTotal { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_entries_leaving_the_bodies() {
+        let (image, head, back) = loop_image();
+        let (mut map, insns) = osr_parts(&image, head, back, RewriteKind::NoPrefetch);
+        map.entries[0].from = head.wrapping_sub(1);
+        let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &insns).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OsrMapOutOfRange { .. })),
+            "{err}"
+        );
+
+        // A version slice shorter than the body cannot back the map.
+        let (map, insns) = osr_parts(&image, head, back, RewriteKind::NoPrefetch);
+        let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &insns[..2]).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OsrMapOutOfRange { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_diverging_version_body() {
+        let (image, head, back) = loop_image();
+        let (map, mut insns) = osr_parts(&image, head, back, RewriteKind::NoPrefetch);
+        insns[0] = NOP_SLOT_I; // not this slot's instruction, not a rewrite
+        let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &insns).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OsrBodyMismatch { addr } if *addr == head)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_map_with_clobbered_scratch_register() {
+        // The body reads the prefetch base with a *binding* instruction
+        // after the lfetch, so removing the post-increment leaves a live
+        // register diverging between versions.
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        let head = a.here();
+        a.lfetch_nt1(0, 20, 64); // r20 += 64, removed by the clone
+        a.mov_to_ec(20); // binding read — migration would clobber it
+        let back = a.br_cloop(top);
+        a.hlt();
+        let image = a.finish();
+        let (map, insns) = osr_parts(&image, head, back, RewriteKind::NoPrefetch);
+        let err = check_osr_map(&image, &map, RewriteKind::NoPrefetch, &insns).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OsrRegisterClobbered { base: 20, .. })),
+            "{err}"
+        );
     }
 }
